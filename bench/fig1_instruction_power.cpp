@@ -1,0 +1,59 @@
+//===- bench/fig1_instruction_power.cpp - Figure 1 -------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// Regenerates Figure 1: "Average power for different instructions, when
+// executing out of flash and RAM." Sixteen identical instructions in a
+// loop, run from flash and then from RAM; the paper's shape is RAM at
+// roughly half the flash power for every type, EXCEPT when the RAM code
+// loads from flash (last bar), which is as expensive as flash execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/MicroBench.h"
+#include "core/Pipeline.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ramloc;
+
+int main() {
+  std::printf("== Figure 1: average power per instruction type, "
+              "flash vs RAM execution ==\n\n");
+
+  PowerModel PM = PowerModel::stm32f100();
+  Table T({"instruction", "flash (mW)", "ram (mW)", "ram/flash"});
+  bool ShapeHolds = true;
+
+  for (MicroKind K : AllMicroKinds) {
+    Measurement Flash = measureModule(buildMicroLoop(K, false, 20000), PM);
+    Measurement Ram = measureModule(buildMicroLoop(K, true, 20000), PM);
+    if (!Flash.ok() || !Ram.ok()) {
+      std::printf("%s failed: %s%s\n", microKindName(K),
+                  Flash.Stats.Error.c_str(), Ram.Stats.Error.c_str());
+      return 1;
+    }
+    double Ratio =
+        Ram.Energy.AvgMilliWatts / Flash.Energy.AvgMilliWatts;
+    T.addRow({microKindName(K),
+              formatDouble(Flash.Energy.AvgMilliWatts, 2),
+              formatDouble(Ram.Energy.AvgMilliWatts, 2),
+              formatDouble(Ratio, 3)});
+    if (K == MicroKind::LoadFlash) {
+      if (Ratio < 0.85)
+        ShapeHolds = false;
+    } else if (Ratio > 0.75) {
+      ShapeHolds = false;
+    }
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf("paper's shape: RAM execution draws roughly half the power\n"
+              "of flash for every instruction type except loads that read\n"
+              "flash data from RAM-resident code.\n");
+  std::printf("shape holds: %s\n", ShapeHolds ? "YES" : "NO");
+  return ShapeHolds ? 0 : 1;
+}

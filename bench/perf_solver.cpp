@@ -1,0 +1,122 @@
+//===- bench/perf_solver.cpp - infrastructure micro-benchmarks ----------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// google-benchmark timings for the substrate: simplex/branch-and-bound
+// scaling (the GLPK stand-in), end-to-end placement solving, simulator
+// throughput, and the assembler round trip. These are engineering
+// benchmarks, not paper results; they document that the from-scratch
+// solver is far from being the bottleneck at the paper's problem sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmio/Parser.h"
+#include "asmio/Printer.h"
+#include "beebs/Beebs.h"
+#include "core/Pipeline.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ramloc;
+
+namespace {
+
+LpProblem randomKnapsack(unsigned N, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  LpProblem P;
+  for (unsigned J = 0; J != N; ++J)
+    P.addBinary(static_cast<double>(Rng.nextInRange(-30, -1)));
+  for (unsigned C = 0; C != 3; ++C) {
+    std::vector<std::pair<unsigned, double>> Terms;
+    for (unsigned J = 0; J != N; ++J)
+      Terms.push_back({J, static_cast<double>(Rng.nextInRange(1, 9))});
+    P.addConstraint(std::move(Terms), ConstraintSense::LessEq,
+                    static_cast<double>(N) * 2.0);
+  }
+  return P;
+}
+
+void BM_SimplexRelaxation(benchmark::State &State) {
+  LpProblem P = randomKnapsack(static_cast<unsigned>(State.range(0)), 42);
+  for (auto _ : State) {
+    LpSolution S = solveLp(P);
+    benchmark::DoNotOptimize(S.Objective);
+  }
+}
+BENCHMARK(BM_SimplexRelaxation)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_BranchAndBound(benchmark::State &State) {
+  LpProblem P = randomKnapsack(static_cast<unsigned>(State.range(0)), 7);
+  MipOptions Opts;
+  Opts.MaxNodes = 20000; // bound worst-case node counts for timing
+  for (auto _ : State) {
+    MipSolution S = solveMip(P, Opts);
+    benchmark::DoNotOptimize(S.Objective);
+  }
+}
+BENCHMARK(BM_BranchAndBound)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_PlacementSolve(benchmark::State &State) {
+  Module M = buildBeebs("fdct", OptLevel::O2, 2);
+  ModuleFrequency Freq = estimateModuleFrequency(M);
+  ModelParams MP = extractParams(M, Freq, PowerModel::stm32f100());
+  ModelKnobs Knobs;
+  Knobs.RspareBytes = 256;
+  for (auto _ : State) {
+    Assignment R = solvePlacement(MP, Knobs);
+    benchmark::DoNotOptimize(R.size());
+  }
+}
+BENCHMARK(BM_PlacementSolve);
+
+void BM_SimulatorThroughput(benchmark::State &State) {
+  Module M = buildBeebs("int_matmult", OptLevel::O2, 4);
+  LinkResult LR = linkModule(M);
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    RunStats S = runImage(LR.Img);
+    Cycles += S.Cycles;
+    benchmark::DoNotOptimize(S.ExitCode);
+  }
+  State.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(Cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void BM_EndToEndPipeline(benchmark::State &State) {
+  Module M = buildBeebs("crc32", OptLevel::O2, 2);
+  PipelineOptions Opts;
+  Opts.Knobs.RspareBytes = 256;
+  for (auto _ : State) {
+    PipelineResult R = optimizeModule(M, Opts);
+    benchmark::DoNotOptimize(R.MovedBlocks.size());
+  }
+}
+BENCHMARK(BM_EndToEndPipeline);
+
+void BM_AsmRoundTrip(benchmark::State &State) {
+  Module M = buildBeebs("sha", OptLevel::O2, 2);
+  std::string Text = printModule(M);
+  for (auto _ : State) {
+    ParseResult PR = parseAssembly(Text);
+    benchmark::DoNotOptimize(PR.M.numBlocks());
+  }
+  State.SetBytesProcessed(
+      static_cast<int64_t>(State.iterations() * Text.size()));
+}
+BENCHMARK(BM_AsmRoundTrip);
+
+void BM_LinkModule(benchmark::State &State) {
+  Module M = buildBeebs("rijndael", OptLevel::O2, 2);
+  for (auto _ : State) {
+    LinkResult LR = linkModule(M);
+    benchmark::DoNotOptimize(LR.Img.Instrs.size());
+  }
+}
+BENCHMARK(BM_LinkModule);
+
+} // namespace
+
+BENCHMARK_MAIN();

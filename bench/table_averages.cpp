@@ -1,0 +1,73 @@
+//===- bench/table_averages.cpp - Section 6 in-text averages ----------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// Regenerates the Section 6 headline sentence: "Across all benchmarks and
+// optimization levels, the average reduction in energy and power is 7.7%
+// and 21.9% respectively. The execution time is increased by an average
+// of 19.5%." Runs the whole suite at O0/O1/O2/O3/Os and averages.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+#include "core/Pipeline.h"
+#include "support/Format.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ramloc;
+
+int main() {
+  std::printf("== Section 6 averages across 10 benchmarks x 5 levels "
+              "(Rspare = 512 B, Xlimit = 1.5) ==\n\n");
+
+  std::vector<double> EnergyPct, PowerPct, TimePct;
+  Table T({"level", "avg energy", "avg power", "avg time"});
+
+  for (OptLevel L : AllOptLevels) {
+    std::vector<double> LevelE, LevelP, LevelT;
+    for (const BeebsInfo &Info : beebsSuite()) {
+      Module M = Info.Build(L, Info.DefaultRepeat);
+      PipelineOptions Opts;
+      Opts.Knobs.RspareBytes = 512;
+      Opts.Knobs.Xlimit = 1.5;
+      PipelineResult R = optimizeModule(M, Opts);
+      if (!R.ok()) {
+        std::printf("%s %s: %s\n", Info.Name, optLevelName(L),
+                    R.Error.c_str());
+        return 1;
+      }
+      auto pct = [](double Base, double Opt) {
+        return (Opt / Base - 1.0) * 100.0;
+      };
+      LevelE.push_back(pct(R.MeasuredBase.Energy.MilliJoules,
+                           R.MeasuredOpt.Energy.MilliJoules));
+      LevelP.push_back(pct(R.MeasuredBase.Energy.AvgMilliWatts,
+                           R.MeasuredOpt.Energy.AvgMilliWatts));
+      LevelT.push_back(pct(R.MeasuredBase.Energy.Seconds,
+                           R.MeasuredOpt.Energy.Seconds));
+    }
+    T.addRow({optLevelName(L),
+              formatString("%+.1f%%", mean(LevelE)),
+              formatString("%+.1f%%", mean(LevelP)),
+              formatString("%+.1f%%", mean(LevelT))});
+    EnergyPct.insert(EnergyPct.end(), LevelE.begin(), LevelE.end());
+    PowerPct.insert(PowerPct.end(), LevelP.begin(), LevelP.end());
+    TimePct.insert(TimePct.end(), LevelT.begin(), LevelT.end());
+  }
+
+  std::printf("%s\n", T.render().c_str());
+  std::printf("overall averages (50 runs):\n");
+  std::printf("  energy: %+.1f%%   (paper: -7.7%%)\n", mean(EnergyPct));
+  std::printf("  power:  %+.1f%%   (paper: -21.9%%)\n", mean(PowerPct));
+  std::printf("  time:   %+.1f%%   (paper: +19.5%%)\n", mean(TimePct));
+
+  bool Shape = mean(EnergyPct) < 0 && mean(PowerPct) < mean(EnergyPct) &&
+               mean(TimePct) > 0;
+  std::printf("\nshape (energy down, power down more, time up): %s\n",
+              Shape ? "YES" : "NO");
+  return Shape ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+//===- examples/periodic_sensing.cpp - the Section 7 scenario --------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// The paper's case study as an application: a sensor node wakes every T
+// seconds, runs an FDCT over a sample block, then sleeps at 3.5 mW. We
+// optimize the active region with ramloc and ask the Section 7 model what
+// that does to battery life — demonstrating the paper's counter-intuitive
+// headline that *slower* code can extend battery life.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+#include "casestudy/PeriodicApp.h"
+#include "core/Pipeline.h"
+
+#include <cstdio>
+
+using namespace ramloc;
+
+int main() {
+  // Build the fdct workload big enough to feel like a real active region.
+  Module M = buildBeebs("fdct", OptLevel::O2, 600);
+
+  PipelineOptions Opts;
+  Opts.Knobs.RspareBytes = 1024;
+  Opts.Knobs.Xlimit = 1.5;
+  PipelineResult R = optimizeModule(M, Opts);
+  if (!R.ok()) {
+    std::printf("pipeline error: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  ActiveProfile Base{R.MeasuredBase.Energy.MilliJoules,
+                     R.MeasuredBase.Energy.Seconds};
+  ActiveProfile Opt{R.MeasuredOpt.Energy.MilliJoules,
+                    R.MeasuredOpt.Energy.Seconds};
+  OptimizationFactors K = factorsFrom(Base, Opt);
+  const double PS = PowerModel::stm32f100().SleepMilliWatts;
+
+  std::printf("== periodic sensing node (fdct active region) ==\n\n");
+  std::printf("active region:  E0 = %.3f mJ, TA = %.1f ms\n",
+              Base.EnergyMilliJoules, Base.Seconds * 1e3);
+  std::printf("after ramloc:   ke = %.3f, kt = %.3f (moved %zu blocks)\n",
+              K.Ke, K.Kt, R.MovedBlocks.size());
+  std::printf("sleep power:    PS = %.1f mW\n", PS);
+  std::printf("energy saved per period (Eq. 12): %.4f mJ\n\n",
+              energySaved(Base, K, PS));
+
+  std::printf("period T     total E    total E'   saving   battery life\n");
+  std::printf("--------     -------    --------   ------   ------------\n");
+  for (double Mult : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    double T = Base.Seconds * Mult;
+    double E = periodEnergy(Base, PS, T);
+    double EPrime = periodEnergy(Opt, PS, T);
+    double Ext = batteryLifeExtension(Base, Opt, PS, T);
+    std::printf("%5.1f ms     %6.3f mJ  %6.3f mJ  %5.1f%%   +%.1f%%\n",
+                T * 1e3, E, EPrime, (1.0 - EPrime / E) * 100.0,
+                Ext * 100.0);
+  }
+
+  std::printf("\nNote: the active region is %.0f%% slower after the\n"
+              "optimization, yet every row above saves energy — time\n"
+              "moved out of the active state is spent at %.1f mW instead\n"
+              "of %.1f mW (Section 7's insight).\n",
+              (K.Kt - 1.0) * 100.0, PS,
+              R.MeasuredBase.Energy.AvgMilliWatts);
+  return 0;
+}

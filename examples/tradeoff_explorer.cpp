@@ -1,0 +1,102 @@
+//===- examples/tradeoff_explorer.cpp - walking the 2^k space --------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// Reproduces the paper's Figure 6 methodology interactively: enumerate
+// every subset of the hottest blocks of int_matmult, find the Pareto
+// frontier of (energy, time), and show which points the ILP solver picks
+// as the developer tightens Rspare (Eq. 7) or Xlimit (Eq. 9).
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+#include "core/Enumerator.h"
+#include "core/Pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ramloc;
+
+int main() {
+  Module M = buildBeebs("int_matmult", OptLevel::O2, 2);
+  ModuleFrequency Freq = estimateModuleFrequency(M);
+  ModelParams MP = extractParams(M, Freq, PowerModel::stm32f100());
+
+  std::vector<unsigned> Hot = selectHotBlocks(MP, 10);
+  std::printf("== trade-off explorer: int_matmult, %zu candidate blocks, "
+              "%zu placements ==\n\n",
+              Hot.size(), size_t(1) << Hot.size());
+
+  std::vector<EnumPoint> Points = enumerateSolutions(MP, Hot);
+
+  // Pareto frontier on (energy, time).
+  std::vector<const EnumPoint *> Frontier;
+  for (const EnumPoint &P : Points) {
+    bool Dominated = false;
+    for (const EnumPoint &Q : Points) {
+      if (Q.Estimate.EnergyMilliJoules < P.Estimate.EnergyMilliJoules &&
+          Q.Estimate.Cycles <= P.Estimate.Cycles) {
+        Dominated = true;
+        break;
+      }
+    }
+    if (!Dominated)
+      Frontier.push_back(&P);
+  }
+  std::sort(Frontier.begin(), Frontier.end(),
+            [](const EnumPoint *A, const EnumPoint *B) {
+              return A->Estimate.EnergyMilliJoules <
+                     B->Estimate.EnergyMilliJoules;
+            });
+
+  std::printf("Pareto frontier (%zu of %zu points):\n", Frontier.size(),
+              Points.size());
+  std::printf("  energy (uJ)   time (kcycles)  RAM (bytes)  blocks\n");
+  for (const EnumPoint *P : Frontier) {
+    std::string Blocks;
+    for (unsigned I = 0; I != Hot.size(); ++I)
+      if ((P->Mask >> I) & 1)
+        Blocks += MP.Blocks[Hot[I]].Name.substr(
+                      MP.Blocks[Hot[I]].Name.find(':') + 1) +
+                  " ";
+    std::printf("  %-13.2f %-15.1f %-12u %s\n",
+                P->Estimate.EnergyMilliJoules * 1e3,
+                P->Estimate.Cycles / 1e3, P->Estimate.RamBytes,
+                Blocks.c_str());
+  }
+
+  // The solver's trajectory as the RAM budget is relaxed (Figure 6's
+  // dashed line).
+  std::printf("\nILP selections while relaxing Rspare (Xlimit = 1.5):\n");
+  std::printf("  Rspare   energy (uJ)   RAM used   moved\n");
+  for (unsigned Rspare : {0u, 64u, 128u, 256u, 512u, 1024u}) {
+    ModelKnobs Knobs;
+    Knobs.RspareBytes = Rspare;
+    Knobs.Xlimit = 1.5;
+    Assignment R = solvePlacement(MP, Knobs);
+    ModelEstimate E = evaluateAssignment(MP, R);
+    unsigned Moved = 0;
+    for (bool X : R)
+      Moved += X;
+    std::printf("  %-8u %-13.2f %-10u %u\n", Rspare,
+                E.EnergyMilliJoules * 1e3, E.RamBytes, Moved);
+  }
+
+  // And while tightening the allowed slowdown (Figure 6's solid line).
+  std::printf("\nILP selections while relaxing Xlimit (Rspare = 1024):\n");
+  std::printf("  Xlimit   energy (uJ)   time ratio\n");
+  ModelEstimate Base =
+      evaluateAssignment(MP, Assignment(MP.numBlocks(), false));
+  for (double Xlimit : {1.0, 1.05, 1.1, 1.2, 1.4, 2.0}) {
+    ModelKnobs Knobs;
+    Knobs.RspareBytes = 1024;
+    Knobs.Xlimit = Xlimit;
+    Assignment R = solvePlacement(MP, Knobs);
+    ModelEstimate E = evaluateAssignment(MP, R);
+    std::printf("  %-8.2f %-13.2f %.3f\n", Xlimit,
+                E.EnergyMilliJoules * 1e3, E.Cycles / Base.Cycles);
+  }
+  return 0;
+}

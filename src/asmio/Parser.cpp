@@ -1,0 +1,635 @@
+//===- asmio/Parser.cpp - textual assembly input ------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmio/Parser.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+using namespace ramloc;
+
+namespace {
+
+/// Splits one line into whitespace/comma separated tokens, keeping bracket
+/// and brace groups intact: "ldr r0, [r1, #4]" -> {"ldr","r0","[r1,#4]"}.
+std::vector<std::string> tokenizeLine(std::string_view Line) {
+  std::vector<std::string> Tokens;
+  std::string Cur;
+  int GroupDepth = 0;
+  for (char C : Line) {
+    if (C == ';') // comment to end of line
+      break;
+    if (C == '[' || C == '{') {
+      ++GroupDepth;
+      Cur += C;
+      continue;
+    }
+    if (C == ']' || C == '}') {
+      --GroupDepth;
+      Cur += C;
+      continue;
+    }
+    if (GroupDepth == 0 && (std::isspace(static_cast<unsigned char>(C)) ||
+                            C == ',')) {
+      if (!Cur.empty()) {
+        Tokens.push_back(Cur);
+        Cur.clear();
+      }
+      continue;
+    }
+    if (GroupDepth > 0 && std::isspace(static_cast<unsigned char>(C)))
+      continue; // normalize inside groups
+    Cur += C;
+  }
+  if (!Cur.empty())
+    Tokens.push_back(Cur);
+  return Tokens;
+}
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  ParseResult run() {
+    unsigned LineNo = 0;
+    size_t Pos = 0;
+    while (Pos < Text.size()) {
+      size_t Eol = Text.find('\n', Pos);
+      if (Eol == std::string_view::npos)
+        Eol = Text.size();
+      ++LineNo;
+      parseLine(LineNo, Text.substr(Pos, Eol - Pos));
+      Pos = Eol + 1;
+    }
+    return std::move(Result);
+  }
+
+private:
+  void error(unsigned LineNo, const std::string &Msg) {
+    Result.Errors.push_back(formatString("line %u: %s", LineNo, Msg.c_str()));
+  }
+
+  Function *currentFunction() {
+    if (Result.M.Functions.empty())
+      return nullptr;
+    return &Result.M.Functions.back();
+  }
+
+  BasicBlock *currentBlock() {
+    Function *F = currentFunction();
+    if (!F || F->Blocks.empty())
+      return nullptr;
+    return &F->Blocks.back();
+  }
+
+  void parseLine(unsigned LineNo, std::string_view Line) {
+    std::vector<std::string> Tok = tokenizeLine(Line);
+    if (Tok.empty())
+      return;
+    if (Tok[0][0] == '.') {
+      parseDirective(LineNo, Tok);
+      return;
+    }
+    BasicBlock *BB = currentBlock();
+    if (!BB) {
+      error(LineNo, "instruction outside of a block");
+      return;
+    }
+    if (auto I = parseInstr(LineNo, Tok))
+      BB->Instrs.push_back(std::move(*I));
+  }
+
+  // --- directives --------------------------------------------------------
+
+  void parseDirective(unsigned LineNo, const std::vector<std::string> &Tok) {
+    const std::string &D = Tok[0];
+    if (D == ".module") {
+      if (Tok.size() == 2)
+        Result.M.Name = Tok[1];
+      else
+        error(LineNo, ".module expects a name");
+      return;
+    }
+    if (D == ".entry") {
+      if (Tok.size() == 2)
+        Result.M.EntryFunction = Tok[1];
+      else
+        error(LineNo, ".entry expects a function name");
+      return;
+    }
+    if (D == ".rodata" || D == ".data") {
+      if (Tok.size() < 3 || Tok.size() > 4) {
+        error(LineNo, D + " expects: name align [hexbytes]");
+        return;
+      }
+      DataObject Obj;
+      Obj.Name = Tok[1];
+      Obj.Sect = D == ".rodata" ? DataObject::Section::Rodata
+                                : DataObject::Section::Data;
+      Obj.Align = static_cast<uint32_t>(std::strtoul(Tok[2].c_str(),
+                                                     nullptr, 10));
+      if (Tok.size() == 4 && !parseHexBytes(Tok[3], Obj.Bytes)) {
+        error(LineNo, "bad hex byte string");
+        return;
+      }
+      Result.M.Data.push_back(std::move(Obj));
+      return;
+    }
+    if (D == ".bss") {
+      if (Tok.size() != 4) {
+        error(LineNo, ".bss expects: name size align");
+        return;
+      }
+      DataObject Obj;
+      Obj.Name = Tok[1];
+      Obj.Sect = DataObject::Section::Bss;
+      Obj.Size = static_cast<uint32_t>(std::strtoul(Tok[1 + 1].c_str(),
+                                                    nullptr, 10));
+      Obj.Align = static_cast<uint32_t>(std::strtoul(Tok[3].c_str(),
+                                                     nullptr, 10));
+      Result.M.Data.push_back(std::move(Obj));
+      return;
+    }
+    if (D == ".func") {
+      if (Tok.size() < 2 || Tok.size() > 3) {
+        error(LineNo, ".func expects: name [library]");
+        return;
+      }
+      Function F(Tok[1]);
+      if (Tok.size() == 3) {
+        if (Tok[2] == "library")
+          F.Optimizable = false;
+        else
+          error(LineNo, "unknown .func attribute '" + Tok[2] + "'");
+      }
+      Result.M.Functions.push_back(std::move(F));
+      return;
+    }
+    if (D == ".block") {
+      Function *F = currentFunction();
+      if (!F) {
+        error(LineNo, ".block outside of a function");
+        return;
+      }
+      if (Tok.size() < 2 || Tok.size() > 3) {
+        error(LineNo, ".block expects: label [home=ram]");
+        return;
+      }
+      BasicBlock BB(Tok[1]);
+      if (Tok.size() == 3) {
+        if (Tok[2] == "home=ram")
+          BB.Home = MemKind::Ram;
+        else if (Tok[2] == "home=flash")
+          BB.Home = MemKind::Flash;
+        else
+          error(LineNo, "unknown .block attribute '" + Tok[2] + "'");
+      }
+      F->Blocks.push_back(std::move(BB));
+      return;
+    }
+    error(LineNo, "unknown directive '" + D + "'");
+  }
+
+  static bool parseHexBytes(const std::string &S,
+                            std::vector<uint8_t> &Out) {
+    if (S.size() % 2 != 0)
+      return false;
+    auto hexVal = [](char C) -> int {
+      if (C >= '0' && C <= '9')
+        return C - '0';
+      if (C >= 'a' && C <= 'f')
+        return C - 'a' + 10;
+      if (C >= 'A' && C <= 'F')
+        return C - 'A' + 10;
+      return -1;
+    };
+    for (size_t I = 0; I < S.size(); I += 2) {
+      int Hi = hexVal(S[I]), Lo = hexVal(S[I + 1]);
+      if (Hi < 0 || Lo < 0)
+        return false;
+      Out.push_back(static_cast<uint8_t>(Hi * 16 + Lo));
+    }
+    return true;
+  }
+
+  // --- operand scanning ---------------------------------------------------
+
+  struct Mnemonic {
+    std::string Base;
+    bool S = false;
+    Cond C = Cond::AL;
+  };
+
+  static std::optional<Mnemonic> splitMnemonic(const std::string &Word) {
+    // Exact matches that would otherwise be eaten by suffix stripping.
+    static const char *const Exact[] = {"bl",  "blx", "bx",  "bkpt", "nop",
+                                        "wfi", "it",  "ite", "push", "pop",
+                                        "cbz", "cbnz", "b"};
+    for (const char *E : Exact)
+      if (Word == E)
+        return Mnemonic{Word, false, Cond::AL};
+
+    static const char *const Bases[] = {
+        "udiv", "sdiv", "uxtb", "uxth", "sxtb", "sxth", "ldrb", "ldrh",
+        "strb", "strh", "ldr",  "str",  "mov",  "mvn",  "add",  "sub",
+        "rsb",  "adc",  "sbc",  "mul",  "mla",  "and",  "orr",  "eor",
+        "bic",  "lsl",  "lsr",  "asr",  "ror",  "cmp",  "tst"};
+    for (const char *Base : Bases) {
+      std::string B(Base);
+      if (Word.rfind(B, 0) != 0)
+        continue;
+      std::string Rest = Word.substr(B.size());
+      Mnemonic Mn{B, false, Cond::AL};
+      if (!Rest.empty() && Rest[0] == 's' &&
+          (Rest.size() == 1 || Rest.size() == 3)) {
+        Mn.S = true;
+        Rest = Rest.substr(1);
+      }
+      if (!Rest.empty()) {
+        if (!parseCondName(Rest, Mn.C))
+          continue;
+      }
+      return Mn;
+    }
+    // Conditional branch: "b" + condition.
+    if (Word.size() == 3 && Word[0] == 'b') {
+      Cond C;
+      if (parseCondName(Word.substr(1), C))
+        return Mnemonic{"b", false, C};
+    }
+    return std::nullopt;
+  }
+
+  struct Operand {
+    enum class Kind {
+      Register,
+      Immediate, ///< #n
+      Literal,   ///< =sym or =const (Sym empty when constant)
+      Memory,    ///< [rn] / [rn, #off] / [rn, rm]
+      RegList,   ///< {r4-r7, lr}
+      Symbol,    ///< bare identifier
+    } K;
+    Reg R = R0;
+    Reg MemBase = R0;
+    Reg MemIndex = NumRegs; ///< NumRegs when the offset is immediate
+    int32_t Imm = 0;
+    uint32_t Mask = 0;
+    std::string Sym;
+  };
+
+  std::optional<Operand> parseOperand(unsigned LineNo,
+                                      const std::string &Tok) {
+    Operand Op;
+    if (Tok[0] == '#') {
+      Op.K = Operand::Kind::Immediate;
+      Op.Imm = static_cast<int32_t>(std::strtol(Tok.c_str() + 1, nullptr, 0));
+      return Op;
+    }
+    if (Tok[0] == '=') {
+      Op.K = Operand::Kind::Literal;
+      std::string Rest = Tok.substr(1);
+      if (!Rest.empty() &&
+          (std::isdigit(static_cast<unsigned char>(Rest[0])) ||
+           Rest[0] == '-')) {
+        Op.Imm = static_cast<int32_t>(std::strtoul(Rest.c_str(), nullptr, 0));
+      } else {
+        Op.Sym = Rest;
+      }
+      return Op;
+    }
+    if (Tok[0] == '[') {
+      if (Tok.back() != ']') {
+        error(LineNo, "unterminated memory operand");
+        return std::nullopt;
+      }
+      std::string Inner = Tok.substr(1, Tok.size() - 2);
+      // Split on the comma we preserved inside the group.
+      size_t Comma = Inner.find(',');
+      std::string BaseText =
+          Comma == std::string::npos ? Inner : Inner.substr(0, Comma);
+      Reg Base = parseRegName(BaseText);
+      if (Base == NumRegs) {
+        error(LineNo, "bad base register '" + BaseText + "'");
+        return std::nullopt;
+      }
+      Op.K = Operand::Kind::Memory;
+      Op.MemBase = Base;
+      if (Comma == std::string::npos)
+        return Op;
+      std::string OffText = Inner.substr(Comma + 1);
+      if (!OffText.empty() && OffText[0] == '#') {
+        Op.Imm = static_cast<int32_t>(
+            std::strtol(OffText.c_str() + 1, nullptr, 0));
+        return Op;
+      }
+      Reg Index = parseRegName(OffText);
+      if (Index == NumRegs) {
+        error(LineNo, "bad index '" + OffText + "'");
+        return std::nullopt;
+      }
+      Op.MemIndex = Index;
+      return Op;
+    }
+    if (Tok[0] == '{') {
+      if (Tok.back() != '}') {
+        error(LineNo, "unterminated register list");
+        return std::nullopt;
+      }
+      Op.K = Operand::Kind::RegList;
+      std::string Inner = Tok.substr(1, Tok.size() - 2);
+      size_t Pos = 0;
+      while (Pos < Inner.size()) {
+        size_t Comma = Inner.find(',', Pos);
+        std::string Item = Inner.substr(
+            Pos, Comma == std::string::npos ? std::string::npos
+                                            : Comma - Pos);
+        size_t Dash = Item.find('-');
+        if (Dash == std::string::npos) {
+          Reg R = parseRegName(Item);
+          if (R == NumRegs) {
+            error(LineNo, "bad register '" + Item + "' in list");
+            return std::nullopt;
+          }
+          Op.Mask |= 1u << R;
+        } else {
+          Reg Lo = parseRegName(Item.substr(0, Dash));
+          Reg Hi = parseRegName(Item.substr(Dash + 1));
+          if (Lo == NumRegs || Hi == NumRegs || Lo > Hi) {
+            error(LineNo, "bad register range '" + Item + "'");
+            return std::nullopt;
+          }
+          for (unsigned R = Lo; R <= Hi; ++R)
+            Op.Mask |= 1u << R;
+        }
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+      return Op;
+    }
+    Reg R = parseRegName(Tok);
+    if (R != NumRegs) {
+      Op.K = Operand::Kind::Register;
+      Op.R = R;
+      return Op;
+    }
+    Op.K = Operand::Kind::Symbol;
+    Op.Sym = Tok;
+    return Op;
+  }
+
+  // --- instructions -------------------------------------------------------
+
+  std::optional<Instr> parseInstr(unsigned LineNo,
+                                  const std::vector<std::string> &Tok) {
+    auto Mn = splitMnemonic(Tok[0]);
+    if (!Mn) {
+      error(LineNo, "unknown mnemonic '" + Tok[0] + "'");
+      return std::nullopt;
+    }
+    std::vector<Operand> Ops;
+    for (unsigned I = 1, E = Tok.size(); I != E; ++I) {
+      auto Op = parseOperand(LineNo, Tok[I]);
+      if (!Op)
+        return std::nullopt;
+      Ops.push_back(std::move(*Op));
+    }
+    auto Fail = [&](const char *Msg) -> std::optional<Instr> {
+      error(LineNo, formatString("%s: %s", Tok[0].c_str(), Msg));
+      return std::nullopt;
+    };
+    auto isReg = [&](unsigned I) {
+      return I < Ops.size() && Ops[I].K == Operand::Kind::Register;
+    };
+    auto isImm = [&](unsigned I) {
+      return I < Ops.size() && Ops[I].K == Operand::Kind::Immediate;
+    };
+
+    Instr Out = buildInstr(*Mn, Ops, Fail, isReg, isImm);
+    if (Out.Kind == OpKind::Bkpt && Mn->Base != "bkpt")
+      return std::nullopt; // buildInstr signalled failure
+    Out.SetsFlags |= Mn->S;
+    if (Mn->C != Cond::AL)
+      Out.CondCode = Mn->C;
+    return Out;
+  }
+
+  template <typename FailT, typename IsRegT, typename IsImmT>
+  Instr buildInstr(const Mnemonic &Mn, std::vector<Operand> &Ops, FailT Fail,
+                   IsRegT isReg, IsImmT isImm) {
+    using namespace build;
+    const std::string &B = Mn.Base;
+    // Error sentinel: a bkpt from a non-bkpt mnemonic (checked by caller).
+    Instr Bad = bkpt();
+    auto R = [&](unsigned I) { return Ops[I].R; };
+
+    if (B == "nop")
+      return nop();
+    if (B == "wfi")
+      return wfi();
+    if (B == "bkpt")
+      return bkpt();
+    if (B == "it" || B == "ite") {
+      if (Ops.size() != 1 || Ops[0].K != Operand::Kind::Symbol)
+        return Fail("expects a condition"), Bad;
+      Cond C;
+      if (!parseCondName(Ops[0].Sym, C) || C == Cond::AL)
+        return Fail("bad condition"), Bad;
+      return B == "it" ? it(C) : ite(C);
+    }
+    if (B == "push" || B == "pop") {
+      if (Ops.size() != 1 || Ops[0].K != Operand::Kind::RegList)
+        return Fail("expects a register list"), Bad;
+      return B == "push" ? push(Ops[0].Mask) : pop(Ops[0].Mask);
+    }
+    if (B == "b") {
+      if (Ops.size() != 1 || Ops[0].K != Operand::Kind::Symbol)
+        return Fail("expects a label"), Bad;
+      return Mn.C == Cond::AL ? b(Ops[0].Sym) : bCond(Mn.C, Ops[0].Sym);
+    }
+    if (B == "bl") {
+      if (Ops.size() != 1 || Ops[0].K != Operand::Kind::Symbol)
+        return Fail("expects a function name"), Bad;
+      return bl(Ops[0].Sym);
+    }
+    if (B == "blx" || B == "bx") {
+      if (Ops.size() != 1 || !isReg(0))
+        return Fail("expects a register"), Bad;
+      return B == "blx" ? blx(R(0)) : bx(R(0));
+    }
+    if (B == "cbz" || B == "cbnz") {
+      if (Ops.size() != 2 || !isReg(0) ||
+          Ops[1].K != Operand::Kind::Symbol)
+        return Fail("expects: rn, label"), Bad;
+      if (!isLowReg(R(0)))
+        return Fail("requires a low register"), Bad;
+      return B == "cbz" ? cbz(R(0), Ops[1].Sym) : cbnz(R(0), Ops[1].Sym);
+    }
+    if (B == "mov") {
+      if (Ops.size() != 2 || !isReg(0))
+        return Fail("expects: rd, (rm|#imm)"), Bad;
+      if (isImm(1)) {
+        if (Ops[1].Imm < 0 || Ops[1].Imm > 0xFFFF)
+          return Fail("immediate out of range"), Bad;
+        return movImm(R(0), Ops[1].Imm);
+      }
+      if (!isReg(1))
+        return Fail("expects: rd, (rm|#imm)"), Bad;
+      return movReg(R(0), R(1));
+    }
+    if (B == "mvn" || B == "uxtb" || B == "uxth" || B == "sxtb" ||
+        B == "sxth") {
+      if (Ops.size() != 2 || !isReg(0) || !isReg(1))
+        return Fail("expects: rd, rm"), Bad;
+      if (B == "mvn")
+        return mvn(R(0), R(1));
+      if (B == "uxtb")
+        return uxtb(R(0), R(1));
+      if (B == "uxth")
+        return uxth(R(0), R(1));
+      if (B == "sxtb")
+        return sxtb(R(0), R(1));
+      return sxth(R(0), R(1));
+    }
+    if (B == "cmp") {
+      if (Ops.size() != 2 || !isReg(0))
+        return Fail("expects: rn, (rm|#imm)"), Bad;
+      if (isImm(1)) {
+        if (Ops[1].Imm < 0 || Ops[1].Imm > 4095)
+          return Fail("immediate out of range"), Bad;
+        return cmpImm(R(0), Ops[1].Imm);
+      }
+      if (!isReg(1))
+        return Fail("expects: rn, (rm|#imm)"), Bad;
+      return cmpReg(R(0), R(1));
+    }
+    if (B == "tst") {
+      if (Ops.size() != 2 || !isReg(0) || !isReg(1))
+        return Fail("expects: rn, rm"), Bad;
+      return tst(R(0), R(1));
+    }
+    if (B == "mla") {
+      if (Ops.size() != 4 || !isReg(0) || !isReg(1) || !isReg(2) ||
+          !isReg(3))
+        return Fail("expects: rd, rn, rm, ra"), Bad;
+      return mla(R(0), R(1), R(2), R(3));
+    }
+    if (B == "ldr" || B == "str" || B == "ldrb" || B == "strb" ||
+        B == "ldrh" || B == "strh")
+      return buildMemInstr(B, Ops, Fail, Bad);
+
+    // Three-operand (or two-operand shorthand) data processing.
+    if (Ops.size() == 2 && isReg(0)) {
+      // "add r0, r1" means "add r0, r0, r1".
+      Ops.insert(Ops.begin() + 1, Ops[0]);
+    }
+    if (Ops.size() != 3 || !isReg(0) || !isReg(1))
+      return Fail("expects: rd, rn, (rm|#imm)"), Bad;
+    bool ImmForm = isImm(2);
+    if (!ImmForm && !isReg(2))
+      return Fail("expects: rd, rn, (rm|#imm)"), Bad;
+    int32_t Imm = ImmForm ? Ops[2].Imm : 0;
+
+    if (ImmForm && (B == "add" || B == "sub") && (Imm < 0 || Imm > 4095))
+      return Fail("immediate out of range"), Bad;
+    if (ImmForm && B == "lsl" && (Imm < 0 || Imm > 31))
+      return Fail("shift out of range"), Bad;
+    if (ImmForm && (B == "lsr" || B == "asr") && (Imm < 1 || Imm > 32))
+      return Fail("shift out of range"), Bad;
+
+    if (B == "add")
+      return ImmForm ? addImm(R(0), R(1), Imm) : addReg(R(0), R(1), R(2));
+    if (B == "sub")
+      return ImmForm ? subImm(R(0), R(1), Imm) : subReg(R(0), R(1), R(2));
+    if (B == "rsb")
+      return ImmForm ? rsb(R(0), R(1), Imm)
+                     : (Fail("rsb requires an immediate"), Bad);
+    if (B == "adc")
+      return ImmForm ? (Fail("adc requires registers"), Bad)
+                     : adc(R(0), R(1), R(2));
+    if (B == "sbc")
+      return ImmForm ? (Fail("sbc requires registers"), Bad)
+                     : sbc(R(0), R(1), R(2));
+    if (B == "mul")
+      return ImmForm ? (Fail("mul requires registers"), Bad)
+                     : mul(R(0), R(1), R(2));
+    if (B == "udiv")
+      return ImmForm ? (Fail("udiv requires registers"), Bad)
+                     : udiv(R(0), R(1), R(2));
+    if (B == "sdiv")
+      return ImmForm ? (Fail("sdiv requires registers"), Bad)
+                     : sdiv(R(0), R(1), R(2));
+    if (B == "and")
+      return ImmForm ? andImm(R(0), R(1), Imm) : andReg(R(0), R(1), R(2));
+    if (B == "orr")
+      return ImmForm ? orrImm(R(0), R(1), Imm) : orrReg(R(0), R(1), R(2));
+    if (B == "eor")
+      return ImmForm ? eorImm(R(0), R(1), Imm) : eorReg(R(0), R(1), R(2));
+    if (B == "bic")
+      return ImmForm ? bicImm(R(0), R(1), Imm) : bicReg(R(0), R(1), R(2));
+    if (B == "lsl")
+      return ImmForm ? lslImm(R(0), R(1), Imm) : lslReg(R(0), R(1), R(2));
+    if (B == "lsr")
+      return ImmForm ? lsrImm(R(0), R(1), Imm) : lsrReg(R(0), R(1), R(2));
+    if (B == "asr")
+      return ImmForm ? asrImm(R(0), R(1), Imm) : asrReg(R(0), R(1), R(2));
+    if (B == "ror")
+      return ImmForm ? (Fail("ror requires registers"), Bad)
+                     : rorReg(R(0), R(1), R(2));
+    return Fail("unhandled mnemonic"), Bad;
+  }
+
+  template <typename FailT>
+  Instr buildMemInstr(const std::string &B, std::vector<Operand> &Ops,
+                      FailT Fail, Instr Bad) {
+    using namespace build;
+    if (Ops.size() != 2 || Ops[0].K != Operand::Kind::Register)
+      return Fail("expects: rt, (mem|=lit)"), Bad;
+    Reg Rt = Ops[0].R;
+    if (Ops[1].K == Operand::Kind::Literal) {
+      if (B != "ldr")
+        return Fail("only ldr supports literals"), Bad;
+      return Ops[1].Sym.empty() ? ldrLitConst(Rt, Ops[1].Imm)
+                                : ldrLitSym(Rt, Ops[1].Sym);
+    }
+    if (Ops[1].K != Operand::Kind::Memory)
+      return Fail("expects a memory operand"), Bad;
+    Reg Rn = Ops[1].MemBase;
+    bool HasIndex = Ops[1].MemIndex != NumRegs;
+    Reg Rm = HasIndex ? Ops[1].MemIndex : R0;
+    int32_t Off = Ops[1].Imm;
+    if (!HasIndex && (Off < 0 || Off > 4095))
+      return Fail("offset out of range"), Bad;
+    if (B == "ldr")
+      return HasIndex ? ldrReg(Rt, Rn, Rm) : ldrImm(Rt, Rn, Off);
+    if (B == "str")
+      return HasIndex ? strReg(Rt, Rn, Rm) : strImm(Rt, Rn, Off);
+    if (B == "ldrb")
+      return HasIndex ? ldrbReg(Rt, Rn, Rm) : ldrbImm(Rt, Rn, Off);
+    if (B == "strb")
+      return HasIndex ? strbReg(Rt, Rn, Rm) : strbImm(Rt, Rn, Off);
+    if (B == "ldrh")
+      return HasIndex ? (Fail("ldrh has no register form"), Bad)
+                      : ldrhImm(Rt, Rn, Off);
+    if (B == "strh")
+      return HasIndex ? (Fail("strh has no register form"), Bad)
+                      : strhImm(Rt, Rn, Off);
+    return Fail("unhandled memory mnemonic"), Bad;
+  }
+
+  std::string_view Text;
+  ParseResult Result;
+};
+
+} // namespace
+
+ParseResult ramloc::parseAssembly(std::string_view Text) {
+  return Parser(Text).run();
+}

@@ -1,0 +1,201 @@
+//===- asmio/Printer.cpp - textual assembly output ----------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmio/Printer.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace ramloc;
+
+namespace {
+
+std::string regListText(uint32_t Mask) {
+  std::string Out = "{";
+  bool First = true;
+  // Emit maximal runs rN-rM for compactness, then sp/lr/pc singles.
+  for (unsigned R = 0; R < 16;) {
+    if (!(Mask & (1u << R))) {
+      ++R;
+      continue;
+    }
+    unsigned End = R;
+    while (End + 1 < 13 && (Mask & (1u << (End + 1))))
+      ++End;
+    if (!First)
+      Out += ", ";
+    First = false;
+    if (End > R + 1) {
+      Out += regName(static_cast<Reg>(R)) + "-" +
+             regName(static_cast<Reg>(End));
+      R = End + 1;
+    } else {
+      Out += regName(static_cast<Reg>(R));
+      ++R;
+    }
+  }
+  Out += "}";
+  return Out;
+}
+
+std::string mnemonicText(const Instr &I) {
+  // The it/ite condition is printed as the operand, not as a suffix.
+  if (I.Kind == OpKind::It)
+    return (I.Imm & 4) ? "ite" : "it";
+  std::string Out = opMnemonic(I.Kind);
+  if (I.SetsFlags && I.Kind != OpKind::CmpImm && I.Kind != OpKind::CmpReg &&
+      I.Kind != OpKind::Tst)
+    Out += "s";
+  if (I.CondCode != Cond::AL)
+    Out += condName(I.CondCode);
+  return Out;
+}
+
+std::string r(const Instr &I, unsigned Idx) {
+  return regName(I.Regs[Idx]);
+}
+
+} // namespace
+
+std::string ramloc::printInstr(const Instr &I) {
+  std::string M = mnemonicText(I);
+  switch (I.Kind) {
+  case OpKind::MovImm:
+    return formatString("%s %s, #%d", M.c_str(), r(I, 0).c_str(), I.Imm);
+  case OpKind::MovReg:
+  case OpKind::Mvn:
+  case OpKind::Uxtb:
+  case OpKind::Uxth:
+  case OpKind::Sxtb:
+  case OpKind::Sxth:
+    return formatString("%s %s, %s", M.c_str(), r(I, 0).c_str(),
+                        r(I, 1).c_str());
+  case OpKind::AddImm:
+  case OpKind::SubImm:
+  case OpKind::Rsb:
+  case OpKind::AndImm:
+  case OpKind::OrrImm:
+  case OpKind::EorImm:
+  case OpKind::BicImm:
+    return formatString("%s %s, %s, #%d", M.c_str(), r(I, 0).c_str(),
+                        r(I, 1).c_str(), I.Imm);
+  case OpKind::AddReg:
+  case OpKind::SubReg:
+  case OpKind::Adc:
+  case OpKind::Sbc:
+  case OpKind::Mul:
+  case OpKind::Udiv:
+  case OpKind::Sdiv:
+  case OpKind::AndReg:
+  case OpKind::OrrReg:
+  case OpKind::EorReg:
+  case OpKind::BicReg:
+  case OpKind::LslReg:
+  case OpKind::LsrReg:
+  case OpKind::AsrReg:
+  case OpKind::RorReg:
+    return formatString("%s %s, %s, %s", M.c_str(), r(I, 0).c_str(),
+                        r(I, 1).c_str(), r(I, 2).c_str());
+  case OpKind::Mla:
+    return formatString("%s %s, %s, %s, %s", M.c_str(), r(I, 0).c_str(),
+                        r(I, 1).c_str(), r(I, 2).c_str(), r(I, 3).c_str());
+  case OpKind::LslImm:
+  case OpKind::LsrImm:
+  case OpKind::AsrImm:
+    return formatString("%s %s, %s, #%d", M.c_str(), r(I, 0).c_str(),
+                        r(I, 1).c_str(), I.Imm);
+  case OpKind::CmpImm:
+    return formatString("%s %s, #%d", M.c_str(), r(I, 0).c_str(), I.Imm);
+  case OpKind::CmpReg:
+  case OpKind::Tst:
+    return formatString("%s %s, %s", M.c_str(), r(I, 0).c_str(),
+                        r(I, 1).c_str());
+  case OpKind::LdrImm:
+  case OpKind::StrImm:
+  case OpKind::LdrbImm:
+  case OpKind::StrbImm:
+  case OpKind::LdrhImm:
+  case OpKind::StrhImm:
+    if (I.Imm == 0)
+      return formatString("%s %s, [%s]", M.c_str(), r(I, 0).c_str(),
+                          r(I, 1).c_str());
+    return formatString("%s %s, [%s, #%d]", M.c_str(), r(I, 0).c_str(),
+                        r(I, 1).c_str(), I.Imm);
+  case OpKind::LdrReg:
+  case OpKind::StrReg:
+  case OpKind::LdrbReg:
+  case OpKind::StrbReg:
+    return formatString("%s %s, [%s, %s]", M.c_str(), r(I, 0).c_str(),
+                        r(I, 1).c_str(), r(I, 2).c_str());
+  case OpKind::LdrLit:
+    if (!I.Sym.empty())
+      return formatString("%s %s, =%s", M.c_str(), r(I, 0).c_str(),
+                          I.Sym.c_str());
+    return formatString("%s %s, =0x%x", M.c_str(), r(I, 0).c_str(),
+                        static_cast<unsigned>(I.Imm));
+  case OpKind::Push:
+  case OpKind::Pop:
+    return formatString("%s %s", M.c_str(),
+                        regListText(static_cast<uint32_t>(I.Imm)).c_str());
+  case OpKind::B:
+  case OpKind::BCond:
+  case OpKind::Bl:
+    return formatString("%s %s", M.c_str(), I.Sym.c_str());
+  case OpKind::Cbz:
+  case OpKind::Cbnz:
+    return formatString("%s %s, %s", M.c_str(), r(I, 0).c_str(),
+                        I.Sym.c_str());
+  case OpKind::Blx:
+  case OpKind::Bx:
+    return formatString("%s %s", M.c_str(), r(I, 0).c_str());
+  case OpKind::It:
+    return formatString("%s %s", M.c_str(), condName(I.CondCode).c_str());
+  case OpKind::Nop:
+  case OpKind::Wfi:
+  case OpKind::Bkpt:
+    return M;
+  }
+  assert(false && "invalid opcode");
+  return "";
+}
+
+std::string ramloc::printModule(const Module &M) {
+  std::string Out;
+  Out += formatString(".module %s\n", M.Name.c_str());
+  Out += formatString(".entry %s\n", M.EntryFunction.c_str());
+
+  for (const DataObject &D : M.Data) {
+    switch (D.Sect) {
+    case DataObject::Section::Bss:
+      Out += formatString(".bss %s %u %u\n", D.Name.c_str(), D.Size,
+                          D.Align);
+      continue;
+    case DataObject::Section::Rodata:
+      Out += formatString(".rodata %s %u ", D.Name.c_str(), D.Align);
+      break;
+    case DataObject::Section::Data:
+      Out += formatString(".data %s %u ", D.Name.c_str(), D.Align);
+      break;
+    }
+    for (uint8_t B : D.Bytes)
+      Out += formatString("%02x", B);
+    Out += '\n';
+  }
+
+  for (const Function &F : M.Functions) {
+    Out += formatString("\n.func %s%s\n", F.Name.c_str(),
+                        F.Optimizable ? "" : " library");
+    for (const BasicBlock &BB : F.Blocks) {
+      Out += formatString(".block %s%s\n", BB.Label.c_str(),
+                          BB.Home == MemKind::Ram ? " home=ram" : "");
+      for (const Instr &I : BB.Instrs)
+        Out += "    " + printInstr(I) + "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===- asmio/Printer.h - textual assembly output ----------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules in the project's UAL-like assembly dialect. The output
+/// round-trips through asmio/Parser.h, which the test suite checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_ASMIO_PRINTER_H
+#define RAMLOC_ASMIO_PRINTER_H
+
+#include "mir/Module.h"
+
+#include <string>
+
+namespace ramloc {
+
+/// Renders one instruction, e.g. "add r0, r1, #4" or "ldrne r5, =label".
+std::string printInstr(const Instr &I);
+
+/// Renders a whole module in the parseable dialect.
+std::string printModule(const Module &M);
+
+} // namespace ramloc
+
+#endif // RAMLOC_ASMIO_PRINTER_H

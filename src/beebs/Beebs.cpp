@@ -1,0 +1,40 @@
+//===- beebs/Beebs.cpp - suite registry -----------------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+
+#include <cassert>
+
+using namespace ramloc;
+
+const std::vector<BeebsInfo> &ramloc::beebsSuite() {
+  // Default repeats give runs on the order of a million cycles: long
+  // enough to dominate startup, short enough for quick sweeps. The
+  // benches scale them up for the case-study experiments.
+  static const std::vector<BeebsInfo> Suite = {
+      {"2dfir", &buildTwoDFir, 12},
+      {"blowfish", &buildBlowfish, 1200},
+      {"crc32", &buildCrc32, 250},
+      {"cubic", &buildCubic, 200},
+      {"dijkstra", &buildDijkstra, 90},
+      {"fdct", &buildFdct, 250},
+      {"float_matmult", &buildFloatMatmult, 10},
+      {"int_matmult", &buildIntMatmult, 10},
+      {"rijndael", &buildRijndael, 180},
+      {"sha", &buildSha, 140},
+  };
+  return Suite;
+}
+
+Module ramloc::buildBeebs(const std::string &Name, OptLevel Level,
+                          unsigned Repeat) {
+  for (const BeebsInfo &Info : beebsSuite())
+    if (Name == Info.Name)
+      return Info.Build(Level, Repeat == 0 ? Info.DefaultRepeat : Repeat);
+  assert(false && "unknown benchmark name");
+  return Module();
+}

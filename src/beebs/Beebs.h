@@ -1,0 +1,76 @@
+//===- beebs/Beebs.h - BEEBS-style workload suite ---------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ten-benchmark suite mirroring BEEBS [Pallister et al., 2013], the
+/// embedded energy benchmark suite the paper evaluates on: 2dfir,
+/// blowfish, crc32, cubic, dijkstra, fdct, float_matmult, int_matmult,
+/// rijndael, sha. Each is generated as machine IR at all five optimisation
+/// levels; kernels return a checksum in r0 so every configuration can be
+/// validated. cubic and float_matmult depend on non-optimizable soft-float
+/// library routines, reproducing the paper's "library calls limit the
+/// optimization" observation (Section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_BEEBS_BEEBS_H
+#define RAMLOC_BEEBS_BEEBS_H
+
+#include "beebs/Codegen.h"
+#include "mir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace ramloc {
+
+/// One suite entry.
+struct BeebsInfo {
+  const char *Name;
+  Module (*Build)(OptLevel Level, unsigned Repeat);
+  /// Kernel iterations giving a run of roughly a million cycles.
+  unsigned DefaultRepeat;
+};
+
+/// The ten benchmarks, in the paper's Figure 5 order.
+const std::vector<BeebsInfo> &beebsSuite();
+
+/// Builds a benchmark by name; Repeat == 0 uses the default. Asserts on
+/// unknown names.
+Module buildBeebs(const std::string &Name, OptLevel Level,
+                  unsigned Repeat = 0);
+
+// Individual builders (exposed for focused tests and benches).
+Module buildIntMatmult(OptLevel L, unsigned Repeat);
+Module buildFloatMatmult(OptLevel L, unsigned Repeat);
+Module buildTwoDFir(OptLevel L, unsigned Repeat);
+Module buildBlowfish(OptLevel L, unsigned Repeat);
+Module buildCrc32(OptLevel L, unsigned Repeat);
+Module buildCubic(OptLevel L, unsigned Repeat);
+Module buildDijkstra(OptLevel L, unsigned Repeat);
+Module buildFdct(OptLevel L, unsigned Repeat);
+Module buildRijndael(OptLevel L, unsigned Repeat);
+Module buildSha(OptLevel L, unsigned Repeat);
+
+namespace beebs_detail {
+
+/// Emits the standard main: `sum = 0; for (r = Repeat; r != 0; --r) sum ^=
+/// kernel(r); halt(sum)`.
+void buildMainLoop(Module &M, OptLevel L, unsigned Repeat,
+                   const std::string &KernelFn);
+
+/// Adds the soft-float library (fp_add32 / fp_mul32 / fp_div32) as
+/// non-optimizable functions: deterministic truncating binary32
+/// arithmetic (no NaN/denormal handling — the workloads keep values
+/// well-conditioned).
+void addSoftFloatLibrary(Module &M);
+
+} // namespace beebs_detail
+
+} // namespace ramloc
+
+#endif // RAMLOC_BEEBS_BEEBS_H

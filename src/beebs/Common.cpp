@@ -1,0 +1,34 @@
+//===- beebs/Common.cpp - shared benchmark scaffolding -------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+
+#include <cassert>
+
+using namespace ramloc;
+
+void ramloc::beebs_detail::buildMainLoop(Module &M, OptLevel L,
+                                         unsigned Repeat,
+                                         const std::string &KernelFn) {
+  assert(Repeat > 0 && "repeat count must be positive");
+  FuncBuilder B(M, "main", L);
+  Var Cnt = B.local("cnt");
+  Var Sum = B.local("sum");
+  Var Tmp = B.local("tmp");
+  B.prologue();
+  B.setImm(Sum, 0);
+  B.setImm(Cnt, Repeat);
+  B.block("repeat");
+  B.callInto(Tmp, KernelFn, {Cnt});
+  B.op(BinOp::Eor, Sum, Sum, Tmp);
+  B.opImm(BinOp::Sub, Cnt, Cnt, 1);
+  B.brCmpImm(CmpOp::Ne, Cnt, 0, "repeat");
+  B.block("done");
+  B.haltWith(Sum);
+  B.finish();
+  M.EntryFunction = "main";
+}

@@ -1,0 +1,87 @@
+//===- beebs/Cubic.cpp - cubic root finding with soft floats --------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// BEEBS cubic: Newton iteration on x^3 + b x^2 + c x + d using the
+// non-optimizable soft-float library — like float_matmult, the paper's
+// "library calls and emulated floating point" limitation applies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+
+#include <bit>
+
+using namespace ramloc;
+using namespace ramloc::beebs_detail;
+
+namespace {
+
+uint32_t f2b(float F) { return std::bit_cast<uint32_t>(F); }
+
+} // namespace
+
+Module ramloc::buildCubic(OptLevel L, unsigned Repeat) {
+  Module M;
+  M.Name = "cubic";
+  // Newton starting points x0 in [1.0, 2.75], chosen by seed & 7.
+  std::vector<uint32_t> Starts;
+  for (unsigned I = 0; I != 8; ++I)
+    Starts.push_back(f2b(1.0f + 0.25f * static_cast<float>(I)));
+  M.addRodataWords("cubic_x0", Starts);
+  beebs_detail::addSoftFloatLibrary(M);
+
+  FuncBuilder B(M, "cubic", L);
+  Var Seed = B.param("seed");
+  Var X = B.local("x");
+  Var F = B.local("f");
+  Var Fp = B.local("fp");
+  Var T1 = B.local("t1");
+  Var T2 = B.local("t2");
+  Var Iter = B.local("iter");
+  Var CoefB = B.local("coefB");
+  Var CoefC = B.local("coefC");
+  Var CoefD = B.local("coefD");
+  B.prologue();
+
+  // Coefficients of x^3 - 1.5 x^2 - 2.25 x + 0.5.
+  B.setImm(CoefB, f2b(-1.5f));
+  B.setImm(CoefC, f2b(-2.25f));
+  B.setImm(CoefD, f2b(0.5f));
+
+  B.addrOf(T1, "cubic_x0");
+  B.opImm(BinOp::And, T2, Seed, 7);
+  B.loadWIdx(X, T1, T2);
+  B.setImm(Iter, 0);
+
+  B.block("newton");
+  // f = ((x + b) * x + c) * x + d
+  B.callInto(F, "fp_add32", {X, CoefB});
+  B.callInto(F, "fp_mul32", {F, X});
+  B.callInto(F, "fp_add32", {F, CoefC});
+  B.callInto(F, "fp_mul32", {F, X});
+  B.callInto(F, "fp_add32", {F, CoefD});
+  // f' = (3x + 2b) * x + c
+  B.setImm(T1, f2b(3.0f));
+  B.callInto(Fp, "fp_mul32", {X, T1});
+  B.setImm(T1, f2b(-3.0f)); // 2b with b = -1.5
+  B.callInto(Fp, "fp_add32", {Fp, T1});
+  B.callInto(Fp, "fp_mul32", {Fp, X});
+  B.callInto(Fp, "fp_add32", {Fp, CoefC});
+  // x = x - f/f'  (subtract via sign flip)
+  B.callInto(T1, "fp_div32", {F, Fp});
+  B.setImm(T2, 0x80000000u);
+  B.op(BinOp::Eor, T1, T1, T2);
+  B.callInto(X, "fp_add32", {X, T1});
+  B.opImm(BinOp::Add, Iter, Iter, 1);
+  B.brCmpImm(CmpOp::SLt, Iter, 12, "newton");
+
+  B.block("ret");
+  B.op(BinOp::Eor, X, X, Seed);
+  B.retVar(X);
+  B.finish();
+
+  buildMainLoop(M, L, Repeat, "cubic");
+  return M;
+}

@@ -1,0 +1,144 @@
+//===- beebs/Dijkstra.cpp - single-source shortest paths -----------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// BEEBS dijkstra: O(V^2) selection over a dense adjacency matrix kept in
+// flash, distance/visited arrays in RAM. Branchy inner loops stress the
+// conditional-branch instrumentation cases of Figure 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+
+using namespace ramloc;
+using namespace ramloc::beebs_detail;
+
+namespace {
+
+constexpr unsigned V = 16;
+constexpr uint32_t Inf = 0x3FFFFFFF;
+
+std::vector<uint32_t> adjacency() {
+  std::vector<uint32_t> Adj(V * V);
+  for (unsigned I = 0; I != V; ++I) {
+    for (unsigned J = 0; J != V; ++J) {
+      if (I == J) {
+        Adj[I * V + J] = 0;
+        continue;
+      }
+      uint32_t W = (I * 7 + J * 13 + 1) % 23;
+      Adj[I * V + J] = W == 0 ? Inf : W; // some edges missing
+    }
+  }
+  return Adj;
+}
+
+} // namespace
+
+Module ramloc::buildDijkstra(OptLevel L, unsigned Repeat) {
+  Module M;
+  M.Name = "dijkstra";
+  M.addRodataWords("dij_adj", adjacency());
+  M.addBss("dij_dist", V * 4);
+  M.addBss("dij_seen", V * 4);
+
+  FuncBuilder B(M, "dijkstra", L);
+  Var Seed = B.param("seed");
+  Var U = B.local("u");
+  Var Best = B.local("best");
+  Var J = B.local("j");
+  Var T1 = B.local("t1");
+  Var T2 = B.local("t2");
+  Var Dist = B.local("dist");
+  Var Seen = B.local("seen");
+  Var Adj = B.local("adj");
+  Var Iter = B.local("iter");
+  Var Row = B.local("row");
+  B.prologue();
+
+  B.addrOf(Dist, "dij_dist");
+  B.addrOf(Seen, "dij_seen");
+  B.addrOf(Adj, "dij_adj");
+
+  // init: dist[j] = Inf, seen[j] = 0; dist[src] = 0 with src = seed % V.
+  B.setImm(J, 0);
+  B.block("init");
+  B.setImm(T1, Inf);
+  B.storeWIdx(T1, Dist, J);
+  B.setImm(T1, 0);
+  B.storeWIdx(T1, Seen, J);
+  B.opImm(BinOp::Add, J, J, 1);
+  B.brCmpImm(CmpOp::SLt, J, static_cast<int32_t>(V), "init");
+
+  B.block("seedsrc");
+  B.opImm(BinOp::And, T1, Seed, V - 1);
+  B.setImm(T2, 0);
+  B.storeWIdx(T2, Dist, T1);
+  B.setImm(Iter, 0);
+
+  // --- outer: pick the unseen vertex with minimal distance ---------------
+  B.block("outer");
+  B.setImm(Best, Inf);
+  B.setImm(U, 0xFF); // sentinel "none"
+  B.setImm(J, 0);
+
+  B.block("select");
+  B.loadWIdx(T1, Seen, J);
+  B.brCmpImm(CmpOp::Ne, T1, 0, "selnext");
+  B.block("selcheck");
+  B.loadWIdx(T1, Dist, J);
+  B.brCmp(CmpOp::UHs, T1, Best, "selnext");
+  B.block("seltake");
+  B.setVar(Best, T1);
+  B.setVar(U, J);
+  B.block("selnext");
+  B.opImm(BinOp::Add, J, J, 1);
+  B.brCmpImm(CmpOp::SLt, J, static_cast<int32_t>(V), "select");
+
+  B.block("checkdone");
+  B.brCmpImm(CmpOp::Eq, U, 0xFF, "finish");
+
+  // --- relax all edges out of u -------------------------------------------
+  B.block("markseen");
+  B.setImm(T1, 1);
+  B.storeWIdx(T1, Seen, U);
+  // row = &adj[u * V]
+  B.opImm(BinOp::Lsl, Row, U, 6); // u * V * 4 with V = 16
+  B.op(BinOp::Add, Row, Row, Adj);
+  B.setImm(J, 0);
+
+  B.block("relax");
+  B.loadWIdx(T1, Row, J); // w = adj[u][j]
+  B.setImm(T2, Inf);
+  B.brCmp(CmpOp::UHs, T1, T2, "relnext"); // no edge
+  B.block("relsum");
+  B.op(BinOp::Add, T1, T1, Best); // cand = dist[u] + w
+  B.loadWIdx(T2, Dist, J);
+  B.brCmp(CmpOp::UHs, T1, T2, "relnext"); // not an improvement
+  B.block("relstore");
+  B.storeWIdx(T1, Dist, J);
+  B.block("relnext");
+  B.opImm(BinOp::Add, J, J, 1);
+  B.brCmpImm(CmpOp::SLt, J, static_cast<int32_t>(V), "relax");
+
+  B.block("outernext");
+  B.opImm(BinOp::Add, Iter, Iter, 1);
+  B.brCmpImm(CmpOp::SLt, Iter, static_cast<int32_t>(V), "outer");
+
+  // --- checksum -------------------------------------------------------------
+  B.block("finish");
+  B.setImm(T1, 0);
+  B.setImm(J, 0);
+  B.block("sumloop");
+  B.loadWIdx(T2, Dist, J);
+  B.op(BinOp::Add, T1, T1, T2);
+  B.opImm(BinOp::Add, J, J, 1);
+  B.brCmpImm(CmpOp::SLt, J, static_cast<int32_t>(V), "sumloop");
+  B.block("ret");
+  B.retVar(T1);
+  B.finish();
+
+  buildMainLoop(M, L, Repeat, "dijkstra");
+  return M;
+}

@@ -1,0 +1,119 @@
+//===- beebs/FloatMatmult.cpp - 8x8 float matrix multiply -----------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// BEEBS float_matmult: every multiply-accumulate calls the soft-float
+// library, which the optimization cannot touch (Optimizable = false), so
+// the benchmark shows little improvement — exactly the paper's Section 6
+// explanation for this benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+
+#include <bit>
+
+using namespace ramloc;
+using namespace ramloc::beebs_detail;
+
+namespace {
+
+constexpr unsigned N = 8;
+
+std::vector<uint32_t> floatMatrix(float Scale) {
+  std::vector<uint32_t> W;
+  W.reserve(N * N);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned J = 0; J != N; ++J) {
+      float V = (static_cast<float>((I * 3 + J) % 7) + 1.0f) * Scale;
+      W.push_back(std::bit_cast<uint32_t>(V));
+    }
+  return W;
+}
+
+} // namespace
+
+Module ramloc::buildFloatMatmult(OptLevel L, unsigned Repeat) {
+  Module M;
+  M.Name = "float_matmult";
+  M.addDataWords("fmat_a", floatMatrix(0.25f));
+  M.addDataWords("fmat_b", floatMatrix(0.5f));
+  M.addBss("fmat_c", N * N * 4);
+  beebs_detail::addSoftFloatLibrary(M);
+
+  FuncBuilder B(M, "fmatmult", L);
+  Var K = B.param("seed"); // reused as the k counter
+  Var S = B.local("s");
+  Var T1 = B.local("t1");
+  Var T2 = B.local("t2");
+  Var Pb = B.local("pb");
+  Var RowA = B.local("rowA");
+  Var J = B.local("j");
+  Var I = B.local("i");
+  Var Seed = B.local("seed2");
+  Var Ab = B.local("aBase");
+  Var Bb = B.local("bBase");
+  Var Cb = B.local("cBase");
+  B.prologue();
+
+  B.setVar(Seed, K);
+  B.addrOf(Ab, "fmat_a");
+  B.addrOf(Bb, "fmat_b");
+  B.addrOf(Cb, "fmat_c");
+  B.setImm(I, 0);
+
+  B.block("iloop");
+  B.opImm(BinOp::Lsl, RowA, I, 5); // i * N * 4
+  B.op(BinOp::Add, RowA, RowA, Ab);
+  B.setImm(J, 0);
+
+  B.block("jloop");
+  B.opImm(BinOp::Lsl, Pb, J, 2);
+  B.op(BinOp::Add, Pb, Pb, Bb);
+  B.setImm(S, 0); // +0.0f
+  B.setImm(K, 0);
+
+  B.block("kloop");
+  B.loadWIdx(T1, RowA, K);              // a[i][k]
+  B.loadW(T2, Pb, 0);                   // b[k][j]
+  B.callInto(T1, "fp_mul32", {T1, T2}); // t1 = a*b
+  B.callInto(S, "fp_add32", {S, T1});   // s += t1
+  B.opImm(BinOp::Add, Pb, Pb, N * 4);
+  B.opImm(BinOp::Add, K, K, 1);
+  B.brCmpImm(CmpOp::SLt, K, static_cast<int32_t>(N), "kloop");
+
+  B.block("jstore");
+  B.opImm(BinOp::Lsl, T1, I, 5);
+  B.opImm(BinOp::Lsl, T2, J, 2);
+  B.op(BinOp::Add, T1, T1, T2);
+  B.op(BinOp::Add, T1, T1, Cb);
+  B.storeW(S, T1, 0);
+  B.opImm(BinOp::Add, J, J, 1);
+  B.brCmpImm(CmpOp::SLt, J, static_cast<int32_t>(N), "jloop");
+
+  B.block("inext");
+  B.opImm(BinOp::Add, I, I, 1);
+  B.brCmpImm(CmpOp::SLt, I, static_cast<int32_t>(N), "iloop");
+
+  B.block("sum");
+  // Fold every result word so distinct products cannot cancel, then mix
+  // the seed multiplicatively (XOR of consecutive additive seeds is
+  // degenerate: (v+1)^(v+2)^(v+3) can collapse to zero).
+  B.setImm(S, 0);
+  B.setImm(K, 0);
+  B.block("sumloop");
+  B.loadWIdx(T2, Cb, K);
+  B.op(BinOp::Eor, S, S, T2);
+  B.opImm(BinOp::Add, K, K, 1);
+  B.brCmpImm(CmpOp::SLt, K, static_cast<int32_t>(N * N), "sumloop");
+  B.block("mix");
+  B.setImm(T1, 0x9E3779B9u);
+  B.op(BinOp::Mul, T1, T1, Seed);
+  B.op(BinOp::Add, S, S, T1);
+  B.retVar(S);
+  B.finish();
+
+  buildMainLoop(M, L, Repeat, "fmatmult");
+  return M;
+}

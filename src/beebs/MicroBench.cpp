@@ -1,0 +1,120 @@
+//===- beebs/MicroBench.cpp - Figure 1 micro programs ---------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/MicroBench.h"
+
+#include "support/Format.h"
+
+using namespace ramloc;
+using namespace ramloc::build;
+
+const char *ramloc::microKindName(MicroKind K) {
+  switch (K) {
+  case MicroKind::StoreRam:
+    return "store";
+  case MicroKind::LoadRam:
+    return "load";
+  case MicroKind::Add:
+    return "add";
+  case MicroKind::Nop:
+    return "nop";
+  case MicroKind::Branch:
+    return "branch";
+  case MicroKind::LoadFlash:
+    return "flash-load";
+  }
+  return "?";
+}
+
+Module ramloc::buildMicroLoop(MicroKind Kind, bool CodeInRam,
+                              unsigned Iters) {
+  Module M;
+  M.Name = formatString("micro_%s_%s", microKindName(Kind),
+                        CodeInRam ? "ram" : "flash");
+  M.addBss("micro_buf", 64);
+  M.addRodataWords("micro_tab", {1, 2, 3, 4, 5, 6, 7, 8});
+
+  Function F("main");
+  MemKind Home = CodeInRam ? MemKind::Ram : MemKind::Flash;
+
+  // entry (always flash): set up counter/base registers, then enter the
+  // measured loop with a long jump when the loop lives in RAM.
+  BasicBlock Entry("entry");
+  Entry.Instrs.push_back(ldrLitConst(R0, static_cast<int32_t>(Iters)));
+  Entry.Instrs.push_back(movImm(R1, 42));
+  Entry.Instrs.push_back(movImm(R3, 1));
+  Entry.Instrs.push_back(ldrLitSym(
+      R2, Kind == MicroKind::LoadFlash ? "micro_tab" : "micro_buf"));
+  if (CodeInRam)
+    Entry.Instrs.push_back(ldrLitSym(PC, "loop"));
+  F.Blocks.push_back(std::move(Entry));
+
+  // The measured loop: 16 identical instructions + the loop controls.
+  if (Kind == MicroKind::Branch) {
+    // Sixteen unconditional branches chained through sixteen blocks.
+    for (unsigned I = 0; I != 16; ++I) {
+      BasicBlock BB(I == 0 ? "loop" : formatString("loop%u", I));
+      BB.Home = Home;
+      BB.Instrs.push_back(
+          b(I + 1 < 16 ? formatString("loop%u", I + 1) : "latch"));
+      F.Blocks.push_back(std::move(BB));
+    }
+    BasicBlock Latch("latch");
+    Latch.Home = Home;
+    Latch.Instrs.push_back(setS(subImm(R0, R0, 1)));
+    Latch.Instrs.push_back(bCond(Cond::NE, "loop"));
+    F.Blocks.push_back(std::move(Latch));
+    if (CodeInRam) {
+      // The conditional fall-through must leave RAM via a long jump in
+      // its own block (a terminator cannot sit mid-block).
+      BasicBlock Exit("exit");
+      Exit.Home = Home;
+      Exit.Instrs.push_back(ldrLitSym(PC, "done"));
+      F.Blocks.push_back(std::move(Exit));
+    }
+  } else {
+    BasicBlock Loop("loop");
+    Loop.Home = Home;
+    for (unsigned I = 0; I != 16; ++I) {
+      switch (Kind) {
+      case MicroKind::StoreRam:
+        Loop.Instrs.push_back(strImm(R1, R2, (I % 8) * 4));
+        break;
+      case MicroKind::LoadRam:
+      case MicroKind::LoadFlash:
+        Loop.Instrs.push_back(ldrImm(R1, R2, (I % 8) * 4));
+        break;
+      case MicroKind::Add:
+        Loop.Instrs.push_back(addReg(R1, R1, R3));
+        break;
+      case MicroKind::Nop:
+        Loop.Instrs.push_back(nop());
+        break;
+      case MicroKind::Branch:
+        break; // handled above
+      }
+    }
+    Loop.Instrs.push_back(setS(subImm(R0, R0, 1)));
+    Loop.Instrs.push_back(bCond(Cond::NE, "loop"));
+    F.Blocks.push_back(std::move(Loop));
+    if (CodeInRam) {
+      BasicBlock Exit("exit");
+      Exit.Home = Home;
+      Exit.Instrs.push_back(ldrLitSym(PC, "done"));
+      F.Blocks.push_back(std::move(Exit));
+    }
+  }
+
+  BasicBlock Done("done");
+  Done.Instrs.push_back(movReg(R0, R1));
+  Done.Instrs.push_back(bkpt());
+  F.Blocks.push_back(std::move(Done));
+
+  M.Functions.push_back(std::move(F));
+  M.EntryFunction = "main";
+  return M;
+}

@@ -1,0 +1,47 @@
+//===- beebs/MicroBench.h - Figure 1 micro programs -------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 1 characterization programs: "16 identical instructions in a
+/// loop", placed in flash and then in RAM, showing RAM's lower power for
+/// every instruction type except a load that fetches its data from flash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_BEEBS_MICROBENCH_H
+#define RAMLOC_BEEBS_MICROBENCH_H
+
+#include "mir/Module.h"
+
+#include <vector>
+
+namespace ramloc {
+
+/// The instruction type under measurement.
+enum class MicroKind : uint8_t {
+  StoreRam,  ///< str to a RAM buffer
+  LoadRam,   ///< ldr from a RAM buffer
+  Add,       ///< register add
+  Nop,       ///< nop
+  Branch,    ///< unconditional branch chain
+  LoadFlash, ///< ldr from a flash .rodata table
+};
+
+const char *microKindName(MicroKind K);
+
+inline constexpr MicroKind AllMicroKinds[] = {
+    MicroKind::StoreRam, MicroKind::LoadRam,   MicroKind::Add,
+    MicroKind::Nop,      MicroKind::Branch,    MicroKind::LoadFlash};
+
+/// Builds the 16-instruction loop. \p CodeInRam places the loop block in
+/// RAM directly (hand-placed, no optimizer involved, like the paper's
+/// characterization); \p Iters is the loop trip count.
+Module buildMicroLoop(MicroKind Kind, bool CodeInRam, unsigned Iters);
+
+} // namespace ramloc
+
+#endif // RAMLOC_BEEBS_MICROBENCH_H

@@ -1,0 +1,180 @@
+//===- beebs/Rijndael.cpp - AES-128-style block rounds --------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// BEEBS rijndael: ten SubBytes/ShiftRows/MixColumns/AddRoundKey rounds
+// over a 16-byte state. The S-box stays in flash; the state and round
+// keys live in RAM.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+
+using namespace ramloc;
+using namespace ramloc::beebs_detail;
+
+namespace {
+
+std::vector<uint32_t> sboxWords() {
+  // The real AES S-box.
+  static const uint8_t Sbox[256] = {
+      0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67,
+      0x2b, 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59,
+      0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7,
+      0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1,
+      0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05,
+      0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83,
+      0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29,
+      0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+      0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa,
+      0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c,
+      0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc,
+      0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+      0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+      0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee,
+      0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+      0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+      0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4,
+      0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6,
+      0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70,
+      0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9,
+      0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e,
+      0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1,
+      0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
+      0x54, 0xbb, 0x16};
+  std::vector<uint32_t> W(64);
+  for (unsigned I = 0; I != 256; ++I)
+    W[I / 4] |= static_cast<uint32_t>(Sbox[I]) << ((I % 4) * 8);
+  return W;
+}
+
+} // namespace
+
+Module ramloc::buildRijndael(OptLevel L, unsigned Repeat) {
+  Module M;
+  M.Name = "rijndael";
+  {
+    DataObject S;
+    S.Name = "aes_sbox";
+    S.Sect = DataObject::Section::Rodata;
+    std::vector<uint32_t> W = sboxWords();
+    for (uint32_t Word : W) {
+      S.Bytes.push_back(static_cast<uint8_t>(Word));
+      S.Bytes.push_back(static_cast<uint8_t>(Word >> 8));
+      S.Bytes.push_back(static_cast<uint8_t>(Word >> 16));
+      S.Bytes.push_back(static_cast<uint8_t>(Word >> 24));
+    }
+    M.Data.push_back(std::move(S));
+  }
+  // "Round keys": 11 x 16 bytes of deterministic pattern in RAM.
+  std::vector<uint32_t> RK(44);
+  for (unsigned I = 0; I != 44; ++I)
+    RK[I] = 0x9E3779B9u * (I + 1);
+  M.addDataWords("aes_rk", RK);
+  M.addBss("aes_state", 16);
+
+  FuncBuilder B(M, "aes_encrypt", L);
+  Var Seed = B.param("seed");
+  Var I = B.local("i");
+  Var T1 = B.local("t1");
+  Var T2 = B.local("t2");
+  Var T3 = B.local("t3");
+  Var St = B.local("state");
+  Var Sb = B.local("sbox");
+  Var Rk = B.local("rk");
+  Var Round = B.local("round");
+  B.prologue();
+
+  B.addrOf(St, "aes_state");
+  B.addrOf(Sb, "aes_sbox");
+  B.addrOf(Rk, "aes_rk");
+
+  // state[i] = seed + i*17
+  B.setImm(I, 0);
+  B.block("init");
+  B.setImm(T1, 17);
+  B.op(BinOp::Mul, T1, I, T1);
+  B.op(BinOp::Add, T1, T1, Seed);
+  B.storeBIdx(T1, St, I);
+  B.opImm(BinOp::Add, I, I, 1);
+  B.brCmpImm(CmpOp::SLt, I, 16, "init");
+
+  B.block("roundinit");
+  B.setImm(Round, 0);
+
+  // --- one round ------------------------------------------------------------
+  B.block("round");
+  // SubBytes: state[i] = sbox[state[i]]
+  B.setImm(I, 0);
+  B.block("subbytes");
+  B.loadBIdx(T1, St, I);
+  B.loadBIdx(T2, Sb, T1);
+  B.storeBIdx(T2, St, I);
+  B.opImm(BinOp::Add, I, I, 1);
+  B.brCmpImm(CmpOp::SLt, I, 16, "subbytes");
+
+  // ShiftRows (fixed permutation on rows 1..3), unrolled straight-line.
+  B.block("shiftrows");
+  for (unsigned Row = 1; Row != 4; ++Row) {
+    // Rotate row Row left by Row: bytes at Row, Row+4, Row+8, Row+12.
+    B.loadB(T1, St, static_cast<int32_t>(Row));
+    for (unsigned C = 0; C != 3; ++C) {
+      unsigned From = Row + 4 * (((C + Row) % 4));
+      unsigned To = Row + 4 * C;
+      B.loadB(T2, St, static_cast<int32_t>(From));
+      B.storeB(T2, St, static_cast<int32_t>(To));
+    }
+    unsigned LastTo = Row + 4 * 3;
+    unsigned Shift = (3 + Row) % 4;
+    if (Shift == 0) {
+      B.storeB(T1, St, static_cast<int32_t>(LastTo));
+    } else {
+      // Already moved by the loop; patch with the saved byte.
+      B.storeB(T1, St, static_cast<int32_t>(Row + 4 * ((4 - Row) % 4)));
+    }
+  }
+
+  // MixColumns-style xtime mixing per column + AddRoundKey.
+  B.block("mixcolumns");
+  B.setImm(I, 0);
+  B.block("mixcol");
+  // Load the column word (state is byte-addressed; treat as word).
+  B.opImm(BinOp::Lsl, T1, I, 2);
+  B.op(BinOp::Add, T1, T1, St);
+  B.loadW(T2, T1, 0);
+  // xtime-ish diffusion: w = (w << 1) ^ (w >> 7) ^ rotl(w, 8)
+  B.opImm(BinOp::Lsl, T3, T2, 1);
+  B.opImm(BinOp::Lsr, T2, T2, 7);
+  B.op(BinOp::Eor, T3, T3, T2);
+  // AddRoundKey: rk[round*4 + i]
+  B.opImm(BinOp::Lsl, T2, Round, 2);
+  B.op(BinOp::Add, T2, T2, I);
+  B.loadWIdx(T2, Rk, T2);
+  B.op(BinOp::Eor, T3, T3, T2);
+  B.storeW(T3, T1, 0);
+  B.opImm(BinOp::Add, I, I, 1);
+  B.brCmpImm(CmpOp::SLt, I, 4, "mixcol");
+
+  B.block("roundnext");
+  B.opImm(BinOp::Add, Round, Round, 1);
+  B.brCmpImm(CmpOp::SLt, Round, 10, "round");
+
+  // --- checksum ---------------------------------------------------------------
+  B.block("sum");
+  B.setImm(T1, 0);
+  B.setImm(I, 0);
+  B.block("sumloop");
+  B.opImm(BinOp::Lsl, T2, I, 2);
+  B.op(BinOp::Add, T2, T2, St);
+  B.loadW(T3, T2, 0);
+  B.op(BinOp::Eor, T1, T1, T3);
+  B.opImm(BinOp::Add, I, I, 1);
+  B.brCmpImm(CmpOp::SLt, I, 4, "sumloop");
+  B.block("ret");
+  B.retVar(T1);
+  B.finish();
+
+  buildMainLoop(M, L, Repeat, "aes_encrypt");
+  return M;
+}

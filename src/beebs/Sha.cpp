@@ -1,0 +1,155 @@
+//===- beebs/Sha.cpp - SHA-1 compression ----------------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// BEEBS sha: the 80-round SHA-1 compression over one 16-word block. The
+// round loop branches between four f-functions, giving a richer CFG than
+// the array kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+
+using namespace ramloc;
+using namespace ramloc::beebs_detail;
+
+namespace {
+
+/// rotl(d, a, n) via two shifts and an orr (no ror-immediate in Thumb1).
+void emitRotl(FuncBuilder &B, Var D, Var A, unsigned N, Var Tmp) {
+  B.opImm(BinOp::Lsl, Tmp, A, static_cast<int32_t>(N));
+  B.opImm(BinOp::Lsr, D, A, static_cast<int32_t>(32 - N));
+  B.op(BinOp::Orr, D, D, Tmp);
+}
+
+} // namespace
+
+Module ramloc::buildSha(OptLevel L, unsigned Repeat) {
+  Module M;
+  M.Name = "sha";
+  std::vector<uint32_t> Msg(16);
+  for (unsigned I = 0; I != 16; ++I)
+    Msg[I] = 0x01234567u * (I + 1) + 0x89ABCDEFu;
+  M.addDataWords("sha_msg", Msg);
+  M.addBss("sha_w", 80 * 4);
+
+  FuncBuilder B(M, "sha1block", L);
+  Var Seed = B.param("seed");
+  Var A = B.local("a");
+  Var Bv = B.local("b");
+  Var C = B.local("c");
+  Var D = B.local("d");
+  Var E = B.local("e");
+  Var T = B.local("t");
+  Var F = B.local("f");
+  Var I = B.local("i");
+  Var Wb = B.local("wBase");
+  Var T2 = B.local("t2");
+  B.prologue();
+
+  B.addrOf(Wb, "sha_w");
+
+  // --- message schedule: W[0..15] copied, W[16..79] expanded -------------
+  B.setImm(I, 0);
+  B.addrOf(T, "sha_msg");
+  B.block("wcopy");
+  B.loadWIdx(T2, T, I);
+  B.storeWIdx(T2, Wb, I);
+  B.opImm(BinOp::Add, I, I, 1);
+  B.brCmpImm(CmpOp::SLt, I, 16, "wcopy");
+
+  B.block("wexpand");
+  // t = W[i-3] ^ W[i-8] ^ W[i-14] ^ W[i-16]; W[i] = rotl(t, 1)
+  B.opImm(BinOp::Sub, T, I, 3);
+  B.loadWIdx(F, Wb, T);
+  B.opImm(BinOp::Sub, T, I, 8);
+  B.loadWIdx(T2, Wb, T);
+  B.op(BinOp::Eor, F, F, T2);
+  B.opImm(BinOp::Sub, T, I, 14);
+  B.loadWIdx(T2, Wb, T);
+  B.op(BinOp::Eor, F, F, T2);
+  B.opImm(BinOp::Sub, T, I, 16);
+  B.loadWIdx(T2, Wb, T);
+  B.op(BinOp::Eor, F, F, T2);
+  emitRotl(B, F, F, 1, T2);
+  B.storeWIdx(F, Wb, I);
+  B.opImm(BinOp::Add, I, I, 1);
+  B.brCmpImm(CmpOp::SLt, I, 80, "wexpand");
+
+  // --- initialise the working state ---------------------------------------
+  B.block("init");
+  B.setImm(A, 0x67452301u);
+  B.op(BinOp::Add, A, A, Seed); // perturb per repeat
+  B.setImm(Bv, 0xEFCDAB89u);
+  B.setImm(C, 0x98BADCFEu);
+  B.setImm(D, 0x10325476u);
+  B.setImm(E, 0xC3D2E1F0u);
+  B.setImm(I, 0);
+
+  // --- 80 rounds with four f/k phases --------------------------------------
+  B.block("round");
+  B.brCmpImm(CmpOp::SGe, I, 20, "phase1");
+
+  B.block("phase0"); // f = (b & c) | (~b & d), k = 0x5A827999
+  B.op(BinOp::And, F, Bv, C);
+  B.setVar(T2, Bv);
+  B.setImm(T, 0xFFFFFFFFu);
+  B.op(BinOp::Eor, T2, T2, T);
+  B.op(BinOp::And, T2, T2, D);
+  B.op(BinOp::Orr, F, F, T2);
+  B.setImm(T, 0x5A827999u);
+  B.br("apply");
+
+  B.block("phase1");
+  B.brCmpImm(CmpOp::SGe, I, 40, "phase2");
+  B.block("phase1b"); // f = b ^ c ^ d, k = 0x6ED9EBA1
+  B.op(BinOp::Eor, F, Bv, C);
+  B.op(BinOp::Eor, F, F, D);
+  B.setImm(T, 0x6ED9EBA1u);
+  B.br("apply");
+
+  B.block("phase2");
+  B.brCmpImm(CmpOp::SGe, I, 60, "phase3");
+  B.block("phase2b"); // f = (b&c) | (b&d) | (c&d), k = 0x8F1BBCDC
+  B.op(BinOp::And, F, Bv, C);
+  B.op(BinOp::And, T2, Bv, D);
+  B.op(BinOp::Orr, F, F, T2);
+  B.op(BinOp::And, T2, C, D);
+  B.op(BinOp::Orr, F, F, T2);
+  B.setImm(T, 0x8F1BBCDCu);
+  B.br("apply");
+
+  B.block("phase3"); // f = b ^ c ^ d, k = 0xCA62C1D6
+  B.op(BinOp::Eor, F, Bv, C);
+  B.op(BinOp::Eor, F, F, D);
+  B.setImm(T, 0xCA62C1D6u);
+
+  B.block("apply");
+  // t2 = rotl(a,5) + f + e + k + W[i]
+  B.op(BinOp::Add, F, F, T); // f += k
+  emitRotl(B, T2, A, 5, T);
+  B.op(BinOp::Add, T2, T2, F);
+  B.op(BinOp::Add, T2, T2, E);
+  B.loadWIdx(T, Wb, I);
+  B.op(BinOp::Add, T2, T2, T);
+  // e = d; d = c; c = rotl(b, 30); b = a; a = t2
+  B.setVar(E, D);
+  B.setVar(D, C);
+  emitRotl(B, C, Bv, 30, T);
+  B.setVar(Bv, A);
+  B.setVar(A, T2);
+  B.opImm(BinOp::Add, I, I, 1);
+  B.brCmpImm(CmpOp::SLt, I, 80, "round");
+
+  B.block("ret");
+  B.op(BinOp::Eor, A, A, Bv);
+  B.op(BinOp::Eor, A, A, C);
+  B.op(BinOp::Eor, A, A, D);
+  B.op(BinOp::Eor, A, A, E);
+  B.retVar(A);
+  B.finish();
+
+  buildMainLoop(M, L, Repeat, "sha1block");
+  return M;
+}

@@ -1,0 +1,313 @@
+//===- beebs/SoftFloat.cpp - binary32 library routines --------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// The Cortex-M3 has no FPU: float arithmetic is emulated by statically
+// linked library calls. The paper's prototype cannot relocate library
+// code ("the optimization pass does not see these functions", Section 6),
+// which is why cubic and float_matmult barely improve. These routines are
+// therefore built with Optimizable = false.
+//
+// Semantics: truncating binary32 arithmetic without NaN/denormal support;
+// workloads keep their values well-conditioned. Determinism is what the
+// checksums need, not IEEE-754 compliance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+
+using namespace ramloc;
+
+namespace {
+
+/// The library is "precompiled": always O1 shape, never optimizable.
+constexpr OptLevel LibLevel = OptLevel::O1;
+
+void addFpMul(Module &M) {
+  FuncBuilder B(M, "fp_mul32", LibLevel, /*Optimizable=*/false);
+  Var A = B.param("a");
+  Var Bp = B.param("b");
+  Var Sign = B.local("sign");
+  Var Ea = B.local("ea");
+  Var Eb = B.local("eb");
+  Var Ma = B.local("ma");
+  Var Mb = B.local("mb");
+  Var Lo = B.local("lo");
+  Var Mid = B.local("mid");
+  Var Hi = B.local("hi");
+  Var T1 = B.local("t1");
+  Var T2 = B.local("t2");
+  B.prologue();
+
+  B.op(BinOp::Eor, Sign, A, Bp);
+  B.opImm(BinOp::And, Sign, Sign, static_cast<int32_t>(0x80000000u));
+  B.opImm(BinOp::Lsr, Ea, A, 23);
+  B.opImm(BinOp::And, Ea, Ea, 0xFF);
+  B.opImm(BinOp::Lsr, Eb, Bp, 23);
+  B.opImm(BinOp::And, Eb, Eb, 0xFF);
+  B.brCmpImm(CmpOp::Eq, Ea, 0, "retzero");
+  B.block("chkb");
+  B.brCmpImm(CmpOp::Eq, Eb, 0, "retzero");
+
+  B.block("mants");
+  B.setImm(T1, 0x7FFFFF);
+  B.op(BinOp::And, Ma, A, T1);
+  B.setImm(T2, 0x800000);
+  B.op(BinOp::Orr, Ma, Ma, T2);
+  B.op(BinOp::And, Mb, Bp, T1);
+  B.op(BinOp::Orr, Mb, Mb, T2);
+
+  // 24x24 -> 48-bit product via 16-bit limbs.
+  B.setImm(T1, 0xFFFF);
+  B.op(BinOp::And, Lo, Ma, T1);  // al
+  B.op(BinOp::And, Mid, Mb, T1); // bl
+  B.op(BinOp::Mul, T2, Lo, Mid); // t2 = al*bl  (lo)
+  B.opImm(BinOp::Lsr, Hi, Ma, 16);   // ah
+  B.op(BinOp::Mul, Mid, Hi, Mid);    // mid = ah*bl
+  B.opImm(BinOp::Lsr, T1, Mb, 16);   // bh
+  B.op(BinOp::Mul, Lo, Lo, T1);      // lo(var) = al*bh
+  B.op(BinOp::Add, Mid, Mid, Lo);    // mid += al*bh
+  B.op(BinOp::Mul, Hi, Hi, T1);      // hi = ah*bh
+  B.opImm(BinOp::Lsr, T1, T2, 16);
+  B.op(BinOp::Add, Mid, Mid, T1);    // mid += lo >> 16
+  B.opImm(BinOp::Lsr, T1, Mid, 16);
+  B.op(BinOp::Add, Hi, Hi, T1);      // hi += mid >> 16
+
+  // plo = (mid << 16) | (lo16); mant = (hi << 9) | (plo >> 23)
+  B.opImm(BinOp::Lsl, Mid, Mid, 16);
+  B.setImm(T1, 0xFFFF);
+  B.op(BinOp::And, T2, T2, T1);
+  B.op(BinOp::Orr, Mid, Mid, T2); // plo
+  B.opImm(BinOp::Lsl, Hi, Hi, 9);
+  B.opImm(BinOp::Lsr, Mid, Mid, 23);
+  B.op(BinOp::Orr, Hi, Hi, Mid); // mant in [2^23, 2^25)
+
+  B.op(BinOp::Add, Ea, Ea, Eb);
+  B.opImm(BinOp::Sub, Ea, Ea, 127);
+  B.setImm(T1, 0x1000000);
+  B.brCmp(CmpOp::ULo, Hi, T1, "nonorm");
+  B.block("norm");
+  B.opImm(BinOp::Lsr, Hi, Hi, 1);
+  B.opImm(BinOp::Add, Ea, Ea, 1);
+  B.block("nonorm");
+  B.brCmpImm(CmpOp::SLe, Ea, 0, "retzero");
+  B.block("chkover");
+  B.brCmpImm(CmpOp::SGe, Ea, 255, "retinf");
+
+  B.block("pack");
+  B.setImm(T1, 0x7FFFFF);
+  B.op(BinOp::And, Hi, Hi, T1);
+  B.opImm(BinOp::Lsl, Ea, Ea, 23);
+  B.op(BinOp::Orr, Hi, Hi, Ea);
+  B.op(BinOp::Orr, Hi, Hi, Sign);
+  B.retVar(Hi);
+
+  B.block("retzero");
+  B.retVar(Sign);
+  B.block("retinf");
+  B.setImm(T1, 0x7F800000);
+  B.op(BinOp::Orr, T1, T1, Sign);
+  B.retVar(T1);
+  B.finish();
+}
+
+void addFpAdd(Module &M) {
+  FuncBuilder B(M, "fp_add32", LibLevel, /*Optimizable=*/false);
+  Var A = B.param("a");
+  Var Bp = B.param("b");
+  Var Ma = B.local("ma");
+  Var Mb = B.local("mb");
+  Var Ea = B.local("ea");
+  Var Eb = B.local("eb");
+  Var Sa = B.local("sa");
+  Var Sb = B.local("sb");
+  Var T1 = B.local("t1");
+  Var T2 = B.local("t2");
+  Var Sign = B.local("sign");
+  B.prologue();
+
+  B.opImm(BinOp::Lsl, T1, A, 1);
+  B.brCmpImm(CmpOp::Eq, T1, 0, "retb");
+  B.block("chkb");
+  B.opImm(BinOp::Lsl, T1, Bp, 1);
+  B.brCmpImm(CmpOp::Eq, T1, 0, "reta");
+
+  B.block("unpack");
+  B.opImm(BinOp::Lsr, Sa, A, 31);
+  B.opImm(BinOp::Lsr, Sb, Bp, 31);
+  B.opImm(BinOp::Lsr, Ea, A, 23);
+  B.opImm(BinOp::And, Ea, Ea, 0xFF);
+  B.opImm(BinOp::Lsr, Eb, Bp, 23);
+  B.opImm(BinOp::And, Eb, Eb, 0xFF);
+  B.setImm(T1, 0x7FFFFF);
+  B.op(BinOp::And, Ma, A, T1);
+  B.setImm(T2, 0x800000);
+  B.op(BinOp::Orr, Ma, Ma, T2);
+  B.op(BinOp::And, Mb, Bp, T1);
+  B.op(BinOp::Orr, Mb, Mb, T2);
+  B.opImm(BinOp::Lsl, Ma, Ma, 3); // three guard bits
+  B.opImm(BinOp::Lsl, Mb, Mb, 3);
+  B.brCmp(CmpOp::SGe, Ea, Eb, "aligned");
+
+  B.block("swap"); // ensure the a-side is the larger exponent
+  B.setVar(T1, Ea);
+  B.setVar(Ea, Eb);
+  B.setVar(Eb, T1);
+  B.setVar(T1, Ma);
+  B.setVar(Ma, Mb);
+  B.setVar(Mb, T1);
+  B.setVar(T1, Sa);
+  B.setVar(Sa, Sb);
+  B.setVar(Sb, T1);
+  B.setVar(T1, A);
+  B.setVar(A, Bp);
+  B.setVar(Bp, T1);
+
+  B.block("aligned");
+  B.op(BinOp::Sub, T1, Ea, Eb); // d
+  B.brCmpImm(CmpOp::SGt, T1, 26, "reta");
+  B.block("shift");
+  B.op(BinOp::Lsr, Mb, Mb, T1);
+  B.brCmp(CmpOp::Ne, Sa, Sb, "subtract");
+
+  B.block("addmag");
+  B.op(BinOp::Add, Ma, Ma, Mb);
+  B.setImm(T1, 0x8000000); // 2^27
+  B.brCmp(CmpOp::ULo, Ma, T1, "roundpack");
+  B.block("carrynorm");
+  B.opImm(BinOp::Lsr, Ma, Ma, 1);
+  B.opImm(BinOp::Add, Ea, Ea, 1);
+  B.br("roundpack");
+
+  B.block("subtract");
+  B.brCmp(CmpOp::UHs, Ma, Mb, "subab");
+  B.block("subba");
+  B.op(BinOp::Sub, Ma, Mb, Ma);
+  B.setVar(Sa, Sb);
+  B.br("subzero");
+  B.block("subab");
+  B.op(BinOp::Sub, Ma, Ma, Mb);
+  B.block("subzero");
+  B.brCmpImm(CmpOp::Eq, Ma, 0, "retzero");
+  B.block("normloop");
+  B.setImm(T1, 0x4000000); // 2^26
+  B.brCmp(CmpOp::UHs, Ma, T1, "roundpack");
+  B.block("normstep");
+  B.opImm(BinOp::Lsl, Ma, Ma, 1);
+  B.opImm(BinOp::Sub, Ea, Ea, 1);
+  B.brCmpImm(CmpOp::SGt, Ea, 0, "normloop");
+  B.block("under");
+  B.br("retzero");
+
+  B.block("roundpack");
+  B.brCmpImm(CmpOp::SLe, Ea, 0, "retzero");
+  B.block("chkover");
+  B.brCmpImm(CmpOp::SGe, Ea, 255, "retinf");
+  B.block("pack");
+  B.opImm(BinOp::Lsr, Ma, Ma, 3);
+  B.setImm(T1, 0x7FFFFF);
+  B.op(BinOp::And, Ma, Ma, T1);
+  B.opImm(BinOp::Lsl, Ea, Ea, 23);
+  B.op(BinOp::Orr, Ma, Ma, Ea);
+  B.opImm(BinOp::Lsl, Sign, Sa, 31);
+  B.op(BinOp::Orr, Ma, Ma, Sign);
+  B.retVar(Ma);
+
+  B.block("reta");
+  B.retVar(A);
+  B.block("retb");
+  B.retVar(Bp);
+  B.block("retzero");
+  B.setImm(T1, 0);
+  B.retVar(T1);
+  B.block("retinf");
+  B.opImm(BinOp::Lsl, Sign, Sa, 31);
+  B.setImm(T1, 0x7F800000);
+  B.op(BinOp::Orr, T1, T1, Sign);
+  B.retVar(T1);
+  B.finish();
+}
+
+void addFpDiv(Module &M) {
+  FuncBuilder B(M, "fp_div32", LibLevel, /*Optimizable=*/false);
+  Var A = B.param("a");
+  Var Bp = B.param("b");
+  Var Sign = B.local("sign");
+  Var Ea = B.local("ea");
+  Var Eb = B.local("eb");
+  Var Ma = B.local("ma");
+  Var Mb = B.local("mb");
+  Var Q = B.local("q");
+  Var I = B.local("i");
+  Var T1 = B.local("t1");
+  B.prologue();
+
+  B.op(BinOp::Eor, Sign, A, Bp);
+  B.opImm(BinOp::And, Sign, Sign, static_cast<int32_t>(0x80000000u));
+  B.opImm(BinOp::Lsr, Ea, A, 23);
+  B.opImm(BinOp::And, Ea, Ea, 0xFF);
+  B.opImm(BinOp::Lsr, Eb, Bp, 23);
+  B.opImm(BinOp::And, Eb, Eb, 0xFF);
+  B.brCmpImm(CmpOp::Eq, Ea, 0, "retzero");
+  B.block("chkb");
+  B.brCmpImm(CmpOp::Eq, Eb, 0, "retinf"); // x/0 -> clamp to inf
+
+  B.block("mants");
+  B.setImm(T1, 0x7FFFFF);
+  B.op(BinOp::And, Ma, A, T1);
+  B.setImm(Q, 0x800000);
+  B.op(BinOp::Orr, Ma, Ma, Q);
+  B.op(BinOp::And, Mb, Bp, T1);
+  B.op(BinOp::Orr, Mb, Mb, Q);
+
+  B.op(BinOp::Sub, Ea, Ea, Eb);
+  B.opImm(BinOp::Add, Ea, Ea, 127);
+  B.setImm(Q, 0);
+  B.setImm(I, 25);
+
+  B.block("divloop"); // restoring long division, one bit per pass
+  B.opImm(BinOp::Lsl, Q, Q, 1);
+  B.brCmp(CmpOp::ULo, Ma, Mb, "skipsub");
+  B.block("dosub");
+  B.op(BinOp::Sub, Ma, Ma, Mb);
+  B.opImm(BinOp::Orr, Q, Q, 1);
+  B.block("skipsub");
+  B.opImm(BinOp::Lsl, Ma, Ma, 1);
+  B.opImm(BinOp::Sub, I, I, 1);
+  B.brCmpImm(CmpOp::Ne, I, 0, "divloop");
+
+  B.block("postnorm"); // q in (2^23, 2^25)
+  B.setImm(T1, 0x1000000);
+  B.brCmp(CmpOp::ULo, Q, T1, "packchk");
+  B.block("shift1");
+  B.opImm(BinOp::Lsr, Q, Q, 1);
+  B.opImm(BinOp::Add, Ea, Ea, 1);
+  B.block("packchk");
+  B.brCmpImm(CmpOp::SLe, Ea, 0, "retzero");
+  B.block("chkover");
+  B.brCmpImm(CmpOp::SGe, Ea, 255, "retinf");
+  B.block("pack");
+  B.setImm(T1, 0x7FFFFF);
+  B.op(BinOp::And, Q, Q, T1);
+  B.opImm(BinOp::Lsl, Ea, Ea, 23);
+  B.op(BinOp::Orr, Q, Q, Ea);
+  B.op(BinOp::Orr, Q, Q, Sign);
+  B.retVar(Q);
+
+  B.block("retzero");
+  B.retVar(Sign);
+  B.block("retinf");
+  B.setImm(T1, 0x7F800000);
+  B.op(BinOp::Orr, T1, T1, Sign);
+  B.retVar(T1);
+  B.finish();
+}
+
+} // namespace
+
+void ramloc::beebs_detail::addSoftFloatLibrary(Module &M) {
+  addFpAdd(M);
+  addFpMul(M);
+  addFpDiv(M);
+}

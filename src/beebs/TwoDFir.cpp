@@ -1,0 +1,105 @@
+//===- beebs/TwoDFir.cpp - 2D FIR filter ----------------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// BEEBS 2dfir: 3x3 integer convolution over a small image. In the paper's
+// Figure 5 this benchmark gains little energy but slows down, which still
+// pays off in the Figure 9 periodic-sensing scenario.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+
+using namespace ramloc;
+using namespace ramloc::beebs_detail;
+
+namespace {
+
+constexpr unsigned W = 24, H = 24;
+
+} // namespace
+
+Module ramloc::buildTwoDFir(OptLevel L, unsigned Repeat) {
+  Module M;
+  M.Name = "2dfir";
+
+  std::vector<uint8_t> Image(W * H);
+  for (unsigned I = 0; I != W * H; ++I)
+    Image[I] = static_cast<uint8_t>((I * 31 + 7) & 0xFF);
+  DataObject Img;
+  Img.Name = "fir_img";
+  Img.Sect = DataObject::Section::Data;
+  Img.Bytes = std::move(Image);
+  M.Data.push_back(std::move(Img));
+
+  // 3x3 kernel, word-sized coefficients in flash.
+  M.addRodataWords("fir_coef", {1, 2, 1, 2, 4, 2, 1, 2, 1});
+  M.addBss("fir_out", W * H);
+
+  FuncBuilder B(M, "fir2d", L);
+  Var Seed = B.param("seed");
+  Var Acc = B.local("acc");
+  Var X = B.local("x");
+  Var T1 = B.local("t1");
+  Var T2 = B.local("t2");
+  Var Prow = B.local("prow");
+  Var Y = B.local("y");
+  Var ImgB = B.local("imgBase");
+  Var CoefB = B.local("coefBase");
+  Var OutB = B.local("outBase");
+  Var Sum = B.local("sum");
+  B.prologue();
+
+  B.addrOf(ImgB, "fir_img");
+  B.addrOf(CoefB, "fir_coef");
+  B.addrOf(OutB, "fir_out");
+  B.setImm(Sum, 0);
+  B.setImm(Y, 1);
+
+  B.block("yloop");
+  B.setImm(X, 1);
+
+  B.block("xloop");
+  // prow = &img[(y-1)*W + (x-1)]
+  B.opImm(BinOp::Sub, T1, Y, 1);
+  B.setImm(T2, W);
+  B.op(BinOp::Mul, T1, T1, T2);
+  B.op(BinOp::Add, T1, T1, X);
+  B.opImm(BinOp::Sub, T1, T1, 1);
+  B.op(BinOp::Add, Prow, ImgB, T1);
+  B.setImm(Acc, 0);
+  // Unrolled 3x3 inner accumulation: one large hot block.
+  for (unsigned Ky = 0; Ky != 3; ++Ky) {
+    for (unsigned Kx = 0; Kx != 3; ++Kx) {
+      B.loadB(T1, Prow, static_cast<int32_t>(Kx));
+      B.loadW(T2, CoefB, static_cast<int32_t>((Ky * 3 + Kx) * 4));
+      B.op(BinOp::Mul, T1, T1, T2);
+      B.op(BinOp::Add, Acc, Acc, T1);
+    }
+    if (Ky != 2)
+      B.opImm(BinOp::Add, Prow, Prow, W);
+  }
+  B.opImm(BinOp::Asr, Acc, Acc, 4);
+  B.op(BinOp::Add, Acc, Acc, Seed);
+  // out[y*W + x] = acc
+  B.setImm(T2, W);
+  B.op(BinOp::Mul, T1, Y, T2);
+  B.op(BinOp::Add, T1, T1, X);
+  B.op(BinOp::Add, T1, T1, OutB);
+  B.storeB(Acc, T1, 0);
+  B.op(BinOp::Add, Sum, Sum, Acc);
+  B.opImm(BinOp::Add, X, X, 1);
+  B.brCmpImm(CmpOp::SLt, X, W - 1, "xloop");
+
+  B.block("ynext");
+  B.opImm(BinOp::Add, Y, Y, 1);
+  B.brCmpImm(CmpOp::SLt, Y, H - 1, "yloop");
+
+  B.block("ret");
+  B.retVar(Sum);
+  B.finish();
+
+  buildMainLoop(M, L, Repeat, "fir2d");
+  return M;
+}

@@ -1,0 +1,62 @@
+//===- casestudy/PeriodicApp.cpp - Section 7 sleep model ------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "casestudy/PeriodicApp.h"
+
+#include <cassert>
+
+using namespace ramloc;
+
+OptimizationFactors ramloc::factorsFrom(const ActiveProfile &Base,
+                                        const ActiveProfile &Opt) {
+  assert(Base.EnergyMilliJoules > 0 && Base.Seconds > 0 &&
+         "base profile must be non-trivial");
+  return {Opt.EnergyMilliJoules / Base.EnergyMilliJoules,
+          Opt.Seconds / Base.Seconds};
+}
+
+double ramloc::periodEnergy(const ActiveProfile &Active,
+                            double SleepMilliWatts, double PeriodSeconds) {
+  assert(PeriodSeconds >= Active.Seconds &&
+         "period shorter than the active region");
+  return Active.EnergyMilliJoules +
+         SleepMilliWatts * (PeriodSeconds - Active.Seconds);
+}
+
+double ramloc::energySaved(const ActiveProfile &Base,
+                           const OptimizationFactors &K,
+                           double SleepMilliWatts) {
+  return Base.EnergyMilliJoules * (1.0 - K.Ke) +
+         SleepMilliWatts * Base.Seconds * (K.Kt - 1.0);
+}
+
+double ramloc::energyRatio(const ActiveProfile &Base,
+                           const ActiveProfile &Opt,
+                           double SleepMilliWatts, double PeriodSeconds) {
+  double E = periodEnergy(Base, SleepMilliWatts, PeriodSeconds);
+  double EPrime = periodEnergy(Opt, SleepMilliWatts, PeriodSeconds);
+  assert(E > 0 && "base period energy must be positive");
+  return EPrime / E;
+}
+
+double ramloc::batteryLifeExtension(const ActiveProfile &Base,
+                                    const ActiveProfile &Opt,
+                                    double SleepMilliWatts,
+                                    double PeriodSeconds) {
+  double Ratio = energyRatio(Base, Opt, SleepMilliWatts, PeriodSeconds);
+  assert(Ratio > 0 && "optimized energy must be positive");
+  return 1.0 / Ratio - 1.0;
+}
+
+double Figure8Illustration::unoptimizedMicroJoules() const {
+  return UnoptActiveMw * UnoptActiveMs +
+         SleepMw * (PeriodMs - UnoptActiveMs);
+}
+
+double Figure8Illustration::optimizedMicroJoules() const {
+  return OptActiveMw * OptActiveMs + SleepMw * (PeriodMs - OptActiveMs);
+}

@@ -1,0 +1,83 @@
+//===- casestudy/PeriodicApp.h - Section 7 sleep model ----------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The periodic-sensing application model of Section 7: a device wakes
+/// every T seconds, runs the active region, then sleeps at quiescent
+/// power PS. Equations 10-12:
+///
+///   E   = E0 + PS * (T - TA)                                   (Eq. 10)
+///   E'  = ke*E0 + PS * (T - kt*TA)                              (Eq. 11)
+///   Es  = E - E' = E0*(1 - ke) + PS*TA*(kt - 1)                 (Eq. 12)
+///
+/// The counter-intuitive headline: Es > 0 even when ke == 1, because a
+/// slower active region spends less time in the (more expensive than
+/// sleep) active state. Units: mJ, mW, seconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_CASESTUDY_PERIODICAPP_H
+#define RAMLOC_CASESTUDY_PERIODICAPP_H
+
+namespace ramloc {
+
+/// Active-region profile: energy and duration of one activation.
+struct ActiveProfile {
+  double EnergyMilliJoules = 0.0; ///< E0 (or ke*E0 when optimized)
+  double Seconds = 0.0;           ///< TA (or kt*TA)
+};
+
+/// The optimization's effect expressed as the paper's ke/kt factors.
+struct OptimizationFactors {
+  double Ke = 1.0; ///< energy ratio: E0'/E0 (expected <= 1)
+  double Kt = 1.0; ///< time ratio: TA'/TA (expected >= 1)
+};
+
+/// ke/kt from measured base and optimized profiles.
+OptimizationFactors factorsFrom(const ActiveProfile &Base,
+                                const ActiveProfile &Opt);
+
+/// Eq. 10/11: energy of one period of length \p PeriodSeconds.
+/// \p PeriodSeconds must be >= Active.Seconds.
+double periodEnergy(const ActiveProfile &Active, double SleepMilliWatts,
+                    double PeriodSeconds);
+
+/// Eq. 12: energy saved per period by applying the optimization.
+double energySaved(const ActiveProfile &Base, const OptimizationFactors &K,
+                   double SleepMilliWatts);
+
+/// Optimized-over-base energy ratio for one period (Figure 9's y-axis,
+/// as a fraction; multiply by 100 for percent).
+double energyRatio(const ActiveProfile &Base, const ActiveProfile &Opt,
+                   double SleepMilliWatts, double PeriodSeconds);
+
+/// Battery-life extension as a fraction (0.32 == 32% longer): a battery
+/// of fixed capacity powers E-per-period loads for time proportional to
+/// 1/E.
+double batteryLifeExtension(const ActiveProfile &Base,
+                            const ActiveProfile &Opt,
+                            double SleepMilliWatts, double PeriodSeconds);
+
+/// Figure 8's illustration: same active energy, longer active time,
+/// lower total. All values from the paper's diagram.
+struct Figure8Illustration {
+  double UnoptActiveMw = 10.0;
+  double UnoptActiveMs = 5.0;
+  double OptActiveMw = 5.0;
+  double OptActiveMs = 10.0;
+  double SleepMw = 1.0;
+  double PeriodMs = 15.0;
+
+  /// 10mW*5ms + 1mW*10ms = 60 uJ.
+  double unoptimizedMicroJoules() const;
+  /// 5mW*10ms + 1mW*5ms = 55 uJ.
+  double optimizedMicroJoules() const;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_CASESTUDY_PERIODICAPP_H

@@ -1,0 +1,65 @@
+//===- core/Enumerator.cpp - exhaustive solution space -------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ramloc;
+
+std::vector<unsigned> ramloc::selectHotBlocks(const ModelParams &MP,
+                                              unsigned K) {
+  std::vector<unsigned> Blocks;
+  for (unsigned B = 0, E = MP.numBlocks(); B != E; ++B)
+    if (MP.Blocks[B].Movable && MP.Blocks[B].Sb > 0)
+      Blocks.push_back(B);
+  std::sort(Blocks.begin(), Blocks.end(), [&MP](unsigned A, unsigned B) {
+    double WA = MP.Blocks[A].Fb * MP.Blocks[A].Cb;
+    double WB = MP.Blocks[B].Fb * MP.Blocks[B].Cb;
+    if (WA != WB)
+      return WA > WB;
+    return A < B; // deterministic tie-break
+  });
+  if (Blocks.size() > K)
+    Blocks.resize(K);
+  std::sort(Blocks.begin(), Blocks.end());
+  return Blocks;
+}
+
+std::vector<EnumPoint> ramloc::enumerateSolutions(
+    const ModelParams &MP, const std::vector<unsigned> &Candidates) {
+  assert(Candidates.size() <= 24 && "2^k space too large to enumerate");
+  std::vector<EnumPoint> Points;
+  uint64_t Count = 1ULL << Candidates.size();
+  Points.reserve(Count);
+
+  Assignment InRam(MP.numBlocks(), false);
+  for (uint64_t Mask = 0; Mask != Count; ++Mask) {
+    for (unsigned I = 0, E = Candidates.size(); I != E; ++I)
+      InRam[Candidates[I]] = (Mask >> I) & 1;
+    Points.push_back({Mask, evaluateAssignment(MP, InRam)});
+  }
+  return Points;
+}
+
+int ramloc::bestFeasiblePoint(const std::vector<EnumPoint> &Points,
+                              double BaseCycles, const ModelKnobs &Knobs) {
+  int Best = -1;
+  for (unsigned I = 0, E = Points.size(); I != E; ++I) {
+    const EnumPoint &P = Points[I];
+    if (P.Estimate.RamBytes > Knobs.RspareBytes)
+      continue;
+    if (P.Estimate.Cycles > Knobs.Xlimit * BaseCycles + 1e-6)
+      continue;
+    if (Best < 0 || P.Estimate.EnergyMilliJoules <
+                        Points[static_cast<unsigned>(Best)]
+                            .Estimate.EnergyMilliJoules)
+      Best = static_cast<int>(I);
+  }
+  return Best;
+}

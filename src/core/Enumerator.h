@@ -1,0 +1,49 @@
+//===- core/Enumerator.h - exhaustive solution space ------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive enumeration of the 2^k placement space over a candidate
+/// block subset (Figure 6: "the space of possible solutions"), and the
+/// candidate-selection helper that keeps k tractable. Also the ground
+/// truth the test suite checks the ILP solver against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_CORE_ENUMERATOR_H
+#define RAMLOC_CORE_ENUMERATOR_H
+
+#include "core/IlpModel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ramloc {
+
+/// One enumerated placement.
+struct EnumPoint {
+  /// Bit i set => Candidates[i] placed in RAM.
+  uint64_t Mask = 0;
+  ModelEstimate Estimate;
+};
+
+/// Picks up to \p K movable blocks with the largest Fb*Cb products (the
+/// blocks that matter for the trade-off space). Returns global indices.
+std::vector<unsigned> selectHotBlocks(const ModelParams &MP, unsigned K);
+
+/// Evaluates every subset of \p Candidates (all other blocks in flash).
+/// \p Candidates.size() must be <= 24.
+std::vector<EnumPoint> enumerateSolutions(
+    const ModelParams &MP, const std::vector<unsigned> &Candidates);
+
+/// The best enumerated point subject to the Eq. 7 / Eq. 9 budgets; returns
+/// the index into \p Points, or -1 if none is feasible.
+int bestFeasiblePoint(const std::vector<EnumPoint> &Points,
+                      double BaseCycles, const ModelKnobs &Knobs);
+
+} // namespace ramloc
+
+#endif // RAMLOC_CORE_ENUMERATOR_H

@@ -1,0 +1,54 @@
+//===- core/Greedy.cpp - greedy placement baseline -----------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Greedy.h"
+
+using namespace ramloc;
+
+Assignment ramloc::greedyPlacement(const ModelParams &MP,
+                                   const ModelKnobs &Knobs) {
+  unsigned N = MP.numBlocks();
+  Assignment InRam(N, false);
+  ModelEstimate Current = evaluateAssignment(MP, InRam);
+  const double BaseCycles = Current.Cycles;
+
+  while (true) {
+    int BestBlock = -1;
+    double BestRatio = 0.0;
+    ModelEstimate BestEstimate;
+
+    for (unsigned B = 0; B != N; ++B) {
+      if (InRam[B] || !MP.Blocks[B].Movable || MP.Blocks[B].Sb == 0)
+        continue;
+      InRam[B] = true;
+      ModelEstimate Next = evaluateAssignment(MP, InRam);
+      InRam[B] = false;
+
+      if (Next.RamBytes > Knobs.RspareBytes)
+        continue;
+      if (Next.Cycles > Knobs.Xlimit * BaseCycles)
+        continue;
+      double Saved = Current.EnergyMilliJoules - Next.EnergyMilliJoules;
+      if (Saved <= 0.0)
+        continue;
+      unsigned Bytes = Next.RamBytes > Current.RamBytes
+                           ? Next.RamBytes - Current.RamBytes
+                           : 1;
+      double Ratio = Saved / static_cast<double>(Bytes);
+      if (BestBlock < 0 || Ratio > BestRatio) {
+        BestBlock = static_cast<int>(B);
+        BestRatio = Ratio;
+        BestEstimate = Next;
+      }
+    }
+
+    if (BestBlock < 0)
+      return InRam;
+    InRam[static_cast<unsigned>(BestBlock)] = true;
+    Current = BestEstimate;
+  }
+}

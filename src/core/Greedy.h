@@ -1,0 +1,30 @@
+//===- core/Greedy.h - greedy placement baseline ----------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A knapsack-style greedy baseline: repeatedly move the block with the
+/// best energy-saved-per-RAM-byte ratio while the budgets hold. The
+/// ablation bench compares it against the ILP to show what the paper's
+/// exact formulation buys (greedy cannot reason about the clustering
+/// effect of Kb/Tb ahead of time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_CORE_GREEDY_H
+#define RAMLOC_CORE_GREEDY_H
+
+#include "core/IlpModel.h"
+
+namespace ramloc {
+
+/// Greedy placement under the same knobs as the ILP.
+Assignment greedyPlacement(const ModelParams &MP,
+                           const ModelKnobs &Knobs = {});
+
+} // namespace ramloc
+
+#endif // RAMLOC_CORE_GREEDY_H

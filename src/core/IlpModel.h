@@ -1,0 +1,106 @@
+//===- core/IlpModel.h - the Section 4 ILP model ----------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's energy-minimisation ILP (Eqs. 1-9), linearised:
+///
+///   minimise  sum_b Fb * (Cb + Tb*y_b + Lb*x_b) * M(x_b)
+///   s.t.      sum_b x_b*(Sb + Kb*y_b)  <=  Rspare          (Eq. 7)
+///             modelled time / base time <=  Xlimit          (Eq. 9)
+///
+/// with binaries x_b ("b in RAM") and continuous indicator y_b >= |x_b -
+/// x_s| for every successor s (Eq. 5); the bilinear x*y and M(x)*(...)
+/// products are linearised through z_b = x_b * y_b with the standard
+/// McCormick rows. Cross-memory calls get the same treatment through
+/// per-call-site indicator variables (an extension the paper leaves to
+/// future work but which our linker enforces).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_CORE_ILPMODEL_H
+#define RAMLOC_CORE_ILPMODEL_H
+
+#include "core/BlockParams.h"
+#include "lp/BranchBound.h"
+#include "lp/Problem.h"
+
+#include <vector>
+
+namespace ramloc {
+
+/// The set R: InRam[global block index].
+using Assignment = std::vector<bool>;
+
+/// Developer knobs (Section 4.1: Xlimit, Rspare) plus ablation switches.
+struct ModelKnobs {
+  /// Maximum allowed execution-time ratio (Eq. 9). 1.5 allows 50%.
+  double Xlimit = 1.5;
+  /// RAM bytes available for code (Eq. 7).
+  unsigned RspareBytes = 2048;
+  /// Model the instrumentation costs Kb/Tb (the paper's "clustering"
+  /// improvement over Steinke et al.). Disable to get the naive model for
+  /// the ablation bench.
+  bool ClusteringAware = true;
+  /// Use cycle counts (the paper) instead of instruction counts
+  /// (Steinke-style) as the cost metric. Ablation switch.
+  bool UseCycleCost = true;
+  /// Model cross-memory call rewriting (ldr+blx).
+  bool ModelCallEdges = true;
+};
+
+/// Closed-form model evaluation of one assignment (used for Figure 6's
+/// 2^k solution space and for solver-vs-enumeration checks). Always uses
+/// the full-cost model regardless of ablation knobs.
+struct ModelEstimate {
+  double EnergyMilliJoules = 0.0;
+  double Cycles = 0.0;
+  double Seconds = 0.0;
+  double AvgMilliWatts = 0.0;
+  /// RAM bytes consumed by relocated code incl. instrumentation.
+  unsigned RamBytes = 0;
+};
+
+/// The blocks needing instrumentation under \p InRam (Eq. 5): any block
+/// with a successor in the other memory.
+std::vector<bool> computeInstrumented(const ModelParams &MP,
+                                      const Assignment &InRam);
+
+/// Evaluates \p InRam under the full model.
+ModelEstimate evaluateAssignment(const ModelParams &MP,
+                                 const Assignment &InRam);
+
+/// The built ILP plus decode tables.
+struct PlacementModel {
+  LpProblem P;
+  /// Per global block: variable indices, -1 when absent (fixed to flash /
+  /// never instrumented).
+  std::vector<int> XVar;
+  std::vector<int> YVar;
+  std::vector<int> ZVar;
+  /// Objective constant: energy of the all-flash baseline (mW*cycles).
+  double BaseEnergyTerm = 0.0;
+  /// Base cycles (denominator of Eq. 9).
+  double BaseCycles = 0.0;
+
+  /// Decodes a MIP solution into the assignment R.
+  Assignment decode(const MipSolution &Sol) const;
+};
+
+/// Builds the ILP for \p MP under \p Knobs.
+PlacementModel buildPlacementModel(const ModelParams &MP,
+                                   const ModelKnobs &Knobs = {});
+
+/// Convenience: build + solve + decode. Returns the all-flash assignment
+/// if the solver fails (it cannot: all-flash is always feasible).
+Assignment solvePlacement(const ModelParams &MP,
+                          const ModelKnobs &Knobs = {},
+                          const MipOptions &Mip = {},
+                          MipSolution *SolverStats = nullptr);
+
+} // namespace ramloc
+
+#endif // RAMLOC_CORE_ILPMODEL_H

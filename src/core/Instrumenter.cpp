@@ -1,0 +1,168 @@
+//===- core/Instrumenter.cpp - Figure 4 code transformation --------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Instrumenter.h"
+
+#include "mir/CFG.h"
+
+#include <cassert>
+
+using namespace ramloc;
+using namespace ramloc::build;
+
+namespace {
+
+/// Emits the Figure 4 conditional sequence: ite CC; ldrCC r7, =Taken;
+/// ldr!CC r7, =Fall; bx r7.
+void emitCondSequence(std::vector<Instr> &Out, Cond CC,
+                      const std::string &Taken, const std::string &Fall) {
+  Out.push_back(ite(CC));
+  Out.push_back(withCond(ldrLitSym(ScratchReg, Taken), CC));
+  Out.push_back(withCond(ldrLitSym(ScratchReg, Fall), invertCond(CC)));
+  Out.push_back(bx(ScratchReg));
+}
+
+class Rewriter {
+public:
+  Rewriter(const Module &M, const ModelParams &MP, const Assignment &InRam,
+           InstrumenterStats &Stats)
+      : M(M), MP(MP), InRam(InRam), Stats(Stats) {}
+
+  Module run() {
+    Module Out = M;
+    for (unsigned F = 0, NF = Out.Functions.size(); F != NF; ++F)
+      rewriteFunction(Out, F);
+    return Out;
+  }
+
+private:
+  bool blockInRam(unsigned F, unsigned B) const {
+    return InRam[MP.globalIndex(F, B)];
+  }
+
+  bool calleeInRam(const std::string &Callee) const {
+    int FIdx = M.functionIndex(Callee);
+    assert(FIdx >= 0 && "call to unknown function");
+    return blockInRam(static_cast<unsigned>(FIdx), 0);
+  }
+
+  void rewriteFunction(Module &Out, unsigned F) {
+    Function &Fn = Out.Functions[F];
+    CFG G = CFG::build(M.Functions[F]);
+
+    for (unsigned B = 0, NB = Fn.Blocks.size(); B != NB; ++B) {
+      BasicBlock &BB = Fn.Blocks[B];
+      bool Home = blockInRam(F, B);
+      if (Home) {
+        BB.Home = MemKind::Ram;
+        ++Stats.BlocksMoved;
+      }
+
+      rewriteCalls(BB, Home);
+      rewriteTerminator(Fn, F, G, B, Home);
+    }
+  }
+
+  /// Replaces cross-memory `bl f` with `ldr r7, =f; blx r7`.
+  void rewriteCalls(BasicBlock &BB, bool Home) {
+    std::vector<Instr> Out;
+    Out.reserve(BB.Instrs.size());
+    for (Instr &I : BB.Instrs) {
+      if (I.Kind == OpKind::Bl && calleeInRam(I.Sym) != Home) {
+        Out.push_back(ldrLitSym(ScratchReg, I.Sym));
+        Out.push_back(blx(ScratchReg));
+        ++Stats.CallsRewritten;
+        continue;
+      }
+      Out.push_back(std::move(I));
+    }
+    BB.Instrs = std::move(Out);
+  }
+
+  void rewriteTerminator(Function &Fn, unsigned F, const CFG &G,
+                         unsigned B, bool Home) {
+    BasicBlock &BB = Fn.Blocks[B];
+    const BlockEdges &E = G.edges(B);
+
+    auto succInRam = [&](int Succ) {
+      assert(Succ >= 0 && "successor expected");
+      return blockInRam(F, static_cast<unsigned>(Succ));
+    };
+
+    switch (E.Term) {
+    case TermKind::Uncond: {
+      if (succInRam(E.TakenSucc) == Home)
+        return;
+      // b label -> ldr pc, =label.
+      Instr &Term = BB.Instrs.back();
+      std::string Target = Term.Sym;
+      BB.Instrs.pop_back();
+      BB.Instrs.push_back(ldrLitSym(PC, Target));
+      ++Stats.BranchesRewritten;
+      return;
+    }
+    case TermKind::Cond: {
+      bool TakenCrosses = succInRam(E.TakenSucc) != Home;
+      bool FallCrosses = succInRam(E.FallSucc) != Home;
+      if (!TakenCrosses && !FallCrosses)
+        return;
+      Instr Term = BB.Instrs.back();
+      BB.Instrs.pop_back();
+      std::string Taken = Term.Sym;
+      std::string Fall = Fn.Blocks[static_cast<unsigned>(E.FallSucc)].Label;
+      emitCondSequence(BB.Instrs, Term.CondCode, Taken, Fall);
+      ++Stats.BranchesRewritten;
+      return;
+    }
+    case TermKind::CmpBranch: {
+      bool TakenCrosses = succInRam(E.TakenSucc) != Home;
+      bool FallCrosses = succInRam(E.FallSucc) != Home;
+      if (!TakenCrosses && !FallCrosses)
+        return;
+      Instr Term = BB.Instrs.back();
+      BB.Instrs.pop_back();
+      std::string Taken = Term.Sym;
+      std::string Fall = Fn.Blocks[static_cast<unsigned>(E.FallSucc)].Label;
+      // cbz -> taken when zero (eq); cbnz -> taken when non-zero (ne).
+      Cond CC = Term.Kind == OpKind::Cbz ? Cond::EQ : Cond::NE;
+      BB.Instrs.push_back(cmpImm(Term.Regs[0], 0));
+      emitCondSequence(BB.Instrs, CC, Taken, Fall);
+      ++Stats.BranchesRewritten;
+      return;
+    }
+    case TermKind::Fallthrough: {
+      if (succInRam(E.FallSucc) == Home)
+        return;
+      const std::string &Target =
+          Fn.Blocks[static_cast<unsigned>(E.FallSucc)].Label;
+      BB.Instrs.push_back(ldrLitSym(PC, Target));
+      ++Stats.FallthroughsRewritten;
+      return;
+    }
+    case TermKind::Return:
+    case TermKind::Halt:
+    case TermKind::IndirectJump:
+      return; // already long-range or no successors
+    }
+  }
+
+  const Module &M;
+  const ModelParams &MP;
+  const Assignment &InRam;
+  InstrumenterStats &Stats;
+};
+
+} // namespace
+
+Module ramloc::applyPlacement(const Module &M, const ModelParams &MP,
+                              const Assignment &InRam,
+                              InstrumenterStats *Stats) {
+  assert(InRam.size() == MP.numBlocks() && "assignment size mismatch");
+  InstrumenterStats Local;
+  Rewriter RW(M, MP, InRam, Stats ? *Stats : Local);
+  return RW.run();
+}

@@ -1,0 +1,53 @@
+//===- core/Instrumenter.h - Figure 4 code transformation -------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Applies a placement to a module: sets each selected block's home to
+/// RAM and rewrites every control transfer that crosses the flash/RAM
+/// boundary with the Figure 4 sequences:
+///
+///   unconditional:  b label            ->  ldr pc, =label
+///   conditional:    bcc label          ->  ite cc
+///                                          ldrcc  r7, =label
+///                                          ldr!cc r7, =fallthrough
+///                                          bx r7
+///   short cond.:    cbz rn, label      ->  cmp rn, #0 ; (as conditional)
+///   fall-through:   (nothing)          ->  ldr pc, =next
+///   call:           bl f               ->  ldr r7, =f ; blx r7
+///
+/// r7 is the reserved scratch register (see isa/Register.h). The rewritten
+/// module still passes the verifier and, by construction, the linker's
+/// cross-memory range checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_CORE_INSTRUMENTER_H
+#define RAMLOC_CORE_INSTRUMENTER_H
+
+#include "core/BlockParams.h"
+#include "core/IlpModel.h"
+#include "mir/Module.h"
+
+namespace ramloc {
+
+/// Statistics of one transformation run.
+struct InstrumenterStats {
+  unsigned BlocksMoved = 0;
+  unsigned BranchesRewritten = 0;
+  unsigned FallthroughsRewritten = 0;
+  unsigned CallsRewritten = 0;
+};
+
+/// Returns a copy of \p M with \p InRam applied (global block numbering
+/// per \p MP, which must have been extracted from \p M).
+Module applyPlacement(const Module &M, const ModelParams &MP,
+                      const Assignment &InRam,
+                      InstrumenterStats *Stats = nullptr);
+
+} // namespace ramloc
+
+#endif // RAMLOC_CORE_INSTRUMENTER_H

@@ -1,0 +1,84 @@
+//===- core/Pipeline.cpp - end-to-end optimization -----------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "mir/Verifier.h"
+#include "support/Format.h"
+
+using namespace ramloc;
+
+Measurement ramloc::measureModule(const Module &M, const PowerModel &Power,
+                                  const LinkOptions &Link,
+                                  const SimOptions &Sim) {
+  Measurement Out;
+  LinkResult LR = linkModule(M, Link);
+  if (!LR.ok()) {
+    Out.Stats.Error = "link failed: " + LR.Errors.front();
+    return Out;
+  }
+  Out.Stats = runImage(LR.Img, Sim);
+  Out.Energy = Power.integrate(Out.Stats);
+  return Out;
+}
+
+PipelineResult ramloc::optimizeModule(const Module &M,
+                                      const PipelineOptions &Opts) {
+  PipelineResult R;
+
+  std::vector<std::string> Diags = verifyModule(M);
+  if (!Diags.empty()) {
+    R.Error = "verifier: " + Diags.front();
+    return R;
+  }
+
+  // Measure the baseline first; it also provides the profile when
+  // requested.
+  R.MeasuredBase = measureModule(M, Opts.Power, Opts.Link, Opts.Sim);
+  if (!R.MeasuredBase.ok()) {
+    R.Error = "baseline run failed: " + R.MeasuredBase.Stats.Error;
+    return R;
+  }
+
+  ModuleFrequency Freq =
+      Opts.UseProfiledFrequencies
+          ? moduleFrequencyFromProfile(
+                M, R.MeasuredBase.Stats.profileMap(M), Opts.Freq)
+          : estimateModuleFrequency(M, Opts.Freq);
+
+  ModelParams MP = extractParams(M, Freq, Opts.Power, Opts.Extract);
+  R.PredictedBase =
+      evaluateAssignment(MP, Assignment(MP.numBlocks(), false));
+
+  R.InRam = solvePlacement(MP, Opts.Knobs, Opts.Mip, &R.Solver);
+  R.PredictedOpt = evaluateAssignment(MP, R.InRam);
+
+  for (unsigned B = 0, E = MP.numBlocks(); B != E; ++B)
+    if (R.InRam[B])
+      R.MovedBlocks.push_back(MP.Blocks[B].Name);
+
+  R.Optimized = applyPlacement(M, MP, R.InRam, &R.Rewrites);
+
+  Diags = verifyModule(R.Optimized);
+  if (!Diags.empty()) {
+    R.Error = "post-transform verifier: " + Diags.front();
+    return R;
+  }
+
+  R.MeasuredOpt =
+      measureModule(R.Optimized, Opts.Power, Opts.Link, Opts.Sim);
+  if (!R.MeasuredOpt.ok()) {
+    R.Error = "optimized run failed: " + R.MeasuredOpt.Stats.Error;
+    return R;
+  }
+
+  if (R.MeasuredOpt.Stats.ExitCode != R.MeasuredBase.Stats.ExitCode)
+    R.Error = formatString(
+        "transformation changed the program result: 0x%08x vs 0x%08x",
+        R.MeasuredBase.Stats.ExitCode, R.MeasuredOpt.Stats.ExitCode);
+  return R;
+}

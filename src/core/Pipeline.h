@@ -1,0 +1,85 @@
+//===- core/Pipeline.h - end-to-end optimization ----------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full Section 3 methodology as one call: extract parameters
+/// (statically estimated or profiled Fb), build and solve the ILP, apply
+/// the Figure 4 transformation, and measure both versions on the
+/// simulated SoC. This is the main public entry point of the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_CORE_PIPELINE_H
+#define RAMLOC_CORE_PIPELINE_H
+
+#include "core/BlockParams.h"
+#include "core/IlpModel.h"
+#include "core/Instrumenter.h"
+#include "layout/Linker.h"
+#include "power/PowerModel.h"
+#include "sim/Simulator.h"
+
+#include <string>
+#include <vector>
+
+namespace ramloc {
+
+/// One measured execution: hardware-style numbers from the simulator.
+struct Measurement {
+  RunStats Stats;
+  EnergyReport Energy;
+
+  bool ok() const { return Stats.ok(); }
+};
+
+/// Links and runs \p M, integrating energy with \p Power. Link or run
+/// failures are reported through Measurement::Stats.Error.
+Measurement measureModule(const Module &M, const PowerModel &Power,
+                          const LinkOptions &Link = {},
+                          const SimOptions &Sim = {});
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  ModelKnobs Knobs;
+  FrequencyOptions Freq;
+  ExtractOptions Extract;
+  PowerModel Power = PowerModel::stm32f100();
+  LinkOptions Link;
+  SimOptions Sim;
+  MipOptions Mip;
+  /// Profile the unoptimized binary first and use measured block
+  /// frequencies (the Figure 5 "w/Frequency" variant) instead of the
+  /// static loop-depth estimate.
+  bool UseProfiledFrequencies = false;
+};
+
+/// Everything the optimization produced.
+struct PipelineResult {
+  Module Optimized;
+  Assignment InRam;
+  /// Names ("func:label") of the blocks placed in RAM.
+  std::vector<std::string> MovedBlocks;
+  InstrumenterStats Rewrites;
+  /// Model-side estimates for base and optimized placements.
+  ModelEstimate PredictedBase;
+  ModelEstimate PredictedOpt;
+  MipSolution Solver;
+  /// Measurements on the simulated SoC.
+  Measurement MeasuredBase;
+  Measurement MeasuredOpt;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Runs the whole flow on \p M.
+PipelineResult optimizeModule(const Module &M,
+                              const PipelineOptions &Opts = {});
+
+} // namespace ramloc
+
+#endif // RAMLOC_CORE_PIPELINE_H

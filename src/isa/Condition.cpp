@@ -1,0 +1,148 @@
+//===- isa/Condition.cpp - condition codes ---------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Condition.h"
+
+#include <cassert>
+
+using namespace ramloc;
+
+Cond ramloc::invertCond(Cond C) {
+  switch (C) {
+  case Cond::EQ:
+    return Cond::NE;
+  case Cond::NE:
+    return Cond::EQ;
+  case Cond::CS:
+    return Cond::CC;
+  case Cond::CC:
+    return Cond::CS;
+  case Cond::MI:
+    return Cond::PL;
+  case Cond::PL:
+    return Cond::MI;
+  case Cond::VS:
+    return Cond::VC;
+  case Cond::VC:
+    return Cond::VS;
+  case Cond::HI:
+    return Cond::LS;
+  case Cond::LS:
+    return Cond::HI;
+  case Cond::GE:
+    return Cond::LT;
+  case Cond::LT:
+    return Cond::GE;
+  case Cond::GT:
+    return Cond::LE;
+  case Cond::LE:
+    return Cond::GT;
+  case Cond::AL:
+    break;
+  }
+  assert(false && "AL has no inverse");
+  return Cond::AL;
+}
+
+bool ramloc::condPasses(Cond C, const Flags &F) {
+  switch (C) {
+  case Cond::EQ:
+    return F.Z;
+  case Cond::NE:
+    return !F.Z;
+  case Cond::CS:
+    return F.C;
+  case Cond::CC:
+    return !F.C;
+  case Cond::MI:
+    return F.N;
+  case Cond::PL:
+    return !F.N;
+  case Cond::VS:
+    return F.V;
+  case Cond::VC:
+    return !F.V;
+  case Cond::HI:
+    return F.C && !F.Z;
+  case Cond::LS:
+    return !F.C || F.Z;
+  case Cond::GE:
+    return F.N == F.V;
+  case Cond::LT:
+    return F.N != F.V;
+  case Cond::GT:
+    return !F.Z && F.N == F.V;
+  case Cond::LE:
+    return F.Z || F.N != F.V;
+  case Cond::AL:
+    return true;
+  }
+  assert(false && "invalid condition");
+  return false;
+}
+
+std::string ramloc::condName(Cond C) {
+  switch (C) {
+  case Cond::EQ:
+    return "eq";
+  case Cond::NE:
+    return "ne";
+  case Cond::CS:
+    return "cs";
+  case Cond::CC:
+    return "cc";
+  case Cond::MI:
+    return "mi";
+  case Cond::PL:
+    return "pl";
+  case Cond::VS:
+    return "vs";
+  case Cond::VC:
+    return "vc";
+  case Cond::HI:
+    return "hi";
+  case Cond::LS:
+    return "ls";
+  case Cond::GE:
+    return "ge";
+  case Cond::LT:
+    return "lt";
+  case Cond::GT:
+    return "gt";
+  case Cond::LE:
+    return "le";
+  case Cond::AL:
+    return "";
+  }
+  assert(false && "invalid condition");
+  return "";
+}
+
+bool ramloc::parseCondName(const std::string &Name, Cond &Out) {
+  static const struct {
+    const char *Text;
+    Cond C;
+  } TableEntries[] = {
+      {"eq", Cond::EQ}, {"ne", Cond::NE}, {"cs", Cond::CS},
+      {"cc", Cond::CC}, {"mi", Cond::MI}, {"pl", Cond::PL},
+      {"vs", Cond::VS}, {"vc", Cond::VC}, {"hi", Cond::HI},
+      {"ls", Cond::LS}, {"ge", Cond::GE}, {"lt", Cond::LT},
+      {"gt", Cond::GT}, {"le", Cond::LE}, {"hs", Cond::CS},
+      {"lo", Cond::CC},
+  };
+  if (Name.empty()) {
+    Out = Cond::AL;
+    return true;
+  }
+  for (const auto &Entry : TableEntries) {
+    if (Name == Entry.Text) {
+      Out = Entry.C;
+      return true;
+    }
+  }
+  return false;
+}

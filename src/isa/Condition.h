@@ -1,0 +1,68 @@
+//===- isa/Condition.h - condition codes ------------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ARM condition codes, NZCV flag evaluation, and condition inversion (used
+/// by the instrumenter when it rewrites conditional branches into
+/// it/ldr/ldr/bx sequences).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_ISA_CONDITION_H
+#define RAMLOC_ISA_CONDITION_H
+
+#include <cstdint>
+#include <string>
+
+namespace ramloc {
+
+/// ARM condition codes. AL means unconditional.
+enum class Cond : uint8_t {
+  EQ,
+  NE,
+  CS,
+  CC,
+  MI,
+  PL,
+  VS,
+  VC,
+  HI,
+  LS,
+  GE,
+  LT,
+  GT,
+  LE,
+  AL,
+};
+
+/// Processor condition flags.
+struct Flags {
+  bool N = false;
+  bool Z = false;
+  bool C = false;
+  bool V = false;
+
+  bool operator==(const Flags &O) const = default;
+};
+
+/// Returns the logical inverse, e.g. EQ -> NE, GT -> LE. AL has no inverse
+/// and asserts.
+Cond invertCond(Cond C);
+
+/// Evaluates \p C against \p F per the ARM ARM condition table.
+bool condPasses(Cond C, const Flags &F);
+
+/// Returns the lower-case suffix, e.g. "eq"; empty string for AL.
+std::string condName(Cond C);
+
+/// Parses a condition suffix; returns AL for the empty string and
+/// Cond::AL + false via the bool for unknown text.
+bool parseCondName(const std::string &Name, Cond &Out);
+
+} // namespace ramloc
+
+#endif // RAMLOC_ISA_CONDITION_H

@@ -1,0 +1,127 @@
+//===- isa/Encoding.cpp - instruction encoding sizes ------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Encoding.h"
+
+#include <cassert>
+
+using namespace ramloc;
+
+static bool allLow(Reg A, Reg B) { return isLowReg(A) && isLowReg(B); }
+static bool allLow(Reg A, Reg B, Reg C) {
+  return isLowReg(A) && isLowReg(B) && isLowReg(C);
+}
+
+unsigned ramloc::encodingSizeBytes(const Instr &I) {
+  const Reg Rd = I.Regs[0], Rn = I.Regs[1], Rm = I.Regs[2];
+  switch (I.Kind) {
+  case OpKind::MovImm:
+    // mov rd, #imm8 (T1) vs movw (T3).
+    return (isLowReg(Rd) && I.Imm >= 0 && I.Imm <= 255) ? 2 : 4;
+  case OpKind::MovReg:
+    return 2; // T1 mov works with high registers.
+  case OpKind::Mvn:
+  case OpKind::Uxtb:
+  case OpKind::Uxth:
+  case OpKind::Sxtb:
+  case OpKind::Sxth:
+    return allLow(Rd, Rn) ? 2 : 4;
+  case OpKind::AddImm:
+  case OpKind::SubImm:
+    // add/sub rd, rn, #imm3 or rd, #imm8 (rd == rn); sp-relative T2.
+    if (Rd == SP && Rn == SP && I.Imm % 4 == 0 && I.Imm <= 508)
+      return 2;
+    if (allLow(Rd, Rn) && (I.Imm <= 7 || (Rd == Rn && I.Imm <= 255)))
+      return 2;
+    return 4;
+  case OpKind::AddReg:
+    return 2; // T2 add rd, rm handles high registers.
+  case OpKind::SubReg:
+    return allLow(Rd, Rn, Rm) ? 2 : 4;
+  case OpKind::Rsb:
+    return (allLow(Rd, Rn) && I.Imm == 0) ? 2 : 4;
+  case OpKind::Adc:
+  case OpKind::Sbc:
+  case OpKind::AndReg:
+  case OpKind::OrrReg:
+  case OpKind::EorReg:
+  case OpKind::BicReg:
+  case OpKind::LslReg:
+  case OpKind::LsrReg:
+  case OpKind::AsrReg:
+  case OpKind::RorReg:
+    // Two-operand T1 forms require rd == rn and low registers.
+    return (Rd == Rn && allLow(Rd, Rm)) ? 2 : 4;
+  case OpKind::Mul:
+    return ((Rd == Rn || Rd == Rm) && allLow(Rd, Rn, Rm)) ? 2 : 4;
+  case OpKind::Mla:
+  case OpKind::Udiv:
+  case OpKind::Sdiv:
+  case OpKind::AndImm:
+  case OpKind::OrrImm:
+  case OpKind::EorImm:
+  case OpKind::BicImm:
+    return 4;
+  case OpKind::LslImm:
+  case OpKind::LsrImm:
+  case OpKind::AsrImm:
+    return allLow(Rd, Rn) ? 2 : 4;
+  case OpKind::CmpImm:
+    return (isLowReg(Rd) && I.Imm <= 255) ? 2 : 4;
+  case OpKind::CmpReg:
+    return 2; // T2 cmp handles high registers.
+  case OpKind::Tst:
+    return allLow(Rd, Rn) ? 2 : 4;
+  case OpKind::LdrImm:
+  case OpKind::StrImm:
+    if (Rn == SP && isLowReg(Rd) && I.Imm % 4 == 0 && I.Imm <= 1020)
+      return 2;
+    if (allLow(Rd, Rn) && I.Imm % 4 == 0 && I.Imm <= 124)
+      return 2;
+    return 4;
+  case OpKind::LdrbImm:
+  case OpKind::StrbImm:
+    return (allLow(Rd, Rn) && I.Imm <= 31) ? 2 : 4;
+  case OpKind::LdrhImm:
+  case OpKind::StrhImm:
+    return (allLow(Rd, Rn) && I.Imm <= 62) ? 2 : 4;
+  case OpKind::LdrReg:
+  case OpKind::StrReg:
+  case OpKind::LdrbReg:
+  case OpKind::StrbReg:
+    return allLow(Rd, Rn, Rm) ? 2 : 4;
+  case OpKind::LdrLit:
+    // ldr rt, [pc, #imm8] is 16-bit for low rt; `ldr pc, =x` and high
+    // registers need the 32-bit LDR.W encoding (Figure 4: 4 bytes).
+    return isLowReg(Rd) ? 2 : 4;
+  case OpKind::Push:
+  case OpKind::Pop: {
+    // T1 push/pop covers r0-r7 + lr/pc; anything else needs 32 bits.
+    uint32_t Mask = static_cast<uint32_t>(I.Imm);
+    uint32_t HighOnly = Mask & 0x1F00; // r8-r12
+    return HighOnly == 0 ? 2 : 4;
+  }
+  case OpKind::B:
+  case OpKind::BCond:
+    return 2; // Near branches; the instrumenter handles long ranges.
+  case OpKind::Cbz:
+  case OpKind::Cbnz:
+    return 2;
+  case OpKind::Bl:
+    return 4;
+  case OpKind::Blx:
+  case OpKind::Bx:
+    return 2;
+  case OpKind::It:
+  case OpKind::Nop:
+  case OpKind::Wfi:
+  case OpKind::Bkpt:
+    return 2;
+  }
+  assert(false && "invalid opcode");
+  return 4;
+}

@@ -1,0 +1,28 @@
+//===- isa/Encoding.h - instruction encoding sizes --------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 16-bit vs 32-bit encoding-size rules mirroring the Thumb-2 encodings the
+/// Cortex-M3 would pick. Sizes feed the model parameter Sb (block size in
+/// bytes) and the linker's address assignment, and make the Figure 4
+/// instrumentation byte counts exact (4/8/10 bytes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_ISA_ENCODING_H
+#define RAMLOC_ISA_ENCODING_H
+
+#include "isa/Instr.h"
+
+namespace ramloc {
+
+/// Returns the encoding size of \p I in bytes (2 or 4).
+unsigned encodingSizeBytes(const Instr &I);
+
+} // namespace ramloc
+
+#endif // RAMLOC_ISA_ENCODING_H

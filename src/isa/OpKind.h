@@ -1,0 +1,129 @@
+//===- isa/OpKind.h - opcode definitions ------------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The opcode set of the Thumb-2-like target: the subset of the Cortex-M3
+/// Thumb-2 instruction set the BEEBS-style workloads and the Figure 4
+/// instrumentation sequences need. Each opcode carries an InstrClass used
+/// by the power model (Figure 1 groups power by instruction type).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_ISA_OPKIND_H
+#define RAMLOC_ISA_OPKIND_H
+
+#include <cstdint>
+#include <string>
+
+namespace ramloc {
+
+// X-macro: RAMLOC_OPCODE(enumerator, mnemonic, instr-class)
+#define RAMLOC_OPCODES(X)                                                    \
+  /* --- data processing ------------------------------------------------ */ \
+  X(MovImm, "mov", Alu)                                                      \
+  X(MovReg, "mov", Alu)                                                      \
+  X(Mvn, "mvn", Alu)                                                         \
+  X(AddImm, "add", Alu)                                                      \
+  X(AddReg, "add", Alu)                                                      \
+  X(SubImm, "sub", Alu)                                                      \
+  X(SubReg, "sub", Alu)                                                      \
+  X(Rsb, "rsb", Alu)                                                         \
+  X(Adc, "adc", Alu)                                                         \
+  X(Sbc, "sbc", Alu)                                                         \
+  X(Mul, "mul", Mul)                                                         \
+  X(Mla, "mla", Mul)                                                         \
+  X(Udiv, "udiv", Div)                                                       \
+  X(Sdiv, "sdiv", Div)                                                       \
+  X(AndReg, "and", Alu)                                                      \
+  X(OrrReg, "orr", Alu)                                                      \
+  X(EorReg, "eor", Alu)                                                      \
+  X(BicReg, "bic", Alu)                                                      \
+  X(AndImm, "and", Alu)                                                      \
+  X(OrrImm, "orr", Alu)                                                      \
+  X(EorImm, "eor", Alu)                                                      \
+  X(BicImm, "bic", Alu)                                                      \
+  X(LslImm, "lsl", Alu)                                                      \
+  X(LsrImm, "lsr", Alu)                                                      \
+  X(AsrImm, "asr", Alu)                                                      \
+  X(LslReg, "lsl", Alu)                                                      \
+  X(LsrReg, "lsr", Alu)                                                      \
+  X(AsrReg, "asr", Alu)                                                      \
+  X(RorReg, "ror", Alu)                                                      \
+  X(CmpImm, "cmp", Alu)                                                      \
+  X(CmpReg, "cmp", Alu)                                                      \
+  X(Tst, "tst", Alu)                                                         \
+  X(Uxtb, "uxtb", Alu)                                                       \
+  X(Uxth, "uxth", Alu)                                                       \
+  X(Sxtb, "sxtb", Alu)                                                       \
+  X(Sxth, "sxth", Alu)                                                       \
+  /* --- memory ---------------------------------------------------------- */ \
+  X(LdrImm, "ldr", Load)                                                     \
+  X(LdrReg, "ldr", Load)                                                     \
+  X(StrImm, "str", Store)                                                    \
+  X(StrReg, "str", Store)                                                    \
+  X(LdrbImm, "ldrb", Load)                                                   \
+  X(LdrbReg, "ldrb", Load)                                                   \
+  X(StrbImm, "strb", Store)                                                  \
+  X(StrbReg, "strb", Store)                                                  \
+  X(LdrhImm, "ldrh", Load)                                                   \
+  X(StrhImm, "strh", Store)                                                  \
+  X(LdrLit, "ldr", Load)                                                     \
+  X(Push, "push", Store)                                                     \
+  X(Pop, "pop", Load)                                                        \
+  /* --- control flow ---------------------------------------------------- */ \
+  X(B, "b", Branch)                                                          \
+  X(BCond, "b", Branch)                                                      \
+  X(Cbz, "cbz", Branch)                                                      \
+  X(Cbnz, "cbnz", Branch)                                                    \
+  X(Bl, "bl", Branch)                                                        \
+  X(Blx, "blx", Branch)                                                      \
+  X(Bx, "bx", Branch)                                                        \
+  X(It, "it", Nop)                                                           \
+  /* --- misc ------------------------------------------------------------ */ \
+  X(Nop, "nop", Nop)                                                         \
+  X(Wfi, "wfi", Nop)                                                         \
+  X(Bkpt, "bkpt", Nop)
+
+/// Opcode enumeration.
+enum class OpKind : uint8_t {
+#define X(Name, Mnemonic, Class) Name,
+  RAMLOC_OPCODES(X)
+#undef X
+};
+
+/// Instruction classes as used by the power model: Figure 1 of the paper
+/// measures distinct average power for stores, loads, ALU ops, nops and
+/// branches, out of both flash and RAM.
+enum class InstrClass : uint8_t {
+  Nop,
+  Alu,
+  Mul,
+  Div,
+  Load,
+  Store,
+  Branch,
+};
+
+/// Returns the assembly mnemonic (without condition or width suffixes).
+const char *opMnemonic(OpKind Kind);
+
+/// Returns the power-model class of the opcode.
+InstrClass opClass(OpKind Kind);
+
+/// Human-readable name for an instruction class.
+const char *instrClassName(InstrClass Class);
+
+/// The number of opcode enumerators (for table sizing).
+constexpr unsigned NumOpKinds = 0
+#define X(Name, Mnemonic, Class) +1
+    RAMLOC_OPCODES(X)
+#undef X
+    ;
+
+} // namespace ramloc
+
+#endif // RAMLOC_ISA_OPKIND_H

@@ -1,0 +1,50 @@
+//===- isa/Register.cpp - register file names ------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Register.h"
+
+#include "support/Format.h"
+
+using namespace ramloc;
+
+std::string ramloc::regName(Reg R) {
+  switch (R) {
+  case SP:
+    return "sp";
+  case LR:
+    return "lr";
+  case PC:
+    return "pc";
+  default:
+    assert(R < NumRegs && "invalid register");
+    return formatString("r%u", static_cast<unsigned>(R));
+  }
+}
+
+Reg ramloc::parseRegName(const std::string &Name) {
+  if (Name == "sp")
+    return SP;
+  if (Name == "lr")
+    return LR;
+  if (Name == "pc")
+    return PC;
+  if (Name == "ip")
+    return R12;
+  if (Name == "fp")
+    return R11;
+  if (Name.size() >= 2 && Name.size() <= 3 && Name[0] == 'r') {
+    unsigned N = 0;
+    for (unsigned I = 1, E = Name.size(); I != E; ++I) {
+      if (Name[I] < '0' || Name[I] > '9')
+        return NumRegs;
+      N = N * 10 + static_cast<unsigned>(Name[I] - '0');
+    }
+    if (N < 16)
+      return static_cast<Reg>(N);
+  }
+  return NumRegs;
+}

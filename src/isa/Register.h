@@ -1,0 +1,63 @@
+//===- isa/Register.h - register file names ---------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register numbering for the Thumb-2-like target. r0-r12 are general
+/// purpose, r13 = sp, r14 = lr, r15 = pc. By project convention r7 is
+/// reserved by the code generator as the instrumentation scratch register
+/// (the paper's Figure 4 uses r5 and is silent on liveness; reserving a low
+/// register keeps the rewritten sequences at the published 16-bit sizes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_ISA_REGISTER_H
+#define RAMLOC_ISA_REGISTER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace ramloc {
+
+/// A machine register, 0..15.
+enum Reg : uint8_t {
+  R0 = 0,
+  R1,
+  R2,
+  R3,
+  R4,
+  R5,
+  R6,
+  R7,
+  R8,
+  R9,
+  R10,
+  R11,
+  R12,
+  SP = 13,
+  LR = 14,
+  PC = 15,
+  NumRegs = 16,
+};
+
+/// The register the instrumenter may clobber at block boundaries. The code
+/// generator never allocates it.
+inline constexpr Reg ScratchReg = R7;
+
+/// True for r0-r7, the registers reachable by most 16-bit encodings.
+inline bool isLowReg(Reg R) { return R < 8; }
+
+/// Returns the canonical assembly name ("r0".."r12", "sp", "lr", "pc").
+std::string regName(Reg R);
+
+/// Parses a register name; returns NumRegs on failure. Accepts "rN", "sp",
+/// "lr", "pc", "ip" (= r12), "fp" (= r11).
+Reg parseRegName(const std::string &Name);
+
+} // namespace ramloc
+
+#endif // RAMLOC_ISA_REGISTER_H

@@ -1,0 +1,74 @@
+//===- isa/Timing.cpp - Cortex-M3-style cycle model -------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Timing.h"
+
+#include <cassert>
+
+using namespace ramloc;
+
+unsigned TimingModel::cycles(const Instr &I, bool Taken) const {
+  switch (I.Kind) {
+  case OpKind::Mul:
+    return MulCycles;
+  case OpKind::Mla:
+    return MlaCycles;
+  case OpKind::Udiv:
+  case OpKind::Sdiv:
+    return DivCycles;
+  case OpKind::LdrImm:
+  case OpKind::LdrReg:
+  case OpKind::LdrbImm:
+  case OpKind::LdrbReg:
+  case OpKind::LdrhImm:
+    return LoadCycles;
+  case OpKind::LdrLit:
+    // `ldr pc, =x` pays the load plus a pipeline refill: 2 + 2 = 4, the
+    // Figure 4 cost of the rewritten unconditional branch.
+    return I.isLongJump() ? LoadCycles + BranchRefillCycles : LoadCycles;
+  case OpKind::StrImm:
+  case OpKind::StrReg:
+  case OpKind::StrbImm:
+  case OpKind::StrbReg:
+  case OpKind::StrhImm:
+    return StoreCycles;
+  case OpKind::Push:
+    return 1 + regMaskCount(static_cast<uint32_t>(I.Imm));
+  case OpKind::Pop: {
+    unsigned Base = 1 + regMaskCount(static_cast<uint32_t>(I.Imm));
+    return I.isPopReturn() ? Base + BranchRefillCycles : Base;
+  }
+  case OpKind::B:
+    return BranchIssueCycles + BranchRefillCycles;
+  case OpKind::BCond:
+  case OpKind::Cbz:
+  case OpKind::Cbnz:
+    return Taken ? BranchIssueCycles + BranchRefillCycles
+                 : BranchIssueCycles;
+  case OpKind::Bl:
+    return CallCycles;
+  case OpKind::Blx:
+    return CallRegCycles;
+  case OpKind::Bx:
+    return BxCycles;
+  case OpKind::It:
+    return ItCycles;
+  case OpKind::Nop:
+  case OpKind::Wfi:
+  case OpKind::Bkpt:
+    return NopCycles;
+  default:
+    return AluCycles;
+  }
+}
+
+double TimingModel::expectedBranchCycles(const Instr &I,
+                                         double TakenProb) const {
+  assert(TakenProb >= 0.0 && TakenProb <= 1.0 && "probability range");
+  return TakenProb * cycles(I, /*Taken=*/true) +
+         (1.0 - TakenProb) * cycles(I, /*Taken=*/false);
+}

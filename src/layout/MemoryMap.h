@@ -1,0 +1,53 @@
+//===- layout/MemoryMap.h - flash/RAM address map ---------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SoC memory map: STM32F100RB-like, 64 KB flash at 0x0800_0000 and
+/// 8 KB RAM at 0x2000_0000 (the paper's prototype SoC). The 0x1800_0000
+/// gap between the regions is why direct branches cannot cross memories
+/// and the instrumenter must emit indirect long-range jumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_LAYOUT_MEMORYMAP_H
+#define RAMLOC_LAYOUT_MEMORYMAP_H
+
+#include "mir/Module.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace ramloc {
+
+/// Flash/RAM base addresses and sizes.
+struct MemoryMap {
+  uint32_t FlashBase = 0x08000000;
+  uint32_t FlashSize = 64 * 1024;
+  uint32_t RamBase = 0x20000000;
+  uint32_t RamSize = 8 * 1024;
+
+  bool inFlash(uint32_t Addr) const {
+    return Addr >= FlashBase && Addr < FlashBase + FlashSize;
+  }
+  bool inRam(uint32_t Addr) const {
+    return Addr >= RamBase && Addr < RamBase + RamSize;
+  }
+  bool isMapped(uint32_t Addr) const { return inFlash(Addr) || inRam(Addr); }
+
+  /// Which memory \p Addr belongs to; asserts if unmapped.
+  MemKind regionOf(uint32_t Addr) const {
+    assert(isMapped(Addr) && "address outside flash and RAM");
+    return inFlash(Addr) ? MemKind::Flash : MemKind::Ram;
+  }
+
+  /// Initial stack pointer (full-descending stack at the top of RAM).
+  uint32_t stackTop() const { return RamBase + RamSize; }
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_LAYOUT_MEMORYMAP_H

@@ -1,0 +1,140 @@
+//===- lp/BranchBound.cpp - 0/1 MIP solver ------------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/BranchBound.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+using namespace ramloc;
+
+namespace {
+
+struct Node {
+  std::vector<double> Lower;
+  std::vector<double> Upper;
+  double Bound; // parent LP objective: lower bound on this subtree
+};
+
+/// Rounds an LP point to the nearest binary assignment; returns true if
+/// the rounded point is feasible. Cheap incumbent generator.
+bool roundToFeasible(const LpProblem &P, const std::vector<double> &X,
+                     std::vector<double> &Out) {
+  Out = X;
+  for (unsigned J = 0, E = P.numVariables(); J != E; ++J)
+    if (P.Variables[J].Integer)
+      Out[J] = Out[J] >= 0.5 ? 1.0 : 0.0;
+  return P.isFeasible(Out);
+}
+
+} // namespace
+
+MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts) {
+  MipSolution Best;
+  Best.Proven = true; // until the node budget is hit
+
+  for ([[maybe_unused]] const LpVariable &V : P.Variables)
+    assert((!V.Integer || (V.Lower >= 0.0 && V.Upper <= 1.0)) &&
+           "only binary integer variables are supported");
+
+  std::vector<double> RootLo(P.numVariables()), RootHi(P.numVariables());
+  for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
+    RootLo[J] = P.Variables[J].Lower;
+    RootHi[J] = P.Variables[J].Upper;
+  }
+
+  std::vector<Node> Stack;
+  Stack.push_back({std::move(RootLo), std::move(RootHi),
+                   -std::numeric_limits<double>::infinity()});
+
+  bool HaveIncumbent = false;
+  while (!Stack.empty()) {
+    if (Best.NodesExplored >= Opts.MaxNodes) {
+      Best.Proven = false;
+      break;
+    }
+    Node N = std::move(Stack.back());
+    Stack.pop_back();
+
+    // Bound pruning against the incumbent.
+    if (HaveIncumbent && N.Bound >= Best.Objective - Opts.GapTolerance)
+      continue;
+
+    ++Best.NodesExplored;
+    LpSolution Relax = solveLpWithBounds(P, N.Lower, N.Upper, Opts.Simplex);
+    if (Relax.Status == LpStatus::Infeasible)
+      continue;
+    if (Relax.Status == LpStatus::Unbounded) {
+      // A bounded-binary MIP with unbounded relaxation direction in the
+      // continuous part: treat as a hard failure.
+      Best.Status = LpStatus::Unbounded;
+      return Best;
+    }
+    if (Relax.Status == LpStatus::IterLimit) {
+      Best.Proven = false;
+      continue;
+    }
+    if (HaveIncumbent &&
+        Relax.Objective >= Best.Objective - Opts.GapTolerance)
+      continue;
+
+    // Most fractional binary.
+    int BranchVar = -1;
+    double BestFrac = Opts.IntegerTolerance;
+    for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
+      if (!P.Variables[J].Integer)
+        continue;
+      double V = Relax.Values[J];
+      double Frac = std::min(V - std::floor(V), std::ceil(V) - V);
+      if (Frac > BestFrac) {
+        BestFrac = Frac;
+        BranchVar = static_cast<int>(J);
+      }
+    }
+
+    if (BranchVar < 0) {
+      // Integral: new incumbent.
+      if (!HaveIncumbent || Relax.Objective < Best.Objective) {
+        HaveIncumbent = true;
+        Best.Status = LpStatus::Optimal;
+        Best.Objective = Relax.Objective;
+        Best.Values = Relax.Values;
+      }
+      continue;
+    }
+
+    // Rounding heuristic for an early incumbent.
+    std::vector<double> Rounded;
+    if (!HaveIncumbent && roundToFeasible(P, Relax.Values, Rounded)) {
+      double Obj = P.objectiveValue(Rounded);
+      HaveIncumbent = true;
+      Best.Status = LpStatus::Optimal;
+      Best.Objective = Obj;
+      Best.Values = std::move(Rounded);
+    }
+
+    unsigned BV = static_cast<unsigned>(BranchVar);
+    double Frac = Relax.Values[BV];
+    // Explore the closer side first (DFS pops the last pushed node).
+    Node Zero{N.Lower, N.Upper, Relax.Objective};
+    Zero.Upper[BV] = 0.0;
+    Node One{std::move(N.Lower), std::move(N.Upper), Relax.Objective};
+    One.Lower[BV] = 1.0;
+    if (Frac >= 0.5) {
+      Stack.push_back(std::move(Zero));
+      Stack.push_back(std::move(One));
+    } else {
+      Stack.push_back(std::move(One));
+      Stack.push_back(std::move(Zero));
+    }
+  }
+
+  return Best;
+}

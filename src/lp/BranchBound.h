@@ -1,0 +1,51 @@
+//===- lp/BranchBound.h - 0/1 MIP solver ------------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch & bound over the simplex relaxation for problems whose integer
+/// variables are all binary (exactly the shape of the paper's Section 4
+/// model after linearization). Depth-first with best-bound pruning, most
+/// fractional branching, and an LP-rounding incumbent heuristic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_LP_BRANCHBOUND_H
+#define RAMLOC_LP_BRANCHBOUND_H
+
+#include "lp/Simplex.h"
+
+namespace ramloc {
+
+/// MIP search knobs.
+struct MipOptions {
+  SimplexOptions Simplex;
+  double IntegerTolerance = 1e-6;
+  /// Node budget; exceeding it returns the best incumbent with
+  /// Proven = false.
+  unsigned MaxNodes = 200000;
+  /// Absolute optimality gap at which a node is pruned.
+  double GapTolerance = 1e-9;
+};
+
+/// MIP outcome. Status Optimal with Proven false means "best found within
+/// the node budget".
+struct MipSolution {
+  LpStatus Status = LpStatus::Infeasible;
+  double Objective = 0.0;
+  std::vector<double> Values;
+  unsigned NodesExplored = 0;
+  bool Proven = false;
+
+  bool feasible() const { return Status == LpStatus::Optimal; }
+};
+
+/// Solves \p P to optimality (integer variables must be binary).
+MipSolution solveMip(const LpProblem &P, const MipOptions &Opts = {});
+
+} // namespace ramloc
+
+#endif // RAMLOC_LP_BRANCHBOUND_H

@@ -1,0 +1,402 @@
+//===- lp/Simplex.cpp - two-phase primal simplex ------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation notes. The problem is converted to standard form:
+//   - every variable is shifted by its (finite) lower bound so x' >= 0;
+//   - finite upper bounds become explicit rows x' <= hi - lo;
+//   - fixed variables (lo == hi) are substituted into RHS and dropped;
+//   - rows are normalised to non-negative RHS; <= rows get a slack, >= rows
+//     a surplus plus an artificial, == rows an artificial.
+// Phase 1 minimises the artificial sum; phase 2 the true objective. Dantzig
+// pricing with a Bland fallback once degeneracy stalls progress.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ramloc;
+
+const char *ramloc::lpStatusName(LpStatus S) {
+  switch (S) {
+  case LpStatus::Optimal:
+    return "optimal";
+  case LpStatus::Infeasible:
+    return "infeasible";
+  case LpStatus::Unbounded:
+    return "unbounded";
+  case LpStatus::IterLimit:
+    return "iteration-limit";
+  }
+  return "?";
+}
+
+bool LpProblem::isFeasible(const std::vector<double> &X, double Tol) const {
+  if (X.size() != Variables.size())
+    return false;
+  for (unsigned J = 0, E = numVariables(); J != E; ++J)
+    if (X[J] < Variables[J].Lower - Tol || X[J] > Variables[J].Upper + Tol)
+      return false;
+  for (const LpConstraint &C : Constraints) {
+    double Lhs = 0.0;
+    for (const auto &[Var, Coef] : C.Terms)
+      Lhs += Coef * X[Var];
+    switch (C.Sense) {
+    case ConstraintSense::LessEq:
+      if (Lhs > C.Rhs + Tol)
+        return false;
+      break;
+    case ConstraintSense::GreaterEq:
+      if (Lhs < C.Rhs - Tol)
+        return false;
+      break;
+    case ConstraintSense::Equal:
+      if (std::abs(Lhs - C.Rhs) > Tol)
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Dense tableau: Rows x Cols, column Cols-1 is the RHS, row Rows-1 the
+/// objective under optimisation (phase 1 or 2).
+class Tableau {
+public:
+  Tableau(const LpProblem &P, const std::vector<double> &Lower,
+          const std::vector<double> &Upper, const SimplexOptions &Opts)
+      : P(P), Opts(Opts), Lower(Lower), Upper(Upper) {}
+
+  LpSolution solve() {
+    LpSolution Sol;
+    if (!build()) {
+      Sol.Status = LpStatus::Infeasible;
+      return Sol;
+    }
+
+    // Phase 1: minimise artificial sum (already priced into row Obj).
+    if (NumArtificials > 0) {
+      LpStatus S = iterate(/*Phase1=*/true);
+      if (S != LpStatus::Optimal) {
+        Sol.Status = S == LpStatus::Unbounded ? LpStatus::Infeasible : S;
+        Sol.Iterations = Iterations;
+        return Sol;
+      }
+      if (T[ObjRow][RhsCol] < -Opts.Tolerance) {
+        Sol.Status = LpStatus::Infeasible;
+        Sol.Iterations = Iterations;
+        return Sol;
+      }
+      pivotOutArtificials();
+      installPhase2Objective();
+    }
+
+    LpStatus S = iterate(/*Phase1=*/false);
+    Sol.Status = S;
+    Sol.Iterations = Iterations;
+    if (S != LpStatus::Optimal)
+      return Sol;
+
+    Sol.Values.assign(P.numVariables(), 0.0);
+    for (unsigned J = 0, E = P.numVariables(); J != E; ++J)
+      Sol.Values[J] = Lower[J];
+    for (unsigned R = 0; R != NumRows; ++R) {
+      unsigned Col = Basis[R];
+      if (Col < NumStructural) {
+        unsigned Var = StructuralVar[Col];
+        Sol.Values[Var] = Lower[Var] + T[R][RhsCol];
+      }
+    }
+    Sol.Objective = P.objectiveValue(Sol.Values);
+    return Sol;
+  }
+
+private:
+  /// Builds the standard-form tableau; returns false on trivially
+  /// inconsistent fixed-variable rows.
+  bool build() {
+    unsigned NV = P.numVariables();
+    // Structural columns: non-fixed variables.
+    StructuralVar.clear();
+    VarColumn.assign(NV, UINT32_MAX);
+    for (unsigned J = 0; J != NV; ++J) {
+      if (Upper[J] - Lower[J] > Opts.Tolerance) {
+        VarColumn[J] = static_cast<unsigned>(StructuralVar.size());
+        StructuralVar.push_back(J);
+      }
+    }
+    NumStructural = static_cast<unsigned>(StructuralVar.size());
+
+    // Row list: original constraints + upper-bound rows.
+    struct Row {
+      std::vector<std::pair<unsigned, double>> Terms; // column, coef
+      ConstraintSense Sense;
+      double Rhs;
+    };
+    std::vector<Row> Rows;
+    for (const LpConstraint &C : P.Constraints) {
+      Row R;
+      R.Sense = C.Sense;
+      R.Rhs = C.Rhs;
+      for (const auto &[Var, Coef] : C.Terms) {
+        R.Rhs -= Coef * Lower[Var]; // shift by lower bound
+        if (VarColumn[Var] != UINT32_MAX)
+          R.Terms.push_back({VarColumn[Var], Coef});
+        // fixed variables contribute only via the shift above
+      }
+      if (R.Terms.empty()) {
+        // Constant row: must hold on its own.
+        bool OK = true;
+        switch (R.Sense) {
+        case ConstraintSense::LessEq:
+          OK = R.Rhs >= -1e-7;
+          break;
+        case ConstraintSense::GreaterEq:
+          OK = R.Rhs <= 1e-7;
+          break;
+        case ConstraintSense::Equal:
+          OK = std::abs(R.Rhs) <= 1e-7;
+          break;
+        }
+        if (!OK)
+          return false;
+        continue;
+      }
+      Rows.push_back(std::move(R));
+    }
+    for (unsigned Col = 0; Col != NumStructural; ++Col) {
+      unsigned Var = StructuralVar[Col];
+      if (!std::isfinite(Upper[Var]))
+        continue;
+      Row R;
+      R.Sense = ConstraintSense::LessEq;
+      R.Rhs = Upper[Var] - Lower[Var];
+      R.Terms.push_back({Col, 1.0});
+      Rows.push_back(std::move(R));
+    }
+
+    NumRows = static_cast<unsigned>(Rows.size());
+
+    // Count slack and artificial columns after RHS normalisation.
+    unsigned NumSlacks = 0;
+    NumArtificials = 0;
+    for (Row &R : Rows) {
+      if (R.Rhs < 0) {
+        R.Rhs = -R.Rhs;
+        for (auto &[Col, Coef] : R.Terms)
+          Coef = -Coef;
+        if (R.Sense == ConstraintSense::LessEq)
+          R.Sense = ConstraintSense::GreaterEq;
+        else if (R.Sense == ConstraintSense::GreaterEq)
+          R.Sense = ConstraintSense::LessEq;
+      }
+      if (R.Sense != ConstraintSense::Equal)
+        ++NumSlacks;
+      if (R.Sense != ConstraintSense::LessEq)
+        ++NumArtificials;
+    }
+
+    NumCols = NumStructural + NumSlacks + NumArtificials;
+    RhsCol = NumCols;
+    ObjRow = NumRows;
+    T.assign(NumRows + 1, std::vector<double>(NumCols + 1, 0.0));
+    Basis.assign(NumRows, 0);
+    ArtificialStart = NumStructural + NumSlacks;
+
+    unsigned SlackCursor = NumStructural;
+    unsigned ArtCursor = ArtificialStart;
+    for (unsigned RI = 0; RI != NumRows; ++RI) {
+      const Row &R = Rows[RI];
+      for (const auto &[Col, Coef] : R.Terms)
+        T[RI][Col] += Coef;
+      T[RI][RhsCol] = R.Rhs;
+      switch (R.Sense) {
+      case ConstraintSense::LessEq:
+        T[RI][SlackCursor] = 1.0;
+        Basis[RI] = SlackCursor++;
+        break;
+      case ConstraintSense::GreaterEq:
+        T[RI][SlackCursor] = -1.0;
+        ++SlackCursor;
+        T[RI][ArtCursor] = 1.0;
+        Basis[RI] = ArtCursor++;
+        break;
+      case ConstraintSense::Equal:
+        T[RI][ArtCursor] = 1.0;
+        Basis[RI] = ArtCursor++;
+        break;
+      }
+    }
+
+    if (NumArtificials > 0) {
+      // Phase-1 objective: minimise sum of artificials. Express the
+      // objective row in terms of non-basic columns: row_obj = -sum of
+      // rows with artificial basics.
+      for (unsigned RI = 0; RI != NumRows; ++RI) {
+        if (Basis[RI] < ArtificialStart)
+          continue;
+        for (unsigned C = 0; C <= NumCols; ++C)
+          T[ObjRow][C] -= T[RI][C];
+        // keep the artificial's own column zeroed in the objective
+        T[ObjRow][Basis[RI]] = 0.0;
+      }
+    } else {
+      installPhase2Objective();
+    }
+    return true;
+  }
+
+  /// Loads the real objective into the objective row, priced out against
+  /// the current basis.
+  void installPhase2Objective() {
+    for (unsigned C = 0; C <= NumCols; ++C)
+      T[ObjRow][C] = 0.0;
+    for (unsigned Col = 0; Col != NumStructural; ++Col)
+      T[ObjRow][Col] = P.Variables[StructuralVar[Col]].Objective;
+    // Price out basic variables.
+    for (unsigned RI = 0; RI != NumRows; ++RI) {
+      unsigned BCol = Basis[RI];
+      double Cost = T[ObjRow][BCol];
+      if (std::abs(Cost) < Opts.Tolerance)
+        continue;
+      for (unsigned C = 0; C <= NumCols; ++C)
+        T[ObjRow][C] -= Cost * T[RI][C];
+    }
+  }
+
+  /// After phase 1, force remaining (degenerate) artificial basics out of
+  /// the basis where possible.
+  void pivotOutArtificials() {
+    for (unsigned RI = 0; RI != NumRows; ++RI) {
+      if (Basis[RI] < ArtificialStart)
+        continue;
+      for (unsigned C = 0; C != ArtificialStart; ++C) {
+        if (std::abs(T[RI][C]) > 1e-7) {
+          pivot(RI, C);
+          break;
+        }
+      }
+    }
+  }
+
+  /// Primal simplex iterations on the current objective row. In phase 1
+  /// artificial columns may re-enter; in phase 2 they are barred.
+  LpStatus iterate(bool Phase1) {
+    unsigned StallCount = 0;
+    double LastObj = T[ObjRow][RhsCol];
+    while (Iterations < Opts.MaxIterations) {
+      ++Iterations;
+      unsigned Limit = Phase1 ? NumCols : ArtificialStart;
+      bool Bland = StallCount > NumRows + 16;
+
+      // Entering column: most negative reduced cost (Dantzig), or first
+      // negative (Bland) when stalled.
+      int Entering = -1;
+      double Best = -Opts.Tolerance;
+      for (unsigned C = 0; C != Limit; ++C) {
+        double RC = T[ObjRow][C];
+        if (RC < Best) {
+          Entering = static_cast<int>(C);
+          if (Bland)
+            break;
+          Best = RC;
+        }
+      }
+      if (Entering < 0)
+        return LpStatus::Optimal;
+
+      // Leaving row: minimum ratio test (Bland tie-break on basis index).
+      int Leaving = -1;
+      double BestRatio = 0.0;
+      for (unsigned R = 0; R != NumRows; ++R) {
+        double A = T[R][static_cast<unsigned>(Entering)];
+        if (A <= Opts.Tolerance)
+          continue;
+        double Ratio = T[R][RhsCol] / A;
+        if (Leaving < 0 || Ratio < BestRatio - Opts.Tolerance ||
+            (Ratio < BestRatio + Opts.Tolerance &&
+             Basis[R] < Basis[static_cast<unsigned>(Leaving)])) {
+          Leaving = static_cast<int>(R);
+          BestRatio = Ratio;
+        }
+      }
+      if (Leaving < 0)
+        return LpStatus::Unbounded;
+
+      pivot(static_cast<unsigned>(Leaving),
+            static_cast<unsigned>(Entering));
+
+      double Obj = T[ObjRow][RhsCol];
+      if (std::abs(Obj - LastObj) < Opts.Tolerance)
+        ++StallCount;
+      else
+        StallCount = 0;
+      LastObj = Obj;
+    }
+    return LpStatus::IterLimit;
+  }
+
+  void pivot(unsigned Row, unsigned Col) {
+    double Pivot = T[Row][Col];
+    for (unsigned C = 0; C <= NumCols; ++C)
+      T[Row][C] /= Pivot;
+    for (unsigned R = 0; R <= NumRows; ++R) {
+      if (R == Row)
+        continue;
+      double Factor = T[R][Col];
+      if (std::abs(Factor) < 1e-12)
+        continue;
+      for (unsigned C = 0; C <= NumCols; ++C)
+        T[R][C] -= Factor * T[Row][C];
+      T[R][Col] = 0.0; // cut numerical drift
+    }
+    Basis[Row] = Col;
+  }
+
+  const LpProblem &P;
+  const SimplexOptions &Opts;
+  const std::vector<double> &Lower;
+  const std::vector<double> &Upper;
+
+  std::vector<std::vector<double>> T;
+  std::vector<unsigned> Basis;
+  std::vector<unsigned> StructuralVar; ///< column -> original variable
+  std::vector<unsigned> VarColumn;     ///< variable -> column (or UINT32_MAX)
+  unsigned NumStructural = 0;
+  unsigned NumRows = 0;
+  unsigned NumCols = 0;
+  unsigned RhsCol = 0;
+  unsigned ObjRow = 0;
+  unsigned NumArtificials = 0;
+  unsigned ArtificialStart = 0;
+  unsigned Iterations = 0;
+};
+
+} // namespace
+
+LpSolution ramloc::solveLpWithBounds(const LpProblem &P,
+                                     const std::vector<double> &Lower,
+                                     const std::vector<double> &Upper,
+                                     const SimplexOptions &Opts) {
+  assert(Lower.size() == P.numVariables() &&
+         Upper.size() == P.numVariables() && "bounds size mismatch");
+  Tableau Tab(P, Lower, Upper, Opts);
+  return Tab.solve();
+}
+
+LpSolution ramloc::solveLp(const LpProblem &P, const SimplexOptions &Opts) {
+  std::vector<double> Lower(P.numVariables()), Upper(P.numVariables());
+  for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
+    Lower[J] = P.Variables[J].Lower;
+    Upper[J] = P.Variables[J].Upper;
+  }
+  return solveLpWithBounds(P, Lower, Upper, Opts);
+}

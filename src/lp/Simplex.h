@@ -1,0 +1,59 @@
+//===- lp/Simplex.h - two-phase primal simplex ------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense two-phase tableau simplex. Integrality markers are ignored here;
+/// lp/BranchBound.h layers 0/1 search on top. Problem sizes in this project
+/// are small (tens to a few hundred variables), so a dense tableau with
+/// Dantzig pricing and a Bland anti-cycling fallback is plenty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_LP_SIMPLEX_H
+#define RAMLOC_LP_SIMPLEX_H
+
+#include "lp/Problem.h"
+
+namespace ramloc {
+
+/// Solver outcome.
+enum class LpStatus : uint8_t {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterLimit,
+};
+
+const char *lpStatusName(LpStatus S);
+
+/// An LP solution: variable values in original problem space.
+struct LpSolution {
+  LpStatus Status = LpStatus::IterLimit;
+  double Objective = 0.0;
+  std::vector<double> Values;
+  unsigned Iterations = 0;
+};
+
+/// Simplex knobs.
+struct SimplexOptions {
+  double Tolerance = 1e-9;
+  unsigned MaxIterations = 100000;
+};
+
+/// Solves the LP relaxation of \p P.
+LpSolution solveLp(const LpProblem &P, const SimplexOptions &Opts = {});
+
+/// Solves with per-variable bound overrides (used by branch & bound to fix
+/// binaries). \p Lower/\p Upper must have one entry per variable.
+LpSolution solveLpWithBounds(const LpProblem &P,
+                             const std::vector<double> &Lower,
+                             const std::vector<double> &Upper,
+                             const SimplexOptions &Opts = {});
+
+} // namespace ramloc
+
+#endif // RAMLOC_LP_SIMPLEX_H

@@ -1,0 +1,140 @@
+//===- mir/CFG.cpp - control flow graph -------------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ramloc;
+
+CFG CFG::build(const Function &F) {
+  CFG G;
+  unsigned N = F.Blocks.size();
+  G.Edges.resize(N);
+  G.Reachable.assign(N, false);
+
+  auto addEdge = [&G](unsigned From, unsigned To) {
+    G.Edges[From].Succs.push_back(To);
+    G.Edges[To].Preds.push_back(From);
+  };
+
+  for (unsigned B = 0; B != N; ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    BlockEdges &E = G.Edges[B];
+    const Instr *Term = BB.terminator();
+
+    if (!Term) {
+      E.Term = TermKind::Fallthrough;
+      assert(B + 1 < N && "fallthrough off the end of the function");
+      E.FallSucc = static_cast<int>(B + 1);
+      addEdge(B, B + 1);
+      continue;
+    }
+
+    switch (Term->Kind) {
+    case OpKind::B: {
+      E.Term = TermKind::Uncond;
+      int T = F.blockIndex(Term->Sym);
+      assert(T >= 0 && "branch target not found");
+      E.TakenSucc = T;
+      addEdge(B, static_cast<unsigned>(T));
+      break;
+    }
+    case OpKind::BCond:
+    case OpKind::Cbz:
+    case OpKind::Cbnz: {
+      E.Term = Term->Kind == OpKind::BCond ? TermKind::Cond
+                                           : TermKind::CmpBranch;
+      int T = F.blockIndex(Term->Sym);
+      assert(T >= 0 && "branch target not found");
+      assert(B + 1 < N && "conditional fallthrough off function end");
+      E.TakenSucc = T;
+      E.FallSucc = static_cast<int>(B + 1);
+      addEdge(B, static_cast<unsigned>(T));
+      // If taken target == fallthrough the dedup pass below keeps one edge.
+      if (static_cast<unsigned>(T) != B + 1)
+        addEdge(B, B + 1);
+      break;
+    }
+    case OpKind::Bx:
+      if (Term->Regs[0] == LR) {
+        E.Term = TermKind::Return;
+      } else {
+        E.Term = TermKind::IndirectJump;
+        // Successors unknown statically; instrumented code is not
+        // re-analysed (the optimization runs on clean input).
+      }
+      break;
+    case OpKind::Pop:
+      assert(Term->isPopReturn() && "pop terminator must restore pc");
+      E.Term = TermKind::Return;
+      break;
+    case OpKind::LdrLit: {
+      assert(Term->isLongJump() && "ldr terminator must target pc");
+      int T = Term->Sym.empty() ? -1 : F.blockIndex(Term->Sym);
+      if (T >= 0) {
+        E.Term = TermKind::IndirectJump;
+        E.TakenSucc = T;
+        addEdge(B, static_cast<unsigned>(T));
+      } else {
+        E.Term = TermKind::IndirectJump;
+      }
+      break;
+    }
+    case OpKind::Bkpt:
+      E.Term = TermKind::Halt;
+      break;
+    default:
+      assert(false && "unhandled terminator kind");
+    }
+  }
+
+  // De-duplicate any double edges (cond branch to the next block).
+  for (auto &E : G.Edges) {
+    auto dedup = [](std::vector<unsigned> &V) {
+      std::vector<unsigned> Out;
+      for (unsigned X : V)
+        if (std::find(Out.begin(), Out.end(), X) == Out.end())
+          Out.push_back(X);
+      V = std::move(Out);
+    };
+    dedup(E.Succs);
+    dedup(E.Preds);
+  }
+
+  // Reverse postorder DFS from the entry.
+  if (N != 0) {
+    std::vector<unsigned> PostOrder;
+    PostOrder.reserve(N);
+    std::vector<int> State(N, 0); // 0 = unvisited, 1 = on stack, 2 = done
+    std::vector<std::pair<unsigned, unsigned>> Stack;
+    Stack.push_back({0, 0});
+    State[0] = 1;
+    while (!Stack.empty()) {
+      auto &[Node, NextSucc] = Stack.back();
+      if (NextSucc < G.Edges[Node].Succs.size()) {
+        unsigned S = G.Edges[Node].Succs[NextSucc++];
+        if (State[S] == 0) {
+          State[S] = 1;
+          Stack.push_back({S, 0});
+        }
+      } else {
+        State[Node] = 2;
+        G.Reachable[Node] = true;
+        PostOrder.push_back(Node);
+        Stack.pop_back();
+      }
+    }
+    G.RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+    for (unsigned B = 0; B != N; ++B)
+      if (!G.Reachable[B])
+        G.RPO.push_back(B);
+  }
+
+  return G;
+}

@@ -1,0 +1,80 @@
+//===- mir/CFG.h - control flow graph ---------------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function control-flow graph: successor/predecessor lists and
+/// terminator classification. Succ(b) is one of the model's parameters
+/// (Figure 3): a block needs instrumentation exactly when one of its
+/// successors lives in the other memory (Eq. 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_MIR_CFG_H
+#define RAMLOC_MIR_CFG_H
+
+#include "mir/Module.h"
+
+#include <vector>
+
+namespace ramloc {
+
+/// How a block transfers control to its successors. This determines which
+/// Figure 4 rewriting applies when the edge crosses memories.
+enum class TermKind : uint8_t {
+  Fallthrough, ///< no terminator: falls into the next block
+  Uncond,      ///< b label
+  Cond,        ///< bcc label (+ fallthrough)
+  CmpBranch,   ///< cbz/cbnz rn, label (+ fallthrough): the paper's "short
+               ///< conditional branch", needing the cmp+it rewrite
+  Return,      ///< bx lr / pop {...pc}
+  Halt,        ///< bkpt / wfi
+  IndirectJump ///< ldr pc, =label or bx rn: already long-range
+};
+
+/// CFG edges of one block.
+struct BlockEdges {
+  TermKind Term = TermKind::Fallthrough;
+  /// All successors, by block index within the function.
+  std::vector<unsigned> Succs;
+  /// All predecessors, by block index.
+  std::vector<unsigned> Preds;
+  /// Index of the branch-taken successor (Cond/CmpBranch/Uncond), or -1.
+  int TakenSucc = -1;
+  /// Index of the fallthrough successor, or -1.
+  int FallSucc = -1;
+};
+
+/// A per-function CFG. Build once; invalidated by any block edit.
+class CFG {
+public:
+  /// Builds the CFG for \p F. \p F must pass the verifier; malformed input
+  /// asserts.
+  static CFG build(const Function &F);
+
+  const BlockEdges &edges(unsigned Block) const {
+    assert(Block < Edges.size() && "block index out of range");
+    return Edges[Block];
+  }
+
+  unsigned size() const { return Edges.size(); }
+
+  /// Blocks in reverse postorder from the entry. Unreachable blocks are
+  /// appended after reachable ones in index order.
+  const std::vector<unsigned> &reversePostOrder() const { return RPO; }
+
+  /// True if \p Block is reachable from the entry.
+  bool isReachable(unsigned Block) const { return Reachable[Block]; }
+
+private:
+  std::vector<BlockEdges> Edges;
+  std::vector<unsigned> RPO;
+  std::vector<bool> Reachable;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_MIR_CFG_H

@@ -1,0 +1,73 @@
+//===- mir/Dominators.cpp - dominator tree -----------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Dominators.h"
+
+using namespace ramloc;
+
+DominatorTree DominatorTree::build(const CFG &G) {
+  DominatorTree DT;
+  unsigned N = G.size();
+  DT.Idom.assign(N, -1);
+  if (N == 0)
+    return DT;
+
+  // Map block -> RPO position; unreachable blocks keep -1 and are skipped.
+  std::vector<int> RpoPos(N, -1);
+  const auto &RPO = G.reversePostOrder();
+  for (unsigned I = 0, E = RPO.size(); I != E; ++I)
+    if (G.isReachable(RPO[I]))
+      RpoPos[RPO[I]] = static_cast<int>(I);
+
+  auto intersect = [&](int A, int B) {
+    while (A != B) {
+      while (RpoPos[A] > RpoPos[B])
+        A = DT.Idom[static_cast<unsigned>(A)];
+      while (RpoPos[B] > RpoPos[A])
+        B = DT.Idom[static_cast<unsigned>(B)];
+    }
+    return A;
+  };
+
+  DT.Idom[0] = 0; // sentinel: entry's idom is itself during iteration
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Block : RPO) {
+      if (Block == 0 || !G.isReachable(Block))
+        continue;
+      int NewIdom = -1;
+      for (unsigned P : G.edges(Block).Preds) {
+        if (!G.isReachable(P) || DT.Idom[P] == -1)
+          continue;
+        NewIdom = NewIdom == -1 ? static_cast<int>(P)
+                                : intersect(NewIdom, static_cast<int>(P));
+      }
+      if (NewIdom != -1 && DT.Idom[Block] != NewIdom) {
+        DT.Idom[Block] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  DT.Idom[0] = -1; // restore the convention: the entry has no idom
+  return DT;
+}
+
+bool DominatorTree::dominates(unsigned A, unsigned B) const {
+  assert(A < Idom.size() && B < Idom.size() && "block index out of range");
+  if (A == B)
+    return true;
+  int Cur = Idom[B];
+  while (Cur != -1) {
+    if (static_cast<unsigned>(Cur) == A)
+      return true;
+    if (Cur == 0)
+      break;
+    Cur = Idom[static_cast<unsigned>(Cur)];
+  }
+  return false;
+}

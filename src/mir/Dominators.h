@@ -1,0 +1,48 @@
+//===- mir/Dominators.h - dominator tree ------------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator computation (Cooper-Harvey-Kennedy iterative algorithm),
+/// used to find natural loops for the static frequency estimate Fb.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_MIR_DOMINATORS_H
+#define RAMLOC_MIR_DOMINATORS_H
+
+#include "mir/CFG.h"
+
+#include <vector>
+
+namespace ramloc {
+
+/// Immediate-dominator tree over a function CFG. Unreachable blocks have
+/// no dominator information (idom == -1, dominated only by themselves).
+class DominatorTree {
+public:
+  /// Builds dominators for \p G (entry = block 0).
+  static DominatorTree build(const CFG &G);
+
+  /// Immediate dominator of \p Block, or -1 for the entry / unreachable
+  /// blocks.
+  int idom(unsigned Block) const {
+    assert(Block < Idom.size() && "block index out of range");
+    return Idom[Block];
+  }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(unsigned A, unsigned B) const;
+
+  unsigned size() const { return Idom.size(); }
+
+private:
+  std::vector<int> Idom;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_MIR_DOMINATORS_H

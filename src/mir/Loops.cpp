@@ -1,0 +1,95 @@
+//===- mir/Loops.cpp - natural loop detection --------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Loops.h"
+
+#include <algorithm>
+
+using namespace ramloc;
+
+LoopInfo LoopInfo::build(const CFG &G, const DominatorTree &DT) {
+  LoopInfo LI;
+  unsigned N = G.size();
+  LI.Depth.assign(N, 0);
+  LI.ContainingLoops.resize(N);
+
+  // Collect back edges and group them by header.
+  std::vector<std::pair<unsigned, unsigned>> BackEdges; // (latch, header)
+  for (unsigned B = 0; B != N; ++B) {
+    if (!G.isReachable(B))
+      continue;
+    for (unsigned S : G.edges(B).Succs)
+      if (DT.dominates(S, B))
+        BackEdges.push_back({B, S});
+  }
+
+  // Build one natural loop per header, merging latches.
+  std::vector<int> HeaderLoop(N, -1);
+  for (auto [Latch, Header] : BackEdges) {
+    int LoopIdx = HeaderLoop[Header];
+    if (LoopIdx < 0) {
+      LoopIdx = static_cast<int>(LI.Loops.size());
+      HeaderLoop[Header] = LoopIdx;
+      Loop L;
+      L.Header = Header;
+      L.Blocks.push_back(Header);
+      LI.Loops.push_back(std::move(L));
+    }
+    Loop &L = LI.Loops[static_cast<unsigned>(LoopIdx)];
+    L.Latches.push_back(Latch);
+
+    // Natural loop body: reverse reachability from the latch without
+    // passing through the header.
+    std::vector<unsigned> Work;
+    auto addBlock = [&](unsigned B) {
+      if (std::find(L.Blocks.begin(), L.Blocks.end(), B) == L.Blocks.end()) {
+        L.Blocks.push_back(B);
+        Work.push_back(B);
+      }
+    };
+    addBlock(Latch);
+    while (!Work.empty()) {
+      unsigned B = Work.back();
+      Work.pop_back();
+      for (unsigned P : G.edges(B).Preds)
+        if (G.isReachable(P))
+          addBlock(P);
+    }
+  }
+
+  for (unsigned LIdx = 0, E = LI.Loops.size(); LIdx != E; ++LIdx) {
+    Loop &L = LI.Loops[LIdx];
+    std::sort(L.Blocks.begin(), L.Blocks.end());
+    std::sort(L.Latches.begin(), L.Latches.end());
+    L.Latches.erase(std::unique(L.Latches.begin(), L.Latches.end()),
+                    L.Latches.end());
+    for (unsigned B : L.Blocks) {
+      ++LI.Depth[B];
+      LI.ContainingLoops[B].push_back(LIdx);
+    }
+  }
+  return LI;
+}
+
+bool LoopInfo::isBackEdge(unsigned From, unsigned To) const {
+  for (unsigned LIdx : ContainingLoops[From]) {
+    const Loop &L = Loops[LIdx];
+    if (L.Header == To &&
+        std::binary_search(L.Latches.begin(), L.Latches.end(), From))
+      return true;
+  }
+  return false;
+}
+
+bool LoopInfo::isExitEdge(unsigned From, unsigned To) const {
+  for (unsigned LIdx : ContainingLoops[From]) {
+    const Loop &L = Loops[LIdx];
+    if (!std::binary_search(L.Blocks.begin(), L.Blocks.end(), To))
+      return true;
+  }
+  return false;
+}

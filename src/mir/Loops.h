@@ -1,0 +1,64 @@
+//===- mir/Loops.h - natural loop detection ---------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loop detection from back edges (u -> h where h dominates u).
+/// The per-block loop depth drives the paper's static frequency estimate:
+/// "A simple estimate can be made of this parameter by simply considering
+/// the block's loop-depth" (Section 4.1, Fb).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_MIR_LOOPS_H
+#define RAMLOC_MIR_LOOPS_H
+
+#include "mir/CFG.h"
+#include "mir/Dominators.h"
+
+#include <vector>
+
+namespace ramloc {
+
+/// One natural loop: a header plus its body blocks.
+struct Loop {
+  unsigned Header = 0;
+  /// All blocks in the loop, including the header.
+  std::vector<unsigned> Blocks;
+  /// Latches: blocks with a back edge to the header.
+  std::vector<unsigned> Latches;
+};
+
+/// Loops of one function, with per-block nesting depth.
+class LoopInfo {
+public:
+  static LoopInfo build(const CFG &G, const DominatorTree &DT);
+
+  /// Nesting depth of \p Block: 0 outside any loop.
+  unsigned depth(unsigned Block) const {
+    assert(Block < Depth.size() && "block index out of range");
+    return Depth[Block];
+  }
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// True if edge From -> To is a back edge of some detected loop.
+  bool isBackEdge(unsigned From, unsigned To) const;
+
+  /// True if \p From is inside a loop whose header is \p Header and the
+  /// edge From -> To leaves that loop.
+  bool isExitEdge(unsigned From, unsigned To) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<unsigned> Depth;
+  /// Per-block bitset index of containing loops (small counts; vectors).
+  std::vector<std::vector<unsigned>> ContainingLoops;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_MIR_LOOPS_H

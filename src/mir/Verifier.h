@@ -1,0 +1,41 @@
+//===- mir/Verifier.h - module well-formedness checks -----------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation run before linking and before/after the code
+/// transformation: label resolution, terminator placement, IT-block
+/// consistency, reserved-scratch-register discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_MIR_VERIFIER_H
+#define RAMLOC_MIR_VERIFIER_H
+
+#include "mir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace ramloc {
+
+/// Verifier knobs.
+struct VerifierOptions {
+  /// When set, optimizable functions must not use the reserved scratch
+  /// register (ScratchReg = r7) so the instrumenter can always clobber it.
+  bool EnforceScratchDiscipline = true;
+};
+
+/// Verifies \p M; returns diagnostic strings, empty when well-formed.
+std::vector<std::string> verifyModule(const Module &M,
+                                      const VerifierOptions &Opts = {});
+
+/// Convenience: true when verifyModule reports no errors.
+bool moduleIsValid(const Module &M, const VerifierOptions &Opts = {});
+
+} // namespace ramloc
+
+#endif // RAMLOC_MIR_VERIFIER_H

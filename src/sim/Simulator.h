@@ -1,0 +1,113 @@
+//===- sim/Simulator.h - Cortex-M3-like interpreter -------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cycle-approximate interpreter for linked images, standing in for the
+/// paper's power-instrumented STM32VLDISCOVERY board. It attributes every
+/// cycle to the memory the instruction was fetched from, applies the RAM
+/// fetch/data contention stall the paper's Lb term models, and counts
+/// per-block executions for profiling.
+///
+/// Architectural conventions:
+///  - Registers r0-r12, sp (full-descending), lr, pc; NZCV flags.
+///  - The run starts at the image entry with lr = ExitAddress; returning
+///    to ExitAddress or executing bkpt halts the run.
+///  - r0 at halt is reported as the exit code (workload checksum).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SIM_SIMULATOR_H
+#define RAMLOC_SIM_SIMULATOR_H
+
+#include "isa/Timing.h"
+#include "layout/Image.h"
+#include "sim/RunStats.h"
+
+#include <cstdint>
+
+namespace ramloc {
+
+/// Simulation knobs.
+struct SimOptions {
+  TimingModel Timing;
+  /// Abort threshold, to keep runaway programs bounded.
+  uint64_t MaxCycles = 4'000'000'000ULL;
+  /// Account the startup .data/.ramcode copy loop (flash-fetched loads).
+  bool IncludeStartupCopy = true;
+  /// When non-zero, record a PowerSample roughly every this many cycles
+  /// (the power-profile instrumentation behind Figure 7).
+  uint64_t SampleIntervalCycles = 0;
+};
+
+/// The magic return address that terminates simulation when jumped to.
+inline constexpr uint32_t ExitAddress = 0xFFFFFFF0;
+
+/// Architectural machine state, exposed for unit tests.
+struct MachineState {
+  uint32_t R[16] = {};
+  Flags F;
+};
+
+/// Runs \p Img from its entry to completion and returns statistics.
+/// \p Argv0..2 preload r0..r2 (workload parameters).
+RunStats runImage(const Image &Img, const SimOptions &Opts = {},
+                  uint32_t Arg0 = 0, uint32_t Arg1 = 0, uint32_t Arg2 = 0);
+
+/// Single-stepping simulator for tests and tooling.
+class Simulator {
+public:
+  Simulator(const Image &Img, const SimOptions &Opts);
+
+  /// Executes one instruction; returns false once halted or faulted.
+  bool step();
+
+  /// Runs until halt/fault/cycle-limit.
+  void run();
+
+  const MachineState &state() const { return State; }
+  MachineState &state() { return State; }
+  const RunStats &stats() const { return Stats; }
+  RunStats takeStats() { return std::move(Stats); }
+  bool halted() const { return Halted; }
+
+  /// Direct memory access for tests and workload setup/inspection.
+  uint32_t read32(uint32_t Addr);
+  void write32(uint32_t Addr, uint32_t Value);
+  uint8_t read8(uint32_t Addr);
+
+private:
+  uint16_t read16(uint32_t Addr);
+  void write16(uint32_t Addr, uint16_t Value);
+  void write8(uint32_t Addr, uint8_t Value);
+  bool checkAddr(uint32_t Addr, uint32_t Bytes, bool Write);
+
+  void fault(const std::string &Msg);
+  void halt();
+  void account(const PlacedInstr &P, unsigned Cycles, bool IsLoad,
+               MemKind DataMem);
+  void execute(const PlacedInstr &P);
+  void executeAlu(const PlacedInstr &P);
+  void executeMem(const PlacedInstr &P);
+  void branchTo(uint32_t Addr);
+
+  uint32_t &reg(Reg R) { return State.R[R]; }
+
+  const Image &Img;
+  SimOptions Opts;
+  MachineState State;
+  RunStats Stats;
+  uint32_t PcAddr = 0;
+  bool Halted = false;
+  /// Accumulator for the current sampling interval.
+  PowerSample CurSample;
+  /// RAM contents (mutable); flash is read from the image (writes fault).
+  std::vector<uint8_t> Ram;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_SIM_SIMULATOR_H

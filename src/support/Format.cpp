@@ -1,0 +1,54 @@
+//===- support/Format.cpp - printf-style string formatting ---------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+using namespace ramloc;
+
+std::string ramloc::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  assert(Needed >= 0 && "invalid format string");
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, Args);
+  return Result;
+}
+
+std::string ramloc::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}
+
+std::string ramloc::formatDouble(double Value, int Decimals) {
+  return formatString("%.*f", Decimals, Value);
+}
+
+std::string ramloc::formatPercentChange(double NewOverOld, int Decimals) {
+  double Pct = (NewOverOld - 1.0) * 100.0;
+  return formatString("%+.*f%%", Decimals, Pct);
+}
+
+std::string ramloc::padLeft(const std::string &Text, unsigned Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+std::string ramloc::padRight(const std::string &Text, unsigned Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return Text + std::string(Width - Text.size(), ' ');
+}

@@ -1,0 +1,65 @@
+//===- support/Random.h - deterministic random numbers ---------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic SplitMix64 generator. Tests and workload generators use
+/// this instead of std::mt19937 so results are identical across standard
+/// library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SUPPORT_RANDOM_H
+#define RAMLOC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ramloc {
+
+/// SplitMix64: tiny, fast, and high-quality enough for test-case and
+/// workload generation. Never use for anything security-sensitive.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be non-zero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0) is meaningless");
+    return next() % Bound;
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_SUPPORT_RANDOM_H

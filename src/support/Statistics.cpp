@@ -1,0 +1,48 @@
+//===- support/Statistics.cpp - summary statistics -------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ramloc;
+
+double ramloc::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double ramloc::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double ramloc::sampleStdDev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double SumSq = 0.0;
+  for (double V : Values)
+    SumSq += (V - M) * (V - M);
+  return std::sqrt(SumSq / static_cast<double>(Values.size() - 1));
+}
+
+double ramloc::percentChange(double Old, double New) {
+  assert(Old != 0.0 && "percent change from zero base");
+  return (New - Old) / Old * 100.0;
+}

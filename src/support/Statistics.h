@@ -1,0 +1,34 @@
+//===- support/Statistics.h - summary statistics ----------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / geomean / stdev helpers for the evaluation harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SUPPORT_STATISTICS_H
+#define RAMLOC_SUPPORT_STATISTICS_H
+
+#include <vector>
+
+namespace ramloc {
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean; all values must be positive. Returns 0 when empty.
+double geomean(const std::vector<double> &Values);
+
+/// Sample standard deviation; returns 0 with fewer than two values.
+double sampleStdDev(const std::vector<double> &Values);
+
+/// Percentage change from \p Old to \p New, e.g. (90, 100) -> +11.11.
+double percentChange(double Old, double New);
+
+} // namespace ramloc
+
+#endif // RAMLOC_SUPPORT_STATISTICS_H

@@ -1,0 +1,74 @@
+//===- support/Table.cpp - ASCII table rendering --------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace ramloc;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Cells.resize(std::max(Cells.size(), Header.size()));
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::addSeparator() { Rows.push_back({SeparatorTag}); }
+
+std::string Table::render() const {
+  std::vector<unsigned> Widths(Header.size(), 0);
+  for (unsigned I = 0, E = Header.size(); I != E; ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows) {
+    if (!Row.empty() && Row[0] == SeparatorTag)
+      continue;
+    for (unsigned I = 0, E = Row.size(); I != E; ++I) {
+      if (I >= Widths.size())
+        Widths.resize(I + 1, 0);
+      Widths[I] = std::max<unsigned>(Widths[I], Row[I].size());
+    }
+  }
+
+  auto renderRule = [&Widths]() {
+    std::string Line;
+    for (unsigned I = 0, E = Widths.size(); I != E; ++I) {
+      if (I)
+        Line += "  ";
+      Line += std::string(Widths[I], '-');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out;
+  for (unsigned I = 0, E = Header.size(); I != E; ++I) {
+    if (I)
+      Out += "  ";
+    Out += padRight(Header[I], Widths[I]);
+  }
+  Out += '\n';
+  Out += renderRule();
+  for (const auto &Row : Rows) {
+    if (!Row.empty() && Row[0] == SeparatorTag) {
+      Out += renderRule();
+      continue;
+    }
+    for (unsigned I = 0, E = Row.size(); I != E; ++I) {
+      if (I)
+        Out += "  ";
+      Out += padRight(Row[I], I < Widths.size() ? Widths[I] : 0);
+    }
+    // Trim trailing spaces for tidy output.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- support/Table.h - ASCII table rendering ------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned ASCII table used by the benchmark harnesses to
+/// print paper tables and figure series in a readable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SUPPORT_TABLE_H
+#define RAMLOC_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ramloc {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers are
+/// provided for convenience. Rendered with a header rule, e.g.:
+///
+///   benchmark  energy   time
+///   ---------  -------  -----
+///   fdct       -17.5%   +33.0%
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a row; the row is padded with empty cells if short.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table to a string, two spaces between columns.
+  std::string render() const;
+
+  unsigned numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+  static constexpr const char *SeparatorTag = "\x01sep";
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_SUPPORT_TABLE_H

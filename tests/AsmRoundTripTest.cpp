@@ -1,0 +1,191 @@
+//===- tests/AsmRoundTripTest.cpp - parser/printer round trips -------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmio/Parser.h"
+#include "asmio/Printer.h"
+#include "beebs/Beebs.h"
+
+#include <gtest/gtest.h>
+
+using namespace ramloc;
+using namespace ramloc::build;
+
+namespace {
+
+/// print -> parse -> print must be a fixed point.
+void expectRoundTrip(const Module &M) {
+  std::string First = printModule(M);
+  ParseResult PR = parseAssembly(First);
+  ASSERT_TRUE(PR.ok()) << PR.Errors.front() << "\nin:\n" << First;
+  std::string Second = printModule(PR.M);
+  EXPECT_EQ(First, Second);
+}
+
+} // namespace
+
+TEST(Printer, InstructionSyntax) {
+  EXPECT_EQ(printInstr(movImm(R0, 5)), "mov r0, #5");
+  EXPECT_EQ(printInstr(setS(addReg(R0, R1, R2))), "adds r0, r1, r2");
+  EXPECT_EQ(printInstr(cmpImm(R3, 7)), "cmp r3, #7");
+  EXPECT_EQ(printInstr(ldrImm(R0, R1, 8)), "ldr r0, [r1, #8]");
+  EXPECT_EQ(printInstr(ldrImm(R0, R1, 0)), "ldr r0, [r1]");
+  EXPECT_EQ(printInstr(ldrReg(R0, R1, R2)), "ldr r0, [r1, r2]");
+  EXPECT_EQ(printInstr(ldrLitSym(R5, "table")), "ldr r5, =table");
+  EXPECT_EQ(printInstr(ldrLitConst(R5, 0x1234)), "ldr r5, =0x1234");
+  EXPECT_EQ(printInstr(ldrLitSym(PC, "loop")), "ldr pc, =loop");
+  EXPECT_EQ(printInstr(push((1u << R4) | (1u << R5) | (1u << LR))),
+            "push {r4, r5, lr}");
+  EXPECT_EQ(printInstr(pop((1u << R4) | (1u << PC))), "pop {r4, pc}");
+  EXPECT_EQ(printInstr(push(0xF0 | (1u << LR))), "push {r4-r7, lr}");
+  EXPECT_EQ(printInstr(bCond(Cond::NE, "loop")), "bne loop");
+  EXPECT_EQ(printInstr(bCond(Cond::LS, "x")), "bls x");
+  EXPECT_EQ(printInstr(cbz(R2, "out")), "cbz r2, out");
+  EXPECT_EQ(printInstr(bl("fn")), "bl fn");
+  EXPECT_EQ(printInstr(bx(LR)), "bx lr");
+  EXPECT_EQ(printInstr(ite(Cond::EQ)), "ite eq");
+  EXPECT_EQ(printInstr(withCond(ldrLitSym(R7, "a"), Cond::EQ)),
+            "ldreq r7, =a");
+  EXPECT_EQ(printInstr(mla(R0, R1, R2, R3)), "mla r0, r1, r2, r3");
+  EXPECT_EQ(printInstr(lslImm(R0, R1, 4)), "lsl r0, r1, #4");
+  EXPECT_EQ(printInstr(uxtb(R0, R1)), "uxtb r0, r1");
+}
+
+TEST(Parser, MnemonicDisambiguation) {
+  // "bls" is branch-if-lower-or-same, not bl + s.
+  ParseResult PR = parseAssembly(".module m\n.entry f\n.func f\n"
+                                 ".block a\n    bls a\n");
+  ASSERT_TRUE(PR.ok()) << PR.Errors.front();
+  EXPECT_EQ(PR.M.Functions[0].Blocks[0].Instrs[0].Kind, OpKind::BCond);
+  EXPECT_EQ(PR.M.Functions[0].Blocks[0].Instrs[0].CondCode, Cond::LS);
+
+  // "bics" is bic + set-flags.
+  PR = parseAssembly(".module m\n.entry f\n.func f\n"
+                     ".block a\n    bics r0, r0, r1\n    bx lr\n");
+  ASSERT_TRUE(PR.ok()) << PR.Errors.front();
+  EXPECT_EQ(PR.M.Functions[0].Blocks[0].Instrs[0].Kind, OpKind::BicReg);
+  EXPECT_TRUE(PR.M.Functions[0].Blocks[0].Instrs[0].SetsFlags);
+}
+
+TEST(Parser, Errors) {
+  ParseResult PR = parseAssembly("mov r0, #1\n");
+  EXPECT_FALSE(PR.ok()); // instruction outside a block
+
+  PR = parseAssembly(".func f\n.block a\n    frobnicate r0\n");
+  ASSERT_FALSE(PR.ok());
+  EXPECT_NE(PR.Errors[0].find("unknown mnemonic"), std::string::npos);
+
+  PR = parseAssembly(".func f\n.block a\n    mov r0, #99999999\n");
+  EXPECT_FALSE(PR.ok());
+
+  PR = parseAssembly(".func f\n.block a\n    ldr r0, [r1\n");
+  EXPECT_FALSE(PR.ok());
+
+  PR = parseAssembly(".bogus x\n");
+  ASSERT_FALSE(PR.ok());
+  EXPECT_NE(PR.Errors[0].find("unknown directive"), std::string::npos);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  ParseResult PR = parseAssembly("\n\n.func f\n.block a\n    zap\n");
+  ASSERT_FALSE(PR.ok());
+  EXPECT_NE(PR.Errors[0].find("line 5"), std::string::npos);
+}
+
+TEST(Parser, Comments) {
+  ParseResult PR = parseAssembly(
+      "; leading comment\n.module m\n.entry f\n.func f\n"
+      ".block a ; trailing\n    mov r0, #1 ; set result\n    bx lr\n");
+  ASSERT_TRUE(PR.ok()) << PR.Errors.front();
+  EXPECT_EQ(PR.M.Functions[0].Blocks[0].Instrs.size(), 2u);
+}
+
+TEST(Parser, DataDirectives) {
+  ParseResult PR = parseAssembly(
+      ".module m\n.entry f\n.rodata tab 4 0a0b0c0d\n.data var 4 01000000\n"
+      ".bss buf 32 8\n.func f\n.block a\n    bx lr\n");
+  ASSERT_TRUE(PR.ok()) << PR.Errors.front();
+  ASSERT_EQ(PR.M.Data.size(), 3u);
+  EXPECT_EQ(PR.M.Data[0].Bytes.size(), 4u);
+  EXPECT_EQ(PR.M.Data[0].Bytes[0], 0x0A);
+  EXPECT_EQ(PR.M.Data[1].Sect, DataObject::Section::Data);
+  EXPECT_EQ(PR.M.Data[2].Size, 32u);
+  EXPECT_EQ(PR.M.Data[2].Align, 8u);
+}
+
+TEST(Parser, TwoOperandShorthand) {
+  ParseResult PR = parseAssembly(".func f\n.block a\n    add r0, r1\n"
+                                 "    bx lr\n");
+  ASSERT_TRUE(PR.ok()) << PR.Errors.front();
+  const Instr &I = PR.M.Functions[0].Blocks[0].Instrs[0];
+  EXPECT_EQ(I.Kind, OpKind::AddReg);
+  EXPECT_EQ(I.Regs[0], R0);
+  EXPECT_EQ(I.Regs[1], R0);
+  EXPECT_EQ(I.Regs[2], R1);
+}
+
+TEST(Parser, HomeAndLibraryAttributes) {
+  ParseResult PR = parseAssembly(
+      ".module m\n.entry f\n.func f library\n.block a home=ram\n"
+      "    bx lr\n");
+  ASSERT_TRUE(PR.ok()) << PR.Errors.front();
+  EXPECT_FALSE(PR.M.Functions[0].Optimizable);
+  EXPECT_EQ(PR.M.Functions[0].Blocks[0].Home, MemKind::Ram);
+}
+
+TEST(RoundTrip, HandWrittenKitchenSink) {
+  Module M;
+  M.Name = "sink";
+  M.EntryFunction = "f";
+  M.addRodataWords("tab", {0xDEADBEEF, 1});
+  M.addBss("buf", 16);
+  Function F("f");
+  BasicBlock A("entry");
+  A.Instrs = {
+      push((1u << R4) | (1u << LR)),
+      movImm(R0, 0),
+      ldrLitSym(R4, "tab"),
+      ldrImm(R1, R4, 4),
+      setS(subImm(R1, R1, 1)),
+      bCond(Cond::NE, "entry"),
+  };
+  BasicBlock B2("more");
+  B2.Instrs = {
+      mla(R0, R1, R2, R3),   udiv(R2, R2, R3),
+      sxtb(R1, R1),          uxth(R2, R2),
+      strbImm(R0, R4, 3),    ldrhImm(R0, R4, 2),
+      rorReg(R0, R0, R1),    mvn(R5, R6),
+      adc(R0, R0, R1),       sbc(R0, R0, R1),
+      tst(R0, R1),           andImm(R0, R0, 0xFF),
+      cbnz(R2, "more"),
+  };
+  BasicBlock C("fin");
+  C.Instrs = {pop((1u << R4) | (1u << PC))};
+  F.Blocks = {A, B2, C};
+  M.Functions.push_back(F);
+  expectRoundTrip(M);
+}
+
+// Round-trip every BEEBS benchmark at every level: a broad structural
+// property over realistic modules.
+class BeebsRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BeebsRoundTrip, PrintParsePrintIsFixedPoint) {
+  const BeebsInfo &Info = beebsSuite()[std::get<0>(GetParam())];
+  OptLevel L = AllOptLevels[std::get<1>(GetParam())];
+  Module M = Info.Build(L, 2);
+  expectRoundTrip(M);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BeebsRoundTrip,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 5)),
+    [](const auto &Info) {
+      // gtest names must be identifiers: prefix so "2dfir" is legal.
+      return "B" + std::string(beebsSuite()[std::get<0>(Info.param)].Name) +
+             "_" + optLevelName(AllOptLevels[std::get<1>(Info.param)]);
+    });

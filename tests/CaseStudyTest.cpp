@@ -1,0 +1,96 @@
+//===- tests/CaseStudyTest.cpp - Section 7 equations --------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "casestudy/PeriodicApp.h"
+
+#include <gtest/gtest.h>
+
+using namespace ramloc;
+
+TEST(CaseStudy, Equation10) {
+  // E = E0 + PS * (T - TA).
+  ActiveProfile Base{16.9, 1.18};
+  EXPECT_NEAR(periodEnergy(Base, 3.5, 10.0), 16.9 + 3.5 * 8.82, 1e-9);
+  // T == TA: no sleep at all.
+  EXPECT_NEAR(periodEnergy(Base, 3.5, 1.18), 16.9, 1e-12);
+}
+
+TEST(CaseStudy, FactorsFromProfiles) {
+  ActiveProfile Base{16.9, 1.18};
+  ActiveProfile Opt{16.9 * 0.825, 1.18 * 1.33};
+  OptimizationFactors K = factorsFrom(Base, Opt);
+  EXPECT_NEAR(K.Ke, 0.825, 1e-12);
+  EXPECT_NEAR(K.Kt, 1.33, 1e-12);
+}
+
+TEST(CaseStudy, Equation12PaperNumbers) {
+  // The paper's fdct case: E0 = 16.9 mJ, TA = 1.18 s, ke = 0.825,
+  // kt = 1.33, PS = 3.5 mW -> Es = 4.32 mJ.
+  ActiveProfile Base{16.9, 1.18};
+  OptimizationFactors K{0.825, 1.33};
+  double Es = energySaved(Base, K, 3.5);
+  EXPECT_NEAR(Es, 4.32, 0.03);
+}
+
+TEST(CaseStudy, SavingPositiveEvenWithoutEnergyReduction) {
+  // The unintuitive headline: ke = 1 (no active-energy saving) but
+  // kt > 1 still saves energy overall.
+  ActiveProfile Base{10.0, 1.0};
+  OptimizationFactors K{1.0, 1.4};
+  EXPECT_GT(energySaved(Base, K, 3.5), 0.0);
+  // And the saved amount equals PS*TA*(kt-1).
+  EXPECT_NEAR(energySaved(Base, K, 3.5), 3.5 * 1.0 * 0.4, 1e-12);
+}
+
+TEST(CaseStudy, SavedMatchesPeriodDifference) {
+  // Es from Eq. 12 equals E - E' from Eq. 10/11 (for any T, since T
+  // cancels).
+  ActiveProfile Base{12.0, 0.8};
+  OptimizationFactors K{0.85, 1.25};
+  ActiveProfile Opt{Base.EnergyMilliJoules * K.Ke, Base.Seconds * K.Kt};
+  for (double T : {2.0, 5.0, 20.0}) {
+    double Direct = periodEnergy(Base, 3.5, T) - periodEnergy(Opt, 3.5, T);
+    EXPECT_NEAR(Direct, energySaved(Base, K, 3.5), 1e-9) << "T=" << T;
+  }
+}
+
+TEST(CaseStudy, EnergyRatioApproachesOneForLongPeriods) {
+  // Figure 9's shape: largest relative saving at T = TA, asymptotically
+  // no saving as sleep dominates.
+  ActiveProfile Base{16.9, 1.18};
+  ActiveProfile Opt{13.9, 1.57};
+  double RShort = energyRatio(Base, Opt, 3.5, 2.0);
+  double RMid = energyRatio(Base, Opt, 3.5, 8.0);
+  double RLong = energyRatio(Base, Opt, 3.5, 50.0);
+  EXPECT_LT(RShort, RMid);
+  EXPECT_LT(RMid, RLong);
+  EXPECT_LT(RLong, 1.0);
+  EXPECT_NEAR(RLong, 1.0, 0.05);
+  // The paper reports up to ~25% reduction at small periods.
+  EXPECT_LT(RShort, 0.85);
+}
+
+TEST(CaseStudy, BatteryLifeExtension) {
+  ActiveProfile Base{16.9, 1.18};
+  ActiveProfile Opt{13.9, 1.57};
+  // Battery life extension at a short period lands in the paper's "up to
+  // 32%" regime.
+  double Ext = batteryLifeExtension(Base, Opt, 3.5, 1.6);
+  EXPECT_GT(Ext, 0.15);
+  EXPECT_LT(Ext, 0.45);
+  // Monotonically fades with the period.
+  EXPECT_GT(Ext, batteryLifeExtension(Base, Opt, 3.5, 10.0));
+}
+
+TEST(CaseStudy, Figure8Illustration) {
+  Figure8Illustration Fig;
+  EXPECT_NEAR(Fig.unoptimizedMicroJoules(), 60.0, 1e-12);
+  EXPECT_NEAR(Fig.optimizedMicroJoules(), 55.0, 1e-12);
+  // Same active energy on both sides (the diagram's premise).
+  EXPECT_NEAR(Fig.UnoptActiveMw * Fig.UnoptActiveMs,
+              Fig.OptActiveMw * Fig.OptActiveMs, 1e-12);
+}

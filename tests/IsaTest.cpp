@@ -1,0 +1,244 @@
+//===- tests/IsaTest.cpp - ISA layer tests --------------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Condition.h"
+#include "isa/Encoding.h"
+#include "isa/Instr.h"
+#include "isa/Register.h"
+#include "isa/Timing.h"
+
+#include <gtest/gtest.h>
+
+using namespace ramloc;
+using namespace ramloc::build;
+
+TEST(Register, Names) {
+  EXPECT_EQ(regName(R0), "r0");
+  EXPECT_EQ(regName(R12), "r12");
+  EXPECT_EQ(regName(SP), "sp");
+  EXPECT_EQ(regName(LR), "lr");
+  EXPECT_EQ(regName(PC), "pc");
+}
+
+TEST(Register, Parse) {
+  EXPECT_EQ(parseRegName("r0"), R0);
+  EXPECT_EQ(parseRegName("r15"), PC);
+  EXPECT_EQ(parseRegName("sp"), SP);
+  EXPECT_EQ(parseRegName("ip"), R12);
+  EXPECT_EQ(parseRegName("fp"), R11);
+  EXPECT_EQ(parseRegName("r16"), NumRegs);
+  EXPECT_EQ(parseRegName("bogus"), NumRegs);
+  EXPECT_EQ(parseRegName(""), NumRegs);
+}
+
+TEST(Register, LowRegPredicate) {
+  EXPECT_TRUE(isLowReg(R0));
+  EXPECT_TRUE(isLowReg(R7));
+  EXPECT_FALSE(isLowReg(R8));
+  EXPECT_FALSE(isLowReg(SP));
+}
+
+TEST(Condition, InversePairs) {
+  EXPECT_EQ(invertCond(Cond::EQ), Cond::NE);
+  EXPECT_EQ(invertCond(Cond::GT), Cond::LE);
+  EXPECT_EQ(invertCond(Cond::CS), Cond::CC);
+  EXPECT_EQ(invertCond(Cond::HI), Cond::LS);
+  // Inversion is an involution for every real condition.
+  for (unsigned C = 0; C != static_cast<unsigned>(Cond::AL); ++C) {
+    Cond CC = static_cast<Cond>(C);
+    EXPECT_EQ(invertCond(invertCond(CC)), CC);
+  }
+}
+
+TEST(Condition, FlagEvaluation) {
+  Flags F;
+  F.Z = true;
+  EXPECT_TRUE(condPasses(Cond::EQ, F));
+  EXPECT_FALSE(condPasses(Cond::NE, F));
+  EXPECT_TRUE(condPasses(Cond::AL, F));
+
+  // Signed comparisons: N != V <=> LT.
+  F = Flags{};
+  F.N = true;
+  EXPECT_TRUE(condPasses(Cond::LT, F));
+  EXPECT_FALSE(condPasses(Cond::GE, F));
+  F.V = true; // N == V again
+  EXPECT_TRUE(condPasses(Cond::GE, F));
+  EXPECT_TRUE(condPasses(Cond::GT, F));
+
+  // Unsigned: HI = C && !Z.
+  F = Flags{};
+  F.C = true;
+  EXPECT_TRUE(condPasses(Cond::HI, F));
+  F.Z = true;
+  EXPECT_FALSE(condPasses(Cond::HI, F));
+  EXPECT_TRUE(condPasses(Cond::LS, F));
+}
+
+TEST(Condition, ComplementaryEvaluation) {
+  // cond and its inverse never agree, over all flag combinations.
+  for (unsigned Bits = 0; Bits != 16; ++Bits) {
+    Flags F;
+    F.N = Bits & 1;
+    F.Z = Bits & 2;
+    F.C = Bits & 4;
+    F.V = Bits & 8;
+    for (unsigned C = 0; C != static_cast<unsigned>(Cond::AL); ++C) {
+      Cond CC = static_cast<Cond>(C);
+      EXPECT_NE(condPasses(CC, F), condPasses(invertCond(CC), F));
+    }
+  }
+}
+
+TEST(Condition, Names) {
+  EXPECT_EQ(condName(Cond::EQ), "eq");
+  EXPECT_EQ(condName(Cond::AL), "");
+  Cond C;
+  EXPECT_TRUE(parseCondName("le", C));
+  EXPECT_EQ(C, Cond::LE);
+  EXPECT_TRUE(parseCondName("hs", C));
+  EXPECT_EQ(C, Cond::CS);
+  EXPECT_TRUE(parseCondName("", C));
+  EXPECT_EQ(C, Cond::AL);
+  EXPECT_FALSE(parseCondName("xx", C));
+}
+
+TEST(Encoding, NarrowDataProcessing) {
+  EXPECT_EQ(encodingSizeBytes(movImm(R0, 255)), 2u);
+  EXPECT_EQ(encodingSizeBytes(movImm(R0, 256)), 4u);
+  EXPECT_EQ(encodingSizeBytes(movImm(R8, 1)), 4u);
+  EXPECT_EQ(encodingSizeBytes(movReg(R11, R12)), 2u);
+  EXPECT_EQ(encodingSizeBytes(addImm(R1, R1, 200)), 2u);
+  EXPECT_EQ(encodingSizeBytes(addImm(R1, R2, 7)), 2u);
+  EXPECT_EQ(encodingSizeBytes(addImm(R1, R2, 8)), 4u);
+  EXPECT_EQ(encodingSizeBytes(addImm(SP, SP, 44)), 2u);
+  EXPECT_EQ(encodingSizeBytes(subReg(R0, R1, R2)), 2u);
+  EXPECT_EQ(encodingSizeBytes(subReg(R0, R1, R8)), 4u);
+}
+
+TEST(Encoding, TwoOperandForms) {
+  EXPECT_EQ(encodingSizeBytes(andReg(R0, R0, R1)), 2u);
+  EXPECT_EQ(encodingSizeBytes(andReg(R0, R1, R2)), 4u);
+  EXPECT_EQ(encodingSizeBytes(mul(R2, R2, R3)), 2u);
+  EXPECT_EQ(encodingSizeBytes(mul(R2, R3, R4)), 4u);
+  EXPECT_EQ(encodingSizeBytes(mla(R0, R1, R2, R3)), 4u);
+  EXPECT_EQ(encodingSizeBytes(udiv(R0, R1, R2)), 4u);
+}
+
+TEST(Encoding, Memory) {
+  EXPECT_EQ(encodingSizeBytes(ldrImm(R0, R1, 124)), 2u);
+  EXPECT_EQ(encodingSizeBytes(ldrImm(R0, R1, 128)), 4u);
+  EXPECT_EQ(encodingSizeBytes(ldrImm(R0, R1, 2)), 4u); // unaligned offset
+  EXPECT_EQ(encodingSizeBytes(ldrImm(R0, SP, 1020)), 2u);
+  EXPECT_EQ(encodingSizeBytes(ldrbImm(R0, R1, 31)), 2u);
+  EXPECT_EQ(encodingSizeBytes(ldrbImm(R0, R1, 32)), 4u);
+  EXPECT_EQ(encodingSizeBytes(ldrReg(R0, R1, R2)), 2u);
+  EXPECT_EQ(encodingSizeBytes(ldrReg(R0, R1, R9)), 4u);
+}
+
+TEST(Encoding, Figure4SequenceSizes) {
+  // The published instrumentation byte counts depend on these encodings.
+  EXPECT_EQ(encodingSizeBytes(b("x")), 2u);
+  EXPECT_EQ(encodingSizeBytes(bCond(Cond::NE, "x")), 2u);
+  EXPECT_EQ(encodingSizeBytes(cbz(R0, "x")), 2u);
+  EXPECT_EQ(encodingSizeBytes(ldrLitSym(PC, "x")), 4u); // ldr pc, =label
+  EXPECT_EQ(encodingSizeBytes(ldrLitSym(ScratchReg, "x")), 2u);
+  EXPECT_EQ(encodingSizeBytes(ite(Cond::NE)), 2u);
+  EXPECT_EQ(encodingSizeBytes(bx(ScratchReg)), 2u);
+  EXPECT_EQ(encodingSizeBytes(cmpImm(R0, 0)), 2u);
+
+  // Unconditional: 4 bytes; conditional: 2+2+2+2 = 8; short conditional:
+  // 10; fall-through: 4 (Figure 4).
+  unsigned CondSeq = encodingSizeBytes(ite(Cond::NE)) +
+                     2 * encodingSizeBytes(ldrLitSym(ScratchReg, "x")) +
+                     encodingSizeBytes(bx(ScratchReg));
+  EXPECT_EQ(CondSeq, 8u);
+  EXPECT_EQ(CondSeq + encodingSizeBytes(cmpImm(R0, 0)), 10u);
+}
+
+TEST(Encoding, PushPop) {
+  EXPECT_EQ(encodingSizeBytes(push((1u << R4) | (1u << LR))), 2u);
+  EXPECT_EQ(encodingSizeBytes(push((1u << R8) | (1u << LR))), 4u);
+  EXPECT_EQ(encodingSizeBytes(pop((1u << R4) | (1u << PC))), 2u);
+}
+
+TEST(Timing, Figure4SequenceCycles) {
+  TimingModel T;
+  // ldr pc, =label: 4 cycles (Figure 4, unconditional / fall-through).
+  EXPECT_EQ(T.cycles(ldrLitSym(PC, "x"), false), 4u);
+  // it + ldr(exec) + ldr(skipped) + bx = 1 + 2 + 1 + 3 = 7 (conditional).
+  unsigned Seq = T.cycles(ite(Cond::NE), false) +
+                 T.cycles(ldrLitSym(ScratchReg, "x"), false) +
+                 T.SkippedCycles + T.cycles(bx(ScratchReg), false);
+  EXPECT_EQ(Seq, 7u);
+  // cmp + the above = 8 (short conditional).
+  EXPECT_EQ(Seq + T.cycles(cmpImm(R0, 0), false), 8u);
+  // Original branches: b = 3 taken; bcc = 3 taken / 1 not.
+  EXPECT_EQ(T.cycles(b("x"), true), 3u);
+  EXPECT_EQ(T.cycles(bCond(Cond::NE, "x"), true), 3u);
+  EXPECT_EQ(T.cycles(bCond(Cond::NE, "x"), false), 1u);
+}
+
+TEST(Timing, LoadsStoresAndPushPop) {
+  TimingModel T;
+  EXPECT_EQ(T.cycles(ldrImm(R0, R1, 0), false), 2u);
+  EXPECT_EQ(T.cycles(strImm(R0, R1, 0), false), 2u);
+  EXPECT_EQ(T.cycles(push((1u << R4) | (1u << R5) | (1u << LR)), false),
+            4u); // 1 + 3 regs
+  EXPECT_EQ(T.cycles(pop((1u << R4) | (1u << PC)), false),
+            5u); // 1 + 2 regs + refill
+  EXPECT_EQ(T.cycles(bl("f"), true), 4u);
+  EXPECT_EQ(T.cycles(mul(R0, R0, R1), false), 1u);
+  EXPECT_EQ(T.cycles(udiv(R0, R0, R1), false), 6u);
+}
+
+TEST(Timing, ExpectedBranchCycles) {
+  TimingModel T;
+  Instr Bcc = bCond(Cond::NE, "x");
+  EXPECT_DOUBLE_EQ(T.expectedBranchCycles(Bcc, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(T.expectedBranchCycles(Bcc, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(T.expectedBranchCycles(Bcc, 0.5), 2.0);
+}
+
+TEST(Instr, TerminatorClassification) {
+  EXPECT_TRUE(b("x").isTerminator());
+  EXPECT_TRUE(bCond(Cond::EQ, "x").isTerminator());
+  EXPECT_TRUE(cbz(R0, "x").isTerminator());
+  EXPECT_TRUE(bx(LR).isTerminator());
+  EXPECT_TRUE(bkpt().isTerminator());
+  EXPECT_TRUE(pop((1u << R4) | (1u << PC)).isTerminator());
+  EXPECT_FALSE(pop(1u << R4).isTerminator());
+  EXPECT_TRUE(ldrLitSym(PC, "x").isTerminator());
+  EXPECT_FALSE(ldrLitSym(R0, "x").isTerminator());
+  EXPECT_FALSE(bl("f").isTerminator());
+  EXPECT_FALSE(wfi().isTerminator());
+  EXPECT_FALSE(addImm(R0, R0, 1).isTerminator());
+}
+
+TEST(Instr, CallAndJumpPredicates) {
+  EXPECT_TRUE(bl("f").isCall());
+  EXPECT_TRUE(blx(R3).isCall());
+  EXPECT_FALSE(b("x").isCall());
+  EXPECT_TRUE(ldrLitSym(PC, "x").isLongJump());
+  EXPECT_FALSE(ldrLitSym(R1, "x").isLongJump());
+}
+
+TEST(Instr, RegMaskCount) {
+  EXPECT_EQ(regMaskCount(0), 0u);
+  EXPECT_EQ(regMaskCount(0xF), 4u);
+  EXPECT_EQ(regMaskCount((1u << LR) | (1u << R0)), 2u);
+}
+
+TEST(Instr, OpClassMapping) {
+  EXPECT_EQ(opClass(OpKind::LdrImm), InstrClass::Load);
+  EXPECT_EQ(opClass(OpKind::Pop), InstrClass::Load);
+  EXPECT_EQ(opClass(OpKind::Push), InstrClass::Store);
+  EXPECT_EQ(opClass(OpKind::B), InstrClass::Branch);
+  EXPECT_EQ(opClass(OpKind::Mul), InstrClass::Mul);
+  EXPECT_EQ(opClass(OpKind::Nop), InstrClass::Nop);
+  EXPECT_EQ(opClass(OpKind::AddImm), InstrClass::Alu);
+}

@@ -1,0 +1,212 @@
+//===- tests/LpTest.cpp - simplex and branch & bound -----------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/BranchBound.h"
+#include "lp/Simplex.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace ramloc;
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36.
+  // As minimization of the negated objective.
+  LpProblem P;
+  unsigned X = P.addVariable(0, 1e9, -3);
+  unsigned Y = P.addVariable(0, 1e9, -5);
+  P.addConstraint({{X, 1.0}}, ConstraintSense::LessEq, 4);
+  P.addConstraint({{Y, 2.0}}, ConstraintSense::LessEq, 12);
+  P.addConstraint({{X, 3.0}, {Y, 2.0}}, ConstraintSense::LessEq, 18);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], 2.0, 1e-7);
+  EXPECT_NEAR(S.Values[Y], 6.0, 1e-7);
+  EXPECT_NEAR(S.Objective, -36.0, 1e-7);
+}
+
+TEST(Simplex, EqualityAndGreaterConstraints) {
+  // min x + y st x + y >= 2, x - y == 0  ->  x = y = 1.
+  LpProblem P;
+  unsigned X = P.addVariable(0, 100, 1);
+  unsigned Y = P.addVariable(0, 100, 1);
+  P.addConstraint({{X, 1.0}, {Y, 1.0}}, ConstraintSense::GreaterEq, 2);
+  P.addConstraint({{X, 1.0}, {Y, -1.0}}, ConstraintSense::Equal, 0);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], 1.0, 1e-7);
+  EXPECT_NEAR(S.Values[Y], 1.0, 1e-7);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  LpProblem P;
+  unsigned X = P.addVariable(0, 10, 1);
+  P.addConstraint({{X, 1.0}}, ConstraintSense::GreaterEq, 20);
+  EXPECT_EQ(solveLp(P).Status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, ContradictoryRowsInfeasible) {
+  LpProblem P;
+  unsigned X = P.addVariable(0, 10, 0);
+  P.addConstraint({{X, 1.0}}, ConstraintSense::GreaterEq, 5);
+  P.addConstraint({{X, 1.0}}, ConstraintSense::LessEq, 3);
+  EXPECT_EQ(solveLp(P).Status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  LpProblem P;
+  unsigned X = P.addVariable(0, std::numeric_limits<double>::infinity(),
+                             -1.0);
+  (void)X;
+  EXPECT_EQ(solveLp(P).Status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x st x >= -5 (shifted variable handling).
+  LpProblem P;
+  unsigned X = P.addVariable(-5, 5, 1);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], -5.0, 1e-7);
+}
+
+TEST(Simplex, FixedVariableSubstitution) {
+  // x fixed at 2 by bounds participates via the RHS only.
+  LpProblem P;
+  unsigned X = P.addVariable(2, 2, 1);
+  unsigned Y = P.addVariable(0, 10, 1);
+  P.addConstraint({{X, 1.0}, {Y, 1.0}}, ConstraintSense::GreaterEq, 5);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], 2.0, 1e-9);
+  EXPECT_NEAR(S.Values[Y], 3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the optimum.
+  LpProblem P;
+  unsigned X = P.addVariable(0, 10, -1);
+  P.addConstraint({{X, 1.0}}, ConstraintSense::LessEq, 5);
+  P.addConstraint({{X, 2.0}}, ConstraintSense::LessEq, 10);
+  P.addConstraint({{X, 3.0}}, ConstraintSense::LessEq, 15);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], 5.0, 1e-7);
+}
+
+TEST(Mip, SimpleKnapsack) {
+  // max 10a + 6b + 4c st 5a + 4b + 3c <= 9 -> {a, b} wait: a+b = 16,
+  // weight 9 feasible; optimal is a+b = 16.
+  LpProblem P;
+  unsigned A = P.addBinary(-10);
+  unsigned B = P.addBinary(-6);
+  unsigned C = P.addBinary(-4);
+  P.addConstraint({{A, 5.0}, {B, 4.0}, {C, 3.0}}, ConstraintSense::LessEq,
+                  9);
+  MipSolution S = solveMip(P);
+  ASSERT_TRUE(S.feasible());
+  EXPECT_TRUE(S.Proven);
+  EXPECT_NEAR(S.Objective, -16.0, 1e-7);
+  EXPECT_NEAR(S.Values[A], 1.0, 1e-7);
+  EXPECT_NEAR(S.Values[B], 1.0, 1e-7);
+  EXPECT_NEAR(S.Values[C], 0.0, 1e-7);
+}
+
+TEST(Mip, IntegralityMatters) {
+  // LP relaxation would take half of a big item; MIP must not.
+  LpProblem P;
+  unsigned A = P.addBinary(-10);
+  unsigned B = P.addBinary(-4);
+  P.addConstraint({{A, 10.0}, {B, 5.0}}, ConstraintSense::LessEq, 5);
+  MipSolution S = solveMip(P);
+  ASSERT_TRUE(S.feasible());
+  EXPECT_NEAR(S.Objective, -4.0, 1e-7);
+  EXPECT_NEAR(S.Values[A], 0.0, 1e-7);
+}
+
+TEST(Mip, InfeasibleMip) {
+  LpProblem P;
+  unsigned A = P.addBinary(-1);
+  P.addConstraint({{A, 1.0}}, ConstraintSense::GreaterEq, 2);
+  MipSolution S = solveMip(P);
+  EXPECT_FALSE(S.feasible());
+}
+
+TEST(Mip, MixedContinuousBinary) {
+  // min -x - 10b st x <= 3 + 2b, x <= 4.5, b binary.
+  LpProblem P;
+  unsigned X = P.addVariable(0, 4.5, -1);
+  unsigned B = P.addBinary(-10);
+  P.addConstraint({{X, 1.0}, {B, -2.0}}, ConstraintSense::LessEq, 3);
+  MipSolution S = solveMip(P);
+  ASSERT_TRUE(S.feasible());
+  EXPECT_NEAR(S.Values[B], 1.0, 1e-7);
+  EXPECT_NEAR(S.Values[X], 4.5, 1e-7);
+}
+
+TEST(LpProblem, FeasibilityChecker) {
+  LpProblem P;
+  unsigned A = P.addBinary(-1);
+  unsigned B = P.addBinary(-1);
+  P.addConstraint({{A, 1.0}, {B, 1.0}}, ConstraintSense::LessEq, 1);
+  EXPECT_TRUE(P.isFeasible({1, 0}));
+  EXPECT_TRUE(P.isFeasible({0, 1}));
+  EXPECT_FALSE(P.isFeasible({1, 1}));
+  EXPECT_FALSE(P.isFeasible({2, 0})); // bound violation
+  EXPECT_FALSE(P.isFeasible({1}));    // wrong arity
+  EXPECT_DOUBLE_EQ(P.objectiveValue({1, 0}), -1.0);
+}
+
+namespace {
+
+/// Exhaustive 0/1 reference optimum for small problems.
+double bruteForceOptimum(const LpProblem &P) {
+  unsigned N = P.numVariables();
+  double Best = std::numeric_limits<double>::infinity();
+  for (uint64_t Mask = 0; Mask != (1ULL << N); ++Mask) {
+    std::vector<double> X(N);
+    for (unsigned J = 0; J != N; ++J)
+      X[J] = (Mask >> J) & 1;
+    if (P.isFeasible(X))
+      Best = std::min(Best, P.objectiveValue(X));
+  }
+  return Best;
+}
+
+} // namespace
+
+/// Property sweep: the MIP solver matches brute force on random knapsacks
+/// with side constraints.
+class MipRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipRandomized, MatchesBruteForce) {
+  SplitMix64 Rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  unsigned N = 4 + static_cast<unsigned>(Rng.nextBelow(9)); // 4..12 vars
+  LpProblem P;
+  for (unsigned J = 0; J != N; ++J)
+    P.addBinary(static_cast<double>(Rng.nextInRange(-20, 5)));
+  unsigned NumCons = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned C = 0; C != NumCons; ++C) {
+    std::vector<std::pair<unsigned, double>> Terms;
+    for (unsigned J = 0; J != N; ++J)
+      if (Rng.nextBool(0.7))
+        Terms.push_back({J, static_cast<double>(Rng.nextInRange(1, 9))});
+    if (Terms.empty())
+      Terms.push_back({0, 1.0});
+    double Rhs = static_cast<double>(Rng.nextInRange(3, 25));
+    P.addConstraint(std::move(Terms), ConstraintSense::LessEq, Rhs);
+  }
+
+  double Reference = bruteForceOptimum(P);
+  MipSolution S = solveMip(P);
+  ASSERT_TRUE(S.feasible()); // all-zeros is always feasible here
+  EXPECT_TRUE(S.Proven);
+  EXPECT_NEAR(S.Objective, Reference, 1e-6);
+  EXPECT_TRUE(P.isFeasible(S.Values));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MipRandomized, ::testing::Range(0, 25));

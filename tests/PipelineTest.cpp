@@ -1,0 +1,161 @@
+//===- tests/PipelineTest.cpp - end-to-end optimization ----------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace ramloc;
+
+namespace {
+
+PipelineOptions fastOptions() {
+  PipelineOptions PO;
+  PO.Knobs.RspareBytes = 1024;
+  PO.Knobs.Xlimit = 1.5;
+  return PO;
+}
+
+} // namespace
+
+TEST(Pipeline, IntMatmultImprovesEnergy) {
+  Module M = buildBeebs("int_matmult", OptLevel::O2, 3);
+  PipelineResult R = optimizeModule(M, fastOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(R.MovedBlocks.empty());
+  // The headline result: measured energy drops, time rises.
+  EXPECT_LT(R.MeasuredOpt.Energy.MilliJoules,
+            R.MeasuredBase.Energy.MilliJoules);
+  EXPECT_GE(R.MeasuredOpt.Energy.Seconds, R.MeasuredBase.Energy.Seconds);
+  // Average power drops substantially (Figure 5: power always drops).
+  EXPECT_LT(R.MeasuredOpt.Energy.AvgMilliWatts,
+            R.MeasuredBase.Energy.AvgMilliWatts);
+}
+
+TEST(Pipeline, ChecksumPreservedAcrossSuite) {
+  // A cross-module integration sweep at one level: outputs preserved.
+  for (const BeebsInfo &Info : beebsSuite()) {
+    Module M = Info.Build(OptLevel::O1, 2);
+    PipelineResult R = optimizeModule(M, fastOptions());
+    ASSERT_TRUE(R.ok()) << Info.Name << ": " << R.Error;
+    EXPECT_EQ(R.MeasuredBase.Stats.ExitCode,
+              R.MeasuredOpt.Stats.ExitCode)
+        << Info.Name;
+  }
+}
+
+TEST(Pipeline, ModelPredictionsTrackMeasurement) {
+  Module M = buildBeebs("fdct", OptLevel::O2, 4);
+  PipelineResult R = optimizeModule(M, fastOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // The model is an estimate: demand directional agreement and a loose
+  // magnitude match (within 35%) for the energy ratio.
+  double PredictedRatio = R.PredictedOpt.EnergyMilliJoules /
+                          R.PredictedBase.EnergyMilliJoules;
+  double MeasuredRatio = R.MeasuredOpt.Energy.MilliJoules /
+                         R.MeasuredBase.Energy.MilliJoules;
+  EXPECT_LT(PredictedRatio, 1.0);
+  EXPECT_LT(MeasuredRatio, 1.0);
+  EXPECT_NEAR(PredictedRatio, MeasuredRatio, 0.35);
+}
+
+TEST(Pipeline, RespectsRamBudget) {
+  Module M = buildBeebs("sha", OptLevel::O2, 2);
+  PipelineOptions PO = fastOptions();
+  PO.Knobs.RspareBytes = 64; // tiny: at most a block or two
+  PipelineResult R = optimizeModule(M, PO);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_LE(R.PredictedOpt.RamBytes, 64u);
+}
+
+TEST(Pipeline, ZeroBudgetMeansNoChange) {
+  Module M = buildBeebs("crc32", OptLevel::O1, 2);
+  PipelineOptions PO = fastOptions();
+  PO.Knobs.RspareBytes = 0;
+  PipelineResult R = optimizeModule(M, PO);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.MovedBlocks.empty());
+  EXPECT_EQ(R.MeasuredOpt.Stats.Cycles, R.MeasuredBase.Stats.Cycles);
+}
+
+TEST(Pipeline, ProfiledFrequenciesWork) {
+  Module M = buildBeebs("dijkstra", OptLevel::O2, 2);
+  PipelineOptions PO = fastOptions();
+  PO.UseProfiledFrequencies = true;
+  PipelineResult R = optimizeModule(M, PO);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.MeasuredBase.Stats.ExitCode, R.MeasuredOpt.Stats.ExitCode);
+  EXPECT_LT(R.MeasuredOpt.Energy.MilliJoules,
+            R.MeasuredBase.Energy.MilliJoules);
+}
+
+TEST(Pipeline, TightXlimitLimitsSlowdown) {
+  Module M = buildBeebs("int_matmult", OptLevel::O1, 2);
+  PipelineOptions PO = fastOptions();
+  PO.Knobs.Xlimit = 1.05;
+  PipelineResult R = optimizeModule(M, PO);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // The modelled slowdown respects the bound...
+  EXPECT_LE(R.PredictedOpt.Cycles,
+            1.05 * R.PredictedBase.Cycles + 1e-6);
+  // ...and the measured slowdown stays close to it (the model and the
+  // simulated hardware share the cycle tables, so agreement is tight).
+  EXPECT_LE(R.MeasuredOpt.Stats.Cycles,
+            1.12 * R.MeasuredBase.Stats.Cycles);
+}
+
+TEST(Pipeline, LibraryHeavyBenchmarksBarelyImprove) {
+  // cubic spends its time in non-optimizable soft-float code, so the
+  // optimizer finds little to move (the paper's Section 6 observation).
+  Module Cubic = buildBeebs("cubic", OptLevel::O2, 2);
+  PipelineResult RC = optimizeModule(Cubic, fastOptions());
+  ASSERT_TRUE(RC.ok()) << RC.Error;
+  double CubicSaving = 1.0 - RC.MeasuredOpt.Energy.MilliJoules /
+                                 RC.MeasuredBase.Energy.MilliJoules;
+
+  Module IM = buildBeebs("int_matmult", OptLevel::O2, 2);
+  PipelineResult RI = optimizeModule(IM, fastOptions());
+  ASSERT_TRUE(RI.ok()) << RI.Error;
+  double MatmultSaving = 1.0 - RI.MeasuredOpt.Energy.MilliJoules /
+                                   RI.MeasuredBase.Energy.MilliJoules;
+
+  EXPECT_LT(CubicSaving, MatmultSaving);
+  EXPECT_LT(CubicSaving, 0.10);
+}
+
+TEST(Pipeline, LinkerViewUnlocksLibraryCode) {
+  // The paper's Section 8 future work, implemented: with full program
+  // visibility the soft-float library moves too and cubic's saving jumps.
+  Module M = buildBeebs("cubic", OptLevel::O2, 2);
+  PipelineOptions Compiler = fastOptions();
+  PipelineResult RC = optimizeModule(M, Compiler);
+  ASSERT_TRUE(RC.ok()) << RC.Error;
+
+  PipelineOptions Linker = fastOptions();
+  Linker.Extract.TreatLibraryAsMovable = true;
+  PipelineResult RL = optimizeModule(M, Linker);
+  ASSERT_TRUE(RL.ok()) << RL.Error;
+
+  EXPECT_EQ(RL.MeasuredBase.Stats.ExitCode,
+            RL.MeasuredOpt.Stats.ExitCode);
+  EXPECT_GT(RL.MovedBlocks.size(), RC.MovedBlocks.size());
+  double CompilerRatio = RC.MeasuredOpt.Energy.MilliJoules /
+                         RC.MeasuredBase.Energy.MilliJoules;
+  double LinkerRatio = RL.MeasuredOpt.Energy.MilliJoules /
+                       RL.MeasuredBase.Energy.MilliJoules;
+  EXPECT_LT(LinkerRatio, CompilerRatio - 0.10);
+}
+
+TEST(Pipeline, VerifierRejectionSurfaces) {
+  Module M = buildBeebs("crc32", OptLevel::O1, 2);
+  M.Functions[0].Blocks[0].Instrs.push_back(
+      build::b("nonexistent-label"));
+  PipelineResult R = optimizeModule(M, fastOptions());
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("verifier"), std::string::npos);
+}

@@ -1,0 +1,129 @@
+//===- tests/SupportTest.cpp - support library tests ----------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace ramloc;
+
+TEST(Format, Basic) {
+  EXPECT_EQ(formatString("x=%d", 42), "x=42");
+  EXPECT_EQ(formatString("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(formatString("%s", ""), "");
+}
+
+TEST(Format, LongStringsAllocate) {
+  std::string Long(1000, 'y');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 1000u);
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(-1.0, 0), "-1");
+}
+
+TEST(Format, PercentChange) {
+  EXPECT_EQ(formatPercentChange(0.9), "-10.0%");
+  EXPECT_EQ(formatPercentChange(1.25), "+25.0%");
+  EXPECT_EQ(formatPercentChange(1.0), "+0.0%");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+TEST(Random, Deterministic) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Random, RangeBounds) {
+  SplitMix64 R(7);
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  SplitMix64 R(9);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, BoolProbability) {
+  SplitMix64 R(11);
+  int True = 0;
+  for (int I = 0; I != 10000; ++I)
+    True += R.nextBool(0.25);
+  EXPECT_NEAR(True / 10000.0, 0.25, 0.03);
+}
+
+TEST(Statistics, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Statistics, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Statistics, StdDev) {
+  EXPECT_DOUBLE_EQ(sampleStdDev({2, 2, 2}), 0.0);
+  EXPECT_NEAR(sampleStdDev({1, 2, 3}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sampleStdDev({5}), 0.0);
+}
+
+TEST(Statistics, PercentChange) {
+  EXPECT_DOUBLE_EQ(percentChange(100, 90), -10.0);
+  EXPECT_DOUBLE_EQ(percentChange(50, 75), 50.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "22"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name    value"), std::string::npos);
+  EXPECT_NE(Out.find("longer  22"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(Table, SeparatorRow) {
+  Table T({"h"});
+  T.addRow({"x"});
+  T.addSeparator();
+  T.addRow({"y"});
+  std::string Out = T.render();
+  // Two rules: one under the header, one mid-table.
+  size_t First = Out.find("-\n");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(Out.find("-\n", First + 1), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table T({"a", "b", "c"});
+  T.addRow({"only"});
+  EXPECT_NO_THROW({ std::string S = T.render(); });
+}
