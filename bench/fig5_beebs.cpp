@@ -17,10 +17,14 @@
 // leaves little after data and stack, which is what makes the selection
 // problem interesting.
 //
+// The whole figure is one campaign grid — benchmarks x {O2, Os} x
+// {static, profiled} — executed in parallel by the campaign engine; this
+// driver only formats the results.
+//
 //===----------------------------------------------------------------------===//
 
 #include "beebs/Beebs.h"
-#include "core/Pipeline.h"
+#include "campaign/Campaign.h"
 #include "support/Format.h"
 #include "support/Table.h"
 
@@ -30,54 +34,6 @@ using namespace ramloc;
 
 namespace {
 
-struct Row {
-  double EnergyPct = 0.0;
-  double TimePct = 0.0;
-  double PowerPct = 0.0;
-  double EnergyPctProf = 0.0;
-  double TimePctProf = 0.0;
-  bool OK = false;
-};
-
-Row runOne(const BeebsInfo &Info, OptLevel L) {
-  Row Out;
-  Module M = Info.Build(L, Info.DefaultRepeat);
-
-  PipelineOptions Opts;
-  Opts.Knobs.RspareBytes = 512;
-  Opts.Knobs.Xlimit = 1.5;
-
-  PipelineResult Est = optimizeModule(M, Opts);
-  if (!Est.ok()) {
-    std::printf("%s %s: %s\n", Info.Name, optLevelName(L),
-                Est.Error.c_str());
-    return Out;
-  }
-  Opts.UseProfiledFrequencies = true;
-  PipelineResult Prof = optimizeModule(M, Opts);
-  if (!Prof.ok()) {
-    std::printf("%s %s (prof): %s\n", Info.Name, optLevelName(L),
-                Prof.Error.c_str());
-    return Out;
-  }
-
-  auto pct = [](double Base, double Opt) {
-    return (Opt / Base - 1.0) * 100.0;
-  };
-  Out.EnergyPct = pct(Est.MeasuredBase.Energy.MilliJoules,
-                      Est.MeasuredOpt.Energy.MilliJoules);
-  Out.TimePct = pct(Est.MeasuredBase.Energy.Seconds,
-                    Est.MeasuredOpt.Energy.Seconds);
-  Out.PowerPct = pct(Est.MeasuredBase.Energy.AvgMilliWatts,
-                     Est.MeasuredOpt.Energy.AvgMilliWatts);
-  Out.EnergyPctProf = pct(Prof.MeasuredBase.Energy.MilliJoules,
-                          Prof.MeasuredOpt.Energy.MilliJoules);
-  Out.TimePctProf = pct(Prof.MeasuredBase.Energy.Seconds,
-                        Prof.MeasuredOpt.Energy.Seconds);
-  Out.OK = true;
-  return Out;
-}
-
 std::string fmtPct(double V) { return formatString("%+.1f%%", V); }
 
 } // namespace
@@ -86,29 +42,56 @@ int main() {
   std::printf("== Figure 5: %% change from the optimization, per "
               "benchmark (Rspare = 512 B, Xlimit = 1.5) ==\n\n");
 
+  GridSpec Grid;
+  Grid.Benchmarks = beebsNames();
+  Grid.Levels = {OptLevel::O2, OptLevel::Os};
+  Grid.FreqModes = {FreqMode::Static, FreqMode::Profiled};
+  Grid.RsparePoints = {512};
+  Grid.XlimitPoints = {1.5};
+
+  CampaignOptions Opts;
+  Opts.Jobs = 0; // hardware concurrency
+  CampaignResult CR = runCampaign(Grid, Opts);
+
+  // Expansion order: benchmark-major, then level, then frequency mode;
+  // strides follow the axis sizes so extending the grid can't skew rows.
+  const size_t FreqN = Grid.FreqModes.size();
+  const size_t LevelStride = FreqN * Grid.XlimitPoints.size() *
+                             Grid.RsparePoints.size() *
+                             Grid.Devices.size();
+  const size_t BenchStride = LevelStride * Grid.Levels.size();
+  auto at = [&](size_t Bench, size_t Level, size_t Freq) -> const JobResult & {
+    return CR.Results[Bench * BenchStride + Level * LevelStride + Freq];
+  };
+
   bool AllOK = true;
   double BestEnergy = 0.0, BestPower = 0.0;
   const char *BestEnergyName = "", *BestPowerName = "";
 
-  for (OptLevel L : {OptLevel::O2, OptLevel::Os}) {
-    std::printf("--- %s ---\n", optLevelName(L));
+  for (size_t LI = 0; LI != Grid.Levels.size(); ++LI) {
+    std::printf("--- %s ---\n", optLevelName(Grid.Levels[LI]));
     Table T({"benchmark", "energy", "time", "power", "energy w/freq",
              "time w/freq"});
-    for (const BeebsInfo &Info : beebsSuite()) {
-      Row R = runOne(Info, L);
-      if (!R.OK) {
+    for (size_t BI = 0; BI != Grid.Benchmarks.size(); ++BI) {
+      const BeebsInfo &Info = beebsSuite()[BI];
+      const JobResult &Est = at(BI, LI, 0);
+      const JobResult &Prof = at(BI, LI, 1);
+      if (!Est.ok() || !Prof.ok()) {
+        std::printf("%s %s: %s\n", Info.Name,
+                    optLevelName(Grid.Levels[LI]),
+                    (!Est.ok() ? Est.Error : Prof.Error).c_str());
         AllOK = false;
         continue;
       }
-      T.addRow({Info.Name, fmtPct(R.EnergyPct), fmtPct(R.TimePct),
-                fmtPct(R.PowerPct), fmtPct(R.EnergyPctProf),
-                fmtPct(R.TimePctProf)});
-      if (R.EnergyPct < BestEnergy) {
-        BestEnergy = R.EnergyPct;
+      T.addRow({Info.Name, fmtPct(Est.energyPct()), fmtPct(Est.timePct()),
+                fmtPct(Est.powerPct()), fmtPct(Prof.energyPct()),
+                fmtPct(Prof.timePct())});
+      if (Est.energyPct() < BestEnergy) {
+        BestEnergy = Est.energyPct();
         BestEnergyName = Info.Name;
       }
-      if (R.PowerPct < BestPower) {
-        BestPower = R.PowerPct;
+      if (Est.powerPct() < BestPower) {
+        BestPower = Est.powerPct();
         BestPowerName = Info.Name;
       }
     }

@@ -13,9 +13,13 @@
 // fdct has two similarly sized pass bodies, giving three clusters (none /
 // one / both in RAM).
 //
+// The Rspare and Xlimit solver sweeps run as model-only campaign grids:
+// each table row is one job, solved in parallel by the engine.
+//
 //===----------------------------------------------------------------------===//
 
 #include "beebs/Beebs.h"
+#include "campaign/Campaign.h"
 #include "core/Enumerator.h"
 #include "core/Pipeline.h"
 #include "support/Format.h"
@@ -23,11 +27,27 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <set>
 
 using namespace ramloc;
 
 namespace {
+
+/// Runs a one-benchmark model-only grid and returns results in axis
+/// order (only one axis has more than one point).
+std::vector<JobResult> modelSweep(const char *Name,
+                                  std::vector<unsigned> RsparePoints,
+                                  std::vector<double> XlimitPoints) {
+  GridSpec Grid;
+  Grid.Benchmarks = {Name};
+  Grid.Levels = {OptLevel::O2};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = std::move(RsparePoints);
+  Grid.XlimitPoints = std::move(XlimitPoints);
+  Grid.Kind = JobKind::ModelOnly;
+  CampaignOptions Opts;
+  Opts.Jobs = 0; // hardware concurrency
+  return runCampaign(Grid, Opts).Results;
+}
 
 void exploreBenchmark(const char *Name, unsigned CandidateCount) {
   Module M = buildBeebs(Name, OptLevel::O2, 2);
@@ -72,21 +92,18 @@ void exploreBenchmark(const char *Name, unsigned CandidateCount) {
   // Solver trajectory: relaxing Rspare (paper's dashed line).
   std::printf("\n  constraining RAM (Xlimit = 1.5):\n");
   Table TR({"Rspare (B)", "energy (uJ)", "time (kcyc)", "RAM used"});
+  std::vector<JobResult> RspareSweep = modelSweep(
+      Name, {0u, 32u, 64u, 96u, 128u, 192u, 256u, 512u}, {1.5});
   double LastEnergy = 1e99;
   bool Monotone = true;
-  for (unsigned Rspare : {0u, 32u, 64u, 96u, 128u, 192u, 256u, 512u}) {
-    ModelKnobs Knobs;
-    Knobs.RspareBytes = Rspare;
-    Knobs.Xlimit = 1.5;
-    Assignment R = solvePlacement(MP, Knobs);
-    ModelEstimate E = evaluateAssignment(MP, R);
-    TR.addRow({formatString("%u", Rspare),
-               formatDouble(E.EnergyMilliJoules * 1e3, 2),
-               formatDouble(E.Cycles / 1e3, 1),
-               formatString("%u", E.RamBytes)});
-    if (E.EnergyMilliJoules > LastEnergy + 1e-12)
+  for (const JobResult &R : RspareSweep) {
+    TR.addRow({formatString("%u", R.Spec.RspareBytes),
+               formatDouble(R.PredictedOptEnergyMilliJoules * 1e3, 2),
+               formatDouble(R.PredictedOptCycles / 1e3, 1),
+               formatString("%u", R.RamBytes)});
+    if (R.PredictedOptEnergyMilliJoules > LastEnergy + 1e-12)
       Monotone = false;
-    LastEnergy = E.EnergyMilliJoules;
+    LastEnergy = R.PredictedOptEnergyMilliJoules;
   }
   std::printf("%s", TR.render().c_str());
   std::printf("  energy monotonically improves as RAM relaxes: %s\n",
@@ -95,22 +112,18 @@ void exploreBenchmark(const char *Name, unsigned CandidateCount) {
   // Solver trajectory: relaxing Xlimit (paper's solid line).
   std::printf("\n  constraining time (Rspare = 1024):\n");
   Table TT({"Xlimit", "energy (uJ)", "time ratio"});
-  ModelEstimate Base =
-      evaluateAssignment(MP, Assignment(MP.numBlocks(), false));
+  std::vector<JobResult> XlimitSweep = modelSweep(
+      Name, {1024}, {1.0, 1.02, 1.05, 1.1, 1.2, 1.35, 1.5, 2.0});
   LastEnergy = 1e99;
   Monotone = true;
-  for (double Xlimit : {1.0, 1.02, 1.05, 1.1, 1.2, 1.35, 1.5, 2.0}) {
-    ModelKnobs Knobs;
-    Knobs.RspareBytes = 1024;
-    Knobs.Xlimit = Xlimit;
-    Assignment R = solvePlacement(MP, Knobs);
-    ModelEstimate E = evaluateAssignment(MP, R);
-    TT.addRow({formatDouble(Xlimit, 2),
-               formatDouble(E.EnergyMilliJoules * 1e3, 2),
-               formatDouble(E.Cycles / Base.Cycles, 3)});
-    if (E.EnergyMilliJoules > LastEnergy + 1e-12)
+  for (const JobResult &R : XlimitSweep) {
+    TT.addRow({formatDouble(R.Spec.Xlimit, 2),
+               formatDouble(R.PredictedOptEnergyMilliJoules * 1e3, 2),
+               formatDouble(R.PredictedOptCycles / R.PredictedBaseCycles,
+                            3)});
+    if (R.PredictedOptEnergyMilliJoules > LastEnergy + 1e-12)
       Monotone = false;
-    LastEnergy = E.EnergyMilliJoules;
+    LastEnergy = R.PredictedOptEnergyMilliJoules;
   }
   std::printf("%s", TT.render().c_str());
   std::printf("  energy monotonically improves as Xlimit relaxes: %s\n\n",

@@ -30,6 +30,20 @@ const std::vector<BeebsInfo> &ramloc::beebsSuite() {
   return Suite;
 }
 
+std::vector<std::string> ramloc::beebsNames() {
+  std::vector<std::string> Names;
+  for (const BeebsInfo &Info : beebsSuite())
+    Names.push_back(Info.Name);
+  return Names;
+}
+
+bool ramloc::isKnownBeebs(const std::string &Name) {
+  for (const BeebsInfo &Info : beebsSuite())
+    if (Name == Info.Name)
+      return true;
+  return false;
+}
+
 Module ramloc::buildBeebs(const std::string &Name, OptLevel Level,
                           unsigned Repeat) {
   for (const BeebsInfo &Info : beebsSuite())

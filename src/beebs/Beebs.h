@@ -39,6 +39,12 @@ struct BeebsInfo {
 /// The ten benchmarks, in the paper's Figure 5 order.
 const std::vector<BeebsInfo> &beebsSuite();
 
+/// The suite's benchmark names, in suite order.
+std::vector<std::string> beebsNames();
+
+/// True when \p Name is a registered benchmark.
+bool isKnownBeebs(const std::string &Name);
+
 /// Builds a benchmark by name; Repeat == 0 uses the default. Asserts on
 /// unknown names.
 Module buildBeebs(const std::string &Name, OptLevel Level,

@@ -1,0 +1,282 @@
+//===- campaign/Campaign.cpp - batch experiment engine -------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+
+#include "beebs/Beebs.h"
+#include "campaign/JobQueue.h"
+#include "power/DeviceRegistry.h"
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <thread>
+
+using namespace ramloc;
+
+const char *ramloc::freqModeName(FreqMode M) {
+  return M == FreqMode::Static ? "static" : "profiled";
+}
+
+const char *ramloc::jobKindName(JobKind K) {
+  return K == JobKind::Measure ? "measure" : "model-only";
+}
+
+std::string JobSpec::cacheKey() const {
+  // jsonNumber gives Xlimit a canonical round-trippable spelling, so
+  // 1.5 from the CLI and 1.5 from a GridSpec literal share a key.
+  return Benchmark + "|" + optLevelName(Level) + "|" +
+         formatString("r%u", Repeat) + "|" + Device + "|" +
+         formatString("R%u", RspareBytes) + "|X" + jsonNumber(Xlimit) +
+         "|" + freqModeName(Freq) + "|" + jobKindName(Kind);
+}
+
+uint64_t JobSpec::configHash() const {
+  uint64_t H = 0xcbf29ce484222325ULL; // FNV-1a 64
+  for (unsigned char C : cacheKey()) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+std::vector<JobSpec> GridSpec::expand() const {
+  std::vector<JobSpec> Jobs;
+  Jobs.reserve(jobCount());
+  for (const std::string &Bench : Benchmarks)
+    for (OptLevel L : Levels)
+      for (const std::string &Dev : Devices)
+        for (unsigned Rspare : RsparePoints)
+          for (double Xlimit : XlimitPoints)
+            for (FreqMode FM : FreqModes) {
+              JobSpec J;
+              J.Benchmark = Bench;
+              J.Level = L;
+              J.Repeat = Repeat;
+              J.Device = Dev;
+              J.RspareBytes = Rspare;
+              J.Xlimit = Xlimit;
+              J.Freq = FM;
+              J.Kind = Kind;
+              Jobs.push_back(std::move(J));
+            }
+  return Jobs;
+}
+
+double JobResult::energyPct() const {
+  return percentChange(BaseEnergyMilliJoules, OptEnergyMilliJoules);
+}
+
+double JobResult::timePct() const {
+  return percentChange(BaseSeconds, OptSeconds);
+}
+
+double JobResult::powerPct() const {
+  return percentChange(BaseAvgMilliWatts, OptAvgMilliWatts);
+}
+
+bool ResultCache::lookup(const std::string &Key, JobResult &Out) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It == Map.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+void ResultCache::insert(const std::string &Key, const JobResult &R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.emplace(Key, R);
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+namespace {
+
+/// Fills the model-side fields shared by both job kinds.
+void fillModelFields(JobResult &R, const ModelParams &MP,
+                     const Assignment &InRam) {
+  ModelEstimate Base =
+      evaluateAssignment(MP, Assignment(MP.numBlocks(), false));
+  ModelEstimate Opt = evaluateAssignment(MP, InRam);
+  R.PredictedBaseEnergyMilliJoules = Base.EnergyMilliJoules;
+  R.PredictedOptEnergyMilliJoules = Opt.EnergyMilliJoules;
+  R.PredictedBaseCycles = Base.Cycles;
+  R.PredictedOptCycles = Opt.Cycles;
+  R.RamBytes = Opt.RamBytes;
+  for (unsigned B = 0, E = MP.numBlocks(); B != E; ++B)
+    if (InRam[B])
+      ++R.MovedBlocks;
+}
+
+} // namespace
+
+JobResult ramloc::runJob(const JobSpec &Spec, const PipelineOptions &Base) {
+  JobResult R;
+  R.Spec = Spec;
+
+  if (!isKnownBeebs(Spec.Benchmark)) {
+    R.Error = "unknown benchmark '" + Spec.Benchmark + "'";
+    return R;
+  }
+  const DeviceInfo *Dev = findDevice(Spec.Device);
+  if (!Dev) {
+    R.Error = "unknown device '" + Spec.Device + "'";
+    return R;
+  }
+
+  // Per-job options snapshot: the shared template plus this job's axes.
+  PipelineOptions Opts = Base;
+  Opts.Knobs.RspareBytes = Spec.RspareBytes;
+  Opts.Knobs.Xlimit = Spec.Xlimit;
+  Opts.Power = Dev->Model;
+  Opts.UseProfiledFrequencies = Spec.Freq == FreqMode::Profiled;
+
+  Module M = buildBeebs(Spec.Benchmark, Spec.Level, Spec.Repeat);
+
+  if (Spec.Kind == JobKind::Measure) {
+    PipelineResult PR = optimizeModule(M, Opts);
+    if (!PR.ok()) {
+      R.Error = PR.Error;
+      return R;
+    }
+    R.BaseEnergyMilliJoules = PR.MeasuredBase.Energy.MilliJoules;
+    R.OptEnergyMilliJoules = PR.MeasuredOpt.Energy.MilliJoules;
+    R.BaseSeconds = PR.MeasuredBase.Energy.Seconds;
+    R.OptSeconds = PR.MeasuredOpt.Energy.Seconds;
+    R.BaseAvgMilliWatts = PR.MeasuredBase.Energy.AvgMilliWatts;
+    R.OptAvgMilliWatts = PR.MeasuredOpt.Energy.AvgMilliWatts;
+    R.BaseCycles = PR.MeasuredBase.Stats.Cycles;
+    R.OptCycles = PR.MeasuredOpt.Stats.Cycles;
+    R.PredictedBaseEnergyMilliJoules = PR.PredictedBase.EnergyMilliJoules;
+    R.PredictedOptEnergyMilliJoules = PR.PredictedOpt.EnergyMilliJoules;
+    R.PredictedBaseCycles = PR.PredictedBase.Cycles;
+    R.PredictedOptCycles = PR.PredictedOpt.Cycles;
+    R.RamBytes = PR.PredictedOpt.RamBytes;
+    R.MovedBlocks = static_cast<unsigned>(PR.MovedBlocks.size());
+    return R;
+  }
+
+  // ModelOnly: stop at the ILP; simulate only if a profile is required.
+  ModuleFrequency Freq;
+  if (Opts.UseProfiledFrequencies) {
+    Measurement BaseRun =
+        measureModule(M, Opts.Power, Opts.Link, Opts.Sim);
+    if (!BaseRun.ok()) {
+      R.Error = "profile run failed: " + BaseRun.Stats.Error;
+      return R;
+    }
+    Freq = moduleFrequencyFromProfile(M, BaseRun.Stats.profileMap(M),
+                                      Opts.Freq);
+  } else {
+    Freq = estimateModuleFrequency(M, Opts.Freq);
+  }
+  ModelParams MP = extractParams(M, Freq, Opts.Power, Opts.Extract);
+  Assignment InRam = solvePlacement(MP, Opts.Knobs, Opts.Mip);
+  fillModelFields(R, MP, InRam);
+  return R;
+}
+
+CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
+                                   const CampaignOptions &Opts) {
+  WallTimer Timer;
+  CampaignResult CR;
+  CR.Results.resize(Jobs.size());
+  CR.Summary.Total = static_cast<unsigned>(Jobs.size());
+
+  // Decide dedup up front so the outcome is independent of scheduling:
+  // the first occurrence of each key runs, later ones copy its result.
+  std::vector<size_t> RunIndices;          // jobs that actually execute
+  std::vector<ptrdiff_t> CopyFrom(Jobs.size(), -1);
+  {
+    std::unordered_map<std::string, size_t> FirstByKey;
+    for (size_t I = 0; I != Jobs.size(); ++I) {
+      if (!Opts.UseCache) {
+        RunIndices.push_back(I);
+        continue;
+      }
+      std::string Key = Jobs[I].cacheKey();
+      JobResult Cached;
+      if (Opts.Cache && Opts.Cache->lookup(Key, Cached)) {
+        CR.Results[I] = Cached;
+        CR.Results[I].Spec = Jobs[I];
+        CR.Results[I].CacheHit = true;
+        continue;
+      }
+      auto [It, Inserted] = FirstByKey.emplace(Key, I);
+      if (Inserted)
+        RunIndices.push_back(I);
+      else
+        CopyFrom[I] = static_cast<ptrdiff_t>(It->second);
+    }
+  }
+  CR.Summary.UniqueRuns = static_cast<unsigned>(RunIndices.size());
+
+  unsigned Workers = Opts.Jobs != 0 ? Opts.Jobs
+                                    : std::thread::hardware_concurrency();
+  {
+    JobQueue Pool(Workers);
+    std::mutex ProgressMu;
+    unsigned Done = 0;
+    for (size_t I : RunIndices)
+      Pool.submit([&, I] {
+        CR.Results[I] = runJob(Jobs[I], Opts.Base);
+        if (Opts.Progress) {
+          std::lock_guard<std::mutex> Lock(ProgressMu);
+          Opts.Progress(CR.Results[I], ++Done, CR.Summary.UniqueRuns);
+        }
+      });
+    Pool.wait();
+  }
+
+  // Fill duplicates and feed the cross-campaign cache.
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    if (CopyFrom[I] >= 0) {
+      CR.Results[I] = CR.Results[CopyFrom[I]];
+      CR.Results[I].Spec = Jobs[I];
+      CR.Results[I].CacheHit = true;
+    }
+    if (CR.Results[I].CacheHit)
+      ++CR.Summary.CacheHits;
+  }
+  if (Opts.Cache)
+    for (size_t I : RunIndices)
+      Opts.Cache->insert(Jobs[I].cacheKey(), CR.Results[I]);
+
+  // Aggregate.
+  std::vector<double> Ratios, EnergyPcts, TimePcts, PowerPcts;
+  for (const JobResult &R : CR.Results) {
+    if (!R.ok()) {
+      ++CR.Summary.Failed;
+      continue;
+    }
+    ++CR.Summary.Succeeded;
+    if (R.Spec.Kind == JobKind::Measure && R.BaseEnergyMilliJoules > 0) {
+      Ratios.push_back(R.OptEnergyMilliJoules / R.BaseEnergyMilliJoules);
+      EnergyPcts.push_back(R.energyPct());
+      TimePcts.push_back(R.timePct());
+      PowerPcts.push_back(R.powerPct());
+    }
+  }
+  if (!Ratios.empty()) {
+    CR.Summary.GeomeanEnergyRatio = geomean(Ratios);
+    CR.Summary.MeanEnergyPct = mean(EnergyPcts);
+    CR.Summary.MeanTimePct = mean(TimePcts);
+    CR.Summary.MeanPowerPct = mean(PowerPcts);
+  }
+  CR.Summary.WallSeconds = Timer.seconds();
+  return CR;
+}
+
+CampaignResult ramloc::runCampaign(const GridSpec &Grid,
+                                   const CampaignOptions &Opts) {
+  return runCampaign(Grid.expand(), Opts);
+}

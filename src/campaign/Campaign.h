@@ -1,0 +1,185 @@
+//===- campaign/Campaign.h - batch experiment engine ------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment-campaign engine: the paper's evaluation (Figs. 5-9) is
+/// a family of sweeps of one pipeline over benchmarks x devices x knob
+/// settings, and this subsystem makes such sweeps declarative. A GridSpec
+/// names axis values; expand() crosses them into an ordered job list; the
+/// engine deduplicates identical configurations through a config-keyed
+/// result cache, executes the unique jobs on a work-stealing thread pool,
+/// and aggregates summary statistics. Results are reported in expansion
+/// order and carry no wall-clock data, so a campaign's report is
+/// byte-identical whatever --jobs is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_CAMPAIGN_CAMPAIGN_H
+#define RAMLOC_CAMPAIGN_CAMPAIGN_H
+
+#include "beebs/Codegen.h"
+#include "core/Pipeline.h"
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ramloc {
+
+/// How block frequencies Fb are obtained (the Figure 5 estimated-vs-
+/// "w/Frequency" axis).
+enum class FreqMode : uint8_t { Static, Profiled };
+
+/// What a job runs. Measure is the full pipeline including simulation;
+/// ModelOnly stops at the ILP and model evaluation (the Figure 6 sweeps,
+/// ~100x cheaper per point — except with FreqMode::Profiled, which still
+/// simulates the baseline once per job to collect the profile).
+enum class JobKind : uint8_t { Measure, ModelOnly };
+
+const char *freqModeName(FreqMode M);
+const char *jobKindName(JobKind K);
+
+/// One fully-specified experiment configuration.
+struct JobSpec {
+  std::string Benchmark;             ///< BEEBS registry name
+  OptLevel Level = OptLevel::O2;
+  unsigned Repeat = 0;               ///< kernel iterations; 0 = suite default
+  std::string Device = "stm32f100";  ///< DeviceRegistry name
+  unsigned RspareBytes = 512;
+  double Xlimit = 1.5;
+  FreqMode Freq = FreqMode::Static;
+  JobKind Kind = JobKind::Measure;
+
+  /// Canonical textual form: the dedup/memoization key and the job's
+  /// stable identifier in logs and reports.
+  std::string cacheKey() const;
+  /// FNV-1a hash of cacheKey(), reported as the job's config_hash.
+  uint64_t configHash() const;
+};
+
+/// A declarative grid: the cross product of the axis value lists.
+struct GridSpec {
+  std::vector<std::string> Benchmarks;
+  std::vector<OptLevel> Levels = {OptLevel::O2};
+  std::vector<std::string> Devices = {"stm32f100"};
+  std::vector<unsigned> RsparePoints = {512};
+  std::vector<double> XlimitPoints = {1.5};
+  std::vector<FreqMode> FreqModes = {FreqMode::Static};
+  JobKind Kind = JobKind::Measure;
+  unsigned Repeat = 0;
+
+  /// Crosses the axes into jobs. Order is deterministic and documented:
+  /// benchmark-major, then level, device, Rspare, Xlimit, frequency mode.
+  std::vector<JobSpec> expand() const;
+
+  size_t jobCount() const {
+    return Benchmarks.size() * Levels.size() * Devices.size() *
+           RsparePoints.size() * XlimitPoints.size() * FreqModes.size();
+  }
+};
+
+/// One job's outcome. Only deterministic quantities live here; wall time
+/// is tracked campaign-wide and never serialized per job.
+struct JobResult {
+  JobSpec Spec;
+  std::string Error; ///< empty on success
+  bool CacheHit = false;
+
+  // Measured (JobKind::Measure only).
+  double BaseEnergyMilliJoules = 0.0, OptEnergyMilliJoules = 0.0;
+  double BaseSeconds = 0.0, OptSeconds = 0.0;
+  double BaseAvgMilliWatts = 0.0, OptAvgMilliWatts = 0.0;
+  uint64_t BaseCycles = 0, OptCycles = 0;
+
+  // Model-side (both kinds).
+  double PredictedBaseEnergyMilliJoules = 0.0;
+  double PredictedOptEnergyMilliJoules = 0.0;
+  double PredictedBaseCycles = 0.0;
+  double PredictedOptCycles = 0.0;
+  unsigned RamBytes = 0;     ///< RAM consumed by relocated code
+  unsigned MovedBlocks = 0;
+
+  bool ok() const { return Error.empty(); }
+
+  /// Measured percentage changes, new vs base (negative = improvement).
+  double energyPct() const;
+  double timePct() const;
+  double powerPct() const;
+};
+
+/// Thread-safe memoization of JobResults by cacheKey(). A campaign uses
+/// an internal cache for intra-run dedup; passing one in CampaignOptions
+/// extends memoization across campaigns in the same process.
+class ResultCache {
+public:
+  bool lookup(const std::string &Key, JobResult &Out) const;
+  void insert(const std::string &Key, const JobResult &R);
+  size_t size() const;
+
+private:
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, JobResult> Map;
+};
+
+struct CampaignOptions {
+  /// Worker threads. 0 picks std::thread::hardware_concurrency().
+  unsigned Jobs = 1;
+  /// Deduplicate identical configurations instead of re-running them.
+  bool UseCache = true;
+  /// Template for per-job pipeline options; each job snapshots this and
+  /// overlays its own axes (knobs, device power model, frequency mode).
+  PipelineOptions Base;
+  /// Optional cross-campaign cache.
+  ResultCache *Cache = nullptr;
+  /// Progress callback, invoked serialized (never concurrently) after
+  /// each unique job finishes.
+  std::function<void(const JobResult &, unsigned Done, unsigned Total)>
+      Progress;
+};
+
+/// Aggregate statistics over the Measure jobs that succeeded.
+struct CampaignSummary {
+  unsigned Total = 0;
+  unsigned Succeeded = 0;
+  unsigned Failed = 0;
+  unsigned CacheHits = 0;
+  unsigned UniqueRuns = 0;
+  /// Geometric mean of opt/base measured energy over succeeded Measure
+  /// jobs (1.0 when there are none).
+  double GeomeanEnergyRatio = 1.0;
+  double MeanEnergyPct = 0.0;
+  double MeanTimePct = 0.0;
+  double MeanPowerPct = 0.0;
+  /// Diagnostics only; excluded from serialized reports.
+  double WallSeconds = 0.0;
+};
+
+struct CampaignResult {
+  /// One entry per requested job, in expansion/submission order.
+  std::vector<JobResult> Results;
+  CampaignSummary Summary;
+};
+
+/// Runs one configuration synchronously. \p Base supplies the fields a
+/// JobSpec does not cover (timing model, linker map, MIP budget, ...).
+JobResult runJob(const JobSpec &Spec, const PipelineOptions &Base = {});
+
+/// Runs an explicit job list. Deduplication is decided up front from the
+/// cache keys, so results are independent of Opts.Jobs.
+CampaignResult runCampaign(const std::vector<JobSpec> &Jobs,
+                           const CampaignOptions &Opts = {});
+
+/// Convenience: expand + run.
+CampaignResult runCampaign(const GridSpec &Grid,
+                           const CampaignOptions &Opts = {});
+
+} // namespace ramloc
+
+#endif // RAMLOC_CAMPAIGN_CAMPAIGN_H

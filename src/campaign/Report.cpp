@@ -1,0 +1,212 @@
+//===- campaign/Report.cpp - campaign report serialization ---------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Report.h"
+
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/Table.h"
+
+#include <fstream>
+
+using namespace ramloc;
+
+namespace {
+
+void writeSpec(JsonWriter &W, const JobSpec &S) {
+  W.field("benchmark", S.Benchmark);
+  W.field("level", optLevelName(S.Level));
+  W.field("repeat", S.Repeat);
+  W.field("device", S.Device);
+  W.field("rspare_bytes", S.RspareBytes);
+  W.field("xlimit", S.Xlimit);
+  W.field("freq", freqModeName(S.Freq));
+  W.field("kind", jobKindName(S.Kind));
+  W.field("config_hash", formatString("%016llx",
+                                      static_cast<unsigned long long>(
+                                          S.configHash())));
+}
+
+void writeJob(JsonWriter &W, const JobResult &R) {
+  W.beginObject();
+  writeSpec(W, R.Spec);
+  W.field("cache_hit", R.CacheHit);
+  W.field("ok", R.ok());
+  if (!R.ok()) {
+    W.field("error", R.Error);
+    W.endObject();
+    return;
+  }
+  if (R.Spec.Kind == JobKind::Measure) {
+    W.key("base").beginObject();
+    W.field("energy_mj", R.BaseEnergyMilliJoules);
+    W.field("seconds", R.BaseSeconds);
+    W.field("power_mw", R.BaseAvgMilliWatts);
+    W.field("cycles", R.BaseCycles);
+    W.endObject();
+    W.key("opt").beginObject();
+    W.field("energy_mj", R.OptEnergyMilliJoules);
+    W.field("seconds", R.OptSeconds);
+    W.field("power_mw", R.OptAvgMilliWatts);
+    W.field("cycles", R.OptCycles);
+    W.endObject();
+    W.key("delta").beginObject();
+    W.field("energy_pct", R.energyPct());
+    W.field("time_pct", R.timePct());
+    W.field("power_pct", R.powerPct());
+    W.endObject();
+  }
+  W.key("model").beginObject();
+  W.field("base_energy_mj", R.PredictedBaseEnergyMilliJoules);
+  W.field("opt_energy_mj", R.PredictedOptEnergyMilliJoules);
+  W.field("base_cycles", R.PredictedBaseCycles);
+  W.field("opt_cycles", R.PredictedOptCycles);
+  W.field("ram_bytes", R.RamBytes);
+  W.field("moved_blocks", R.MovedBlocks);
+  W.endObject();
+  W.endObject();
+}
+
+} // namespace
+
+std::string ramloc::campaignToJson(const CampaignResult &R, bool Pretty) {
+  JsonWriter W(Pretty);
+  W.beginObject();
+  W.field("schema", "ramloc-campaign-v1");
+  W.key("summary").beginObject();
+  W.field("total", R.Summary.Total);
+  W.field("succeeded", R.Summary.Succeeded);
+  W.field("failed", R.Summary.Failed);
+  W.field("cache_hits", R.Summary.CacheHits);
+  W.field("unique_runs", R.Summary.UniqueRuns);
+  W.field("geomean_energy_ratio", R.Summary.GeomeanEnergyRatio);
+  W.field("mean_energy_pct", R.Summary.MeanEnergyPct);
+  W.field("mean_time_pct", R.Summary.MeanTimePct);
+  W.field("mean_power_pct", R.Summary.MeanPowerPct);
+  W.endObject();
+  W.key("jobs").beginArray();
+  for (const JobResult &J : R.Results)
+    writeJob(W, J);
+  W.endArray();
+  W.endObject();
+  return W.str() + "\n";
+}
+
+std::string ramloc::campaignToCsv(const CampaignResult &R) {
+  std::string Out = "benchmark,level,repeat,device,rspare_bytes,xlimit,"
+                    "freq,kind,cache_hit,ok,error,"
+                    "base_energy_mj,opt_energy_mj,base_seconds,opt_seconds,"
+                    "base_power_mw,opt_power_mw,base_cycles,opt_cycles,"
+                    "energy_pct,time_pct,power_pct,"
+                    "model_base_energy_mj,model_opt_energy_mj,"
+                    "model_base_cycles,model_opt_cycles,"
+                    "ram_bytes,moved_blocks\n";
+  auto csvField = [](const std::string &S) {
+    if (S.find_first_of(",\"\n") == std::string::npos)
+      return S;
+    std::string Quoted = "\"";
+    for (char C : S) {
+      if (C == '"')
+        Quoted += '"';
+      Quoted += C;
+    }
+    return Quoted + "\"";
+  };
+  for (const JobResult &J : R.Results) {
+    const JobSpec &S = J.Spec;
+    Out += csvField(S.Benchmark) + ",";
+    Out += std::string(optLevelName(S.Level)) + ",";
+    Out += formatString("%u", S.Repeat) + ",";
+    Out += csvField(S.Device) + ",";
+    Out += formatString("%u", S.RspareBytes) + ",";
+    Out += jsonNumber(S.Xlimit) + ",";
+    Out += std::string(freqModeName(S.Freq)) + ",";
+    Out += std::string(jobKindName(S.Kind)) + ",";
+    Out += std::string(J.CacheHit ? "1" : "0") + ",";
+    Out += std::string(J.ok() ? "1" : "0") + ",";
+    Out += csvField(J.Error) + ",";
+    if (J.ok() && S.Kind == JobKind::Measure) {
+      Out += jsonNumber(J.BaseEnergyMilliJoules) + ",";
+      Out += jsonNumber(J.OptEnergyMilliJoules) + ",";
+      Out += jsonNumber(J.BaseSeconds) + ",";
+      Out += jsonNumber(J.OptSeconds) + ",";
+      Out += jsonNumber(J.BaseAvgMilliWatts) + ",";
+      Out += jsonNumber(J.OptAvgMilliWatts) + ",";
+      Out += formatString("%llu",
+                          static_cast<unsigned long long>(J.BaseCycles)) +
+             ",";
+      Out += formatString("%llu",
+                          static_cast<unsigned long long>(J.OptCycles)) +
+             ",";
+      Out += jsonNumber(J.energyPct()) + ",";
+      Out += jsonNumber(J.timePct()) + ",";
+      Out += jsonNumber(J.powerPct()) + ",";
+    } else {
+      Out += ",,,,,,,,,,,";
+    }
+    if (J.ok()) {
+      Out += jsonNumber(J.PredictedBaseEnergyMilliJoules) + ",";
+      Out += jsonNumber(J.PredictedOptEnergyMilliJoules) + ",";
+      Out += jsonNumber(J.PredictedBaseCycles) + ",";
+      Out += jsonNumber(J.PredictedOptCycles) + ",";
+      Out += formatString("%u", J.RamBytes) + ",";
+      Out += formatString("%u", J.MovedBlocks);
+    } else {
+      Out += ",,,,,";
+    }
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string ramloc::campaignToTable(const CampaignResult &R) {
+  Table T({"benchmark", "level", "device", "Rspare", "Xlimit", "freq",
+           "energy", "time", "power", "RAM", "status"});
+  for (const JobResult &J : R.Results) {
+    const JobSpec &S = J.Spec;
+    std::string Status = !J.ok() ? "FAIL" : J.CacheHit ? "cached" : "ok";
+    if (J.ok() && S.Kind == JobKind::Measure)
+      T.addRow({S.Benchmark, optLevelName(S.Level), S.Device,
+                formatString("%u", S.RspareBytes), formatDouble(S.Xlimit, 2),
+                freqModeName(S.Freq),
+                formatString("%+.1f%%", J.energyPct()),
+                formatString("%+.1f%%", J.timePct()),
+                formatString("%+.1f%%", J.powerPct()),
+                formatString("%u B", J.RamBytes), Status});
+    else if (J.ok())
+      T.addRow({S.Benchmark, optLevelName(S.Level), S.Device,
+                formatString("%u", S.RspareBytes), formatDouble(S.Xlimit, 2),
+                freqModeName(S.Freq),
+                formatString("%.2f uJ",
+                             J.PredictedOptEnergyMilliJoules * 1e3),
+                formatString("%.1f kcyc", J.PredictedOptCycles / 1e3),
+                "-", formatString("%u B", J.RamBytes), Status});
+    else
+      T.addRow({S.Benchmark, optLevelName(S.Level), S.Device,
+                formatString("%u", S.RspareBytes), formatDouble(S.Xlimit, 2),
+                freqModeName(S.Freq), "-", "-", "-", "-", Status});
+  }
+  return T.render();
+}
+
+bool ramloc::writeTextFile(const std::string &Path, const std::string &Text,
+                           std::string *Error) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << Text;
+  Out.close();
+  if (!Out) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,44 @@
+//===- campaign/Report.h - campaign report serialization --------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable (JSON, CSV) and human-readable (ASCII table) views of
+/// a CampaignResult. Serialized reports carry only deterministic fields:
+/// identical campaigns produce byte-identical documents regardless of
+/// thread count, which CampaignTest asserts and downstream tooling may
+/// rely on (e.g. diffing reports across commits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_CAMPAIGN_REPORT_H
+#define RAMLOC_CAMPAIGN_REPORT_H
+
+#include "campaign/Campaign.h"
+
+#include <string>
+
+namespace ramloc {
+
+/// The JSON report (schema "ramloc-campaign-v1"): a summary object plus
+/// one entry per job with spec, base/opt measurements, deltas and
+/// model-side numbers.
+std::string campaignToJson(const CampaignResult &R, bool Pretty = true);
+
+/// One CSV row per job, with a header line. Numbers use the same
+/// round-trippable formatting as the JSON report.
+std::string campaignToCsv(const CampaignResult &R);
+
+/// A rendered ASCII table of per-job results (the CLI's default view).
+std::string campaignToTable(const CampaignResult &R);
+
+/// Writes \p Text to \p Path. Returns false and fills \p Error on failure.
+bool writeTextFile(const std::string &Path, const std::string &Text,
+                   std::string *Error = nullptr);
+
+} // namespace ramloc
+
+#endif // RAMLOC_CAMPAIGN_REPORT_H

@@ -9,8 +9,24 @@
 
 #include "mir/Verifier.h"
 #include "support/Format.h"
+#include "support/Statistics.h"
 
 using namespace ramloc;
+
+double PipelineResult::energyChangePct() const {
+  return percentChange(MeasuredBase.Energy.MilliJoules,
+                       MeasuredOpt.Energy.MilliJoules);
+}
+
+double PipelineResult::timeChangePct() const {
+  return percentChange(MeasuredBase.Energy.Seconds,
+                       MeasuredOpt.Energy.Seconds);
+}
+
+double PipelineResult::powerChangePct() const {
+  return percentChange(MeasuredBase.Energy.AvgMilliWatts,
+                       MeasuredOpt.Energy.AvgMilliWatts);
+}
 
 Measurement ramloc::measureModule(const Module &M, const PowerModel &Power,
                                   const LinkOptions &Link,

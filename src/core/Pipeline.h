@@ -58,6 +58,13 @@ struct PipelineOptions {
 };
 
 /// Everything the optimization produced.
+///
+/// Thread safety: optimizeModule and measureModule are pure functions of
+/// their const arguments — the library keeps no mutable global state, so
+/// the campaign engine runs pipelines concurrently, one per worker, each
+/// with its own Module and PipelineOptions snapshot. Callers sharing a
+/// Module or PipelineOptions across threads must not mutate them while
+/// runs are in flight.
 struct PipelineResult {
   Module Optimized;
   Assignment InRam;
@@ -74,6 +81,12 @@ struct PipelineResult {
   std::string Error;
 
   bool ok() const { return Error.empty(); }
+
+  /// Measured percentage changes, optimized vs base (negative =
+  /// improvement). Only meaningful when ok().
+  double energyChangePct() const;
+  double timeChangePct() const;
+  double powerChangePct() const;
 };
 
 /// Runs the whole flow on \p M.

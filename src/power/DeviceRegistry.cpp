@@ -1,0 +1,75 @@
+//===- power/DeviceRegistry.cpp - named device power models --------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/DeviceRegistry.h"
+
+using namespace ramloc;
+
+namespace {
+
+/// A low-power process corner: the same Figure 1 shape scaled down, with
+/// a slower core clock and a deeper sleep state. Loosely modelled on the
+/// STM32L ultra-low-power line.
+PowerModel lowPowerCorner() {
+  PowerModel PM = PowerModel::stm32f100();
+  for (unsigned F = 0; F != 2; ++F)
+    for (unsigned C = 0; C != 7; ++C)
+      PM.MilliWatts[F][C] *= 0.62;
+  for (unsigned F = 0; F != 2; ++F)
+    for (unsigned D = 0; D != 2; ++D)
+      PM.LoadMilliWatts[F][D] *= 0.62;
+  PM.SleepMilliWatts = 1.1;
+  PM.ClockHz = 16e6;
+  return PM;
+}
+
+/// The reference part over-driven to 48 MHz. The per-cycle power table is
+/// unchanged, so energy per cycle is identical but wall-clock time (and
+/// therefore the sleep-energy share in duty-cycled workloads) halves.
+PowerModel overdriven48MHz() {
+  PowerModel PM = PowerModel::stm32f100();
+  PM.ClockHz = 48e6;
+  return PM;
+}
+
+std::vector<DeviceInfo> buildRegistry() {
+  std::vector<DeviceInfo> R;
+  R.push_back({"stm32f100", "reference Figure 1 calibration (24 MHz)",
+               PowerModel::stm32f100()});
+  R.push_back({"stm32f100-lotB",
+               "manufacturing-lot variant: withDeviceVariation(0xB)",
+               PowerModel::stm32f100().withDeviceVariation(0xB)});
+  R.push_back({"stm32f100-lotC",
+               "manufacturing-lot variant: withDeviceVariation(0xC)",
+               PowerModel::stm32f100().withDeviceVariation(0xC)});
+  R.push_back({"stm32f100-48mhz", "reference table over-driven to 48 MHz",
+               overdriven48MHz()});
+  R.push_back({"stm32l-lp", "low-power corner: 62% power, 16 MHz, 1.1 mW sleep",
+               lowPowerCorner()});
+  return R;
+}
+
+} // namespace
+
+const std::vector<DeviceInfo> &ramloc::deviceRegistry() {
+  static const std::vector<DeviceInfo> Registry = buildRegistry();
+  return Registry;
+}
+
+const DeviceInfo *ramloc::findDevice(const std::string &Name) {
+  for (const DeviceInfo &D : deviceRegistry())
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+std::vector<std::string> ramloc::deviceNames() {
+  std::vector<std::string> Names;
+  for (const DeviceInfo &D : deviceRegistry())
+    Names.push_back(D.Name);
+  return Names;
+}

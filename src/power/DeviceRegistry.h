@@ -1,0 +1,48 @@
+//===- power/DeviceRegistry.h - named device power models -------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named device power models so devices are first-class
+/// scenario axes: campaign grids and the ramloc-batch CLI refer to
+/// devices by name instead of constructing PowerModel values by hand.
+/// The reference entry is the paper's STM32F100 calibration; the other
+/// entries model inter-device manufacturing variation (Section 3's
+/// motivation for measuring real boards, via withDeviceVariation), a
+/// faster-clocked part, and a low-power process corner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_POWER_DEVICEREGISTRY_H
+#define RAMLOC_POWER_DEVICEREGISTRY_H
+
+#include "power/PowerModel.h"
+
+#include <string>
+#include <vector>
+
+namespace ramloc {
+
+/// One registered device.
+struct DeviceInfo {
+  std::string Name;        ///< stable CLI / report identifier
+  std::string Description; ///< one-line provenance note
+  PowerModel Model;
+};
+
+/// All registered devices. The first entry is the reference STM32F100;
+/// order and contents are deterministic across runs.
+const std::vector<DeviceInfo> &deviceRegistry();
+
+/// Looks a device up by name; nullptr when unknown.
+const DeviceInfo *findDevice(const std::string &Name);
+
+/// The registered names, in registry order.
+std::vector<std::string> deviceNames();
+
+} // namespace ramloc
+
+#endif // RAMLOC_POWER_DEVICEREGISTRY_H

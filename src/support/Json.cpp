@@ -1,0 +1,451 @@
+//===- support/Json.cpp - JSON writing and parsing -----------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ramloc;
+
+std::string ramloc::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+std::string ramloc::jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  // Integral values within the exact-double range print without a
+  // fraction; everything else gets the shortest round-trippable form.
+  if (V == std::floor(V) && std::fabs(V) < 9.007199254740992e15)
+    return formatString("%.0f", V);
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.15g", V);
+  if (std::strtod(Buf, nullptr) != V)
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::newline() {
+  if (!Pretty)
+    return;
+  Out += '\n';
+  Out.append(2 * Counts.size(), ' ');
+}
+
+void JsonWriter::beforeValue() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (Counts.empty())
+    return;
+  if (Counts.back() > 0)
+    Out += ',';
+  newline();
+  ++Counts.back();
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeValue();
+  Out += '{';
+  Counts.push_back(0);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Counts.empty() && "endObject without beginObject");
+  bool Empty = Counts.back() == 0;
+  Counts.pop_back();
+  if (!Empty)
+    newline();
+  Out += '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeValue();
+  Out += '[';
+  Counts.push_back(0);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Counts.empty() && "endArray without beginArray");
+  bool Empty = Counts.back() == 0;
+  Counts.pop_back();
+  if (!Empty)
+    newline();
+  Out += ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &K) {
+  assert(!PendingKey && "two keys in a row");
+  if (!Counts.empty() && Counts.back() > 0)
+    Out += ',';
+  newline();
+  if (!Counts.empty())
+    ++Counts.back();
+  Out += '"';
+  Out += jsonEscape(K);
+  Out += Pretty ? "\": " : "\":";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &S) {
+  beforeValue();
+  Out += '"';
+  Out += jsonEscape(S);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const char *S) {
+  return value(std::string(S));
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  beforeValue();
+  Out += jsonNumber(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  beforeValue();
+  Out += formatString("%lld", static_cast<long long>(V));
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  beforeValue();
+  Out += formatString("%llu", static_cast<unsigned long long>(V));
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool B) {
+  beforeValue();
+  Out += B ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  beforeValue();
+  Out += "null";
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// JsonValue / parser
+//===----------------------------------------------------------------------===//
+
+JsonValue JsonValue::makeBool(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.Bool = B;
+  return V;
+}
+
+JsonValue JsonValue::makeNumber(double N) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = N;
+  return V;
+}
+
+JsonValue JsonValue::makeString(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Val] : Members)
+    if (Name == Key)
+      return &Val;
+  return nullptr;
+}
+
+namespace ramloc {
+
+class JsonParser {
+public:
+  JsonParser(const std::string &Text) : Text(Text) {}
+
+  bool run(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+  std::string Error;
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = formatString("offset %zu: %s", Pos, Msg.c_str());
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::string(Word).size();
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(formatString("expected '%s'", Word));
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      Out = JsonValue::makeBool(true);
+      return literal("true");
+    case 'f':
+      Out = JsonValue::makeBool(false);
+      return literal("false");
+    case 'n':
+      Out = JsonValue::makeNull();
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (consume('}'))
+      return true;
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':' after key");
+      skipWs();
+      JsonValue Member;
+      if (!parseValue(Member))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(Member));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (consume(']'))
+      return true;
+    for (;;) {
+      skipWs();
+      JsonValue Item;
+      if (!parseValue(Item))
+        return false;
+      Out.Items.push_back(std::move(Item));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // Encode the code point as UTF-8 (surrogate pairs are passed
+        // through as two separate 3-byte sequences; the reports never
+        // emit them).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    std::string Num = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double V = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size())
+      return fail("malformed number");
+    Out = JsonValue::makeNumber(V);
+    return true;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+} // namespace ramloc
+
+bool JsonValue::parse(const std::string &Text, JsonValue &Out,
+                      std::string *Error) {
+  JsonParser P(Text);
+  JsonValue V;
+  if (!P.run(V)) {
+    if (Error)
+      *Error = P.Error;
+    return false;
+  }
+  Out = std::move(V);
+  return true;
+}

@@ -1,0 +1,42 @@
+//===- support/Timer.h - wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic wall-clock stopwatch for the campaign engine and the
+/// harnesses. Wall times are diagnostics only: they are deliberately kept
+/// out of the machine-readable reports so identical campaigns produce
+/// byte-identical output regardless of thread count or machine load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SUPPORT_TIMER_H
+#define RAMLOC_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace ramloc {
+
+/// Starts counting on construction.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_SUPPORT_TIMER_H

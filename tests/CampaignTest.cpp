@@ -1,0 +1,314 @@
+//===- tests/CampaignTest.cpp - campaign engine ----------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+#include "campaign/Campaign.h"
+#include "campaign/Report.h"
+#include "power/DeviceRegistry.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ramloc;
+
+namespace {
+
+/// A small but non-trivial measurement grid: 2 benchmarks x 2 devices x
+/// 2 Rspare points at O1 with a short repeat, cheap enough for CI.
+GridSpec smallMeasureGrid() {
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32", "int_matmult"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Devices = {"stm32f100", "stm32l-lp"};
+  Grid.RsparePoints = {256, 512};
+  Grid.Repeat = 2;
+  return Grid;
+}
+
+} // namespace
+
+TEST(Campaign, GridExpansionOrderAndCount) {
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32", "sha"};
+  Grid.Levels = {OptLevel::O1, OptLevel::O2};
+  Grid.Devices = {"stm32f100"};
+  Grid.RsparePoints = {128, 512};
+  Grid.XlimitPoints = {1.5};
+  Grid.FreqModes = {FreqMode::Static, FreqMode::Profiled};
+  std::vector<JobSpec> Jobs = Grid.expand();
+  ASSERT_EQ(Jobs.size(), Grid.jobCount());
+  ASSERT_EQ(Jobs.size(), 16u);
+  // Benchmark-major order; frequency mode is the innermost axis.
+  EXPECT_EQ(Jobs[0].Benchmark, "crc32");
+  EXPECT_EQ(Jobs[0].Freq, FreqMode::Static);
+  EXPECT_EQ(Jobs[1].Freq, FreqMode::Profiled);
+  EXPECT_EQ(Jobs[1].RspareBytes, 128u);
+  EXPECT_EQ(Jobs[2].RspareBytes, 512u);
+  EXPECT_EQ(Jobs[8].Benchmark, "sha");
+  // Every job has a distinct cache key.
+  std::set<std::string> Keys;
+  for (const JobSpec &J : Jobs)
+    Keys.insert(J.cacheKey());
+  EXPECT_EQ(Keys.size(), Jobs.size());
+}
+
+TEST(Campaign, CacheKeyCapturesEveryAxis) {
+  JobSpec A;
+  A.Benchmark = "crc32";
+  JobSpec B = A;
+  EXPECT_EQ(A.cacheKey(), B.cacheKey());
+  EXPECT_EQ(A.configHash(), B.configHash());
+  B.RspareBytes = 1024;
+  EXPECT_NE(A.cacheKey(), B.cacheKey());
+  B = A;
+  B.Xlimit = 1.25;
+  EXPECT_NE(A.cacheKey(), B.cacheKey());
+  B = A;
+  B.Freq = FreqMode::Profiled;
+  EXPECT_NE(A.cacheKey(), B.cacheKey());
+  B = A;
+  B.Kind = JobKind::ModelOnly;
+  EXPECT_NE(A.cacheKey(), B.cacheKey());
+  B = A;
+  B.Device = "stm32l-lp";
+  EXPECT_NE(A.cacheKey(), B.cacheKey());
+}
+
+TEST(Campaign, DuplicateJobsHitTheCache) {
+  JobSpec Spec;
+  Spec.Benchmark = "crc32";
+  Spec.Level = OptLevel::O1;
+  Spec.Repeat = 2;
+  std::vector<JobSpec> Jobs = {Spec, Spec, Spec};
+  CampaignResult CR = runCampaign(Jobs);
+  ASSERT_EQ(CR.Results.size(), 3u);
+  EXPECT_EQ(CR.Summary.UniqueRuns, 1u);
+  EXPECT_EQ(CR.Summary.CacheHits, 2u);
+  EXPECT_FALSE(CR.Results[0].CacheHit);
+  EXPECT_TRUE(CR.Results[1].CacheHit);
+  EXPECT_TRUE(CR.Results[2].CacheHit);
+  // Duplicates carry the same numbers as the run they were copied from.
+  EXPECT_EQ(CR.Results[1].OptEnergyMilliJoules,
+            CR.Results[0].OptEnergyMilliJoules);
+  EXPECT_EQ(CR.Results[2].BaseCycles, CR.Results[0].BaseCycles);
+}
+
+TEST(Campaign, NoCacheRunsEveryJob) {
+  JobSpec Spec;
+  Spec.Benchmark = "crc32";
+  Spec.Level = OptLevel::O1;
+  Spec.Repeat = 2;
+  CampaignOptions Opts;
+  Opts.UseCache = false;
+  CampaignResult CR = runCampaign({Spec, Spec}, Opts);
+  EXPECT_EQ(CR.Summary.UniqueRuns, 2u);
+  EXPECT_EQ(CR.Summary.CacheHits, 0u);
+}
+
+TEST(Campaign, SharedCachePersistsAcrossCampaigns) {
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {256, 512};
+  ResultCache Cache;
+  CampaignOptions Opts;
+  Opts.Cache = &Cache;
+  CampaignResult First = runCampaign(Grid, Opts);
+  EXPECT_EQ(First.Summary.UniqueRuns, 2u);
+  EXPECT_EQ(Cache.size(), 2u);
+  CampaignResult Second = runCampaign(Grid, Opts);
+  EXPECT_EQ(Second.Summary.UniqueRuns, 0u);
+  EXPECT_EQ(Second.Summary.CacheHits, 2u);
+  EXPECT_EQ(Second.Results[0].OptEnergyMilliJoules,
+            First.Results[0].OptEnergyMilliJoules);
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  GridSpec Grid = smallMeasureGrid();
+  CampaignOptions Serial;
+  Serial.Jobs = 1;
+  CampaignOptions Parallel;
+  Parallel.Jobs = 8;
+  CampaignResult A = runCampaign(Grid, Serial);
+  CampaignResult B = runCampaign(Grid, Parallel);
+  ASSERT_EQ(A.Results.size(), B.Results.size());
+  EXPECT_EQ(A.Summary.Failed, 0u);
+  // The acceptance bar: serialized reports are byte-identical.
+  EXPECT_EQ(campaignToJson(A), campaignToJson(B));
+  EXPECT_EQ(campaignToCsv(A), campaignToCsv(B));
+}
+
+TEST(Campaign, JsonReportParsesAndMatchesResults) {
+  GridSpec Grid = smallMeasureGrid();
+  CampaignOptions Opts;
+  Opts.Jobs = 4;
+  CampaignResult CR = runCampaign(Grid, Opts);
+  ASSERT_EQ(CR.Summary.Failed, 0u);
+
+  std::string Doc = campaignToJson(CR);
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Doc, V, &Error)) << Error;
+  EXPECT_EQ(V.find("schema")->string(), "ramloc-campaign-v1");
+
+  const JsonValue *Summary = V.find("summary");
+  ASSERT_NE(Summary, nullptr);
+  EXPECT_EQ(Summary->find("total")->number(), CR.Summary.Total);
+  EXPECT_EQ(Summary->find("succeeded")->number(), CR.Summary.Succeeded);
+
+  const JsonValue *JobsArr = V.find("jobs");
+  ASSERT_NE(JobsArr, nullptr);
+  ASSERT_EQ(JobsArr->items().size(), CR.Results.size());
+  for (size_t I = 0; I != CR.Results.size(); ++I) {
+    const JsonValue &J = JobsArr->items()[I];
+    const JobResult &R = CR.Results[I];
+    EXPECT_EQ(J.find("benchmark")->string(), R.Spec.Benchmark);
+    EXPECT_EQ(J.find("device")->string(), R.Spec.Device);
+    EXPECT_TRUE(J.find("ok")->boolean());
+    // Numbers survive serialization exactly.
+    EXPECT_EQ(J.find("opt")->find("energy_mj")->number(),
+              R.OptEnergyMilliJoules);
+    EXPECT_EQ(J.find("delta")->find("energy_pct")->number(),
+              R.energyPct());
+  }
+
+  // The optimization's headline shape holds across the grid: measured
+  // energy drops on every job of this grid.
+  for (const JobResult &R : CR.Results)
+    EXPECT_LT(R.OptEnergyMilliJoules, R.BaseEnergyMilliJoules)
+        << R.Spec.cacheKey();
+}
+
+TEST(Campaign, CsvHasHeaderPlusOneRowPerJob) {
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  CampaignResult CR = runCampaign(Grid);
+  std::string Csv = campaignToCsv(CR);
+  size_t Lines = 0;
+  for (char C : Csv)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 1 + CR.Results.size());
+  EXPECT_EQ(Csv.rfind("benchmark,level,", 0), 0u);
+}
+
+TEST(Campaign, ModelOnlyJobsSkipMeasurementButFillModel) {
+  GridSpec Grid;
+  Grid.Benchmarks = {"int_matmult"};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {0, 256};
+  Grid.Kind = JobKind::ModelOnly;
+  CampaignResult CR = runCampaign(Grid);
+  ASSERT_EQ(CR.Summary.Failed, 0u);
+  for (const JobResult &R : CR.Results) {
+    EXPECT_EQ(R.BaseCycles, 0u); // no simulation happened
+    EXPECT_GT(R.PredictedBaseCycles, 0.0);
+    EXPECT_LE(R.RamBytes, R.Spec.RspareBytes);
+  }
+  // Rspare = 0 pins everything to flash; 256 B finds savings.
+  EXPECT_EQ(CR.Results[0].MovedBlocks, 0u);
+  EXPECT_GT(CR.Results[1].MovedBlocks, 0u);
+  EXPECT_LT(CR.Results[1].PredictedOptEnergyMilliJoules,
+            CR.Results[0].PredictedOptEnergyMilliJoules);
+}
+
+TEST(Campaign, BadAxisValuesFailTheJobNotTheCampaign) {
+  JobSpec Bad;
+  Bad.Benchmark = "no_such_benchmark";
+  JobSpec BadDev;
+  BadDev.Benchmark = "crc32";
+  BadDev.Level = OptLevel::O1;
+  BadDev.Repeat = 2;
+  BadDev.Device = "no_such_device";
+  JobSpec Good = BadDev;
+  Good.Device = "stm32f100";
+  CampaignResult CR = runCampaign({Bad, BadDev, Good});
+  EXPECT_EQ(CR.Summary.Failed, 2u);
+  EXPECT_EQ(CR.Summary.Succeeded, 1u);
+  EXPECT_NE(CR.Results[0].Error.find("unknown benchmark"),
+            std::string::npos);
+  EXPECT_NE(CR.Results[1].Error.find("unknown device"), std::string::npos);
+  EXPECT_TRUE(CR.Results[2].ok());
+  // Failed jobs still serialize cleanly.
+  JsonValue V;
+  ASSERT_TRUE(JsonValue::parse(campaignToJson(CR), V));
+  EXPECT_FALSE(V.find("jobs")->items()[0].find("ok")->boolean());
+}
+
+TEST(Campaign, ProgressReportsEveryUniqueRun) {
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32", "int_matmult"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  CampaignOptions Opts;
+  Opts.Jobs = 4;
+  unsigned Calls = 0, LastDone = 0;
+  Opts.Progress = [&](const JobResult &, unsigned Done, unsigned Total) {
+    ++Calls;
+    LastDone = Done;
+    EXPECT_EQ(Total, 2u);
+  };
+  runCampaign(Grid, Opts);
+  EXPECT_EQ(Calls, 2u);
+  EXPECT_EQ(LastDone, 2u);
+}
+
+TEST(Campaign, MeasurementsMatchDirectPipelineRun) {
+  // The engine is a scheduler, not a different methodology: a campaign
+  // job must reproduce exactly what a hand-rolled optimizeModule gives.
+  JobSpec Spec;
+  Spec.Benchmark = "int_matmult";
+  Spec.Level = OptLevel::O2;
+  Spec.Repeat = 3;
+  Spec.RspareBytes = 1024;
+  JobResult R = runJob(Spec);
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  Module M = buildBeebs("int_matmult", OptLevel::O2, 3);
+  PipelineOptions PO;
+  PO.Knobs.RspareBytes = 1024;
+  PO.Knobs.Xlimit = 1.5;
+  PipelineResult PR = optimizeModule(M, PO);
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+
+  EXPECT_EQ(R.BaseCycles, PR.MeasuredBase.Stats.Cycles);
+  EXPECT_EQ(R.OptCycles, PR.MeasuredOpt.Stats.Cycles);
+  EXPECT_EQ(R.BaseEnergyMilliJoules, PR.MeasuredBase.Energy.MilliJoules);
+  EXPECT_EQ(R.OptEnergyMilliJoules, PR.MeasuredOpt.Energy.MilliJoules);
+  EXPECT_EQ(R.MovedBlocks, PR.MovedBlocks.size());
+}
+
+TEST(DeviceRegistry, NamesAreUniqueAndResolvable) {
+  std::set<std::string> Seen;
+  for (const DeviceInfo &D : deviceRegistry()) {
+    EXPECT_TRUE(Seen.insert(D.Name).second) << D.Name;
+    const DeviceInfo *Found = findDevice(D.Name);
+    ASSERT_NE(Found, nullptr);
+    EXPECT_EQ(Found->Name, D.Name);
+  }
+  EXPECT_GE(deviceRegistry().size(), 3u);
+  EXPECT_EQ(deviceRegistry()[0].Name, "stm32f100");
+  EXPECT_EQ(findDevice("no_such_device"), nullptr);
+  EXPECT_EQ(deviceNames().size(), deviceRegistry().size());
+}
+
+TEST(DeviceRegistry, VariantsDifferFromReference) {
+  const PowerModel &Ref = findDevice("stm32f100")->Model;
+  const PowerModel &LotB = findDevice("stm32f100-lotB")->Model;
+  EXPECT_NE(Ref.MilliWatts[0][0], LotB.MilliWatts[0][0]);
+  // Registry construction is deterministic: a second lookup sees the
+  // same perturbed values.
+  EXPECT_EQ(LotB.MilliWatts[0][0],
+            findDevice("stm32f100-lotB")->Model.MilliWatts[0][0]);
+  const PowerModel &LP = findDevice("stm32l-lp")->Model;
+  EXPECT_LT(LP.MilliWatts[0][0], Ref.MilliWatts[0][0]);
+  EXPECT_LT(LP.SleepMilliWatts, Ref.SleepMilliWatts);
+}

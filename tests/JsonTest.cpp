@@ -1,0 +1,149 @@
+//===- tests/JsonTest.cpp - JSON writer and parser ----------------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace ramloc;
+
+TEST(Json, EscapingSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(jsonEscape(std::string("nul\x01" "byte")), "nul\\u0001byte");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(jsonEscape("\xC3\xA9"), "\xC3\xA9");
+}
+
+TEST(Json, EscapedStringsRoundTrip) {
+  const std::string Original = "q\"b\\c\tn\nr\rf\fb\b\x01end";
+  JsonWriter W(false);
+  W.value(Original);
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(W.str(), V, &Error)) << Error;
+  ASSERT_EQ(V.kind(), JsonValue::Kind::String);
+  EXPECT_EQ(V.string(), Original);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (double Value :
+       {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1e-17, 6.02214076e23, -2.5e-308,
+        3.141592653589793, 9007199254740992.0, -123456.789}) {
+    std::string Text = jsonNumber(Value);
+    JsonValue V;
+    ASSERT_TRUE(JsonValue::parse(Text, V)) << Text;
+    ASSERT_EQ(V.kind(), JsonValue::Kind::Number);
+    EXPECT_EQ(V.number(), Value) << Text;
+  }
+}
+
+TEST(Json, IntegralDoublesPrintWithoutFraction) {
+  EXPECT_EQ(jsonNumber(512.0), "512");
+  EXPECT_EQ(jsonNumber(-3.0), "-3");
+  EXPECT_EQ(jsonNumber(0.0), "0");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonNumber(std::nan("")), "null");
+}
+
+TEST(Json, NestedObjectsAndArrays) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("name", "campaign");
+  W.key("axes").beginArray();
+  W.beginObject().field("rspare", 512u).endObject();
+  W.beginObject().field("xlimit", 1.5).endObject();
+  W.endArray();
+  W.key("empty_obj").beginObject().endObject();
+  W.key("empty_arr").beginArray().endArray();
+  W.field("ok", true);
+  W.key("missing").null();
+  W.endObject();
+
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(W.str(), V, &Error)) << Error;
+  ASSERT_EQ(V.kind(), JsonValue::Kind::Object);
+  EXPECT_EQ(V.find("name")->string(), "campaign");
+  const JsonValue *Axes = V.find("axes");
+  ASSERT_NE(Axes, nullptr);
+  ASSERT_EQ(Axes->items().size(), 2u);
+  EXPECT_EQ(Axes->items()[0].find("rspare")->number(), 512.0);
+  EXPECT_EQ(Axes->items()[1].find("xlimit")->number(), 1.5);
+  EXPECT_TRUE(V.find("empty_obj")->members().empty());
+  EXPECT_TRUE(V.find("empty_arr")->items().empty());
+  EXPECT_TRUE(V.find("ok")->boolean());
+  EXPECT_TRUE(V.find("missing")->isNull());
+  EXPECT_EQ(V.find("no_such_key"), nullptr);
+}
+
+TEST(Json, CompactAndPrettyParseTheSame) {
+  auto build = [](bool Pretty) {
+    JsonWriter W(Pretty);
+    W.beginObject();
+    W.field("a", 1);
+    W.key("b").beginArray().value(2).value(3).endArray();
+    W.endObject();
+    return W.str();
+  };
+  std::string Compact = build(false);
+  std::string Pretty = build(true);
+  EXPECT_EQ(Compact, "{\"a\":1,\"b\":[2,3]}");
+  EXPECT_NE(Compact, Pretty);
+  JsonValue VC, VP;
+  ASSERT_TRUE(JsonValue::parse(Compact, VC));
+  ASSERT_TRUE(JsonValue::parse(Pretty, VP));
+  EXPECT_EQ(VP.find("a")->number(), VC.find("a")->number());
+  EXPECT_EQ(VP.find("b")->items().size(), VC.find("b")->items().size());
+}
+
+TEST(Json, WriterIsDeterministic) {
+  auto build = [] {
+    JsonWriter W;
+    W.beginObject();
+    W.field("x", 1.0 / 3.0);
+    W.endObject();
+    return W.str();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(JsonValue::parse("", V, &Error));
+  EXPECT_FALSE(JsonValue::parse("{", V, &Error));
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}", V, &Error));
+  EXPECT_FALSE(JsonValue::parse("[1,]", V, &Error));
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", V, &Error));
+  EXPECT_FALSE(JsonValue::parse("1.2.3", V, &Error));
+  EXPECT_FALSE(JsonValue::parse("tru", V, &Error));
+  EXPECT_FALSE(JsonValue::parse("{} trailing", V, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Json, ParserHandlesUnicodeEscapes) {
+  JsonValue V;
+  ASSERT_TRUE(JsonValue::parse("\"\\u0041\\u00e9\\u20ac\"", V));
+  EXPECT_EQ(V.string(), "A\xC3\xA9\xE2\x82\xAC"); // A, e-acute, euro
+}
+
+TEST(Json, ParseAcceptsWhitespaceEverywhere) {
+  JsonValue V;
+  ASSERT_TRUE(
+      JsonValue::parse("  { \"a\" : [ 1 , 2 ] , \"b\" : null }  ", V));
+  EXPECT_EQ(V.find("a")->items().size(), 2u);
+}

@@ -1,0 +1,299 @@
+//===- tools/ramloc-batch.cpp - campaign batch runner -----------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// Expands a benchmark x device x knob grid into jobs and runs them on the
+// campaign engine's thread pool: one command replays a whole figure's
+// worth of pipeline runs in parallel. Reports are deterministic: the same
+// grid produces byte-identical JSON/CSV whatever --jobs is.
+//
+// Usage:
+//   ramloc-batch [options]
+//     --benchmarks=a,b|all  BEEBS benchmarks (default: all)
+//     --levels=O0,..,Os     optimisation levels (default: O2)
+//     --devices=a,b|all     device registry names (default: stm32f100)
+//     --rspare=N,N,...      RAM-spare axis in bytes (default: 512)
+//     --xlimit=F,F,...      execution-time-limit axis (default: 1.5)
+//     --freq=static,profiled  frequency-mode axis (default: static)
+//     --repeat=N            kernel iterations, 0 = suite default
+//     --model-only          stop at the ILP; skip simulation (with
+//                           --freq=profiled the baseline still simulates
+//                           once per job to collect the profile)
+//     --jobs=N              worker threads (default: hardware concurrency)
+//     --no-cache            re-run duplicate configurations
+//     --json=FILE           write the JSON report ('-' = stdout)
+//     --csv=FILE            write the CSV report ('-' = stdout)
+//     --dry-run             print the expanded job list and exit
+//     --list-devices        print the device registry and exit
+//     --list-benchmarks     print the benchmark registry and exit
+//     --verbose             per-job progress on stderr
+//     --quiet               suppress the summary table
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+#include "campaign/Campaign.h"
+#include "campaign/Report.h"
+#include "power/DeviceRegistry.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace ramloc;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ramloc-batch [--benchmarks=a,b|all] [--levels=O2,Os]\n"
+      "                    [--devices=a,b|all] [--rspare=N,...]\n"
+      "                    [--xlimit=F,...] [--freq=static,profiled]\n"
+      "                    [--repeat=N] [--model-only] [--jobs=N]\n"
+      "                    [--no-cache] [--json=FILE] [--csv=FILE]\n"
+      "                    [--dry-run] [--list-devices]\n"
+      "                    [--list-benchmarks] [--verbose] [--quiet]\n");
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t Comma = S.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    if (Comma > Start)
+      Out.push_back(S.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+/// Strict numeric parsing: the whole token must be consumed, so a typo
+/// fails here instead of silently running a grid the user never asked for.
+bool parseUnsigned(const std::string &S, unsigned &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(S.c_str(), &End, 0);
+  if (*End != '\0' || V > 0xFFFFFFFFul)
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+bool parseDouble(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtod(S.c_str(), &End);
+  return *End == '\0';
+}
+
+bool parseLevel(const std::string &Name, OptLevel &Out) {
+  for (OptLevel L : {OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3,
+                     OptLevel::Os})
+    if (Name == optLevelName(L)) {
+      Out = L;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  GridSpec Grid;
+  Grid.Benchmarks = beebsNames();
+  CampaignOptions Opts;
+  Opts.Jobs = 0; // hardware concurrency
+  std::string JsonPath, CsvPath;
+  bool DryRun = false, Verbose = false, Quiet = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto val = [&Arg](size_t Prefix) { return Arg.substr(Prefix); };
+    if (Arg.rfind("--benchmarks=", 0) == 0) {
+      std::string V = val(13);
+      Grid.Benchmarks = V == "all" ? beebsNames() : splitList(V);
+    } else if (Arg.rfind("--levels=", 0) == 0) {
+      Grid.Levels.clear();
+      for (const std::string &Name : splitList(val(9))) {
+        OptLevel L;
+        if (!parseLevel(Name, L)) {
+          std::fprintf(stderr, "error: unknown level '%s'\n", Name.c_str());
+          return 2;
+        }
+        Grid.Levels.push_back(L);
+      }
+    } else if (Arg.rfind("--devices=", 0) == 0) {
+      std::string V = val(10);
+      Grid.Devices = V == "all" ? deviceNames() : splitList(V);
+    } else if (Arg.rfind("--rspare=", 0) == 0) {
+      Grid.RsparePoints.clear();
+      for (const std::string &N : splitList(val(9))) {
+        unsigned V;
+        if (!parseUnsigned(N, V)) {
+          std::fprintf(stderr, "error: bad --rspare value '%s'\n",
+                       N.c_str());
+          return 2;
+        }
+        Grid.RsparePoints.push_back(V);
+      }
+    } else if (Arg.rfind("--xlimit=", 0) == 0) {
+      Grid.XlimitPoints.clear();
+      for (const std::string &N : splitList(val(9))) {
+        double V;
+        if (!parseDouble(N, V)) {
+          std::fprintf(stderr, "error: bad --xlimit value '%s'\n",
+                       N.c_str());
+          return 2;
+        }
+        Grid.XlimitPoints.push_back(V);
+      }
+    } else if (Arg.rfind("--freq=", 0) == 0) {
+      Grid.FreqModes.clear();
+      for (const std::string &Name : splitList(val(7))) {
+        if (Name == "static")
+          Grid.FreqModes.push_back(FreqMode::Static);
+        else if (Name == "profiled")
+          Grid.FreqModes.push_back(FreqMode::Profiled);
+        else {
+          std::fprintf(stderr, "error: unknown freq mode '%s'\n",
+                       Name.c_str());
+          return 2;
+        }
+      }
+    } else if (Arg.rfind("--repeat=", 0) == 0) {
+      if (!parseUnsigned(val(9), Grid.Repeat)) {
+        std::fprintf(stderr, "error: bad --repeat value '%s'\n",
+                     val(9).c_str());
+        return 2;
+      }
+    } else if (Arg == "--model-only") {
+      Grid.Kind = JobKind::ModelOnly;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsigned(val(7), Opts.Jobs)) {
+        std::fprintf(stderr, "error: bad --jobs value '%s'\n",
+                     val(7).c_str());
+        return 2;
+      }
+    } else if (Arg == "--no-cache") {
+      Opts.UseCache = false;
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      JsonPath = val(7);
+    } else if (Arg.rfind("--csv=", 0) == 0) {
+      CsvPath = val(6);
+    } else if (Arg == "--dry-run") {
+      DryRun = true;
+    } else if (Arg == "--list-devices") {
+      Table T({"device", "clock", "sleep", "description"});
+      for (const DeviceInfo &D : deviceRegistry())
+        T.addRow({D.Name, formatString("%.0f MHz", D.Model.ClockHz / 1e6),
+                  formatString("%.1f mW", D.Model.SleepMilliWatts),
+                  D.Description});
+      std::printf("%s", T.render().c_str());
+      return 0;
+    } else if (Arg == "--list-benchmarks") {
+      for (const BeebsInfo &Info : beebsSuite())
+        std::printf("%s\n", Info.Name);
+      return 0;
+    } else if (Arg == "--verbose") {
+      Verbose = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  // Validate axis names up front so a typo fails before a long run.
+  for (const std::string &B : Grid.Benchmarks)
+    if (!isKnownBeebs(B)) {
+      std::fprintf(stderr, "error: unknown benchmark '%s'\n", B.c_str());
+      return 2;
+    }
+  for (const std::string &D : Grid.Devices)
+    if (!findDevice(D)) {
+      std::fprintf(stderr, "error: unknown device '%s'\n", D.c_str());
+      return 2;
+    }
+
+  // Probe the report paths too: a bad --json/--csv must fail now, not
+  // after a multi-hour grid has run and its results are about to be lost.
+  for (const std::string &Path : {JsonPath, CsvPath}) {
+    if (Path.empty() || Path == "-")
+      continue;
+    std::ofstream Probe(Path, std::ios::app);
+    if (!Probe) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   Path.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<JobSpec> Jobs = Grid.expand();
+  if (Jobs.empty()) {
+    std::fprintf(stderr, "error: empty grid\n");
+    return 2;
+  }
+
+  if (DryRun) {
+    std::printf("%zu job(s):\n", Jobs.size());
+    for (const JobSpec &J : Jobs)
+      std::printf("  %s\n", J.cacheKey().c_str());
+    return 0;
+  }
+
+  if (Verbose)
+    Opts.Progress = [](const JobResult &R, unsigned Done, unsigned Total) {
+      std::fprintf(stderr, "[%u/%u] %s: %s\n", Done, Total,
+                   R.Spec.cacheKey().c_str(),
+                   R.ok() ? "ok" : R.Error.c_str());
+    };
+
+  CampaignResult CR = runCampaign(Jobs, Opts);
+
+  if (!Quiet) {
+    std::printf("%s", campaignToTable(CR).c_str());
+    std::printf("\n%u job(s): %u succeeded, %u failed, %u cache hit(s), "
+                "%u unique run(s)\n",
+                CR.Summary.Total, CR.Summary.Succeeded, CR.Summary.Failed,
+                CR.Summary.CacheHits, CR.Summary.UniqueRuns);
+    if (CR.Summary.Succeeded > 0 && Grid.Kind == JobKind::Measure)
+      std::printf("geomean energy ratio %.4f; mean energy %+.1f%%, "
+                  "time %+.1f%%, power %+.1f%%\n",
+                  CR.Summary.GeomeanEnergyRatio, CR.Summary.MeanEnergyPct,
+                  CR.Summary.MeanTimePct, CR.Summary.MeanPowerPct);
+    std::fprintf(stderr, "wall time %.2fs\n", CR.Summary.WallSeconds);
+  }
+
+  std::string Error;
+  if (!JsonPath.empty()) {
+    std::string Doc = campaignToJson(CR);
+    if (JsonPath == "-")
+      std::fputs(Doc.c_str(), stdout);
+    else if (!writeTextFile(JsonPath, Doc, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  if (!CsvPath.empty()) {
+    std::string Doc = campaignToCsv(CR);
+    if (CsvPath == "-")
+      std::fputs(Doc.c_str(), stdout);
+    else if (!writeTextFile(CsvPath, Doc, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  return CR.Summary.Failed == 0 ? 0 : 1;
+}

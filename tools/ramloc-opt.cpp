@@ -118,19 +118,8 @@ int main(int Argc, char **Argv) {
                  "  energy %.4f -> %.4f mJ (%+.1f%%), time %+.1f%%, "
                  "power %+.1f%%\n",
                  R.MeasuredBase.Energy.MilliJoules,
-                 R.MeasuredOpt.Energy.MilliJoules,
-                 (R.MeasuredOpt.Energy.MilliJoules /
-                      R.MeasuredBase.Energy.MilliJoules -
-                  1.0) *
-                     100.0,
-                 (R.MeasuredOpt.Energy.Seconds /
-                      R.MeasuredBase.Energy.Seconds -
-                  1.0) *
-                     100.0,
-                 (R.MeasuredOpt.Energy.AvgMilliWatts /
-                      R.MeasuredBase.Energy.AvgMilliWatts -
-                  1.0) *
-                     100.0);
+                 R.MeasuredOpt.Energy.MilliJoules, R.energyChangePct(),
+                 R.timeChangePct(), R.powerChangePct());
     std::fprintf(stderr, "  RAM code: %u bytes; solver explored %u nodes\n",
                  R.PredictedOpt.RamBytes, R.Solver.NodesExplored);
   }
