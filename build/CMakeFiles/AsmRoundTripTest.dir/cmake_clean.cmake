@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AsmRoundTripTest"
+  "AsmRoundTripTest.pdb"
+  "CMakeFiles/AsmRoundTripTest.dir/tests/AsmRoundTripTest.cpp.o"
+  "CMakeFiles/AsmRoundTripTest.dir/tests/AsmRoundTripTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AsmRoundTripTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BeebsTest"
+  "BeebsTest.pdb"
+  "CMakeFiles/BeebsTest.dir/tests/BeebsTest.cpp.o"
+  "CMakeFiles/BeebsTest.dir/tests/BeebsTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BeebsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

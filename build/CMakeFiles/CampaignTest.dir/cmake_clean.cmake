@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CampaignTest.dir/tests/CampaignTest.cpp.o"
+  "CMakeFiles/CampaignTest.dir/tests/CampaignTest.cpp.o.d"
+  "CampaignTest"
+  "CampaignTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CampaignTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

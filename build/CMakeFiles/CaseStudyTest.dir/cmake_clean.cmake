@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CaseStudyTest.dir/tests/CaseStudyTest.cpp.o"
+  "CMakeFiles/CaseStudyTest.dir/tests/CaseStudyTest.cpp.o.d"
+  "CaseStudyTest"
+  "CaseStudyTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CaseStudyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FuzzPipelineTest.dir/tests/FuzzPipelineTest.cpp.o"
+  "CMakeFiles/FuzzPipelineTest.dir/tests/FuzzPipelineTest.cpp.o.d"
+  "FuzzPipelineTest"
+  "FuzzPipelineTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FuzzPipelineTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

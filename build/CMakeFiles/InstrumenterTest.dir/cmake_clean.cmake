@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/InstrumenterTest.dir/tests/InstrumenterTest.cpp.o"
+  "CMakeFiles/InstrumenterTest.dir/tests/InstrumenterTest.cpp.o.d"
+  "InstrumenterTest"
+  "InstrumenterTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/InstrumenterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

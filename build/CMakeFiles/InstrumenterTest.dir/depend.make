@@ -1,0 +1,2 @@
+# Empty dependencies file for InstrumenterTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/IsaTest.dir/tests/IsaTest.cpp.o"
+  "CMakeFiles/IsaTest.dir/tests/IsaTest.cpp.o.d"
+  "IsaTest"
+  "IsaTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/IsaTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/JsonTest.dir/tests/JsonTest.cpp.o"
+  "CMakeFiles/JsonTest.dir/tests/JsonTest.cpp.o.d"
+  "JsonTest"
+  "JsonTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/JsonTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

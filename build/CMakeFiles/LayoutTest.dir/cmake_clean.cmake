@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LayoutTest.dir/tests/LayoutTest.cpp.o"
+  "CMakeFiles/LayoutTest.dir/tests/LayoutTest.cpp.o.d"
+  "LayoutTest"
+  "LayoutTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LayoutTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

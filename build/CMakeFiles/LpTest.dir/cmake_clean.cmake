@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LpTest.dir/tests/LpTest.cpp.o"
+  "CMakeFiles/LpTest.dir/tests/LpTest.cpp.o.d"
+  "LpTest"
+  "LpTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LpTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MirTest.dir/tests/MirTest.cpp.o"
+  "CMakeFiles/MirTest.dir/tests/MirTest.cpp.o.d"
+  "MirTest"
+  "MirTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MirTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

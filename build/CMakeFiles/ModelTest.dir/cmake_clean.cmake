@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ModelTest.dir/tests/ModelTest.cpp.o"
+  "CMakeFiles/ModelTest.dir/tests/ModelTest.cpp.o.d"
+  "ModelTest"
+  "ModelTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ModelTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ModelTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ParamsTest.dir/tests/ParamsTest.cpp.o"
+  "CMakeFiles/ParamsTest.dir/tests/ParamsTest.cpp.o.d"
+  "ParamsTest"
+  "ParamsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ParamsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

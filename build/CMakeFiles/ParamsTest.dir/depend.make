@@ -1,0 +1,2 @@
+# Empty dependencies file for ParamsTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SimMoreTest.dir/tests/SimMoreTest.cpp.o"
+  "CMakeFiles/SimMoreTest.dir/tests/SimMoreTest.cpp.o.d"
+  "SimMoreTest"
+  "SimMoreTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SimMoreTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for SimMoreTest.
+# This may be replaced when dependencies are built.

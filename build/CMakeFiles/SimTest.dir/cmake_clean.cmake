@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SimTest.dir/tests/SimTest.cpp.o"
+  "CMakeFiles/SimTest.dir/tests/SimTest.cpp.o.d"
+  "SimTest"
+  "SimTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SimTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

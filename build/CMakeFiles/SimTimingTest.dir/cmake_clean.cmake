@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SimTimingTest.dir/tests/SimTimingTest.cpp.o"
+  "CMakeFiles/SimTimingTest.dir/tests/SimTimingTest.cpp.o.d"
+  "SimTimingTest"
+  "SimTimingTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SimTimingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_campaign_sweep.dir/bench/campaign_sweep.cpp.o"
+  "CMakeFiles/bench_campaign_sweep.dir/bench/campaign_sweep.cpp.o.d"
+  "bench_campaign_sweep"
+  "bench_campaign_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_campaign_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_instruction_power.dir/bench/fig1_instruction_power.cpp.o"
+  "CMakeFiles/bench_fig1_instruction_power.dir/bench/fig1_instruction_power.cpp.o.d"
+  "bench_fig1_instruction_power"
+  "bench_fig1_instruction_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_instruction_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_beebs.dir/bench/fig5_beebs.cpp.o"
+  "CMakeFiles/bench_fig5_beebs.dir/bench/fig5_beebs.cpp.o.d"
+  "bench_fig5_beebs"
+  "bench_fig5_beebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_beebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

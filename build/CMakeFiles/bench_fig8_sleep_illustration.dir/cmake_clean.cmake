@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sleep_illustration.dir/bench/fig8_sleep_illustration.cpp.o"
+  "CMakeFiles/bench_fig8_sleep_illustration.dir/bench/fig8_sleep_illustration.cpp.o.d"
+  "bench_fig8_sleep_illustration"
+  "bench_fig8_sleep_illustration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sleep_illustration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_futurework_linker_view.dir/bench/futurework_linker_view.cpp.o"
+  "CMakeFiles/bench_futurework_linker_view.dir/bench/futurework_linker_view.cpp.o.d"
+  "bench_futurework_linker_view"
+  "bench_futurework_linker_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_futurework_linker_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_futurework_linker_view.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_variation.dir/bench/robustness_variation.cpp.o"
+  "CMakeFiles/bench_robustness_variation.dir/bench/robustness_variation.cpp.o.d"
+  "bench_robustness_variation"
+  "bench_robustness_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_averages.dir/bench/table_averages.cpp.o"
+  "CMakeFiles/bench_table_averages.dir/bench/table_averages.cpp.o.d"
+  "bench_table_averages"
+  "bench_table_averages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_averages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_periodic_sensing.dir/examples/periodic_sensing.cpp.o"
+  "CMakeFiles/example_periodic_sensing.dir/examples/periodic_sensing.cpp.o.d"
+  "example_periodic_sensing"
+  "example_periodic_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_periodic_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_profile_guided.dir/examples/profile_guided.cpp.o"
+  "CMakeFiles/example_profile_guided.dir/examples/profile_guided.cpp.o.d"
+  "example_profile_guided"
+  "example_profile_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_profile_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tradeoff_explorer.dir/examples/tradeoff_explorer.cpp.o"
+  "CMakeFiles/example_tradeoff_explorer.dir/examples/tradeoff_explorer.cpp.o.d"
+  "example_tradeoff_explorer"
+  "example_tradeoff_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tradeoff_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramloc-batch.dir/tools/ramloc-batch.cpp.o"
+  "CMakeFiles/ramloc-batch.dir/tools/ramloc-batch.cpp.o.d"
+  "ramloc-batch"
+  "ramloc-batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramloc-batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramloc-opt.dir/tools/ramloc-opt.cpp.o"
+  "CMakeFiles/ramloc-opt.dir/tools/ramloc-opt.cpp.o.d"
+  "ramloc-opt"
+  "ramloc-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramloc-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

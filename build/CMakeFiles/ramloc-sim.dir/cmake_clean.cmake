@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramloc-sim.dir/tools/ramloc-sim.cpp.o"
+  "CMakeFiles/ramloc-sim.dir/tools/ramloc-sim.cpp.o.d"
+  "ramloc-sim"
+  "ramloc-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramloc-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

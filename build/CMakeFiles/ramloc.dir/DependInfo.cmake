@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmio/Parser.cpp" "CMakeFiles/ramloc.dir/src/asmio/Parser.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/asmio/Parser.cpp.o.d"
+  "/root/repo/src/asmio/Printer.cpp" "CMakeFiles/ramloc.dir/src/asmio/Printer.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/asmio/Printer.cpp.o.d"
+  "/root/repo/src/beebs/Beebs.cpp" "CMakeFiles/ramloc.dir/src/beebs/Beebs.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Beebs.cpp.o.d"
+  "/root/repo/src/beebs/Blowfish.cpp" "CMakeFiles/ramloc.dir/src/beebs/Blowfish.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Blowfish.cpp.o.d"
+  "/root/repo/src/beebs/Codegen.cpp" "CMakeFiles/ramloc.dir/src/beebs/Codegen.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Codegen.cpp.o.d"
+  "/root/repo/src/beebs/Common.cpp" "CMakeFiles/ramloc.dir/src/beebs/Common.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Common.cpp.o.d"
+  "/root/repo/src/beebs/Crc32.cpp" "CMakeFiles/ramloc.dir/src/beebs/Crc32.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Crc32.cpp.o.d"
+  "/root/repo/src/beebs/Cubic.cpp" "CMakeFiles/ramloc.dir/src/beebs/Cubic.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Cubic.cpp.o.d"
+  "/root/repo/src/beebs/Dijkstra.cpp" "CMakeFiles/ramloc.dir/src/beebs/Dijkstra.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Dijkstra.cpp.o.d"
+  "/root/repo/src/beebs/Fdct.cpp" "CMakeFiles/ramloc.dir/src/beebs/Fdct.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Fdct.cpp.o.d"
+  "/root/repo/src/beebs/FloatMatmult.cpp" "CMakeFiles/ramloc.dir/src/beebs/FloatMatmult.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/FloatMatmult.cpp.o.d"
+  "/root/repo/src/beebs/IntMatmult.cpp" "CMakeFiles/ramloc.dir/src/beebs/IntMatmult.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/IntMatmult.cpp.o.d"
+  "/root/repo/src/beebs/MicroBench.cpp" "CMakeFiles/ramloc.dir/src/beebs/MicroBench.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/MicroBench.cpp.o.d"
+  "/root/repo/src/beebs/Rijndael.cpp" "CMakeFiles/ramloc.dir/src/beebs/Rijndael.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Rijndael.cpp.o.d"
+  "/root/repo/src/beebs/Sha.cpp" "CMakeFiles/ramloc.dir/src/beebs/Sha.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/Sha.cpp.o.d"
+  "/root/repo/src/beebs/SoftFloat.cpp" "CMakeFiles/ramloc.dir/src/beebs/SoftFloat.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/SoftFloat.cpp.o.d"
+  "/root/repo/src/beebs/TwoDFir.cpp" "CMakeFiles/ramloc.dir/src/beebs/TwoDFir.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/beebs/TwoDFir.cpp.o.d"
+  "/root/repo/src/campaign/Campaign.cpp" "CMakeFiles/ramloc.dir/src/campaign/Campaign.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/campaign/Campaign.cpp.o.d"
+  "/root/repo/src/campaign/JobQueue.cpp" "CMakeFiles/ramloc.dir/src/campaign/JobQueue.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/campaign/JobQueue.cpp.o.d"
+  "/root/repo/src/campaign/Report.cpp" "CMakeFiles/ramloc.dir/src/campaign/Report.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/campaign/Report.cpp.o.d"
+  "/root/repo/src/casestudy/PeriodicApp.cpp" "CMakeFiles/ramloc.dir/src/casestudy/PeriodicApp.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/casestudy/PeriodicApp.cpp.o.d"
+  "/root/repo/src/core/BlockParams.cpp" "CMakeFiles/ramloc.dir/src/core/BlockParams.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/core/BlockParams.cpp.o.d"
+  "/root/repo/src/core/Enumerator.cpp" "CMakeFiles/ramloc.dir/src/core/Enumerator.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/core/Enumerator.cpp.o.d"
+  "/root/repo/src/core/Greedy.cpp" "CMakeFiles/ramloc.dir/src/core/Greedy.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/core/Greedy.cpp.o.d"
+  "/root/repo/src/core/IlpModel.cpp" "CMakeFiles/ramloc.dir/src/core/IlpModel.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/core/IlpModel.cpp.o.d"
+  "/root/repo/src/core/Instrumenter.cpp" "CMakeFiles/ramloc.dir/src/core/Instrumenter.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/core/Instrumenter.cpp.o.d"
+  "/root/repo/src/core/Pipeline.cpp" "CMakeFiles/ramloc.dir/src/core/Pipeline.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/core/Pipeline.cpp.o.d"
+  "/root/repo/src/isa/Condition.cpp" "CMakeFiles/ramloc.dir/src/isa/Condition.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/isa/Condition.cpp.o.d"
+  "/root/repo/src/isa/Encoding.cpp" "CMakeFiles/ramloc.dir/src/isa/Encoding.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/isa/Encoding.cpp.o.d"
+  "/root/repo/src/isa/Instr.cpp" "CMakeFiles/ramloc.dir/src/isa/Instr.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/isa/Instr.cpp.o.d"
+  "/root/repo/src/isa/Register.cpp" "CMakeFiles/ramloc.dir/src/isa/Register.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/isa/Register.cpp.o.d"
+  "/root/repo/src/isa/Timing.cpp" "CMakeFiles/ramloc.dir/src/isa/Timing.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/isa/Timing.cpp.o.d"
+  "/root/repo/src/layout/Linker.cpp" "CMakeFiles/ramloc.dir/src/layout/Linker.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/layout/Linker.cpp.o.d"
+  "/root/repo/src/lp/BranchBound.cpp" "CMakeFiles/ramloc.dir/src/lp/BranchBound.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/lp/BranchBound.cpp.o.d"
+  "/root/repo/src/lp/Simplex.cpp" "CMakeFiles/ramloc.dir/src/lp/Simplex.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/lp/Simplex.cpp.o.d"
+  "/root/repo/src/mir/CFG.cpp" "CMakeFiles/ramloc.dir/src/mir/CFG.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/mir/CFG.cpp.o.d"
+  "/root/repo/src/mir/Dominators.cpp" "CMakeFiles/ramloc.dir/src/mir/Dominators.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/mir/Dominators.cpp.o.d"
+  "/root/repo/src/mir/Frequency.cpp" "CMakeFiles/ramloc.dir/src/mir/Frequency.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/mir/Frequency.cpp.o.d"
+  "/root/repo/src/mir/Loops.cpp" "CMakeFiles/ramloc.dir/src/mir/Loops.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/mir/Loops.cpp.o.d"
+  "/root/repo/src/mir/Module.cpp" "CMakeFiles/ramloc.dir/src/mir/Module.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/mir/Module.cpp.o.d"
+  "/root/repo/src/mir/Verifier.cpp" "CMakeFiles/ramloc.dir/src/mir/Verifier.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/mir/Verifier.cpp.o.d"
+  "/root/repo/src/power/DeviceRegistry.cpp" "CMakeFiles/ramloc.dir/src/power/DeviceRegistry.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/power/DeviceRegistry.cpp.o.d"
+  "/root/repo/src/power/PowerModel.cpp" "CMakeFiles/ramloc.dir/src/power/PowerModel.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/power/PowerModel.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "CMakeFiles/ramloc.dir/src/sim/Simulator.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/sim/Simulator.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "CMakeFiles/ramloc.dir/src/support/Format.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/support/Format.cpp.o.d"
+  "/root/repo/src/support/Json.cpp" "CMakeFiles/ramloc.dir/src/support/Json.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/support/Json.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "CMakeFiles/ramloc.dir/src/support/Statistics.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "CMakeFiles/ramloc.dir/src/support/Table.cpp.o" "gcc" "CMakeFiles/ramloc.dir/src/support/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
