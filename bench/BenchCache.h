@@ -1,0 +1,78 @@
+//===- bench/BenchCache.h - shared --cache-dir plumbing ---------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// The figure/table drivers rerun the same pipeline grids on every
+// invocation; this header gives each of them an optional persistent
+// result cache with one line of setup:
+//
+//   BenchCache Cache(argc, argv);      // honours --cache-dir=DIR
+//   CampaignOptions Opts;
+//   Cache.attach(Opts);
+//   ... runCampaign(...) ...
+//   Cache.save();                      // no-op without --cache-dir
+//
+// Not part of the library on purpose: it is argv-parsing convenience for
+// standalone drivers, nothing more.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_BENCH_BENCHCACHE_H
+#define RAMLOC_BENCH_BENCHCACHE_H
+
+#include "campaign/CacheStore.h"
+#include "campaign/Campaign.h"
+
+#include <cstdio>
+#include <string>
+
+namespace ramloc {
+
+class BenchCache {
+public:
+  BenchCache(int Argc, char **Argv) {
+    // Last flag wins, as in ramloc-batch; the store is opened once.
+    std::string Dir;
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--cache-dir=", 0) == 0)
+        Dir = Arg.substr(12);
+    }
+    if (Dir.empty())
+      return;
+    std::string Error;
+    if (Store.open(Dir, &Error))
+      Active = true;
+    else
+      std::fprintf(stderr, "warning: %s; running uncached\n",
+                   Error.c_str());
+  }
+
+  void attach(CampaignOptions &Opts) {
+    if (Active)
+      Opts.Cache = &Store.cache();
+  }
+
+  void save() {
+    if (!Active)
+      return;
+    std::string Error;
+    if (!Store.save(&Error))
+      std::fprintf(stderr, "warning: cache save failed: %s\n",
+                   Error.c_str());
+    else
+      std::fprintf(stderr, "cache: %zu entr%s -> %s\n",
+                   Store.cache().size(),
+                   Store.cache().size() == 1 ? "y" : "ies",
+                   Store.path().c_str());
+  }
+
+private:
+  CacheStore Store;
+  bool Active = false;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_BENCH_BENCHCACHE_H

@@ -8,6 +8,9 @@
 // period total, because the extra active time would otherwise be spent
 // above sleep power. Paper numbers: 60 uJ -> 55 uJ over a 15 ms period.
 //
+// Unlike the other figure drivers this one is pure Eq. 10-12 arithmetic —
+// no pipeline runs — so it has no campaign grid to execute or cache.
+//
 //===----------------------------------------------------------------------===//
 
 #include "casestudy/PeriodicApp.h"

@@ -10,11 +10,15 @@
 // saves little at small T but *still* saves (its optimization trades time
 // for power at nearly constant energy).
 //
+// The three pipeline runs are one campaign grid executed by the campaign
+// engine; pass --cache-dir=DIR to serve repeated invocations from the
+// persistent result cache instead of re-simulating.
+//
 //===----------------------------------------------------------------------===//
 
-#include "beebs/Beebs.h"
+#include "BenchCache.h"
+#include "campaign/Campaign.h"
 #include "casestudy/PeriodicApp.h"
-#include "core/Pipeline.h"
 #include "support/Format.h"
 #include "support/Table.h"
 
@@ -22,32 +26,39 @@
 
 using namespace ramloc;
 
-int main() {
+int main(int Argc, char **Argv) {
   std::printf("== Figure 9: energy after optimization vs period T "
               "(PS = 3.5 mW, Rspare = 1024 B) ==\n\n");
 
-  const char *Names[] = {"fdct", "int_matmult", "2dfir"};
   const double Multiples[] = {1, 2, 3, 4, 6, 8, 12, 16};
+
+  GridSpec Grid;
+  Grid.Benchmarks = {"fdct", "int_matmult", "2dfir"};
+  Grid.Levels = {OptLevel::O2};
+  Grid.RsparePoints = {1024};
+  Grid.XlimitPoints = {1.5};
+
+  BenchCache Cache(Argc, Argv);
+  CampaignOptions Opts;
+  Opts.Jobs = 0; // hardware concurrency
+  Cache.attach(Opts);
+  CampaignResult CR = runCampaign(Grid, Opts);
+  Cache.save();
 
   Table T({"T / TA", "fdct", "int_matmult", "2dfir"});
   std::vector<std::vector<double>> Series(3);
 
   for (unsigned N = 0; N != 3; ++N) {
-    Module M = buildBeebs(Names[N], OptLevel::O2, 0);
-    PipelineOptions Opts;
-    Opts.Knobs.RspareBytes = 1024;
-    Opts.Knobs.Xlimit = 1.5;
-    PipelineResult R = optimizeModule(M, Opts);
+    const JobResult &R = CR.Results[N];
     if (!R.ok()) {
-      std::printf("%s: %s\n", Names[N], R.Error.c_str());
+      std::printf("%s: %s\n", R.Spec.Benchmark.c_str(), R.Error.c_str());
       return 1;
     }
-    ActiveProfile Base{R.MeasuredBase.Energy.MilliJoules,
-                       R.MeasuredBase.Energy.Seconds};
-    ActiveProfile Opt{R.MeasuredOpt.Energy.MilliJoules,
-                      R.MeasuredOpt.Energy.Seconds};
+    ActiveProfile Base{R.BaseEnergyMilliJoules, R.BaseSeconds};
+    ActiveProfile Opt{R.OptEnergyMilliJoules, R.OptSeconds};
     OptimizationFactors K = factorsFrom(Base, Opt);
-    std::printf("%-12s ke = %.3f, kt = %.3f\n", Names[N], K.Ke, K.Kt);
+    std::printf("%-12s ke = %.3f, kt = %.3f\n", R.Spec.Benchmark.c_str(),
+                K.Ke, K.Kt);
     for (double Mult : Multiples) {
       // T is a multiple of the *optimized* active time so the longest
       // active region still fits in the period.

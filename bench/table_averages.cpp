@@ -8,10 +8,15 @@
 // and 21.9% respectively. The execution time is increased by an average
 // of 19.5%." Runs the whole suite at O0/O1/O2/O3/Os and averages.
 //
+// The 50 pipeline runs are one campaign grid executed in parallel by the
+// campaign engine; pass --cache-dir=DIR to make repeated invocations
+// incremental (the second run replays from the persistent cache).
+//
 //===----------------------------------------------------------------------===//
 
+#include "BenchCache.h"
 #include "beebs/Beebs.h"
-#include "core/Pipeline.h"
+#include "campaign/Campaign.h"
 #include "support/Format.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
@@ -20,37 +25,46 @@
 
 using namespace ramloc;
 
-int main() {
+int main(int Argc, char **Argv) {
   std::printf("== Section 6 averages across 10 benchmarks x 5 levels "
               "(Rspare = 512 B, Xlimit = 1.5) ==\n\n");
 
+  GridSpec Grid;
+  Grid.Benchmarks = beebsNames();
+  Grid.Levels = {OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3,
+                 OptLevel::Os};
+  Grid.RsparePoints = {512};
+  Grid.XlimitPoints = {1.5};
+
+  BenchCache Cache(Argc, Argv);
+  CampaignOptions Opts;
+  Opts.Jobs = 0; // hardware concurrency
+  Cache.attach(Opts);
+  CampaignResult CR = runCampaign(Grid, Opts);
+  Cache.save();
+
+  for (const JobResult &R : CR.Results)
+    if (!R.ok()) {
+      std::printf("%s %s: %s\n", R.Spec.Benchmark.c_str(),
+                  optLevelName(R.Spec.Level), R.Error.c_str());
+      return 1;
+    }
+
+  // Expansion order is benchmark-major with level as the next axis:
+  // Results[b * numLevels + l].
+  const size_t NumLevels = Grid.Levels.size();
   std::vector<double> EnergyPct, PowerPct, TimePct;
   Table T({"level", "avg energy", "avg power", "avg time"});
 
-  for (OptLevel L : AllOptLevels) {
+  for (size_t L = 0; L != NumLevels; ++L) {
     std::vector<double> LevelE, LevelP, LevelT;
-    for (const BeebsInfo &Info : beebsSuite()) {
-      Module M = Info.Build(L, Info.DefaultRepeat);
-      PipelineOptions Opts;
-      Opts.Knobs.RspareBytes = 512;
-      Opts.Knobs.Xlimit = 1.5;
-      PipelineResult R = optimizeModule(M, Opts);
-      if (!R.ok()) {
-        std::printf("%s %s: %s\n", Info.Name, optLevelName(L),
-                    R.Error.c_str());
-        return 1;
-      }
-      auto pct = [](double Base, double Opt) {
-        return (Opt / Base - 1.0) * 100.0;
-      };
-      LevelE.push_back(pct(R.MeasuredBase.Energy.MilliJoules,
-                           R.MeasuredOpt.Energy.MilliJoules));
-      LevelP.push_back(pct(R.MeasuredBase.Energy.AvgMilliWatts,
-                           R.MeasuredOpt.Energy.AvgMilliWatts));
-      LevelT.push_back(pct(R.MeasuredBase.Energy.Seconds,
-                           R.MeasuredOpt.Energy.Seconds));
+    for (size_t B = 0; B != Grid.Benchmarks.size(); ++B) {
+      const JobResult &R = CR.Results[B * NumLevels + L];
+      LevelE.push_back(R.energyPct());
+      LevelP.push_back(R.powerPct());
+      LevelT.push_back(R.timePct());
     }
-    T.addRow({optLevelName(L),
+    T.addRow({optLevelName(Grid.Levels[L]),
               formatString("%+.1f%%", mean(LevelE)),
               formatString("%+.1f%%", mean(LevelP)),
               formatString("%+.1f%%", mean(LevelT))});
@@ -60,7 +74,7 @@ int main() {
   }
 
   std::printf("%s\n", T.render().c_str());
-  std::printf("overall averages (50 runs):\n");
+  std::printf("overall averages (%zu runs):\n", CR.Results.size());
   std::printf("  energy: %+.1f%%   (paper: -7.7%%)\n", mean(EnergyPct));
   std::printf("  power:  %+.1f%%   (paper: -21.9%%)\n", mean(PowerPct));
   std::printf("  time:   %+.1f%%   (paper: +19.5%%)\n", mean(TimePct));

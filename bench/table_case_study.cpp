@@ -10,12 +10,15 @@
 //
 // We scale fdct so TA lands near the paper's 1.18 s (the simulated SoC
 // runs the same 24 MHz clock) and print measured-vs-paper side by side.
+// The single (long) pipeline run is a campaign job; with --cache-dir=DIR
+// repeated invocations replay it from the persistent cache instead of
+// re-simulating ~28M cycles.
 //
 //===----------------------------------------------------------------------===//
 
-#include "beebs/Beebs.h"
+#include "BenchCache.h"
+#include "campaign/Campaign.h"
 #include "casestudy/PeriodicApp.h"
-#include "core/Pipeline.h"
 #include "support/Format.h"
 #include "support/Table.h"
 
@@ -24,24 +27,30 @@
 
 using namespace ramloc;
 
-int main() {
+int main(int Argc, char **Argv) {
   std::printf("== Section 7 case study: periodic sensing with fdct ==\n\n");
 
   // ~28M cycles at 24 MHz is the paper's 1.18 s active region.
-  Module M = buildBeebs("fdct", OptLevel::O2, 4000);
-  PipelineOptions Opts;
-  Opts.Knobs.RspareBytes = 1024;
-  Opts.Knobs.Xlimit = 1.5;
-  PipelineResult R = optimizeModule(M, Opts);
+  JobSpec Spec;
+  Spec.Benchmark = "fdct";
+  Spec.Level = OptLevel::O2;
+  Spec.Repeat = 4000;
+  Spec.RspareBytes = 1024;
+  Spec.Xlimit = 1.5;
+
+  BenchCache Cache(Argc, Argv);
+  CampaignOptions Opts;
+  Cache.attach(Opts);
+  CampaignResult CR = runCampaign(std::vector<JobSpec>{Spec}, Opts);
+  Cache.save();
+  const JobResult &R = CR.Results[0];
   if (!R.ok()) {
     std::printf("pipeline failed: %s\n", R.Error.c_str());
     return 1;
   }
 
-  ActiveProfile Base{R.MeasuredBase.Energy.MilliJoules,
-                     R.MeasuredBase.Energy.Seconds};
-  ActiveProfile Opt{R.MeasuredOpt.Energy.MilliJoules,
-                    R.MeasuredOpt.Energy.Seconds};
+  ActiveProfile Base{R.BaseEnergyMilliJoules, R.BaseSeconds};
+  ActiveProfile Opt{R.OptEnergyMilliJoules, R.OptSeconds};
   OptimizationFactors K = factorsFrom(Base, Opt);
   const double PS = 3.5;
   double Es = energySaved(Base, K, PS);

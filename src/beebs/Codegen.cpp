@@ -28,6 +28,15 @@ const char *ramloc::optLevelName(OptLevel L) {
   return "?";
 }
 
+bool ramloc::optLevelFromName(const std::string &Name, OptLevel &Out) {
+  for (OptLevel L : AllOptLevels)
+    if (Name == optLevelName(L)) {
+      Out = L;
+      return true;
+    }
+  return false;
+}
+
 namespace {
 
 /// Callee-saved registers available for locals (r7 is the reserved

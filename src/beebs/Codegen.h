@@ -37,6 +37,8 @@ namespace ramloc {
 enum class OptLevel : uint8_t { O0, O1, O2, O3, Os };
 
 const char *optLevelName(OptLevel L);
+/// Inverse of optLevelName; false when \p Name is not a level.
+bool optLevelFromName(const std::string &Name, OptLevel &Out);
 inline constexpr OptLevel AllOptLevels[] = {
     OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os};
 

@@ -1,0 +1,156 @@
+//===- campaign/CacheStore.cpp - persistent result cache -----------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/CacheStore.h"
+
+#include "campaign/Report.h"
+#include "power/DeviceRegistry.h"
+#include "support/Format.h"
+#include "support/Hash.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace ramloc;
+
+namespace {
+
+constexpr const char *StoreSchema = "ramloc-cache-v1";
+constexpr const char *ReportSchema = "ramloc-campaign-v2";
+constexpr const char *StoreFileName = "results.jsonl";
+
+void hashBytes(uint64_t &H, std::string_view S) {
+  H = fnv1a64(H, S);
+  H ^= 0xff; // field separator so adjacent strings cannot alias
+  H *= Fnv1aPrime;
+}
+
+void hashDouble(uint64_t &H, double V) {
+  // Hash the canonical decimal spelling, not raw bits, so the fingerprint
+  // is stable across platforms that agree on the value.
+  hashBytes(H, jsonNumber(V));
+}
+
+} // namespace
+
+std::string CacheStore::fingerprint() {
+  uint64_t H = Fnv1aOffset;
+  hashBytes(H, StoreSchema);
+  hashBytes(H, ReportSchema);
+  for (const DeviceInfo &D : deviceRegistry()) {
+    hashBytes(H, D.Name);
+    D.Model.forEachActiveValue([&H](double V) { hashDouble(H, V); });
+    hashDouble(H, D.Model.SleepMilliWatts);
+    hashDouble(H, D.Model.ClockHz);
+    const TimingModel &T = D.Timing;
+    for (unsigned V : {T.AluCycles, T.MulCycles, T.MlaCycles, T.DivCycles,
+                       T.LoadCycles, T.StoreCycles, T.BranchRefillCycles,
+                       T.BranchIssueCycles, T.CallCycles, T.CallRegCycles,
+                       T.BxCycles, T.ItCycles, T.SkippedCycles,
+                       T.NopCycles, T.RamContentionStall,
+                       T.FlashWaitStates})
+      hashBytes(H, formatString("%u", V));
+  }
+  return formatString("%016llx", static_cast<unsigned long long>(H));
+}
+
+bool CacheStore::open(const std::string &Dir, std::string *Error) {
+  Loaded = Skipped = 0;
+  Invalidated = false;
+
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    if (Error)
+      *Error = "cannot create cache directory '" + Dir +
+               "': " + EC.message();
+    return false;
+  }
+  Path = (std::filesystem::path(Dir) / StoreFileName).string();
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return true; // no store yet: empty cache, first save creates it
+
+  std::string Line;
+  bool SawHeader = false;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    JsonValue V;
+    if (!JsonValue::parse(Line, V)) {
+      // Corrupt or truncated line (e.g. a run killed mid-append in an
+      // older format): skip it and recompute those entries.
+      ++Skipped;
+      if (!SawHeader)
+        return true; // unreadable header: treat the file as absent
+      continue;
+    }
+    if (!SawHeader) {
+      SawHeader = true;
+      const JsonValue *Schema = V.find("schema");
+      const JsonValue *Fp = V.find("fingerprint");
+      if (!Schema || Schema->kind() != JsonValue::Kind::String ||
+          Schema->string() != StoreSchema || !Fp ||
+          Fp->kind() != JsonValue::Kind::String ||
+          Fp->string() != fingerprint()) {
+        Invalidated = true;
+        return true; // different world: discard everything
+      }
+      continue;
+    }
+    JobResult R;
+    if (!parseJobResult(V, R)) {
+      ++Skipped;
+      continue;
+    }
+    Cache.insert(R.Spec.cacheKey(), R);
+    ++Loaded;
+  }
+  return true;
+}
+
+bool CacheStore::save(std::string *Error) const {
+  if (Path.empty()) {
+    if (Error)
+      *Error = "cache store was never opened";
+    return false;
+  }
+  std::string Doc;
+  {
+    JsonWriter Header(/*Pretty=*/false);
+    Header.beginObject();
+    Header.field("schema", StoreSchema);
+    Header.field("fingerprint", fingerprint());
+    Header.endObject();
+    Doc = Header.str() + "\n";
+  }
+  for (const auto &[Key, R] : Cache.snapshot()) {
+    (void)Key; // recomputed from the spec on load
+    // Failures are not durable: they may stem from a bug the next build
+    // fixes, and the fingerprint tracks the device tables, not the code.
+    // Serving a stale failure forever is worse than re-running the job.
+    if (!R.ok())
+      continue;
+    JsonWriter W(/*Pretty=*/false);
+    writeJobResult(W, R);
+    Doc += W.str() + "\n";
+  }
+
+  std::string Tmp = Path + ".tmp";
+  if (!writeTextFile(Tmp, Doc, Error))
+    return false;
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    if (Error)
+      *Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,89 @@
+//===- campaign/CacheStore.h - persistent result cache ----------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Durable storage for campaign results, so repeated `ramloc-batch` runs
+/// (and CI re-runs) are incremental: a grid point computed once is never
+/// recomputed as long as the code that produced it is unchanged.
+///
+/// Format: one JSON-lines file, `results.jsonl`, inside the cache
+/// directory. The first line is a header carrying the store schema and a
+/// fingerprint of everything results depend on (the device registry's
+/// power tables and timing models, and the report schema). A mismatched
+/// fingerprint invalidates the whole file — results computed under a
+/// different power model must never be served — and a corrupt or
+/// truncated entry is skipped, degrading to recomputation rather than
+/// failing the run. Every subsequent line is one JobResult in the report
+/// dialect (campaign/Report.h), keyed implicitly by its spec's
+/// cacheKey().
+///
+/// Writes are atomic: the store is rewritten to a temporary file in the
+/// same directory and renamed over the old one, so a crashed or killed
+/// run can truncate at worst the temporary, never the live store. Under
+/// concurrent writers the last rename wins — shard workers should use
+/// per-shard cache directories, or share one and accept duplicated work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_CAMPAIGN_CACHESTORE_H
+#define RAMLOC_CAMPAIGN_CACHESTORE_H
+
+#include "campaign/Campaign.h"
+
+#include <string>
+
+namespace ramloc {
+
+class CacheStore {
+public:
+  /// The fingerprint a valid store must carry: a stable hash over the
+  /// store schema, the report schema, and the full device registry
+  /// (names, power tables, timing models). Any change to those — a new
+  /// power calibration, a device table edit, a serialization bump —
+  /// yields a new fingerprint and retires every existing cache.
+  static std::string fingerprint();
+
+  /// Binds the store to <Dir>/results.jsonl, creating \p Dir when
+  /// missing, and loads whatever valid entries the file holds. Returns
+  /// false only when the directory cannot be created or the file cannot
+  /// be read at all; invalid content merely yields an empty cache (see
+  /// invalidated() / skippedLines()).
+  bool open(const std::string &Dir, std::string *Error = nullptr);
+
+  /// Atomically rewrites the file with every *successful* entry
+  /// currently in cache(), sorted by cache key (temp file + rename).
+  /// Failed results stay in-memory only: a failure may be a bug the next
+  /// build fixes, and the fingerprint cannot see code changes, so
+  /// persisting it would serve a stale error forever.
+  bool save(std::string *Error = nullptr) const;
+
+  /// The in-memory cache backing this store. Point CampaignOptions::Cache
+  /// here; runCampaign both serves lookups from it and inserts new
+  /// results into it.
+  ResultCache &cache() { return Cache; }
+  const ResultCache &cache() const { return Cache; }
+
+  const std::string &path() const { return Path; }
+
+  /// Diagnostics from the last open().
+  size_t loadedEntries() const { return Loaded; }
+  size_t skippedLines() const { return Skipped; }
+  /// True when a store existed but carried a different fingerprint (its
+  /// entries were discarded wholesale).
+  bool invalidated() const { return Invalidated; }
+
+private:
+  ResultCache Cache;
+  std::string Path;
+  size_t Loaded = 0;
+  size_t Skipped = 0;
+  bool Invalidated = false;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_CAMPAIGN_CACHESTORE_H

@@ -11,10 +11,12 @@
 #include "campaign/JobQueue.h"
 #include "power/DeviceRegistry.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 #include "support/Json.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <thread>
 
 using namespace ramloc;
@@ -36,14 +38,7 @@ std::string JobSpec::cacheKey() const {
          "|" + freqModeName(Freq) + "|" + jobKindName(Kind);
 }
 
-uint64_t JobSpec::configHash() const {
-  uint64_t H = 0xcbf29ce484222325ULL; // FNV-1a 64
-  for (unsigned char C : cacheKey()) {
-    H ^= C;
-    H *= 0x100000001b3ULL;
-  }
-  return H;
-}
+uint64_t JobSpec::configHash() const { return fnv1a64(cacheKey()); }
 
 std::vector<JobSpec> GridSpec::expand() const {
   std::vector<JobSpec> Jobs;
@@ -99,6 +94,50 @@ size_t ResultCache::size() const {
   return Map.size();
 }
 
+std::vector<std::pair<std::string, JobResult>>
+ResultCache::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, JobResult>> Entries(Map.begin(),
+                                                         Map.end());
+  std::sort(Entries.begin(), Entries.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Entries;
+}
+
+std::pair<size_t, size_t> ramloc::shardRange(size_t Total, unsigned Index,
+                                             unsigned Count) {
+  if (Count == 0 || Index == 0 || Index > Count)
+    return {0, 0};
+  return {Total * (Index - 1) / Count, Total * Index / Count};
+}
+
+CampaignSummary
+ramloc::computeSummary(const std::vector<JobResult> &Results) {
+  CampaignSummary S;
+  S.Total = static_cast<unsigned>(Results.size());
+  std::vector<double> Ratios, EnergyPcts, TimePcts, PowerPcts;
+  for (const JobResult &R : Results) {
+    if (!R.ok()) {
+      ++S.Failed;
+      continue;
+    }
+    ++S.Succeeded;
+    if (R.Spec.Kind == JobKind::Measure && R.BaseEnergyMilliJoules > 0) {
+      Ratios.push_back(R.OptEnergyMilliJoules / R.BaseEnergyMilliJoules);
+      EnergyPcts.push_back(R.energyPct());
+      TimePcts.push_back(R.timePct());
+      PowerPcts.push_back(R.powerPct());
+    }
+  }
+  if (!Ratios.empty()) {
+    S.GeomeanEnergyRatio = geomean(Ratios);
+    S.MeanEnergyPct = mean(EnergyPcts);
+    S.MeanTimePct = mean(TimePcts);
+    S.MeanPowerPct = mean(PowerPcts);
+  }
+  return S;
+}
+
 namespace {
 
 /// Fills the model-side fields shared by both job kinds.
@@ -138,6 +177,11 @@ JobResult ramloc::runJob(const JobSpec &Spec, const PipelineOptions &Base) {
   Opts.Knobs.RspareBytes = Spec.RspareBytes;
   Opts.Knobs.Xlimit = Spec.Xlimit;
   Opts.Power = Dev->Model;
+  // The device also owns the cycle model (flash wait states, in
+  // particular), so both the simulator and the parameter extraction see
+  // the part's actual fetch timing.
+  Opts.Sim.Timing = Dev->Timing;
+  Opts.Extract.Timing = Dev->Timing;
   Opts.UseProfiledFrequencies = Spec.Freq == FreqMode::Profiled;
 
   Module M = buildBeebs(Spec.Benchmark, Spec.Level, Spec.Repeat);
@@ -190,7 +234,6 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
   WallTimer Timer;
   CampaignResult CR;
   CR.Results.resize(Jobs.size());
-  CR.Summary.Total = static_cast<unsigned>(Jobs.size());
 
   // Decide dedup up front so the outcome is independent of scheduling:
   // the first occurrence of each key runs, later ones copy its result.
@@ -251,28 +294,13 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
     for (size_t I : RunIndices)
       Opts.Cache->insert(Jobs[I].cacheKey(), CR.Results[I]);
 
-  // Aggregate.
-  std::vector<double> Ratios, EnergyPcts, TimePcts, PowerPcts;
-  for (const JobResult &R : CR.Results) {
-    if (!R.ok()) {
-      ++CR.Summary.Failed;
-      continue;
-    }
-    ++CR.Summary.Succeeded;
-    if (R.Spec.Kind == JobKind::Measure && R.BaseEnergyMilliJoules > 0) {
-      Ratios.push_back(R.OptEnergyMilliJoules / R.BaseEnergyMilliJoules);
-      EnergyPcts.push_back(R.energyPct());
-      TimePcts.push_back(R.timePct());
-      PowerPcts.push_back(R.powerPct());
-    }
-  }
-  if (!Ratios.empty()) {
-    CR.Summary.GeomeanEnergyRatio = geomean(Ratios);
-    CR.Summary.MeanEnergyPct = mean(EnergyPcts);
-    CR.Summary.MeanTimePct = mean(TimePcts);
-    CR.Summary.MeanPowerPct = mean(PowerPcts);
-  }
-  CR.Summary.WallSeconds = Timer.seconds();
+  // Aggregate the deterministic summary, then restore the scheduling
+  // diagnostics gathered above.
+  CampaignSummary S = computeSummary(CR.Results);
+  S.CacheHits = CR.Summary.CacheHits;
+  S.UniqueRuns = CR.Summary.UniqueRuns;
+  S.WallSeconds = Timer.seconds();
+  CR.Summary = S;
   return CR;
 }
 

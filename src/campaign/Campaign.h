@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ramloc {
@@ -123,6 +124,10 @@ public:
   void insert(const std::string &Key, const JobResult &R);
   size_t size() const;
 
+  /// All entries ordered by key: the deterministic iteration order the
+  /// on-disk store serializes in.
+  std::vector<std::pair<std::string, JobResult>> snapshot() const;
+
 private:
   mutable std::mutex Mu;
   std::unordered_map<std::string, JobResult> Map;
@@ -166,6 +171,21 @@ struct CampaignResult {
   std::vector<JobResult> Results;
   CampaignSummary Summary;
 };
+
+/// Aggregates \p Results into the deterministic summary fields (Total,
+/// Succeeded, Failed, geomean and means). Scheduling-dependent fields
+/// (CacheHits, UniqueRuns, WallSeconds) are left zero; runCampaign fills
+/// them afterwards. Shard merging reuses this so a merged report carries
+/// exactly the summary an unsharded run would have produced.
+CampaignSummary computeSummary(const std::vector<JobResult> &Results);
+
+/// The half-open job-index range [first, second) of shard \p Index (1-based)
+/// of \p Count over \p Total jobs in expansion order. Shards are contiguous,
+/// disjoint, exhaustive and balanced to within one job, so concatenating the
+/// shards 1..Count in order reproduces the full expansion. Out-of-range
+/// shards (Index == 0 or Index > Count) yield an empty range.
+std::pair<size_t, size_t> shardRange(size_t Total, unsigned Index,
+                                     unsigned Count);
 
 /// Runs one configuration synchronously. \p Base supplies the fields a
 /// JobSpec does not cover (timing model, linker map, MIP budget, ...).

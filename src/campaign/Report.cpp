@@ -12,6 +12,7 @@
 #include "support/Table.h"
 
 #include <fstream>
+#include <sstream>
 
 using namespace ramloc;
 
@@ -31,10 +32,74 @@ void writeSpec(JsonWriter &W, const JobSpec &S) {
                                           S.configHash())));
 }
 
-void writeJob(JsonWriter &W, const JobResult &R) {
+// --- parsing helpers ------------------------------------------------------
+
+bool fail(std::string *Error, const std::string &Msg) {
+  if (Error)
+    *Error = Msg;
+  return false;
+}
+
+const JsonValue *need(const JsonValue &V, const char *Key,
+                      std::string *Error) {
+  const JsonValue *F = V.find(Key);
+  if (!F)
+    fail(Error, std::string("missing field '") + Key + "'");
+  return F;
+}
+
+bool needString(const JsonValue &V, const char *Key, std::string &Out,
+                std::string *Error) {
+  const JsonValue *F = need(V, Key, Error);
+  if (!F)
+    return false;
+  if (F->kind() != JsonValue::Kind::String)
+    return fail(Error, std::string("field '") + Key + "' is not a string");
+  Out = F->string();
+  return true;
+}
+
+bool needNumber(const JsonValue &V, const char *Key, double &Out,
+                std::string *Error) {
+  const JsonValue *F = need(V, Key, Error);
+  if (!F)
+    return false;
+  if (F->kind() != JsonValue::Kind::Number)
+    return fail(Error, std::string("field '") + Key + "' is not a number");
+  Out = F->number();
+  return true;
+}
+
+// The integer casts are range-checked: a corrupt store line may carry any
+// JSON number, and an unrepresentable double-to-integer cast is UB (the
+// sanitizer CI job would abort instead of skipping the entry).
+bool needUnsigned(const JsonValue &V, const char *Key, unsigned &Out,
+                  std::string *Error) {
+  double D;
+  if (!needNumber(V, Key, D, Error))
+    return false;
+  if (!(D >= 0.0) || D > 4294967295.0)
+    return fail(Error, std::string("field '") + Key + "' out of range");
+  Out = static_cast<unsigned>(D);
+  return true;
+}
+
+bool needU64(const JsonValue &V, const char *Key, uint64_t &Out,
+             std::string *Error) {
+  double D;
+  if (!needNumber(V, Key, D, Error))
+    return false;
+  if (!(D >= 0.0) || D >= 18446744073709551616.0) // 2^64
+    return fail(Error, std::string("field '") + Key + "' out of range");
+  Out = static_cast<uint64_t>(D);
+  return true;
+}
+
+} // namespace
+
+void ramloc::writeJobResult(JsonWriter &W, const JobResult &R) {
   W.beginObject();
   writeSpec(W, R.Spec);
-  W.field("cache_hit", R.CacheHit);
   W.field("ok", R.ok());
   if (!R.ok()) {
     W.field("error", R.Error);
@@ -71,18 +136,88 @@ void writeJob(JsonWriter &W, const JobResult &R) {
   W.endObject();
 }
 
-} // namespace
+bool ramloc::parseJobResult(const JsonValue &V, JobResult &Out,
+                            std::string *Error) {
+  if (V.kind() != JsonValue::Kind::Object)
+    return fail(Error, "job entry is not an object");
+  Out = JobResult{};
+
+  std::string Level, Freq, Kind;
+  if (!needString(V, "benchmark", Out.Spec.Benchmark, Error) ||
+      !needString(V, "level", Level, Error) ||
+      !needUnsigned(V, "repeat", Out.Spec.Repeat, Error) ||
+      !needString(V, "device", Out.Spec.Device, Error) ||
+      !needUnsigned(V, "rspare_bytes", Out.Spec.RspareBytes, Error) ||
+      !needNumber(V, "xlimit", Out.Spec.Xlimit, Error) ||
+      !needString(V, "freq", Freq, Error) ||
+      !needString(V, "kind", Kind, Error))
+    return false;
+  if (!optLevelFromName(Level, Out.Spec.Level))
+    return fail(Error, "unknown level '" + Level + "'");
+  if (Freq == freqModeName(FreqMode::Static))
+    Out.Spec.Freq = FreqMode::Static;
+  else if (Freq == freqModeName(FreqMode::Profiled))
+    Out.Spec.Freq = FreqMode::Profiled;
+  else
+    return fail(Error, "unknown freq mode '" + Freq + "'");
+  if (Kind == jobKindName(JobKind::Measure))
+    Out.Spec.Kind = JobKind::Measure;
+  else if (Kind == jobKindName(JobKind::ModelOnly))
+    Out.Spec.Kind = JobKind::ModelOnly;
+  else
+    return fail(Error, "unknown job kind '" + Kind + "'");
+
+  const JsonValue *Ok = need(V, "ok", Error);
+  if (!Ok)
+    return false;
+  if (Ok->kind() != JsonValue::Kind::Bool)
+    return fail(Error, "field 'ok' is not a boolean");
+  if (!Ok->boolean()) {
+    if (!needString(V, "error", Out.Error, Error))
+      return false;
+    if (Out.Error.empty())
+      Out.Error = "unspecified failure";
+    return true;
+  }
+
+  if (Out.Spec.Kind == JobKind::Measure) {
+    const JsonValue *Base = need(V, "base", Error);
+    const JsonValue *Opt = Base ? need(V, "opt", Error) : nullptr;
+    if (!Base || !Opt)
+      return false;
+    if (!needNumber(*Base, "energy_mj", Out.BaseEnergyMilliJoules, Error) ||
+        !needNumber(*Base, "seconds", Out.BaseSeconds, Error) ||
+        !needNumber(*Base, "power_mw", Out.BaseAvgMilliWatts, Error) ||
+        !needU64(*Base, "cycles", Out.BaseCycles, Error) ||
+        !needNumber(*Opt, "energy_mj", Out.OptEnergyMilliJoules, Error) ||
+        !needNumber(*Opt, "seconds", Out.OptSeconds, Error) ||
+        !needNumber(*Opt, "power_mw", Out.OptAvgMilliWatts, Error) ||
+        !needU64(*Opt, "cycles", Out.OptCycles, Error))
+      return false;
+  }
+
+  const JsonValue *Model = need(V, "model", Error);
+  if (!Model)
+    return false;
+  return needNumber(*Model, "base_energy_mj",
+                    Out.PredictedBaseEnergyMilliJoules, Error) &&
+         needNumber(*Model, "opt_energy_mj",
+                    Out.PredictedOptEnergyMilliJoules, Error) &&
+         needNumber(*Model, "base_cycles", Out.PredictedBaseCycles,
+                    Error) &&
+         needNumber(*Model, "opt_cycles", Out.PredictedOptCycles, Error) &&
+         needUnsigned(*Model, "ram_bytes", Out.RamBytes, Error) &&
+         needUnsigned(*Model, "moved_blocks", Out.MovedBlocks, Error);
+}
 
 std::string ramloc::campaignToJson(const CampaignResult &R, bool Pretty) {
   JsonWriter W(Pretty);
   W.beginObject();
-  W.field("schema", "ramloc-campaign-v1");
+  W.field("schema", "ramloc-campaign-v2");
   W.key("summary").beginObject();
   W.field("total", R.Summary.Total);
   W.field("succeeded", R.Summary.Succeeded);
   W.field("failed", R.Summary.Failed);
-  W.field("cache_hits", R.Summary.CacheHits);
-  W.field("unique_runs", R.Summary.UniqueRuns);
   W.field("geomean_energy_ratio", R.Summary.GeomeanEnergyRatio);
   W.field("mean_energy_pct", R.Summary.MeanEnergyPct);
   W.field("mean_time_pct", R.Summary.MeanTimePct);
@@ -90,15 +225,61 @@ std::string ramloc::campaignToJson(const CampaignResult &R, bool Pretty) {
   W.endObject();
   W.key("jobs").beginArray();
   for (const JobResult &J : R.Results)
-    writeJob(W, J);
+    writeJobResult(W, J);
   W.endArray();
   W.endObject();
   return W.str() + "\n";
 }
 
+bool ramloc::parseCampaignReport(const std::string &Doc, CampaignResult &Out,
+                                 std::string *Error) {
+  JsonValue V;
+  if (!JsonValue::parse(Doc, V, Error))
+    return false;
+  const JsonValue *Schema = V.find("schema");
+  if (!Schema || Schema->kind() != JsonValue::Kind::String)
+    return fail(Error, "not a campaign report: missing schema");
+  if (Schema->string() != "ramloc-campaign-v2")
+    return fail(Error,
+                "unsupported report schema '" + Schema->string() + "'");
+  const JsonValue *Jobs = V.find("jobs");
+  if (!Jobs || Jobs->kind() != JsonValue::Kind::Array)
+    return fail(Error, "not a campaign report: missing jobs array");
+
+  Out = CampaignResult{};
+  Out.Results.reserve(Jobs->items().size());
+  for (size_t I = 0; I != Jobs->items().size(); ++I) {
+    JobResult R;
+    std::string JobError;
+    if (!parseJobResult(Jobs->items()[I], R, &JobError))
+      return fail(Error,
+                  formatString("job %zu: %s", I, JobError.c_str()));
+    Out.Results.push_back(std::move(R));
+  }
+  Out.Summary = computeSummary(Out.Results);
+  return true;
+}
+
+bool ramloc::mergeCampaignReports(const std::vector<std::string> &Docs,
+                                  CampaignResult &Out, std::string *Error) {
+  Out = CampaignResult{};
+  for (size_t I = 0; I != Docs.size(); ++I) {
+    CampaignResult Part;
+    std::string PartError;
+    if (!parseCampaignReport(Docs[I], Part, &PartError))
+      return fail(Error,
+                  formatString("report %zu: %s", I, PartError.c_str()));
+    Out.Results.insert(Out.Results.end(),
+                       std::make_move_iterator(Part.Results.begin()),
+                       std::make_move_iterator(Part.Results.end()));
+  }
+  Out.Summary = computeSummary(Out.Results);
+  return true;
+}
+
 std::string ramloc::campaignToCsv(const CampaignResult &R) {
   std::string Out = "benchmark,level,repeat,device,rspare_bytes,xlimit,"
-                    "freq,kind,cache_hit,ok,error,"
+                    "freq,kind,ok,error,"
                     "base_energy_mj,opt_energy_mj,base_seconds,opt_seconds,"
                     "base_power_mw,opt_power_mw,base_cycles,opt_cycles,"
                     "energy_pct,time_pct,power_pct,"
@@ -126,7 +307,6 @@ std::string ramloc::campaignToCsv(const CampaignResult &R) {
     Out += jsonNumber(S.Xlimit) + ",";
     Out += std::string(freqModeName(S.Freq)) + ",";
     Out += std::string(jobKindName(S.Kind)) + ",";
-    Out += std::string(J.CacheHit ? "1" : "0") + ",";
     Out += std::string(J.ok() ? "1" : "0") + ",";
     Out += csvField(J.Error) + ",";
     if (J.ok() && S.Kind == JobKind::Measure) {
@@ -208,5 +388,24 @@ bool ramloc::writeTextFile(const std::string &Path, const std::string &Text,
       *Error = "write to '" + Path + "' failed";
     return false;
   }
+  return true;
+}
+
+bool ramloc::readTextFile(const std::string &Path, std::string &Out,
+                          std::string *Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for reading";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad()) {
+    if (Error)
+      *Error = "read from '" + Path + "' failed";
+    return false;
+  }
+  Out = Buf.str();
   return true;
 }

@@ -7,10 +7,13 @@
 ///
 /// \file
 /// Machine-readable (JSON, CSV) and human-readable (ASCII table) views of
-/// a CampaignResult. Serialized reports carry only deterministic fields:
+/// a CampaignResult, plus the inverse direction: parsing a JSON report
+/// back into JobResults so shard reports can be merged and cached results
+/// reloaded. Serialized reports carry only deterministic fields —
 /// identical campaigns produce byte-identical documents regardless of
-/// thread count, which CampaignTest asserts and downstream tooling may
-/// rely on (e.g. diffing reports across commits).
+/// thread count, cache state, or process count (sharded runs merge to the
+/// unsharded bytes) — which CampaignTest asserts and downstream tooling
+/// may rely on (e.g. diffing reports across commits).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,12 +23,19 @@
 #include "campaign/Campaign.h"
 
 #include <string>
+#include <vector>
 
 namespace ramloc {
 
-/// The JSON report (schema "ramloc-campaign-v1"): a summary object plus
+class JsonValue;
+class JsonWriter;
+
+/// The JSON report (schema "ramloc-campaign-v2"): a summary object plus
 /// one entry per job with spec, base/opt measurements, deltas and
-/// model-side numbers.
+/// model-side numbers. Cache provenance (cache_hit, unique_runs) is
+/// deliberately absent: it depends on which earlier runs populated a
+/// cache, and reports must be byte-identical however a result was
+/// obtained.
 std::string campaignToJson(const CampaignResult &R, bool Pretty = true);
 
 /// One CSV row per job, with a header line. Numbers use the same
@@ -35,9 +45,39 @@ std::string campaignToCsv(const CampaignResult &R);
 /// A rendered ASCII table of per-job results (the CLI's default view).
 std::string campaignToTable(const CampaignResult &R);
 
+/// Serializes one JobResult as the report's per-job object (spec fields,
+/// then base/opt/delta/model sections). Shared by campaignToJson and the
+/// on-disk result cache, so both speak the same dialect.
+void writeJobResult(JsonWriter &W, const JobResult &R);
+
+/// Parses one per-job object back into \p Out. The derived fields
+/// (config_hash, delta percentages) are ignored; CacheHit is left false.
+/// Returns false and fills \p Error on a malformed object.
+bool parseJobResult(const JsonValue &V, JobResult &Out,
+                    std::string *Error = nullptr);
+
+/// Parses a full JSON report produced by campaignToJson. The summary is
+/// recomputed from the parsed jobs (not trusted from the document), so a
+/// parsed-and-reserialized report is byte-identical to the original.
+bool parseCampaignReport(const std::string &Doc, CampaignResult &Out,
+                         std::string *Error = nullptr);
+
+/// Merges shard reports by concatenating their job lists in argument
+/// order and recomputing the summary. When the inputs are the shards
+/// 1..N of one grid (in order), the merged report is byte-identical to
+/// the report of the unsharded run.
+bool mergeCampaignReports(const std::vector<std::string> &Docs,
+                          CampaignResult &Out,
+                          std::string *Error = nullptr);
+
 /// Writes \p Text to \p Path. Returns false and fills \p Error on failure.
 bool writeTextFile(const std::string &Path, const std::string &Text,
                    std::string *Error = nullptr);
+
+/// Reads all of \p Path into \p Out. Returns false and fills \p Error on
+/// failure.
+bool readTextFile(const std::string &Path, std::string &Out,
+                  std::string *Error = nullptr);
 
 } // namespace ramloc
 

@@ -168,6 +168,16 @@ ModelParams ramloc::extractParams(const Module &M,
         }
       }
 
+      // Flash wait states: Cb models the flash-resident baseline, so
+      // every fetch pays them; a block moved to RAM stops paying, which
+      // rides on Lb as a negative per-execution term (the simulator
+      // applies the same penalty per flash fetch).
+      if (T.FlashWaitStates != 0) {
+        double WaitCycles = P.Ib * T.FlashWaitStates;
+        P.Cb += WaitCycles;
+        P.Lb -= WaitCycles;
+      }
+
       // Successor set from the CFG.
       for (unsigned S : G.edges(B).Succs)
         P.Succs.push_back(MP.globalIndex(F, S));

@@ -44,7 +44,10 @@ struct BlockParams {
   double Fb = 0.0;  ///< absolute execution frequency
   unsigned Kb = 0;  ///< instrumentation bytes (terminator rewrite)
   double Tb = 0.0;  ///< instrumentation cycles (expected, terminator)
-  double Lb = 0.0;  ///< stall cycles per execution when homed in RAM
+  /// Net extra cycles per execution when homed in RAM: RAM-port
+  /// contention stalls minus the flash wait states the block no longer
+  /// pays. Negative on wait-stated devices, where RAM is strictly faster.
+  double Lb = 0.0;
   /// Instruction count and instrumentation instruction delta: the
   /// Steinke-style cost metric for the cycles-vs-instructions ablation
   /// (Section 4 argues cycles are the right metric on the M3).

@@ -243,7 +243,10 @@ PlacementModel ramloc::buildPlacementModel(const ModelParams &MP,
     std::vector<std::pair<unsigned, double>> Terms;
     for (unsigned B = 0; B != N; ++B) {
       const BlockParams &Blk = MP.Blocks[B];
-      if (PM.XVar[B] >= 0 && costL(Blk) > 0.0)
+      // Lb may be negative on wait-stated devices (RAM residence saves
+      // the flash wait cycles), so keep those terms: they loosen the
+      // budget exactly as the hardware would.
+      if (PM.XVar[B] >= 0 && costL(Blk) != 0.0)
         Terms.push_back({static_cast<unsigned>(PM.XVar[B]),
                          Blk.Fb * costL(Blk)});
       if (PM.YVar[B] >= 0)

@@ -46,6 +46,13 @@ struct TimingModel {
   /// Extra stall when a load executed from RAM also reads RAM: the single
   /// RAM port serves both fetch and data (the paper's Lb / Or(b) term).
   unsigned RamContentionStall = 1;
+  /// Flash access wait states: extra cycles added to every instruction
+  /// fetched from flash. The reference STM32F100 at 24 MHz is zero-wait-
+  /// state; faster-clocked or prefetch-disabled parts pay 1-2 cycles per
+  /// flash fetch, which widens the flash/RAM gap the optimization
+  /// exploits (RAM fetches are always single-cycle). Applied by the
+  /// simulator per fetch and mirrored in the model's Cb/Lb extraction.
+  unsigned FlashWaitStates = 0;
 
   /// Cycles for \p I. \p Taken selects the taken/not-taken cost for
   /// conditional control flow; unconditional control flow ignores it.

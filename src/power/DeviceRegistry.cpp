@@ -16,12 +16,7 @@ namespace {
 /// STM32L ultra-low-power line.
 PowerModel lowPowerCorner() {
   PowerModel PM = PowerModel::stm32f100();
-  for (unsigned F = 0; F != 2; ++F)
-    for (unsigned C = 0; C != 7; ++C)
-      PM.MilliWatts[F][C] *= 0.62;
-  for (unsigned F = 0; F != 2; ++F)
-    for (unsigned D = 0; D != 2; ++D)
-      PM.LoadMilliWatts[F][D] *= 0.62;
+  PM.forEachActiveValue([](double &V) { V *= 0.62; });
   PM.SleepMilliWatts = 1.1;
   PM.ClockHz = 16e6;
   return PM;
@@ -36,20 +31,62 @@ PowerModel overdriven48MHz() {
   return PM;
 }
 
+/// Every active-power table entry scaled by \p Factor: a systematic
+/// process-corner shift, unlike withDeviceVariation's per-entry jitter.
+PowerModel processCorner(double Factor) {
+  PowerModel PM = PowerModel::stm32f100();
+  PM.forEachActiveValue([Factor](double &V) { V *= Factor; });
+  PM.SleepMilliWatts *= Factor;
+  return PM;
+}
+
+/// An F103-class sibling at 72 MHz: 2 flash wait states (the prefetch
+/// buffer cannot fully hide a 3-cycle flash access at that clock), and a
+/// hotter table from the higher core voltage/frequency.
+PowerModel f103At72MHz() {
+  PowerModel PM = processCorner(1.9);
+  PM.ClockHz = 72e6;
+  PM.SleepMilliWatts = 5.5;
+  return PM;
+}
+
+TimingModel withWaitStates(unsigned WS) {
+  TimingModel T;
+  T.FlashWaitStates = WS;
+  return T;
+}
+
 std::vector<DeviceInfo> buildRegistry() {
   std::vector<DeviceInfo> R;
   R.push_back({"stm32f100", "reference Figure 1 calibration (24 MHz)",
-               PowerModel::stm32f100()});
+               PowerModel::stm32f100(), TimingModel{}});
   R.push_back({"stm32f100-lotB",
                "manufacturing-lot variant: withDeviceVariation(0xB)",
-               PowerModel::stm32f100().withDeviceVariation(0xB)});
+               PowerModel::stm32f100().withDeviceVariation(0xB),
+               TimingModel{}});
   R.push_back({"stm32f100-lotC",
                "manufacturing-lot variant: withDeviceVariation(0xC)",
-               PowerModel::stm32f100().withDeviceVariation(0xC)});
+               PowerModel::stm32f100().withDeviceVariation(0xC),
+               TimingModel{}});
   R.push_back({"stm32f100-48mhz", "reference table over-driven to 48 MHz",
-               overdriven48MHz()});
+               overdriven48MHz(), TimingModel{}});
   R.push_back({"stm32l-lp", "low-power corner: 62% power, 16 MHz, 1.1 mW sleep",
-               lowPowerCorner()});
+               lowPowerCorner(), TimingModel{}});
+  R.push_back({"stm32f100-2ws",
+               "reference part with the prefetch buffer disabled: 2 flash "
+               "wait states",
+               PowerModel::stm32f100(), withWaitStates(2)});
+  R.push_back({"stm32f103-72mhz",
+               "F103-class sibling at 72 MHz: 2 flash wait states, 1.9x "
+               "power, 5.5 mW sleep",
+               f103At72MHz(), withWaitStates(2)});
+  R.push_back({"stm32f100-fastcorner",
+               "fast process corner: active power x0.90",
+               processCorner(0.90), TimingModel{}});
+  R.push_back({"stm32f100-slowcorner",
+               "slow process corner: active power x1.12, 1 flash wait "
+               "state at the rated clock",
+               processCorner(1.12), withWaitStates(1)});
   return R;
 }
 

@@ -11,14 +11,18 @@
 /// devices by name instead of constructing PowerModel values by hand.
 /// The reference entry is the paper's STM32F100 calibration; the other
 /// entries model inter-device manufacturing variation (Section 3's
-/// motivation for measuring real boards, via withDeviceVariation), a
-/// faster-clocked part, and a low-power process corner.
+/// motivation for measuring real boards, via withDeviceVariation),
+/// faster-clocked parts (with and without flash wait states), slow/fast
+/// process corners, and a low-power corner. Each entry carries both a
+/// power table and a timing model, so devices differ in fetch latency as
+/// well as in energy.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAMLOC_POWER_DEVICEREGISTRY_H
 #define RAMLOC_POWER_DEVICEREGISTRY_H
 
+#include "isa/Timing.h"
 #include "power/PowerModel.h"
 
 #include <string>
@@ -31,6 +35,11 @@ struct DeviceInfo {
   std::string Name;        ///< stable CLI / report identifier
   std::string Description; ///< one-line provenance note
   PowerModel Model;
+  /// The part's cycle model. Defaults to the reference zero-wait-state
+  /// timing; wait-stated parts override FlashWaitStates so both the
+  /// simulator and the ILP's parameter extraction see the real fetch
+  /// cost.
+  TimingModel Timing;
 };
 
 /// All registered devices. The first entry is the reference STM32F100;

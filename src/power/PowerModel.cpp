@@ -53,12 +53,9 @@ PowerModel PowerModel::withDeviceVariation(uint64_t Seed,
   auto perturb = [&Rng, Sigma](double V) {
     return V * (1.0 + Sigma * (2.0 * Rng.nextDouble() - 1.0));
   };
-  for (unsigned F = 0; F != 2; ++F)
-    for (unsigned C = 0; C != 7; ++C)
-      PM.MilliWatts[F][C] = perturb(PM.MilliWatts[F][C]);
-  for (unsigned F = 0; F != 2; ++F)
-    for (unsigned D = 0; D != 2; ++D)
-      PM.LoadMilliWatts[F][D] = perturb(PM.LoadMilliWatts[F][D]);
+  // forEachActiveValue's order matches the loops this code used to spell
+  // out, so existing seeds keep producing the same device tables.
+  PM.forEachActiveValue([&perturb](double &V) { V = perturb(V); });
   PM.SleepMilliWatts = perturb(PM.SleepMilliWatts);
   return PM;
 }

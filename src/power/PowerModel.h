@@ -60,6 +60,28 @@ struct PowerModel {
   /// The default calibration reproducing Figure 1's shape.
   static PowerModel stm32f100();
 
+  /// Applies \p F to every active-power table entry in a fixed,
+  /// documented order: the class table row-major by fetch memory, then
+  /// the load split. Centralizes the table dimensions so corner
+  /// builders, device variation and the cache-store fingerprint cannot
+  /// silently miss an entry if the table grows.
+  template <typename Fn> void forEachActiveValue(Fn &&F) {
+    for (unsigned M = 0; M != 2; ++M)
+      for (unsigned C = 0; C != 7; ++C)
+        F(MilliWatts[M][C]);
+    for (unsigned M = 0; M != 2; ++M)
+      for (unsigned D = 0; D != 2; ++D)
+        F(LoadMilliWatts[M][D]);
+  }
+  template <typename Fn> void forEachActiveValue(Fn &&F) const {
+    for (unsigned M = 0; M != 2; ++M)
+      for (unsigned C = 0; C != 7; ++C)
+        F(MilliWatts[M][C]);
+    for (unsigned M = 0; M != 2; ++M)
+      for (unsigned D = 0; D != 2; ++D)
+        F(LoadMilliWatts[M][D]);
+  }
+
   /// A "different board": every table entry perturbed by a deterministic
   /// multiplicative factor drawn from [1-Sigma, 1+Sigma]. Models the
   /// inter-device power variability and position-dependent flash energy

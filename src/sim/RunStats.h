@@ -47,6 +47,9 @@ struct RunStats {
   /// Extra stalls from fetch/data contention on the RAM port (the
   /// behaviour the model's Lb / Or(b) term estimates).
   uint64_t ContentionStalls = 0;
+  /// Extra cycles spent waiting on flash fetches (TimingModel's
+  /// FlashWaitStates; zero on the reference zero-wait-state device).
+  uint64_t FlashWaitCycles = 0;
   /// wfi executions (sleep markers for the case-study workloads).
   uint64_t SleepEvents = 0;
   /// Per-block execution counts, indexed [function][block].

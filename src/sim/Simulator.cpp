@@ -158,6 +158,12 @@ void Simulator::account(const PlacedInstr &P, unsigned Cycles, bool IsLoad,
     Cycles += Opts.Timing.RamContentionStall;
     Stats.ContentionStalls += Opts.Timing.RamContentionStall;
   }
+  if (Fetch == MemKind::Flash) {
+    // Flash wait states penalize every flash fetch; RAM fetches never
+    // wait. Zero on the reference device.
+    Cycles += Opts.Timing.FlashWaitStates;
+    Stats.FlashWaitCycles += Opts.Timing.FlashWaitStates;
+  }
   Stats.Cycles += Cycles;
   Stats.ClassCycles[F][C] += Cycles;
   if (IsLoad)

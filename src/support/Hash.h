@@ -1,0 +1,43 @@
+//===- support/Hash.h - deterministic hashing -------------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a 64, the one hash the project uses for stable identifiers
+/// (config hashes, cache-store fingerprints). Header-only so every user
+/// shares the same constants; determinism across builds and platforms is
+/// the whole point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SUPPORT_HASH_H
+#define RAMLOC_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace ramloc {
+
+inline constexpr uint64_t Fnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t Fnv1aPrime = 0x100000001b3ULL;
+
+/// Folds \p Bytes into the running state \p H.
+inline uint64_t fnv1a64(uint64_t H, std::string_view Bytes) {
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= Fnv1aPrime;
+  }
+  return H;
+}
+
+/// One-shot hash of \p Bytes.
+inline uint64_t fnv1a64(std::string_view Bytes) {
+  return fnv1a64(Fnv1aOffset, Bytes);
+}
+
+} // namespace ramloc
+
+#endif // RAMLOC_SUPPORT_HASH_H

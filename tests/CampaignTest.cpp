@@ -156,7 +156,7 @@ TEST(Campaign, JsonReportParsesAndMatchesResults) {
   JsonValue V;
   std::string Error;
   ASSERT_TRUE(JsonValue::parse(Doc, V, &Error)) << Error;
-  EXPECT_EQ(V.find("schema")->string(), "ramloc-campaign-v1");
+  EXPECT_EQ(V.find("schema")->string(), "ramloc-campaign-v2");
 
   const JsonValue *Summary = V.find("summary");
   ASSERT_NE(Summary, nullptr);
@@ -300,6 +300,98 @@ TEST(DeviceRegistry, NamesAreUniqueAndResolvable) {
   EXPECT_EQ(deviceNames().size(), deviceRegistry().size());
 }
 
+TEST(Campaign, CacheProvenanceDoesNotChangeReportBytes) {
+  // The acceptance bar for the persistent cache: a report must be
+  // byte-identical whether its numbers were computed or served from a
+  // cache, so serialized reports carry no cache provenance.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {256, 512};
+  CampaignResult Cold = runCampaign(Grid);
+
+  ResultCache Cache;
+  CampaignOptions Opts;
+  Opts.Cache = &Cache;
+  runCampaign(Grid, Opts); // populate
+  CampaignResult Warm = runCampaign(Grid, Opts);
+  EXPECT_EQ(Warm.Summary.UniqueRuns, 0u);
+  EXPECT_EQ(Warm.Summary.CacheHits, 2u);
+  EXPECT_EQ(campaignToJson(Cold), campaignToJson(Warm));
+  EXPECT_EQ(campaignToCsv(Cold), campaignToCsv(Warm));
+}
+
+TEST(Campaign, ShardRangesAreDisjointAndExhaustive) {
+  for (size_t Total : {size_t(0), size_t(1), size_t(5), size_t(7),
+                       size_t(16), size_t(100)}) {
+    for (unsigned N : {1u, 2u, 3u, 5u, 8u, 120u}) {
+      size_t PrevEnd = 0;
+      for (unsigned K = 1; K <= N; ++K) {
+        auto [Begin, End] = shardRange(Total, K, N);
+        // Contiguous with the previous shard: disjoint and, by the final
+        // check below, exhaustive.
+        EXPECT_EQ(Begin, PrevEnd) << Total << " " << K << "/" << N;
+        EXPECT_LE(Begin, End);
+        // Balanced to within one job.
+        EXPECT_LE(End - Begin, Total / N + 1);
+        PrevEnd = End;
+      }
+      EXPECT_EQ(PrevEnd, Total) << Total << " shards=" << N;
+    }
+  }
+  // Out-of-range shard indices are empty, not wrapping.
+  EXPECT_EQ(shardRange(10, 0, 3).second, 0u);
+  EXPECT_EQ(shardRange(10, 4, 3).second, shardRange(10, 4, 3).first);
+}
+
+TEST(Campaign, ShardedRunsMergeToUnshardedBytes) {
+  GridSpec Grid = smallMeasureGrid();
+  std::vector<JobSpec> Jobs = Grid.expand();
+  CampaignResult Full = runCampaign(Jobs);
+  std::string FullJson = campaignToJson(Full);
+  std::string FullCsv = campaignToCsv(Full);
+
+  std::vector<std::string> Docs;
+  for (unsigned K = 1; K <= 3; ++K) {
+    auto [Begin, End] = shardRange(Jobs.size(), K, 3);
+    std::vector<JobSpec> Slice(Jobs.begin() + Begin, Jobs.begin() + End);
+    Docs.push_back(campaignToJson(runCampaign(Slice)));
+  }
+
+  CampaignResult Merged;
+  std::string Error;
+  ASSERT_TRUE(mergeCampaignReports(Docs, Merged, &Error)) << Error;
+  EXPECT_EQ(campaignToJson(Merged), FullJson);
+  EXPECT_EQ(campaignToCsv(Merged), FullCsv);
+}
+
+TEST(Campaign, ReportParsesBackAndReserializesIdentically) {
+  // Round-trip including a failed job: parse recomputes the summary and
+  // reserializes to the same bytes.
+  JobSpec Good;
+  Good.Benchmark = "crc32";
+  Good.Level = OptLevel::O1;
+  Good.Repeat = 2;
+  JobSpec Bad;
+  Bad.Benchmark = "no_such_benchmark";
+  JobSpec ModelOnly = Good;
+  ModelOnly.Kind = JobKind::ModelOnly;
+  CampaignResult CR = runCampaign({Good, Bad, ModelOnly});
+  std::string Doc = campaignToJson(CR);
+
+  CampaignResult Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseCampaignReport(Doc, Parsed, &Error)) << Error;
+  ASSERT_EQ(Parsed.Results.size(), 3u);
+  EXPECT_FALSE(Parsed.Results[1].ok());
+  EXPECT_EQ(Parsed.Results[0].OptEnergyMilliJoules,
+            CR.Results[0].OptEnergyMilliJoules);
+  EXPECT_EQ(Parsed.Results[0].BaseCycles, CR.Results[0].BaseCycles);
+  EXPECT_EQ(Parsed.Results[2].Spec.Kind, JobKind::ModelOnly);
+  EXPECT_EQ(campaignToJson(Parsed), Doc);
+}
+
 TEST(DeviceRegistry, VariantsDifferFromReference) {
   const PowerModel &Ref = findDevice("stm32f100")->Model;
   const PowerModel &LotB = findDevice("stm32f100-lotB")->Model;
@@ -311,4 +403,49 @@ TEST(DeviceRegistry, VariantsDifferFromReference) {
   const PowerModel &LP = findDevice("stm32l-lp")->Model;
   EXPECT_LT(LP.MilliWatts[0][0], Ref.MilliWatts[0][0]);
   EXPECT_LT(LP.SleepMilliWatts, Ref.SleepMilliWatts);
+}
+
+TEST(DeviceRegistry, ProcessCornersScaleSystematically) {
+  const PowerModel &Ref = findDevice("stm32f100")->Model;
+  const PowerModel &Fast = findDevice("stm32f100-fastcorner")->Model;
+  const PowerModel &Slow = findDevice("stm32f100-slowcorner")->Model;
+  for (unsigned F = 0; F != 2; ++F)
+    for (unsigned C = 0; C != 7; ++C) {
+      EXPECT_NEAR(Fast.MilliWatts[F][C], Ref.MilliWatts[F][C] * 0.90,
+                  1e-12);
+      EXPECT_NEAR(Slow.MilliWatts[F][C], Ref.MilliWatts[F][C] * 1.12,
+                  1e-12);
+    }
+  EXPECT_EQ(findDevice("stm32f100-fastcorner")->Timing.FlashWaitStates,
+            0u);
+  EXPECT_EQ(findDevice("stm32f100-slowcorner")->Timing.FlashWaitStates,
+            1u);
+  EXPECT_EQ(findDevice("stm32f103-72mhz")->Timing.FlashWaitStates, 2u);
+}
+
+TEST(DeviceRegistry, FlashWaitStatesSlowFlashAndWidenTheGap) {
+  JobSpec Ref;
+  Ref.Benchmark = "crc32";
+  Ref.Level = OptLevel::O1;
+  Ref.Repeat = 2;
+  JobSpec Waited = Ref;
+  Waited.Device = "stm32f100-2ws";
+
+  JobResult A = runJob(Ref);
+  JobResult B = runJob(Waited);
+  ASSERT_TRUE(A.ok()) << A.Error;
+  ASSERT_TRUE(B.ok()) << B.Error;
+
+  // Wait states add cycles to every flash fetch: the all-flash baseline
+  // must be strictly slower on the wait-stated part.
+  EXPECT_GT(B.BaseCycles, A.BaseCycles);
+  // The optimization still wins there — RAM residence now saves time as
+  // well as power, so the flash/RAM gap only widens.
+  EXPECT_LT(B.OptEnergyMilliJoules, B.BaseEnergyMilliJoules);
+  // And the optimized binary escapes part of the wait-state tax: its
+  // cycle inflation relative to the reference part is smaller than the
+  // baseline's.
+  double BaseInflation = static_cast<double>(B.BaseCycles) / A.BaseCycles;
+  double OptInflation = static_cast<double>(B.OptCycles) / A.OptCycles;
+  EXPECT_LT(OptInflation, BaseInflation);
 }

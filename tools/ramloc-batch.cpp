@@ -6,7 +6,9 @@
 // Expands a benchmark x device x knob grid into jobs and runs them on the
 // campaign engine's thread pool: one command replays a whole figure's
 // worth of pipeline runs in parallel. Reports are deterministic: the same
-// grid produces byte-identical JSON/CSV whatever --jobs is.
+// grid produces byte-identical JSON/CSV whatever --jobs is, whether
+// results came from the persistent cache, and whether the grid ran whole
+// or as merged --shard parts.
 //
 // Usage:
 //   ramloc-batch [options]
@@ -22,6 +24,12 @@
 //                           once per job to collect the profile)
 //     --jobs=N              worker threads (default: hardware concurrency)
 //     --no-cache            re-run duplicate configurations
+//     --cache-dir=DIR       persistent result cache: load before running,
+//                           save after, so repeated runs are incremental
+//     --shard=K/N           run only the K-th of N contiguous slices of
+//                           the expanded grid (1-based)
+//     --merge F1 F2 ...     combine shard JSON reports instead of running;
+//                           write the merged report via --json/--csv
 //     --json=FILE           write the JSON report ('-' = stdout)
 //     --csv=FILE            write the CSV report ('-' = stdout)
 //     --dry-run             print the expanded job list and exit
@@ -33,6 +41,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "beebs/Beebs.h"
+#include "campaign/CacheStore.h"
 #include "campaign/Campaign.h"
 #include "campaign/Report.h"
 #include "power/DeviceRegistry.h"
@@ -57,9 +66,11 @@ void usage() {
       "                    [--devices=a,b|all] [--rspare=N,...]\n"
       "                    [--xlimit=F,...] [--freq=static,profiled]\n"
       "                    [--repeat=N] [--model-only] [--jobs=N]\n"
-      "                    [--no-cache] [--json=FILE] [--csv=FILE]\n"
-      "                    [--dry-run] [--list-devices]\n"
-      "                    [--list-benchmarks] [--verbose] [--quiet]\n");
+      "                    [--no-cache] [--cache-dir=DIR] [--shard=K/N]\n"
+      "                    [--json=FILE] [--csv=FILE] [--dry-run]\n"
+      "                    [--list-devices] [--list-benchmarks]\n"
+      "                    [--verbose] [--quiet]\n"
+      "       ramloc-batch --merge SHARD.json... [--json=FILE] [--csv=FILE]\n");
 }
 
 std::vector<std::string> splitList(const std::string &S) {
@@ -97,14 +108,66 @@ bool parseDouble(const std::string &S, double &Out) {
   return *End == '\0';
 }
 
-bool parseLevel(const std::string &Name, OptLevel &Out) {
-  for (OptLevel L : {OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3,
-                     OptLevel::Os})
-    if (Name == optLevelName(L)) {
-      Out = L;
-      return true;
+/// "K/N" with 1 <= K <= N.
+bool parseShard(const std::string &S, unsigned &Index, unsigned &Count) {
+  size_t Slash = S.find('/');
+  if (Slash == std::string::npos)
+    return false;
+  return parseUnsigned(S.substr(0, Slash), Index) &&
+         parseUnsigned(S.substr(Slash + 1), Count) && Index >= 1 &&
+         Count >= 1 && Index <= Count;
+}
+
+/// Merge mode: parse the shard reports, concatenate in argument order,
+/// recompute the summary, and emit exactly what the unsharded run would
+/// have written.
+int runMerge(const std::vector<std::string> &Files,
+             const std::string &JsonPath, const std::string &CsvPath,
+             bool Quiet) {
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: --merge needs at least one report\n");
+    return 2;
+  }
+  std::vector<std::string> Docs;
+  std::string Error;
+  for (const std::string &F : Files) {
+    std::string Doc;
+    if (!readTextFile(F, Doc, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
     }
-  return false;
+    Docs.push_back(std::move(Doc));
+  }
+  CampaignResult CR;
+  if (!mergeCampaignReports(Docs, CR, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  if (!Quiet)
+    std::fprintf(stderr,
+                 "merged %zu report(s): %u job(s), %u succeeded, %u "
+                 "failed\n",
+                 Files.size(), CR.Summary.Total, CR.Summary.Succeeded,
+                 CR.Summary.Failed);
+  if (!JsonPath.empty()) {
+    std::string Doc = campaignToJson(CR);
+    if (JsonPath == "-")
+      std::fputs(Doc.c_str(), stdout);
+    else if (!writeTextFile(JsonPath, Doc, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  if (!CsvPath.empty()) {
+    std::string Doc = campaignToCsv(CR);
+    if (CsvPath == "-")
+      std::fputs(Doc.c_str(), stdout);
+    else if (!writeTextFile(CsvPath, Doc, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  return CR.Summary.Failed == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -114,8 +177,10 @@ int main(int Argc, char **Argv) {
   Grid.Benchmarks = beebsNames();
   CampaignOptions Opts;
   Opts.Jobs = 0; // hardware concurrency
-  std::string JsonPath, CsvPath;
-  bool DryRun = false, Verbose = false, Quiet = false;
+  std::string JsonPath, CsvPath, CacheDir;
+  std::vector<std::string> MergeFiles;
+  unsigned ShardIndex = 1, ShardCount = 1;
+  bool DryRun = false, Verbose = false, Quiet = false, Merge = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -127,7 +192,7 @@ int main(int Argc, char **Argv) {
       Grid.Levels.clear();
       for (const std::string &Name : splitList(val(9))) {
         OptLevel L;
-        if (!parseLevel(Name, L)) {
+        if (!optLevelFromName(Name, L)) {
           std::fprintf(stderr, "error: unknown level '%s'\n", Name.c_str());
           return 2;
         }
@@ -187,6 +252,21 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg == "--no-cache") {
       Opts.UseCache = false;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      CacheDir = val(12);
+      if (CacheDir.empty()) {
+        std::fprintf(stderr, "error: empty --cache-dir\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--shard=", 0) == 0) {
+      if (!parseShard(val(8), ShardIndex, ShardCount)) {
+        std::fprintf(stderr,
+                     "error: bad --shard value '%s' (want K/N, 1<=K<=N)\n",
+                     val(8).c_str());
+        return 2;
+      }
+    } else if (Arg == "--merge") {
+      Merge = true;
     } else if (Arg.rfind("--json=", 0) == 0) {
       JsonPath = val(7);
     } else if (Arg.rfind("--csv=", 0) == 0) {
@@ -194,9 +274,10 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--dry-run") {
       DryRun = true;
     } else if (Arg == "--list-devices") {
-      Table T({"device", "clock", "sleep", "description"});
+      Table T({"device", "clock", "wait states", "sleep", "description"});
       for (const DeviceInfo &D : deviceRegistry())
         T.addRow({D.Name, formatString("%.0f MHz", D.Model.ClockHz / 1e6),
+                  formatString("%u", D.Timing.FlashWaitStates),
                   formatString("%.1f mW", D.Model.SleepMilliWatts),
                   D.Description});
       std::printf("%s", T.render().c_str());
@@ -209,11 +290,16 @@ int main(int Argc, char **Argv) {
       Verbose = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
+    } else if (Arg.rfind("--", 0) != 0 && Merge) {
+      MergeFiles.push_back(Arg);
     } else {
       usage();
       return 2;
     }
   }
+
+  if (Merge)
+    return runMerge(MergeFiles, JsonPath, CsvPath, Quiet);
 
   // Validate axis names up front so a typo fails before a long run.
   for (const std::string &B : Grid.Benchmarks)
@@ -245,12 +331,39 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: empty grid\n");
     return 2;
   }
+  if (ShardCount > 1) {
+    auto [Begin, End] = shardRange(Jobs.size(), ShardIndex, ShardCount);
+    std::vector<JobSpec> Slice(Jobs.begin() + Begin, Jobs.begin() + End);
+    Jobs = std::move(Slice);
+    if (!Quiet)
+      std::fprintf(stderr, "shard %u/%u: jobs [%zu, %zu) of %zu\n",
+                   ShardIndex, ShardCount, Begin, End,
+                   Grid.jobCount());
+  }
 
   if (DryRun) {
     std::printf("%zu job(s):\n", Jobs.size());
     for (const JobSpec &J : Jobs)
       std::printf("  %s\n", J.cacheKey().c_str());
     return 0;
+  }
+
+  // Persistent cache: load whatever an earlier run left behind; the
+  // campaign serves hits from it and inserts what it computes.
+  CacheStore Store;
+  if (!CacheDir.empty()) {
+    std::string Error;
+    if (!Store.open(CacheDir, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    if (Store.invalidated())
+      std::fprintf(stderr,
+                   "cache: fingerprint changed, discarding old store\n");
+    if (Store.skippedLines() > 0)
+      std::fprintf(stderr, "cache: skipped %zu corrupt line(s)\n",
+                   Store.skippedLines());
+    Opts.Cache = &Store.cache();
   }
 
   if (Verbose)
@@ -261,6 +374,20 @@ int main(int Argc, char **Argv) {
     };
 
   CampaignResult CR = runCampaign(Jobs, Opts);
+
+  if (!CacheDir.empty()) {
+    size_t NewEntries = Store.cache().size() - Store.loadedEntries();
+    std::string Error;
+    if (!Store.save(&Error))
+      std::fprintf(stderr, "warning: cache save failed: %s\n",
+                   Error.c_str());
+    std::fprintf(stderr,
+                 "cache: %zu entr%s loaded, %u hit(s), %zu new "
+                 "result(s) -> %s\n",
+                 Store.loadedEntries(),
+                 Store.loadedEntries() == 1 ? "y" : "ies",
+                 CR.Summary.CacheHits, NewEntries, Store.path().c_str());
+  }
 
   if (!Quiet) {
     std::printf("%s", campaignToTable(CR).c_str());
