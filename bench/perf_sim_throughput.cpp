@@ -1,0 +1,186 @@
+//===- bench/perf_sim_throughput.cpp - execute/recost throughput -------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+// The perf harness for the simulate-once/cost-many split. Three numbers:
+//
+//  - sim_cycles_per_sec: raw interpreter throughput (simulated cycles per
+//    wall second) over the predecoded hot loop.
+//  - fullsim_configs_per_sec: device-axis grid points satisfied by full
+//    simulation (link + execute + integrate per device).
+//  - recost_configs_per_sec: the same grid points satisfied by recosting
+//    one shared ExecutionProfile (link + O(#instructions) recost +
+//    integrate per device).
+//
+// The recost/fullsim ratio is the wall-clock factor the device axis of a
+// campaign gains from profile reuse; CI asserts it stays >= 5x. A
+// campaign-level measurement (whole Measure jobs through runCampaign,
+// with and without reuse) is reported alongside for context — it is
+// diluted by the ILP/codegen work that profile reuse does not touch.
+//
+// Emits BENCH_sim_throughput.json in the working directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "beebs/Beebs.h"
+#include "campaign/Campaign.h"
+#include "campaign/Report.h"
+#include "power/DeviceRegistry.h"
+#include "sim/ProfileCache.h"
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace ramloc;
+
+namespace {
+
+// Heavy enough that simulation dominates the per-config link cost (the
+// part recosting cannot remove), as it does in real campaign workloads.
+constexpr const char *Benchmark = "crc32";
+constexpr unsigned Repeat = 200;
+
+/// Runs \p Body repeatedly until it has consumed at least \p MinSeconds,
+/// returning iterations per second.
+template <typename Fn> double ratePerSec(double MinSeconds, Fn &&Body) {
+  // One warm-up iteration keeps one-time costs (allocation, cache
+  // priming) out of the measured window.
+  Body();
+  unsigned Iters = 0;
+  WallTimer Timer;
+  do {
+    Body();
+    ++Iters;
+  } while (Timer.seconds() < MinSeconds);
+  return Iters / Timer.seconds();
+}
+
+} // namespace
+
+int main() {
+  std::printf("== sim throughput: execute once, cost many ==\n\n");
+
+  Module M = buildBeebs(Benchmark, OptLevel::O2, Repeat);
+  LinkResult LR = linkModule(M, {});
+  if (!LR.ok()) {
+    std::fprintf(stderr, "link failed: %s\n", LR.Errors.front().c_str());
+    return 1;
+  }
+  const std::vector<DeviceInfo> &Devices = deviceRegistry();
+
+  // --- raw interpreter throughput ----------------------------------------
+  RunStats Reference = runImage(LR.Img);
+  if (!Reference.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", Reference.Error.c_str());
+    return 1;
+  }
+  double SimsPerSec =
+      ratePerSec(0.3, [&] { (void)runImage(LR.Img); });
+  double CyclesPerSec = SimsPerSec * static_cast<double>(Reference.Cycles);
+  std::printf("interpreter: %.0f simulated cycles/sec (%s, %llu cycles "
+              "per run)\n",
+              CyclesPerSec, Benchmark,
+              static_cast<unsigned long long>(Reference.Cycles));
+
+  // --- device-axis configs/sec: full simulation vs recost ----------------
+  // One "config" is one grid point of the device axis: measure the linked
+  // benchmark under one device's power and timing tables.
+  double FullsimConfigsPerSec = ratePerSec(0.5, [&] {
+    for (const DeviceInfo &D : Devices) {
+      SimOptions Sim;
+      Sim.Timing = D.Timing;
+      (void)measureModule(M, D.Model, {}, Sim);
+    }
+  });
+  FullsimConfigsPerSec *= Devices.size();
+
+  // Warm cache: every config is a pure recost — the marginal cost of one
+  // more device on an already-profiled execution.
+  ProfileCache WarmProfiles;
+  {
+    SimOptions Sim;
+    Sim.Timing = Devices.front().Timing;
+    (void)measureModule(M, Devices.front().Model, {}, Sim,
+                        &WarmProfiles); // prime: the one full simulation
+  }
+  double RecostConfigsPerSec = ratePerSec(0.5, [&] {
+    for (const DeviceInfo &D : Devices) {
+      SimOptions Sim;
+      Sim.Timing = D.Timing;
+      (void)measureModule(M, D.Model, {}, Sim, &WarmProfiles);
+    }
+  });
+  RecostConfigsPerSec *= Devices.size();
+
+  // Cold cache: each pass pays 1 simulation + N-1 recosts, exactly what
+  // a cold campaign's device axis pays end to end.
+  double ColdAxisConfigsPerSec = ratePerSec(0.5, [&] {
+    ProfileCache Profiles;
+    for (const DeviceInfo &D : Devices) {
+      SimOptions Sim;
+      Sim.Timing = D.Timing;
+      (void)measureModule(M, D.Model, {}, Sim, &Profiles);
+    }
+  });
+  ColdAxisConfigsPerSec *= Devices.size();
+
+  double Speedup = RecostConfigsPerSec / FullsimConfigsPerSec;
+  std::printf("device axis (%zu devices): %.1f configs/sec full-sim, "
+              "%.1f configs/sec recost (%.1fx), %.1f configs/sec for a "
+              "cold 1-sim+%zu-recost axis\n",
+              Devices.size(), FullsimConfigsPerSec, RecostConfigsPerSec,
+              Speedup, ColdAxisConfigsPerSec, Devices.size() - 1);
+
+  // --- campaign-level context --------------------------------------------
+  GridSpec Grid;
+  Grid.Benchmarks = {Benchmark};
+  Grid.Devices = deviceNames();
+  Grid.Repeat = Repeat;
+
+  CampaignOptions NoReuse;
+  NoReuse.Jobs = 1;
+  NoReuse.ReuseProfiles = false;
+  WallTimer T1;
+  CampaignResult R1 = runCampaign(Grid, NoReuse);
+  double CampaignNoReuse = R1.Results.size() / T1.seconds();
+
+  CampaignOptions Reuse;
+  Reuse.Jobs = 1;
+  WallTimer T2;
+  CampaignResult R2 = runCampaign(Grid, Reuse);
+  double CampaignReuse = R2.Results.size() / T2.seconds();
+  std::printf("campaign grid (whole Measure jobs): %.2f configs/sec "
+              "without reuse, %.2f with (%llu sims + %llu recosts)\n",
+              CampaignNoReuse, CampaignReuse,
+              static_cast<unsigned long long>(R2.Summary.FullSims),
+              static_cast<unsigned long long>(R2.Summary.Recosts));
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema", "ramloc-bench-sim-throughput-v1");
+  W.field("benchmark", Benchmark);
+  W.field("repeat", Repeat);
+  W.field("devices", static_cast<uint64_t>(Devices.size()));
+  W.field("cycles_per_run", Reference.Cycles);
+  W.field("sim_cycles_per_sec", CyclesPerSec);
+  W.field("fullsim_configs_per_sec", FullsimConfigsPerSec);
+  W.field("recost_configs_per_sec", RecostConfigsPerSec);
+  W.field("recost_speedup", Speedup);
+  W.field("coldaxis_configs_per_sec", ColdAxisConfigsPerSec);
+  W.field("campaign_noreuse_configs_per_sec", CampaignNoReuse);
+  W.field("campaign_reuse_configs_per_sec", CampaignReuse);
+  W.field("campaign_fullsims", R2.Summary.FullSims);
+  W.field("campaign_recosts", R2.Summary.Recosts);
+  W.endObject();
+  std::string Error;
+  if (!writeTextFile("BENCH_sim_throughput.json", W.str() + "\n",
+                     &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_sim_throughput.json\n");
+  return 0;
+}

@@ -17,6 +17,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 using namespace ramloc;
 
 namespace {
@@ -24,6 +27,12 @@ namespace {
 constexpr const char *StoreSchema = "ramloc-cache-v1";
 constexpr const char *ReportSchema = "ramloc-campaign-v2";
 constexpr const char *StoreFileName = "results.jsonl";
+constexpr const char *ProfileSchema = "ramloc-profiles-v1";
+constexpr const char *ProfileFileName = "profiles.jsonl";
+/// Bump when the interpreter's architectural behaviour (instruction
+/// semantics, block accounting, halt conventions) changes in a way that
+/// alters recorded profiles. Timing/power changes do NOT bump it.
+constexpr const char *SimSemanticsTag = "ramloc-sim-semantics-v1";
 
 void hashBytes(uint64_t &H, std::string_view S) {
   H = fnv1a64(H, S);
@@ -35,6 +44,96 @@ void hashDouble(uint64_t &H, double V) {
   // Hash the canonical decimal spelling, not raw bits, so the fingerprint
   // is stable across platforms that agree on the value.
   hashBytes(H, jsonNumber(V));
+}
+
+std::string headerLine(const char *Schema, const std::string &Fingerprint) {
+  JsonWriter W(/*Pretty=*/false);
+  W.beginObject();
+  W.field("schema", Schema);
+  W.field("fingerprint", Fingerprint);
+  W.endObject();
+  return W.str() + "\n";
+}
+
+bool headerMatches(const JsonValue &V, const char *Schema,
+                   const std::string &Fingerprint) {
+  const JsonValue *S = V.find("schema");
+  const JsonValue *Fp = V.find("fingerprint");
+  return S && S->kind() == JsonValue::Kind::String &&
+         S->string() == Schema && Fp &&
+         Fp->kind() == JsonValue::Kind::String &&
+         Fp->string() == Fingerprint;
+}
+
+bool endsWithNewline(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  if (!In || In.tellg() == std::streampos(0))
+    return false;
+  In.seekg(-1, std::ios::end);
+  char C = 0;
+  In.get(C);
+  return C == '\n';
+}
+
+/// Whether appending whole lines to \p Path is safe *right now*: a valid
+/// matching header and a newline-terminated tail. Checked at save() time,
+/// not open() time, so a concurrent writer that created or repaired the
+/// file since we opened it is appended to instead of clobbered.
+bool fileAppendable(const std::string &Path, const char *Schema,
+                    const std::string &Fingerprint) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::string Header;
+  if (!std::getline(In, Header))
+    return false;
+  JsonValue V;
+  if (!JsonValue::parse(Header, V) ||
+      !headerMatches(V, Schema, Fingerprint))
+    return false;
+  return endsWithNewline(Path);
+}
+
+/// Atomic whole-file replacement: temporary in the same directory,
+/// renamed over the target.
+bool replaceFile(const std::string &Path, const std::string &Doc,
+                 std::string *Error) {
+  std::string Tmp = Path + ".tmp";
+  if (!writeTextFile(Tmp, Doc, Error))
+    return false;
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    if (Error)
+      *Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+/// Appends \p Doc with O_APPEND and a single write(2) call, so the whole
+/// batch of lines lands contiguously even when other processes append
+/// concurrently (one write to a regular file is not interleaved by the
+/// kernel; an ofstream would split a large Doc across several writes and
+/// let another writer tear a record mid-line). A short write — ENOSPC or
+/// a signal mid-transfer — is reported as an error; the partial tail
+/// line it may leave is skipped by the next open().
+bool appendToFile(const std::string &Path, const std::string &Doc,
+                  std::string *Error) {
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                  0644);
+  if (Fd < 0) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for append";
+    return false;
+  }
+  ssize_t Written = ::write(Fd, Doc.data(), Doc.size());
+  ::close(Fd);
+  if (Written != static_cast<ssize_t>(Doc.size())) {
+    if (Error)
+      *Error = "short append to '" + Path + "'";
+    return false;
+  }
+  return true;
 }
 
 } // namespace
@@ -60,9 +159,18 @@ std::string CacheStore::fingerprint() {
   return formatString("%016llx", static_cast<unsigned long long>(H));
 }
 
+std::string CacheStore::profileFingerprint() {
+  uint64_t H = Fnv1aOffset;
+  hashBytes(H, ProfileSchema);
+  hashBytes(H, SimSemanticsTag);
+  return formatString("%016llx", static_cast<unsigned long long>(H));
+}
+
 bool CacheStore::open(const std::string &Dir, std::string *Error) {
-  Loaded = Skipped = 0;
+  Loaded = Skipped = LoadedProfs = SkippedProfs = 0;
   Invalidated = false;
+  PersistedKeys.clear();
+  PersistedProfKeys.clear();
 
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
@@ -73,66 +181,96 @@ bool CacheStore::open(const std::string &Dir, std::string *Error) {
     return false;
   }
   Path = (std::filesystem::path(Dir) / StoreFileName).string();
+  ProfPath = (std::filesystem::path(Dir) / ProfileFileName).string();
 
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return true; // no store yet: empty cache, first save creates it
-
-  std::string Line;
-  bool SawHeader = false;
-  while (std::getline(In, Line)) {
-    if (Line.empty())
-      continue;
-    JsonValue V;
-    if (!JsonValue::parse(Line, V)) {
-      // Corrupt or truncated line (e.g. a run killed mid-append in an
-      // older format): skip it and recompute those entries.
-      ++Skipped;
-      if (!SawHeader)
-        return true; // unreadable header: treat the file as absent
-      continue;
-    }
-    if (!SawHeader) {
-      SawHeader = true;
-      const JsonValue *Schema = V.find("schema");
-      const JsonValue *Fp = V.find("fingerprint");
-      if (!Schema || Schema->kind() != JsonValue::Kind::String ||
-          Schema->string() != StoreSchema || !Fp ||
-          Fp->kind() != JsonValue::Kind::String ||
-          Fp->string() != fingerprint()) {
-        Invalidated = true;
-        return true; // different world: discard everything
+  // --- results.jsonl ------------------------------------------------------
+  {
+    std::ifstream In(Path, std::ios::binary);
+    bool SawHeader = false;
+    if (In) {
+      std::string Line;
+      while (std::getline(In, Line)) {
+        if (Line.empty())
+          continue;
+        JsonValue V;
+        if (!JsonValue::parse(Line, V)) {
+          // Corrupt or truncated line (e.g. a writer killed mid-append):
+          // skip it and recompute those entries.
+          ++Skipped;
+          if (!SawHeader)
+            break; // unreadable header: treat the file as absent
+          continue;
+        }
+        if (!SawHeader) {
+          SawHeader = true;
+          if (!headerMatches(V, StoreSchema, fingerprint())) {
+            Invalidated = true;
+            break; // different world: discard everything
+          }
+          continue;
+        }
+        JobResult R;
+        if (!parseJobResult(V, R)) {
+          ++Skipped;
+          continue;
+        }
+        // Concurrent appenders may have raced the same configuration to
+        // disk; the records are deterministic, so duplicates are mere
+        // bytes — first one counts, the rest are ignored until compact()
+        // folds them away.
+        std::string Key = R.Spec.cacheKey();
+        if (!PersistedKeys.insert(Key).second)
+          continue;
+        Cache.insert(Key, R);
+        ++Loaded;
       }
-      continue;
     }
-    JobResult R;
-    if (!parseJobResult(V, R)) {
-      ++Skipped;
-      continue;
+    if (Invalidated)
+      PersistedKeys.clear();
+  }
+
+  // --- profiles.jsonl -----------------------------------------------------
+  {
+    std::ifstream In(ProfPath, std::ios::binary);
+    bool SawHeader = false;
+    if (In) {
+      std::string Line;
+      while (std::getline(In, Line)) {
+        if (Line.empty())
+          continue;
+        JsonValue V;
+        if (!JsonValue::parse(Line, V)) {
+          ++SkippedProfs;
+          if (!SawHeader)
+            break;
+          continue;
+        }
+        if (!SawHeader) {
+          SawHeader = true;
+          if (!headerMatches(V, ProfileSchema, profileFingerprint()))
+            break; // stale simulator semantics: drop, do not serve
+          continue;
+        }
+        std::string Key;
+        auto P = std::make_shared<ExecutionProfile>();
+        if (!parseExecutionProfile(V, Key, *P)) {
+          ++SkippedProfs;
+          continue;
+        }
+        if (!PersistedProfKeys.insert(Key).second)
+          continue;
+        Profiles.preload(Key, std::move(P));
+        ++LoadedProfs;
+      }
     }
-    Cache.insert(R.Spec.cacheKey(), R);
-    ++Loaded;
   }
   return true;
 }
 
-bool CacheStore::save(std::string *Error) const {
-  if (Path.empty()) {
-    if (Error)
-      *Error = "cache store was never opened";
-    return false;
-  }
-  std::string Doc;
-  {
-    JsonWriter Header(/*Pretty=*/false);
-    Header.beginObject();
-    Header.field("schema", StoreSchema);
-    Header.field("fingerprint", fingerprint());
-    Header.endObject();
-    Doc = Header.str() + "\n";
-  }
+bool CacheStore::rewriteResults(std::string *Error) {
+  std::string Doc = headerLine(StoreSchema, fingerprint());
+  std::set<std::string> Keys;
   for (const auto &[Key, R] : Cache.snapshot()) {
-    (void)Key; // recomputed from the spec on load
     // Failures are not durable: they may stem from a bug the next build
     // fixes, and the fingerprint tracks the device tables, not the code.
     // Serving a stale failure forever is worse than re-running the job.
@@ -141,16 +279,87 @@ bool CacheStore::save(std::string *Error) const {
     JsonWriter W(/*Pretty=*/false);
     writeJobResult(W, R);
     Doc += W.str() + "\n";
+    Keys.insert(Key);
   }
-
-  std::string Tmp = Path + ".tmp";
-  if (!writeTextFile(Tmp, Doc, Error))
+  if (!replaceFile(Path, Doc, Error))
     return false;
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    if (Error)
-      *Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
-    return false;
-  }
+  PersistedKeys = std::move(Keys);
   return true;
+}
+
+bool CacheStore::appendResults(std::string *Error) {
+  std::string Doc;
+  std::vector<std::string> NewKeys;
+  for (const auto &[Key, R] : Cache.snapshot()) {
+    if (!R.ok() || PersistedKeys.count(Key))
+      continue;
+    JsonWriter W(/*Pretty=*/false);
+    writeJobResult(W, R);
+    Doc += W.str() + "\n";
+    NewKeys.push_back(Key);
+  }
+  if (Doc.empty())
+    return true;
+  if (!appendToFile(Path, Doc, Error))
+    return false;
+  PersistedKeys.insert(NewKeys.begin(), NewKeys.end());
+  return true;
+}
+
+bool CacheStore::rewriteProfiles(std::string *Error) {
+  std::string Doc = headerLine(ProfileSchema, profileFingerprint());
+  std::set<std::string> Keys;
+  for (const auto &[Key, P] : Profiles.snapshot()) {
+    JsonWriter W(/*Pretty=*/false);
+    writeExecutionProfile(W, Key, *P);
+    Doc += W.str() + "\n";
+    Keys.insert(Key);
+  }
+  if (!replaceFile(ProfPath, Doc, Error))
+    return false;
+  PersistedProfKeys = std::move(Keys);
+  return true;
+}
+
+bool CacheStore::appendProfiles(std::string *Error) {
+  std::string Doc;
+  std::vector<std::string> NewKeys;
+  for (const auto &[Key, P] : Profiles.snapshot()) {
+    if (PersistedProfKeys.count(Key))
+      continue;
+    JsonWriter W(/*Pretty=*/false);
+    writeExecutionProfile(W, Key, *P);
+    Doc += W.str() + "\n";
+    NewKeys.push_back(Key);
+  }
+  if (Doc.empty())
+    return true;
+  if (!appendToFile(ProfPath, Doc, Error))
+    return false;
+  PersistedProfKeys.insert(NewKeys.begin(), NewKeys.end());
+  return true;
+}
+
+bool CacheStore::save(std::string *Error) {
+  if (Path.empty()) {
+    if (Error)
+      *Error = "cache store was never opened";
+    return false;
+  }
+  if (!(fileAppendable(Path, StoreSchema, fingerprint())
+            ? appendResults(Error)
+            : rewriteResults(Error)))
+    return false;
+  return fileAppendable(ProfPath, ProfileSchema, profileFingerprint())
+             ? appendProfiles(Error)
+             : rewriteProfiles(Error);
+}
+
+bool CacheStore::compact(std::string *Error) {
+  if (Path.empty()) {
+    if (Error)
+      *Error = "cache store was never opened";
+    return false;
+  }
+  return rewriteResults(Error) && rewriteProfiles(Error);
 }

@@ -6,26 +6,34 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Durable storage for campaign results, so repeated `ramloc-batch` runs
-/// (and CI re-runs) are incremental: a grid point computed once is never
-/// recomputed as long as the code that produced it is unchanged.
+/// Durable storage for campaign results and execution profiles, so
+/// repeated `ramloc-batch` runs (and CI re-runs) are incremental: a grid
+/// point computed once is never recomputed as long as the code that
+/// produced it is unchanged, and a benchmark simulated once is recosted —
+/// not re-executed — even across processes and device-table changes.
 ///
-/// Format: one JSON-lines file, `results.jsonl`, inside the cache
-/// directory. The first line is a header carrying the store schema and a
-/// fingerprint of everything results depend on (the device registry's
-/// power tables and timing models, and the report schema). A mismatched
-/// fingerprint invalidates the whole file — results computed under a
-/// different power model must never be served — and a corrupt or
-/// truncated entry is skipped, degrading to recomputation rather than
-/// failing the run. Every subsequent line is one JobResult in the report
-/// dialect (campaign/Report.h), keyed implicitly by its spec's
-/// cacheKey().
+/// Format: two JSON-lines files inside the cache directory.
+///  - `results.jsonl`: one JobResult per line in the report dialect
+///    (campaign/Report.h), keyed implicitly by its spec's cacheKey().
+///    Its header fingerprint covers the device registry's power tables
+///    and timing models — results computed under a different power model
+///    must never be served.
+///  - `profiles.jsonl`: one ExecutionProfile per line keyed by execution
+///    key (image fingerprint + arguments). Profiles are device-
+///    independent, so their header fingerprint covers only the simulator
+///    semantics version: a power recalibration retires every cached
+///    *result* yet keeps every cached *profile*, turning the re-sweep
+///    into recosts instead of re-simulations.
 ///
-/// Writes are atomic: the store is rewritten to a temporary file in the
-/// same directory and renamed over the old one, so a crashed or killed
-/// run can truncate at worst the temporary, never the live store. Under
-/// concurrent writers the last rename wins — shard workers should use
-/// per-shard cache directories, or share one and accept duplicated work.
+/// Writes are append-mode: save() appends only entries not yet on disk,
+/// one complete record per line with no fsync, so concurrent writers
+/// sharing a directory interleave whole lines instead of losing each
+/// other's work to a rewrite race, and a killed writer truncates at most
+/// its final line (skipped on load). A file that needs repair — absent,
+/// corrupt, truncated mid-line, or carrying a stale fingerprint — is
+/// instead rewritten atomically (temporary + rename). compact() forces
+/// that sorted, deduplicated rewrite; report merging is its natural home
+/// (`ramloc-batch --merge --cache-dir=...`).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,54 +41,93 @@
 #define RAMLOC_CAMPAIGN_CACHESTORE_H
 
 #include "campaign/Campaign.h"
+#include "sim/ProfileCache.h"
 
+#include <set>
 #include <string>
 
 namespace ramloc {
 
 class CacheStore {
 public:
-  /// The fingerprint a valid store must carry: a stable hash over the
-  /// store schema, the report schema, and the full device registry
+  /// The fingerprint a valid results store must carry: a stable hash over
+  /// the store schema, the report schema, and the full device registry
   /// (names, power tables, timing models). Any change to those — a new
   /// power calibration, a device table edit, a serialization bump —
   /// yields a new fingerprint and retires every existing cache.
   static std::string fingerprint();
 
-  /// Binds the store to <Dir>/results.jsonl, creating \p Dir when
-  /// missing, and loads whatever valid entries the file holds. Returns
-  /// false only when the directory cannot be created or the file cannot
-  /// be read at all; invalid content merely yields an empty cache (see
+  /// The fingerprint of the profile store: a stable hash over the profile
+  /// schema and the simulator-semantics tag (bumped by hand whenever the
+  /// interpreter's architectural behaviour changes). Deliberately
+  /// independent of the device registry — execution profiles are
+  /// device-independent, which is their whole value.
+  static std::string profileFingerprint();
+
+  /// Binds the store to <Dir>/results.jsonl and <Dir>/profiles.jsonl,
+  /// creating \p Dir when missing, and loads whatever valid entries the
+  /// files hold. Returns false only when the directory cannot be
+  /// created; invalid content merely yields an empty cache (see
   /// invalidated() / skippedLines()).
   bool open(const std::string &Dir, std::string *Error = nullptr);
 
-  /// Atomically rewrites the file with every *successful* entry
-  /// currently in cache(), sorted by cache key (temp file + rename).
+  /// Persists every *successful* entry not yet on disk. Healthy files
+  /// grow by appended lines; files needing repair (corruption, stale
+  /// fingerprint, missing trailing newline) are rewritten atomically.
   /// Failed results stay in-memory only: a failure may be a bug the next
   /// build fixes, and the fingerprint cannot see code changes, so
-  /// persisting it would serve a stale error forever.
-  bool save(std::string *Error = nullptr) const;
+  /// persisting it would serve a stale error forever. Invalid profiles
+  /// are never persisted.
+  bool save(std::string *Error = nullptr);
 
-  /// The in-memory cache backing this store. Point CampaignOptions::Cache
-  /// here; runCampaign both serves lookups from it and inserts new
-  /// results into it.
+  /// Sorted, deduplicated atomic rewrite of both files — the repair and
+  /// garbage-collection path for stores grown by many appenders.
+  bool compact(std::string *Error = nullptr);
+
+  /// The in-memory result cache backing this store. Point
+  /// CampaignOptions::Cache here; runCampaign both serves lookups from it
+  /// and inserts new results into it.
   ResultCache &cache() { return Cache; }
   const ResultCache &cache() const { return Cache; }
 
+  /// The execution-profile cache backing this store. Point
+  /// CampaignOptions::Profiles here so simulations recorded by earlier
+  /// processes are recosted instead of re-run.
+  ProfileCache &profiles() { return Profiles; }
+
   const std::string &path() const { return Path; }
+  const std::string &profilePath() const { return ProfPath; }
 
   /// Diagnostics from the last open().
   size_t loadedEntries() const { return Loaded; }
   size_t skippedLines() const { return Skipped; }
-  /// True when a store existed but carried a different fingerprint (its
-  /// entries were discarded wholesale).
+  size_t loadedProfiles() const { return LoadedProfs; }
+  size_t skippedProfileLines() const { return SkippedProfs; }
+  /// True when a results store existed but carried a different
+  /// fingerprint (its entries were discarded wholesale).
   bool invalidated() const { return Invalidated; }
 
 private:
+  bool rewriteResults(std::string *Error);
+  bool appendResults(std::string *Error);
+  bool rewriteProfiles(std::string *Error);
+  bool appendProfiles(std::string *Error);
+
   ResultCache Cache;
+  ProfileCache Profiles;
   std::string Path;
+  std::string ProfPath;
+  /// Cache keys already durable in each file (loaded or saved by us).
+  /// save() appends only entries outside these sets; whether appending is
+  /// safe is probed from the file itself at save() time (valid matching
+  /// header, newline-terminated tail) so a concurrent writer's appends
+  /// are extended, never clobbered.
+  std::set<std::string> PersistedKeys;
+  std::set<std::string> PersistedProfKeys;
   size_t Loaded = 0;
   size_t Skipped = 0;
+  size_t LoadedProfs = 0;
+  size_t SkippedProfs = 0;
   bool Invalidated = false;
 };
 

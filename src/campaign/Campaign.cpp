@@ -10,6 +10,7 @@
 #include "beebs/Beebs.h"
 #include "campaign/JobQueue.h"
 #include "power/DeviceRegistry.h"
+#include "sim/ProfileCache.h"
 #include "support/Format.h"
 #include "support/Hash.h"
 #include "support/Json.h"
@@ -213,7 +214,7 @@ JobResult ramloc::runJob(const JobSpec &Spec, const PipelineOptions &Base) {
   ModuleFrequency Freq;
   if (Opts.UseProfiledFrequencies) {
     Measurement BaseRun =
-        measureModule(M, Opts.Power, Opts.Link, Opts.Sim);
+        measureModule(M, Opts.Power, Opts.Link, Opts.Sim, Opts.Profiles);
     if (!BaseRun.ok()) {
       R.Error = "profile run failed: " + BaseRun.Stats.Error;
       return R;
@@ -263,6 +264,20 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
   }
   CR.Summary.UniqueRuns = static_cast<unsigned>(RunIndices.size());
 
+  // Group jobs by execution key: every job shares one ProfileCache, so
+  // grid points that execute the same image (the device axis, typically)
+  // fan out over a single simulation. The cache's compute-once semantics
+  // keep the grouping exact under any worker interleaving.
+  ProfileCache CampaignProfiles;
+  ProfileCache *Profiles =
+      Opts.Profiles ? Opts.Profiles
+                    : (Opts.ReuseProfiles ? &CampaignProfiles : nullptr);
+  PipelineOptions JobBase = Opts.Base;
+  if (Profiles)
+    JobBase.Profiles = Profiles;
+  ProfileCache::Counters Before =
+      Profiles ? Profiles->counters() : ProfileCache::Counters{};
+
   unsigned Workers = Opts.Jobs != 0 ? Opts.Jobs
                                     : std::thread::hardware_concurrency();
   {
@@ -271,13 +286,18 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
     unsigned Done = 0;
     for (size_t I : RunIndices)
       Pool.submit([&, I] {
-        CR.Results[I] = runJob(Jobs[I], Opts.Base);
+        CR.Results[I] = runJob(Jobs[I], JobBase);
         if (Opts.Progress) {
           std::lock_guard<std::mutex> Lock(ProgressMu);
           Opts.Progress(CR.Results[I], ++Done, CR.Summary.UniqueRuns);
         }
       });
     Pool.wait();
+  }
+  if (Profiles) {
+    ProfileCache::Counters After = Profiles->counters();
+    CR.Summary.FullSims = After.FullSims - Before.FullSims;
+    CR.Summary.Recosts = After.Recosts - Before.Recosts;
   }
 
   // Fill duplicates and feed the cross-campaign cache.
@@ -299,6 +319,8 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
   CampaignSummary S = computeSummary(CR.Results);
   S.CacheHits = CR.Summary.CacheHits;
   S.UniqueRuns = CR.Summary.UniqueRuns;
+  S.FullSims = CR.Summary.FullSims;
+  S.Recosts = CR.Summary.Recosts;
   S.WallSeconds = Timer.seconds();
   CR.Summary = S;
   return CR;

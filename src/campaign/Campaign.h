@@ -16,6 +16,16 @@
 /// order and carry no wall-clock data, so a campaign's report is
 /// byte-identical whatever --jobs is.
 ///
+/// Jobs are additionally grouped by *execution key* (image fingerprint +
+/// arguments) through a shared ProfileCache: the first job to need a
+/// given execution simulates it once and records a device-independent
+/// ExecutionProfile; every other job over the same execution — the whole
+/// device axis of a grid, typically — derives its bit-identical RunStats
+/// by recosting that profile in O(#instructions). The cache's
+/// compute-once semantics make the grouping scheduler-independent, so a
+/// 1-benchmark x N-device grid performs exactly one full simulation per
+/// distinct image however many workers run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAMLOC_CAMPAIGN_CAMPAIGN_H
@@ -33,6 +43,8 @@
 #include <vector>
 
 namespace ramloc {
+
+class ProfileCache;
 
 /// How block frequencies Fb are obtained (the Figure 5 estimated-vs-
 /// "w/Frequency" axis).
@@ -143,6 +155,13 @@ struct CampaignOptions {
   PipelineOptions Base;
   /// Optional cross-campaign cache.
   ResultCache *Cache = nullptr;
+  /// Share device-independent execution profiles between jobs, so grid
+  /// points differing only in device recost one simulation instead of
+  /// re-executing (reports stay byte-identical either way).
+  bool ReuseProfiles = true;
+  /// Optional cross-campaign profile cache (e.g. CacheStore::profiles()).
+  /// When null and ReuseProfiles is true the campaign uses a private one.
+  ProfileCache *Profiles = nullptr;
   /// Progress callback, invoked serialized (never concurrently) after
   /// each unique job finishes.
   std::function<void(const JobResult &, unsigned Done, unsigned Total)>
@@ -164,6 +183,11 @@ struct CampaignSummary {
   double MeanPowerPct = 0.0;
   /// Diagnostics only; excluded from serialized reports.
   double WallSeconds = 0.0;
+  /// How this campaign's measurements were satisfied (diagnostics only,
+  /// excluded from serialized reports): interpreter executions vs
+  /// profile recosts. Zero when profile reuse is disabled.
+  uint64_t FullSims = 0;
+  uint64_t Recosts = 0;
 };
 
 struct CampaignResult {

@@ -8,6 +8,7 @@
 #include "core/Pipeline.h"
 
 #include "mir/Verifier.h"
+#include "sim/ProfileCache.h"
 #include "support/Format.h"
 #include "support/Statistics.h"
 
@@ -30,14 +31,49 @@ double PipelineResult::powerChangePct() const {
 
 Measurement ramloc::measureModule(const Module &M, const PowerModel &Power,
                                   const LinkOptions &Link,
-                                  const SimOptions &Sim) {
+                                  const SimOptions &Sim,
+                                  ProfileCache *Profiles) {
   Measurement Out;
   LinkResult LR = linkModule(M, Link);
   if (!LR.ok()) {
     Out.Stats.Error = "link failed: " + LR.Errors.front();
     return Out;
   }
-  Out.Stats = runImage(LR.Img, Sim);
+
+  // Power-profile sampling is timing-dependent output: always simulate.
+  if (!Profiles || Sim.SampleIntervalCycles != 0) {
+    Out.Stats = runImage(LR.Img, Sim);
+    Out.Energy = Power.integrate(Out.Stats);
+    return Out;
+  }
+
+  std::string Key = executionKey(LR.Img);
+  bool Owner = false;
+  std::shared_ptr<const ExecutionProfile> Shared =
+      Profiles->acquire(Key, Owner);
+  if (Owner) {
+    // First run of this execution: simulate once, recording the
+    // device-independent profile every later device recosts from. The
+    // owner must publish (null on a faulted run) or waiters block
+    // forever, so publish on every path out.
+    auto Fresh = std::make_shared<ExecutionProfile>();
+    try {
+      Out.Stats = runImageProfiled(LR.Img, Sim, *Fresh);
+    } catch (...) {
+      Profiles->publish(Key, nullptr);
+      throw;
+    }
+    Profiles->noteFullSim();
+    Profiles->publish(Key, Fresh->Valid ? std::move(Fresh) : nullptr);
+  } else if (Shared && recostProfile(LR.Img, *Shared, Sim, Out.Stats)) {
+    Profiles->noteRecost();
+  } else {
+    // No usable profile (the profiling run faulted, or this timing model
+    // would exceed the cycle budget): full simulation, bit-identical by
+    // definition.
+    Out.Stats = runImage(LR.Img, Sim);
+    Profiles->noteFullSim();
+  }
   Out.Energy = Power.integrate(Out.Stats);
   return Out;
 }
@@ -54,7 +90,8 @@ PipelineResult ramloc::optimizeModule(const Module &M,
 
   // Measure the baseline first; it also provides the profile when
   // requested.
-  R.MeasuredBase = measureModule(M, Opts.Power, Opts.Link, Opts.Sim);
+  R.MeasuredBase =
+      measureModule(M, Opts.Power, Opts.Link, Opts.Sim, Opts.Profiles);
   if (!R.MeasuredBase.ok()) {
     R.Error = "baseline run failed: " + R.MeasuredBase.Stats.Error;
     return R;
@@ -85,8 +122,8 @@ PipelineResult ramloc::optimizeModule(const Module &M,
     return R;
   }
 
-  R.MeasuredOpt =
-      measureModule(R.Optimized, Opts.Power, Opts.Link, Opts.Sim);
+  R.MeasuredOpt = measureModule(R.Optimized, Opts.Power, Opts.Link,
+                                Opts.Sim, Opts.Profiles);
   if (!R.MeasuredOpt.ok()) {
     R.Error = "optimized run failed: " + R.MeasuredOpt.Stats.Error;
     return R;

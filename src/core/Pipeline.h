@@ -28,6 +28,8 @@
 
 namespace ramloc {
 
+class ProfileCache;
+
 /// One measured execution: hardware-style numbers from the simulator.
 struct Measurement {
   RunStats Stats;
@@ -38,9 +40,18 @@ struct Measurement {
 
 /// Links and runs \p M, integrating energy with \p Power. Link or run
 /// failures are reported through Measurement::Stats.Error.
+///
+/// With a \p Profiles cache the run is satisfied simulate-once/cost-many:
+/// the linked image's execution key is looked up, a hit is recosted to
+/// this timing model in O(#instructions) (bit-identical to a full run),
+/// and a miss simulates once while recording the profile for every later
+/// caller — across devices, jobs and (via the persistent store)
+/// processes. Timing-dependent output (Sim.SampleIntervalCycles != 0)
+/// always takes the full-simulation path.
 Measurement measureModule(const Module &M, const PowerModel &Power,
                           const LinkOptions &Link = {},
-                          const SimOptions &Sim = {});
+                          const SimOptions &Sim = {},
+                          ProfileCache *Profiles = nullptr);
 
 /// Pipeline configuration.
 struct PipelineOptions {
@@ -55,6 +66,11 @@ struct PipelineOptions {
   /// frequencies (the Figure 5 "w/Frequency" variant) instead of the
   /// static loop-depth estimate.
   bool UseProfiledFrequencies = false;
+  /// Optional shared execution-profile cache: measurements recost a
+  /// previously simulated execution instead of re-running it (see
+  /// measureModule). The campaign engine points every job at one cache so
+  /// the device axis shares profiles.
+  ProfileCache *Profiles = nullptr;
 };
 
 /// Everything the optimization produced.

@@ -77,6 +77,14 @@ struct Image {
   /// Index into Instrs of the instruction starting at \p Addr, or -1.
   int instrIndexAt(uint32_t Addr) const;
 
+  /// Stable FNV-1a identity of everything that determines this image's
+  /// execution: memory-map geometry, entry point, initial flash/RAM
+  /// contents, startup-copy cost, and the placed instruction stream
+  /// including its block structure. Two images with equal fingerprints
+  /// execute identically given equal initial arguments — the property the
+  /// execution-profile cache (sim/ExecutionProfile.h) keys on.
+  uint64_t fingerprint() const;
+
   /// Reads a 32-bit little-endian word from the initial memory contents.
   uint32_t initialWord(uint32_t Addr) const;
 };

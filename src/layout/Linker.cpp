@@ -9,6 +9,7 @@
 
 #include "isa/Encoding.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <cassert>
@@ -387,6 +388,57 @@ int Image::instrIndexAt(uint32_t Addr) const {
     return -1;
   }
   return -1;
+}
+
+uint64_t Image::fingerprint() const {
+  uint64_t H = Fnv1aOffset;
+  auto word = [&H](uint64_t V) {
+    // Fixed-width little-endian fold so field boundaries cannot alias.
+    for (unsigned B = 0; B != 8; ++B) {
+      H ^= static_cast<unsigned char>(V >> (B * 8));
+      H *= Fnv1aPrime;
+    }
+  };
+  word(Map.FlashBase);
+  word(Map.FlashSize);
+  word(Map.RamBase);
+  word(Map.RamSize);
+  word(EntryAddr);
+  word(StartupCopyCycles);
+  H = fnv1a64(H, std::string_view(
+                     reinterpret_cast<const char *>(FlashBytes.data()),
+                     FlashBytes.size()));
+  word(FlashBytes.size());
+  H = fnv1a64(H, std::string_view(
+                     reinterpret_cast<const char *>(RamBytes.data()),
+                     RamBytes.size()));
+  word(RamBytes.size());
+  // The byte images fix the encodings, but per-instruction profiling
+  // metadata (block identity, resolved targets, operand forms) lives only
+  // in the placed stream — fold it in so profiles can never be shared
+  // between images that merely decode alike.
+  word(Instrs.size());
+  for (const PlacedInstr &P : Instrs) {
+    word(P.Addr);
+    word(P.Size);
+    word(P.TargetAddr);
+    word((static_cast<uint64_t>(P.FuncIdx) << 32) |
+         (static_cast<uint64_t>(P.BlockIdx) << 16) |
+         (P.IsBlockHead ? 1 : 0));
+    word((static_cast<uint64_t>(static_cast<uint8_t>(P.I.Kind)) << 24) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(P.I.CondCode))
+          << 16) |
+         (P.I.SetsFlags ? 1 : 0));
+    word((static_cast<uint64_t>(P.I.Regs[0]) << 24) |
+         (static_cast<uint64_t>(P.I.Regs[1]) << 16) |
+         (static_cast<uint64_t>(P.I.Regs[2]) << 8) | P.I.Regs[3]);
+    word(static_cast<uint32_t>(P.I.Imm));
+  }
+  // Block-count geometry, so a profile's BlockCounts always fit.
+  word(BlockAddr.size());
+  for (const std::vector<uint32_t> &F : BlockAddr)
+    word(F.size());
+  return H;
 }
 
 uint32_t Image::initialWord(uint32_t Addr) const {

@@ -7,6 +7,7 @@
 
 #include "sim/Simulator.h"
 
+#include "sim/ExecutionProfile.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -46,7 +47,8 @@ std::map<std::string, uint64_t> RunStats::profileMap(const Module &M) const {
 }
 
 Simulator::Simulator(const Image &Img, const SimOptions &Opts)
-    : Img(Img), Opts(Opts), Ram(Img.RamBytes) {
+    : Img(Img), Opts(Opts), Dec(predecodeImage(Img, Opts.Timing)),
+      Ram(Img.RamBytes) {
   State.R[SP] = Img.Map.stackTop();
   State.R[LR] = ExitAddress;
   PcAddr = Img.EntryAddr;
@@ -61,6 +63,12 @@ Simulator::Simulator(const Image &Img, const SimOptions &Opts)
         Img.StartupCopyCycles;
     Stats.LoadCycles[0][0] += Img.StartupCopyCycles;
   }
+}
+
+void Simulator::collectProfile(ExecutionProfile &P) {
+  Prof = &P;
+  P = ExecutionProfile{};
+  P.Instrs.assign(Img.Instrs.size(), InstrCounts{});
 }
 
 void Simulator::fault(const std::string &Msg) {
@@ -146,38 +154,45 @@ void Simulator::write8(uint32_t Addr, uint8_t Value) {
   Ram[Addr - Img.Map.RamBase] = Value;
 }
 
-void Simulator::account(const PlacedInstr &P, unsigned Cycles, bool IsLoad,
-                        MemKind DataMem) {
-  MemKind Fetch = Img.Map.regionOf(P.Addr);
-  unsigned F = static_cast<unsigned>(Fetch);
-  unsigned C = static_cast<unsigned>(opClass(P.I.Kind));
-  unsigned D = static_cast<unsigned>(DataMem);
-
-  if (IsLoad && Fetch == MemKind::Ram && DataMem == MemKind::Ram) {
-    // Fetch and data contend for the single RAM port (the model's Lb).
-    Cycles += Opts.Timing.RamContentionStall;
-    Stats.ContentionStalls += Opts.Timing.RamContentionStall;
-  }
-  if (Fetch == MemKind::Flash) {
-    // Flash wait states penalize every flash fetch; RAM fetches never
-    // wait. Zero on the reference device.
-    Cycles += Opts.Timing.FlashWaitStates;
-    Stats.FlashWaitCycles += Opts.Timing.FlashWaitStates;
-  }
+void Simulator::book(const DecodedInstr &D, unsigned Cycles, bool IsLoad,
+                     unsigned DataMem) {
+  // Flash wait states are pre-added to the decoded cycle costs; only the
+  // attribution counter remains per-step.
+  Stats.FlashWaitCycles += D.FlashWait;
   Stats.Cycles += Cycles;
-  Stats.ClassCycles[F][C] += Cycles;
+  Stats.ClassCycles[D.Fetch][D.Class] += Cycles;
   if (IsLoad)
-    Stats.LoadCycles[F][D] += Cycles;
+    Stats.LoadCycles[D.Fetch][DataMem] += Cycles;
 
   if (Opts.SampleIntervalCycles != 0) {
     CurSample.Cycles += Cycles;
-    CurSample.ClassCycles[F][C] += Cycles;
+    CurSample.ClassCycles[D.Fetch][D.Class] += Cycles;
     if (IsLoad)
-      CurSample.LoadCycles[F][D] += Cycles;
+      CurSample.LoadCycles[D.Fetch][DataMem] += Cycles;
     if (CurSample.Cycles >= Opts.SampleIntervalCycles) {
       Stats.Samples.push_back(CurSample);
       CurSample = PowerSample{};
     }
+  }
+}
+
+void Simulator::account(const DecodedInstr &D, unsigned Cycles, bool IsLoad,
+                        unsigned DataMem, bool TakenBranch) {
+  if (IsLoad && DataMem == static_cast<unsigned>(MemKind::Ram) &&
+      D.ContentionStall != 0) {
+    // Fetch and data contend for the single RAM port (the model's Lb).
+    Cycles += D.ContentionStall;
+    Stats.ContentionStalls += D.ContentionStall;
+  }
+  book(D, Cycles, IsLoad, DataMem);
+
+  if (Prof) {
+    InstrCounts &C = Prof->Instrs[CurIdx];
+    ++C.Exec;
+    if (TakenBranch)
+      ++C.Taken;
+    if (IsLoad)
+      ++C.LoadData[DataMem];
   }
 }
 
@@ -204,21 +219,25 @@ bool Simulator::step() {
     fault(formatString("fetch fault at 0x%08x", PcAddr));
     return false;
   }
-  const PlacedInstr &P = Img.Instrs[static_cast<unsigned>(Idx)];
-  if (P.IsBlockHead)
-    ++Stats.BlockCounts[P.FuncIdx][P.BlockIdx];
+  CurIdx = static_cast<uint32_t>(Idx);
+  const DecodedInstr &D = Dec[CurIdx];
+  if (D.IsBlockHead)
+    ++Stats.BlockCounts[D.FuncIdx][D.BlockIdx];
   ++Stats.Instructions;
 
   // Predicated non-branch instruction whose condition fails: one skipped
   // cycle, no architectural effect.
-  if (P.I.CondCode != Cond::AL && P.I.Kind != OpKind::BCond &&
-      !condPasses(P.I.CondCode, State.F)) {
-    account(P, Opts.Timing.SkippedCycles, /*IsLoad=*/false, MemKind::Flash);
-    PcAddr += P.Size;
+  if (D.CheckCond && !condPasses(D.CondCode, State.F)) {
+    if (Prof)
+      ++Prof->Instrs[CurIdx].Skipped;
+    // The skip costs one cycle (plus the fetch's wait states) against the
+    // instruction's own class; no load/contention side effects.
+    book(D, D.CyclesSkipped, /*IsLoad=*/false, 0);
+    PcAddr = D.NextAddr;
     return !Halted;
   }
 
-  execute(P);
+  execute(D);
   return !Halted;
 }
 
@@ -227,64 +246,63 @@ void Simulator::run() {
     ;
 }
 
-void Simulator::execute(const PlacedInstr &P) {
-  const Instr &I = P.I;
-  const TimingModel &T = Opts.Timing;
+void Simulator::execute(const DecodedInstr &D) {
+  const Instr &I = D.P->I;
 
-  switch (I.Kind) {
+  switch (D.Kind) {
   // --- control flow -------------------------------------------------------
   case OpKind::B:
-    account(P, T.cycles(I, /*Taken=*/true), false, MemKind::Flash);
-    branchTo(P.TargetAddr);
+    account(D, D.CyclesTaken, false, 0);
+    branchTo(D.TargetAddr);
     return;
   case OpKind::BCond: {
-    bool Taken = condPasses(I.CondCode, State.F);
-    account(P, T.cycles(I, Taken), false, MemKind::Flash);
+    bool Taken = condPasses(D.CondCode, State.F);
+    account(D, Taken ? D.CyclesTaken : D.CyclesNotTaken, false, 0, Taken);
     if (Taken)
-      branchTo(P.TargetAddr);
+      branchTo(D.TargetAddr);
     else
-      PcAddr += P.Size;
+      PcAddr = D.NextAddr;
     return;
   }
   case OpKind::Cbz:
   case OpKind::Cbnz: {
     bool Zero = reg(I.Regs[0]) == 0;
-    bool Taken = I.Kind == OpKind::Cbz ? Zero : !Zero;
-    account(P, T.cycles(I, Taken), false, MemKind::Flash);
+    bool Taken = D.Kind == OpKind::Cbz ? Zero : !Zero;
+    account(D, Taken ? D.CyclesTaken : D.CyclesNotTaken, false, 0, Taken);
     if (Taken)
-      branchTo(P.TargetAddr);
+      branchTo(D.TargetAddr);
     else
-      PcAddr += P.Size;
+      PcAddr = D.NextAddr;
     return;
   }
   case OpKind::Bl:
-    account(P, T.cycles(I, true), false, MemKind::Flash);
-    reg(LR) = PcAddr + P.Size;
-    branchTo(P.TargetAddr);
+    account(D, D.CyclesTaken, false, 0);
+    reg(LR) = D.NextAddr;
+    branchTo(D.TargetAddr);
     return;
   case OpKind::Blx: {
-    account(P, T.cycles(I, true), false, MemKind::Flash);
+    account(D, D.CyclesTaken, false, 0);
     uint32_t Target = reg(I.Regs[0]);
-    reg(LR) = PcAddr + P.Size;
+    reg(LR) = D.NextAddr;
     branchTo(Target);
     return;
   }
   case OpKind::Bx:
-    account(P, T.cycles(I, true), false, MemKind::Flash);
+    account(D, D.CyclesTaken, false, 0);
     branchTo(reg(I.Regs[0]));
     return;
   case OpKind::It:
   case OpKind::Nop:
-    account(P, T.cycles(I, false), false, MemKind::Flash);
-    PcAddr += P.Size;
+    account(D, D.CyclesNotTaken, false, 0);
+    PcAddr = D.NextAddr;
     return;
   case OpKind::Wfi:
     ++Stats.SleepEvents;
-    account(P, T.cycles(I, false), false, MemKind::Flash);
-    PcAddr += P.Size;
+    account(D, D.CyclesNotTaken, false, 0);
+    PcAddr = D.NextAddr;
     return;
   case OpKind::Bkpt:
-    account(P, T.cycles(I, false), false, MemKind::Flash);
+    account(D, D.CyclesNotTaken, false, 0);
     halt();
     return;
 
@@ -302,18 +320,17 @@ void Simulator::execute(const PlacedInstr &P) {
   case OpKind::LdrLit:
   case OpKind::Push:
   case OpKind::Pop:
-    executeMem(P);
+    executeMem(D);
     return;
 
   default:
-    executeAlu(P);
+    executeAlu(D);
     return;
   }
 }
 
-void Simulator::executeMem(const PlacedInstr &P) {
-  const Instr &I = P.I;
-  const TimingModel &T = Opts.Timing;
+void Simulator::executeMem(const DecodedInstr &D) {
+  const Instr &I = D.P->I;
   uint32_t Rt = reg(I.Regs[0]);
   uint32_t Base = reg(I.Regs[1]);
 
@@ -322,47 +339,48 @@ void Simulator::executeMem(const PlacedInstr &P) {
                    : Base + static_cast<uint32_t>(I.Imm);
   };
   auto dataMem = [&](uint32_t Addr) {
-    return Img.Map.isMapped(Addr) ? Img.Map.regionOf(Addr) : MemKind::Flash;
+    return static_cast<unsigned>(
+        Img.Map.isMapped(Addr) ? Img.Map.regionOf(Addr) : MemKind::Flash);
   };
 
-  switch (I.Kind) {
+  switch (D.Kind) {
   case OpKind::LdrImm:
   case OpKind::LdrReg: {
-    uint32_t EA = effectiveAddr(I.Kind == OpKind::LdrReg);
-    account(P, T.cycles(I, false), /*IsLoad=*/true, dataMem(EA));
+    uint32_t EA = effectiveAddr(D.Kind == OpKind::LdrReg);
+    account(D, D.CyclesNotTaken, /*IsLoad=*/true, dataMem(EA));
     reg(I.Regs[0]) = read32(EA);
     break;
   }
   case OpKind::LdrbImm:
   case OpKind::LdrbReg: {
-    uint32_t EA = effectiveAddr(I.Kind == OpKind::LdrbReg);
-    account(P, T.cycles(I, false), true, dataMem(EA));
+    uint32_t EA = effectiveAddr(D.Kind == OpKind::LdrbReg);
+    account(D, D.CyclesNotTaken, true, dataMem(EA));
     reg(I.Regs[0]) = read8(EA);
     break;
   }
   case OpKind::LdrhImm: {
     uint32_t EA = effectiveAddr(false);
-    account(P, T.cycles(I, false), true, dataMem(EA));
+    account(D, D.CyclesNotTaken, true, dataMem(EA));
     reg(I.Regs[0]) = read16(EA);
     break;
   }
   case OpKind::StrImm:
   case OpKind::StrReg: {
-    uint32_t EA = effectiveAddr(I.Kind == OpKind::StrReg);
-    account(P, T.cycles(I, false), false, dataMem(EA));
+    uint32_t EA = effectiveAddr(D.Kind == OpKind::StrReg);
+    account(D, D.CyclesNotTaken, false, dataMem(EA));
     write32(EA, Rt);
     break;
   }
   case OpKind::StrbImm:
   case OpKind::StrbReg: {
-    uint32_t EA = effectiveAddr(I.Kind == OpKind::StrbReg);
-    account(P, T.cycles(I, false), false, dataMem(EA));
+    uint32_t EA = effectiveAddr(D.Kind == OpKind::StrbReg);
+    account(D, D.CyclesNotTaken, false, dataMem(EA));
     write8(EA, static_cast<uint8_t>(Rt));
     break;
   }
   case OpKind::StrhImm: {
     uint32_t EA = effectiveAddr(false);
-    account(P, T.cycles(I, false), false, dataMem(EA));
+    account(D, D.CyclesNotTaken, false, dataMem(EA));
     write16(EA, static_cast<uint16_t>(Rt));
     break;
   }
@@ -370,8 +388,8 @@ void Simulator::executeMem(const PlacedInstr &P) {
     // The pool slot was resolved by the linker; its memory determines the
     // data-side power (RAM code with flash pools is the expensive Figure 1
     // case; our pools co-locate with the code, so RAM code pools are RAM).
-    uint32_t Value = read32(P.TargetAddr);
-    account(P, T.cycles(I, false), true, dataMem(P.TargetAddr));
+    uint32_t Value = read32(D.TargetAddr);
+    account(D, D.CyclesNotTaken, true, dataMem(D.TargetAddr));
     if (I.Regs[0] == PC) {
       branchTo(Value);
       return;
@@ -383,7 +401,8 @@ void Simulator::executeMem(const PlacedInstr &P) {
     uint32_t Mask = static_cast<uint32_t>(I.Imm);
     unsigned Count = regMaskCount(Mask);
     uint32_t Addr = reg(SP) - 4 * Count;
-    account(P, T.cycles(I, false), false, MemKind::Ram);
+    account(D, D.CyclesNotTaken, false,
+            static_cast<unsigned>(MemKind::Ram));
     reg(SP) = Addr;
     for (unsigned R = 0; R < 16; ++R) {
       if (!(Mask & (1u << R)))
@@ -395,7 +414,8 @@ void Simulator::executeMem(const PlacedInstr &P) {
   }
   case OpKind::Pop: {
     uint32_t Mask = static_cast<uint32_t>(I.Imm);
-    account(P, T.cycles(I, false), /*IsLoad=*/true, MemKind::Ram);
+    account(D, D.CyclesNotTaken, /*IsLoad=*/true,
+            static_cast<unsigned>(MemKind::Ram));
     uint32_t Addr = reg(SP);
     uint32_t NewPC = 0;
     bool HasPC = false;
@@ -421,12 +441,12 @@ void Simulator::executeMem(const PlacedInstr &P) {
   default:
     assert(false && "not a memory opcode");
   }
-  PcAddr += P.Size;
+  PcAddr = D.NextAddr;
 }
 
-void Simulator::executeAlu(const PlacedInstr &P) {
-  const Instr &I = P.I;
-  account(P, Opts.Timing.cycles(I, false), false, MemKind::Flash);
+void Simulator::executeAlu(const DecodedInstr &D) {
+  const Instr &I = D.P->I;
+  account(D, D.CyclesNotTaken, false, 0);
 
   uint32_t Rn = reg(I.Regs[1]);
   uint32_t RmV = reg(I.Regs[2]);
@@ -436,7 +456,7 @@ void Simulator::executeAlu(const PlacedInstr &P) {
   bool UpdateCV = false;
   bool NewC = State.F.C, NewV = State.F.V;
 
-  switch (I.Kind) {
+  switch (D.Kind) {
   case OpKind::MovImm:
     Result = ImmU;
     break;
@@ -513,13 +533,13 @@ void Simulator::executeAlu(const PlacedInstr &P) {
     break;
   case OpKind::Sdiv: {
     int32_t N = static_cast<int32_t>(Rn);
-    int32_t D = static_cast<int32_t>(RmV);
-    if (D == 0)
+    int32_t Dv = static_cast<int32_t>(RmV);
+    if (Dv == 0)
       Result = 0;
-    else if (N == INT32_MIN && D == -1)
+    else if (N == INT32_MIN && Dv == -1)
       Result = static_cast<uint32_t>(INT32_MIN);
     else
-      Result = static_cast<uint32_t>(N / D);
+      Result = static_cast<uint32_t>(N / Dv);
     break;
   }
   case OpKind::AndReg:
@@ -631,7 +651,7 @@ void Simulator::executeAlu(const PlacedInstr &P) {
       State.F.V = NewV;
     }
   }
-  PcAddr += P.Size;
+  PcAddr = D.NextAddr;
 }
 
 RunStats ramloc::runImage(const Image &Img, const SimOptions &Opts,

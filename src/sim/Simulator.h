@@ -12,6 +12,12 @@
 /// fetch/data contention stall the paper's Lb term models, and counts
 /// per-block executions for profiling.
 ///
+/// The hot loop dispatches over a predecoded image (sim/Predecode.h): the
+/// fetch-region, instruction-class and cycle-cost lookups are resolved
+/// once per image instead of once per step. Optionally it records a
+/// device-independent ExecutionProfile (sim/ExecutionProfile.h) so later
+/// runs of the same image can be recosted without re-execution.
+///
 /// Architectural conventions:
 ///  - Registers r0-r12, sp (full-descending), lr, pc; NZCV flags.
 ///  - The run starts at the image entry with lr = ExitAddress; returning
@@ -25,11 +31,14 @@
 
 #include "isa/Timing.h"
 #include "layout/Image.h"
+#include "sim/Predecode.h"
 #include "sim/RunStats.h"
 
 #include <cstdint>
 
 namespace ramloc {
+
+struct ExecutionProfile;
 
 /// Simulation knobs.
 struct SimOptions {
@@ -39,7 +48,9 @@ struct SimOptions {
   /// Account the startup .data/.ramcode copy loop (flash-fetched loads).
   bool IncludeStartupCopy = true;
   /// When non-zero, record a PowerSample roughly every this many cycles
-  /// (the power-profile instrumentation behind Figure 7).
+  /// (the power-profile instrumentation behind Figure 7). Sample
+  /// boundaries depend on the timing model, so runs with sampling cannot
+  /// be served by recosting a shared profile.
   uint64_t SampleIntervalCycles = 0;
 };
 
@@ -61,6 +72,12 @@ RunStats runImage(const Image &Img, const SimOptions &Opts = {},
 class Simulator {
 public:
   Simulator(const Image &Img, const SimOptions &Opts);
+
+  /// Binds \p P as the run's execution-profile sink: per-instruction
+  /// dynamic counts accumulate into it as the run proceeds. \p P is
+  /// (re)initialized to the image's shape; the caller finalizes the
+  /// whole-run fields (see runImageProfiled).
+  void collectProfile(ExecutionProfile &P);
 
   /// Executes one instruction; returns false once halted or faulted.
   bool step();
@@ -87,11 +104,21 @@ private:
 
   void fault(const std::string &Msg);
   void halt();
-  void account(const PlacedInstr &P, unsigned Cycles, bool IsLoad,
-               MemKind DataMem);
-  void execute(const PlacedInstr &P);
-  void executeAlu(const PlacedInstr &P);
-  void executeMem(const PlacedInstr &P);
+  /// Attributes \p Cycles to the decoded instruction's fetch memory and
+  /// class (and, for loads, to \p DataMem), including the sampling
+  /// accumulator — the single bookkeeping path shared by executed and
+  /// condition-skipped instructions.
+  void book(const DecodedInstr &D, unsigned Cycles, bool IsLoad,
+            unsigned DataMem);
+  /// Books \p Cycles (flash wait states pre-added by the predecoder)
+  /// against the decoded instruction's fetch memory and class, adding the
+  /// RAM-port contention stall for RAM-data loads. \p TakenBranch marks a
+  /// taken conditional branch for the profile.
+  void account(const DecodedInstr &D, unsigned Cycles, bool IsLoad,
+               unsigned DataMem, bool TakenBranch = false);
+  void execute(const DecodedInstr &D);
+  void executeAlu(const DecodedInstr &D);
+  void executeMem(const DecodedInstr &D);
   void branchTo(uint32_t Addr);
 
   uint32_t &reg(Reg R) { return State.R[R]; }
@@ -100,7 +127,13 @@ private:
   SimOptions Opts;
   MachineState State;
   RunStats Stats;
+  /// Pre-resolved handlers/operands/cycle costs, parallel to Img.Instrs.
+  DecodedImage Dec;
+  /// Profile sink (optional); per-instruction counts index CurIdx.
+  ExecutionProfile *Prof = nullptr;
   uint32_t PcAddr = 0;
+  /// Index of the instruction being executed (into Img.Instrs / Dec).
+  uint32_t CurIdx = 0;
   bool Halted = false;
   /// Accumulator for the current sampling interval.
   PowerSample CurSample;

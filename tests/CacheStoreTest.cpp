@@ -314,4 +314,135 @@ TEST(CacheStore, FailedResultsAreNotPersisted) {
 TEST(CacheStore, FingerprintIsStableWithinAProcess) {
   EXPECT_EQ(CacheStore::fingerprint(), CacheStore::fingerprint());
   EXPECT_EQ(CacheStore::fingerprint().size(), 16u);
+  // The profile fingerprint tracks simulator semantics, not device
+  // tables: it must be stable and distinct from the results fingerprint.
+  EXPECT_EQ(CacheStore::profileFingerprint(),
+            CacheStore::profileFingerprint());
+  EXPECT_EQ(CacheStore::profileFingerprint().size(), 16u);
+  EXPECT_NE(CacheStore::profileFingerprint(), CacheStore::fingerprint());
+}
+
+TEST(CacheStore, SaveAppendsNewEntriesWithoutRewriting) {
+  std::string Dir = freshDir("append");
+  CacheStore Store;
+  ASSERT_TRUE(Store.open(Dir));
+  CampaignOptions Opts;
+  Opts.Cache = &Store.cache();
+  runCampaign(tinyGrid(), Opts);
+  ASSERT_TRUE(Store.save());
+  std::string FirstDoc = slurp(Store.path());
+
+  // More work into the same store: save must extend the file, keeping
+  // the earlier bytes as an untouched prefix (the append property a
+  // concurrent writer's lines depend on).
+  GridSpec More = tinyGrid();
+  More.RsparePoints = {1024};
+  runCampaign(More, Opts);
+  ASSERT_TRUE(Store.save());
+  std::string SecondDoc = slurp(Store.path());
+  ASSERT_GT(SecondDoc.size(), FirstDoc.size());
+  EXPECT_EQ(SecondDoc.substr(0, FirstDoc.size()), FirstDoc);
+
+  CacheStore Reload;
+  ASSERT_TRUE(Reload.open(Dir));
+  EXPECT_EQ(Reload.loadedEntries(), 3u);
+}
+
+TEST(CacheStore, ConcurrentWritersBothSurvive) {
+  // Two stores over one directory (two shard workers, say). With the old
+  // rewrite-on-save semantics the second save clobbered the first; with
+  // append-mode both writers' entries survive.
+  std::string Dir = freshDir("concurrent");
+  CacheStore A, B;
+  ASSERT_TRUE(A.open(Dir));
+  ASSERT_TRUE(B.open(Dir));
+
+  GridSpec GridA = tinyGrid();
+  GridA.RsparePoints = {256};
+  CampaignOptions OptsA;
+  OptsA.Cache = &A.cache();
+  runCampaign(GridA, OptsA);
+  ASSERT_TRUE(A.save());
+
+  GridSpec GridB = tinyGrid();
+  GridB.RsparePoints = {1024};
+  CampaignOptions OptsB;
+  OptsB.Cache = &B.cache();
+  runCampaign(GridB, OptsB);
+  ASSERT_TRUE(B.save());
+
+  CacheStore Reload;
+  ASSERT_TRUE(Reload.open(Dir));
+  EXPECT_EQ(Reload.loadedEntries(), 2u);
+  EXPECT_EQ(Reload.skippedLines(), 0u);
+}
+
+TEST(CacheStore, CompactFoldsDuplicateAppends) {
+  // Two writers racing the same grid append duplicate records; loads
+  // keep the first of each key, and compact() rewrites one sorted copy.
+  std::string Dir = freshDir("compact");
+  CacheStore A, B;
+  ASSERT_TRUE(A.open(Dir));
+  ASSERT_TRUE(B.open(Dir));
+  CampaignOptions OptsA, OptsB;
+  OptsA.Cache = &A.cache();
+  OptsB.Cache = &B.cache();
+  runCampaign(tinyGrid(), OptsA);
+  runCampaign(tinyGrid(), OptsB);
+  ASSERT_TRUE(A.save());
+  ASSERT_TRUE(B.save());
+
+  // Duplicated lines on disk, deduplicated in memory.
+  std::string Doc = slurp(A.path());
+  size_t Lines = 0;
+  for (char C : Doc)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 1u + 4u); // header + 2 entries per writer
+  CacheStore Before;
+  ASSERT_TRUE(Before.open(Dir));
+  EXPECT_EQ(Before.loadedEntries(), 2u);
+
+  ASSERT_TRUE(Before.compact());
+  std::string Compacted = slurp(Before.path());
+  Lines = 0;
+  for (char C : Compacted)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 1u + 2u);
+  CacheStore After;
+  ASSERT_TRUE(After.open(Dir));
+  EXPECT_EQ(After.loadedEntries(), 2u);
+}
+
+TEST(CacheStore, ProfilesPersistAndServeNewDevices) {
+  // Execution profiles are device-independent, so a store written while
+  // sweeping one device turns a later process's sweep of *different*
+  // devices into pure recosts — even though those results are not cached.
+  std::string Dir = freshDir("profiles");
+  GridSpec Grid = tinyGrid();
+  Grid.Kind = JobKind::ModelOnly;
+  Grid.FreqModes = {FreqMode::Profiled};
+  Grid.RsparePoints = {256};
+  Grid.Devices = {"stm32f100"};
+
+  CacheStore First;
+  ASSERT_TRUE(First.open(Dir));
+  CampaignOptions Opts;
+  Opts.Cache = &First.cache();
+  Opts.Profiles = &First.profiles();
+  CampaignResult CR1 = runCampaign(Grid, Opts);
+  ASSERT_EQ(CR1.Summary.Failed, 0u);
+  EXPECT_EQ(CR1.Summary.FullSims, 1u);
+  ASSERT_TRUE(First.save());
+
+  CacheStore Second;
+  ASSERT_TRUE(Second.open(Dir));
+  EXPECT_EQ(Second.loadedProfiles(), 1u);
+  Grid.Devices = {"stm32f100-2ws"};
+  CampaignOptions Opts2;
+  Opts2.Cache = &Second.cache();
+  Opts2.Profiles = &Second.profiles();
+  CampaignResult CR2 = runCampaign(Grid, Opts2);
+  ASSERT_EQ(CR2.Summary.Failed, 0u);
+  EXPECT_EQ(CR2.Summary.FullSims, 0u);
+  EXPECT_EQ(CR2.Summary.Recosts, 1u);
 }

@@ -9,6 +9,7 @@
 #include "campaign/Campaign.h"
 #include "campaign/Report.h"
 #include "power/DeviceRegistry.h"
+#include "sim/ProfileCache.h"
 #include "support/Json.h"
 
 #include <gtest/gtest.h>
@@ -421,6 +422,91 @@ TEST(DeviceRegistry, ProcessCornersScaleSystematically) {
   EXPECT_EQ(findDevice("stm32f100-slowcorner")->Timing.FlashWaitStates,
             1u);
   EXPECT_EQ(findDevice("stm32f103-72mhz")->Timing.FlashWaitStates, 2u);
+}
+
+TEST(Campaign, DeviceAxisIsOneSimulationPlusRecosts) {
+  // The simulate-once/cost-many acceptance bar: a device-axis-heavy grid
+  // (1 benchmark x all registry devices) performs exactly one full
+  // simulation — every other device derives its numbers by recosting the
+  // shared profile — and the report is byte-identical to the
+  // all-simulated run.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.Devices = deviceNames();
+  Grid.Kind = JobKind::ModelOnly;
+  Grid.FreqModes = {FreqMode::Profiled}; // one baseline simulation per job
+  ASSERT_GE(Grid.Devices.size(), 9u);
+
+  CampaignOptions Reuse;
+  Reuse.Jobs = 4;
+  CampaignResult WithReuse = runCampaign(Grid, Reuse);
+  ASSERT_EQ(WithReuse.Summary.Failed, 0u);
+  EXPECT_EQ(WithReuse.Summary.FullSims, 1u);
+  EXPECT_EQ(WithReuse.Summary.Recosts, Grid.Devices.size() - 1);
+
+  CampaignOptions NoReuse;
+  NoReuse.Jobs = 4;
+  NoReuse.ReuseProfiles = false;
+  CampaignResult AllSimulated = runCampaign(Grid, NoReuse);
+  EXPECT_EQ(AllSimulated.Summary.FullSims, 0u); // no cache, no counters
+  EXPECT_EQ(AllSimulated.Summary.Recosts, 0u);
+  EXPECT_EQ(campaignToJson(WithReuse), campaignToJson(AllSimulated));
+  EXPECT_EQ(campaignToCsv(WithReuse), campaignToCsv(AllSimulated));
+}
+
+TEST(Campaign, MeasureGridReportsUnchangedByProfileReuse) {
+  // Measure jobs run two simulations each (baseline + optimized); with
+  // profile reuse the device axis shares both and the report bytes must
+  // not move.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.Devices = deviceNames();
+
+  CampaignOptions Reuse;
+  Reuse.Jobs = 4;
+  CampaignResult WithReuse = runCampaign(Grid, Reuse);
+  ASSERT_EQ(WithReuse.Summary.Failed, 0u);
+  // Every measurement was satisfied, most of them by recost.
+  EXPECT_EQ(WithReuse.Summary.FullSims + WithReuse.Summary.Recosts,
+            2 * Grid.Devices.size());
+  EXPECT_LT(WithReuse.Summary.FullSims, Grid.Devices.size());
+  EXPECT_GE(WithReuse.Summary.FullSims, 1u);
+
+  CampaignOptions NoReuse;
+  NoReuse.Jobs = 4;
+  NoReuse.ReuseProfiles = false;
+  CampaignResult AllSimulated = runCampaign(Grid, NoReuse);
+  EXPECT_EQ(campaignToJson(WithReuse), campaignToJson(AllSimulated));
+  EXPECT_EQ(campaignToCsv(WithReuse), campaignToCsv(AllSimulated));
+}
+
+TEST(Campaign, ExternalProfileCacheSpansCampaigns) {
+  // A later campaign over new devices recosts executions an earlier
+  // campaign already simulated, when both share a ProfileCache.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.Devices = {"stm32f100"};
+  Grid.Kind = JobKind::ModelOnly;
+  Grid.FreqModes = {FreqMode::Profiled};
+
+  ProfileCache Profiles;
+  CampaignOptions Opts;
+  Opts.Profiles = &Profiles;
+  CampaignResult First = runCampaign(Grid, Opts);
+  ASSERT_EQ(First.Summary.Failed, 0u);
+  EXPECT_EQ(First.Summary.FullSims, 1u);
+
+  Grid.Devices = {"stm32f100-2ws", "stm32f103-72mhz"};
+  CampaignResult Second = runCampaign(Grid, Opts);
+  ASSERT_EQ(Second.Summary.Failed, 0u);
+  EXPECT_EQ(Second.Summary.FullSims, 0u);
+  EXPECT_EQ(Second.Summary.Recosts, 2u);
 }
 
 TEST(DeviceRegistry, FlashWaitStatesSlowFlashAndWidenTheGap) {

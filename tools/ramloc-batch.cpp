@@ -24,12 +24,21 @@
 //                           once per job to collect the profile)
 //     --jobs=N              worker threads (default: hardware concurrency)
 //     --no-cache            re-run duplicate configurations
-//     --cache-dir=DIR       persistent result cache: load before running,
-//                           save after, so repeated runs are incremental
+//     --no-profile-reuse    re-simulate every grid point instead of
+//                           recosting shared execution profiles (the
+//                           reports are byte-identical either way)
+//     --cache-dir=DIR       persistent result + profile cache: load
+//                           before running, append after, so repeated
+//                           runs are incremental
 //     --shard=K/N           run only the K-th of N contiguous slices of
 //                           the expanded grid (1-based)
 //     --merge F1 F2 ...     combine shard JSON reports instead of running;
-//                           write the merged report via --json/--csv
+//                           write the merged report via --json/--csv;
+//                           with --cache-dir the store is compacted
+//     --diff A.json B.json  compare two reports config-by-config; exits
+//                           non-zero when any metric moves more than
+//                           --diff-threshold or the config sets differ
+//     --diff-threshold=PCT  |delta| tolerance for --diff (default 0)
 //     --json=FILE           write the JSON report ('-' = stdout)
 //     --csv=FILE            write the CSV report ('-' = stdout)
 //     --dry-run             print the expanded job list and exit
@@ -48,10 +57,13 @@
 #include "support/Format.h"
 #include "support/Table.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -66,11 +78,14 @@ void usage() {
       "                    [--devices=a,b|all] [--rspare=N,...]\n"
       "                    [--xlimit=F,...] [--freq=static,profiled]\n"
       "                    [--repeat=N] [--model-only] [--jobs=N]\n"
-      "                    [--no-cache] [--cache-dir=DIR] [--shard=K/N]\n"
+      "                    [--no-cache] [--no-profile-reuse]\n"
+      "                    [--cache-dir=DIR] [--shard=K/N]\n"
       "                    [--json=FILE] [--csv=FILE] [--dry-run]\n"
       "                    [--list-devices] [--list-benchmarks]\n"
       "                    [--verbose] [--quiet]\n"
-      "       ramloc-batch --merge SHARD.json... [--json=FILE] [--csv=FILE]\n");
+      "       ramloc-batch --merge SHARD.json... [--json=FILE] [--csv=FILE]\n"
+      "                    [--cache-dir=DIR]\n"
+      "       ramloc-batch --diff A.json B.json [--diff-threshold=PCT]\n");
 }
 
 std::vector<std::string> splitList(const std::string &S) {
@@ -170,6 +185,137 @@ int runMerge(const std::vector<std::string> &Files,
   return CR.Summary.Failed == 0 ? 0 : 1;
 }
 
+/// Relative movement of \p New against \p Old in percent. Equal values
+/// (including both zero) are 0; a metric appearing or vanishing against a
+/// zero baseline counts as a full-scale 100% move.
+double metricDeltaPct(double Old, double New) {
+  if (Old == New)
+    return 0.0;
+  if (Old == 0.0)
+    return 100.0;
+  return (New - Old) / std::fabs(Old) * 100.0;
+}
+
+/// Diff mode: match two reports config-by-config and report every metric
+/// that moved, for regression tracking across commits. Exit status 1 when
+/// any |delta| exceeds the threshold or the config sets differ; 2 on
+/// usage/parse errors.
+int runDiff(const std::vector<std::string> &Files, double ThresholdPct,
+            bool Quiet) {
+  if (Files.size() != 2) {
+    std::fprintf(stderr, "error: --diff needs exactly two reports\n");
+    return 2;
+  }
+  CampaignResult Reports[2];
+  for (unsigned I = 0; I != 2; ++I) {
+    std::string Doc, Error;
+    if (!readTextFile(Files[I], Doc, &Error) ||
+        !parseCampaignReport(Doc, Reports[I], &Error)) {
+      std::fprintf(stderr, "error: %s: %s\n", Files[I].c_str(),
+                   Error.c_str());
+      return 2;
+    }
+  }
+
+  // Keys can repeat (a grid may name the same axis value twice), so
+  // match occurrences positionally per key, not first-wins.
+  std::map<std::string, std::vector<const JobResult *>> InB;
+  for (const JobResult &R : Reports[1].Results)
+    InB[R.Spec.cacheKey()].push_back(&R);
+
+  Table T({"config", "metric", Files[0], Files[1], "delta"});
+  double MaxDelta = 0.0;
+  size_t Compared = 0, ChangedConfigs = 0, OnlyA = 0, OnlyB = 0;
+
+  for (const JobResult &A : Reports[0].Results) {
+    std::string Key = A.Spec.cacheKey();
+    auto It = InB.find(Key);
+    if (It == InB.end() || It->second.empty()) {
+      T.addRow({Key, "(config)", "present", "missing", "-"});
+      ++OnlyA;
+      continue;
+    }
+    const JobResult &B = *It->second.back();
+    It->second.pop_back();
+    if (It->second.empty())
+      InB.erase(It);
+    ++Compared;
+    bool Changed = false;
+
+    if (A.ok() != B.ok()) {
+      T.addRow({Key, "ok", A.ok() ? "true" : "false",
+                B.ok() ? "true" : "false", "-"});
+      MaxDelta = std::max(MaxDelta, 1e9); // a flip always fails
+      ++ChangedConfigs;
+      continue;
+    }
+
+    struct Metric {
+      const char *Name;
+      double Old, New;
+      bool Active;
+    };
+    bool Measured = A.Spec.Kind == JobKind::Measure;
+    const Metric Metrics[] = {
+        {"base.energy_mj", A.BaseEnergyMilliJoules,
+         B.BaseEnergyMilliJoules, Measured},
+        {"opt.energy_mj", A.OptEnergyMilliJoules, B.OptEnergyMilliJoules,
+         Measured},
+        {"base.seconds", A.BaseSeconds, B.BaseSeconds, Measured},
+        {"opt.seconds", A.OptSeconds, B.OptSeconds, Measured},
+        {"base.cycles", static_cast<double>(A.BaseCycles),
+         static_cast<double>(B.BaseCycles), Measured},
+        {"opt.cycles", static_cast<double>(A.OptCycles),
+         static_cast<double>(B.OptCycles), Measured},
+        {"model.base_energy_mj", A.PredictedBaseEnergyMilliJoules,
+         B.PredictedBaseEnergyMilliJoules, true},
+        {"model.opt_energy_mj", A.PredictedOptEnergyMilliJoules,
+         B.PredictedOptEnergyMilliJoules, true},
+        {"model.base_cycles", A.PredictedBaseCycles,
+         B.PredictedBaseCycles, true},
+        {"model.opt_cycles", A.PredictedOptCycles, B.PredictedOptCycles,
+         true},
+        {"model.ram_bytes", static_cast<double>(A.RamBytes),
+         static_cast<double>(B.RamBytes), true},
+        {"model.moved_blocks", static_cast<double>(A.MovedBlocks),
+         static_cast<double>(B.MovedBlocks), true},
+    };
+    for (const Metric &M : Metrics) {
+      if (!M.Active)
+        continue;
+      double Delta = metricDeltaPct(M.Old, M.New);
+      if (Delta == 0.0)
+        continue;
+      MaxDelta = std::max(MaxDelta, std::fabs(Delta));
+      Changed = true;
+      T.addRow({Key, M.Name, formatString("%.6g", M.Old),
+                formatString("%.6g", M.New),
+                formatString("%+.3f%%", Delta)});
+    }
+    ChangedConfigs += Changed;
+  }
+  for (const auto &[Key, Rs] : InB)
+    for (size_t I = 0; I != Rs.size(); ++I) {
+      T.addRow({Key, "(config)", "missing", "present", "-"});
+      ++OnlyB;
+    }
+
+  bool SetMismatch = OnlyA != 0 || OnlyB != 0;
+  bool Fail = SetMismatch || MaxDelta > ThresholdPct;
+  if (!Quiet) {
+    if (ChangedConfigs != 0 || SetMismatch)
+      std::printf("%s", T.render().c_str());
+    std::printf("%zu config(s) compared, %zu changed, %zu only in %s, "
+                "%zu only in %s\n",
+                Compared, ChangedConfigs, OnlyA, Files[0].c_str(), OnlyB,
+                Files[1].c_str());
+    std::printf("max |delta| %.3f%% (threshold %.3f%%): %s\n",
+                MaxDelta >= 1e9 ? 100.0 : MaxDelta, ThresholdPct,
+                Fail ? "FAIL" : "ok");
+  }
+  return Fail ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -178,9 +324,11 @@ int main(int Argc, char **Argv) {
   CampaignOptions Opts;
   Opts.Jobs = 0; // hardware concurrency
   std::string JsonPath, CsvPath, CacheDir;
-  std::vector<std::string> MergeFiles;
+  std::vector<std::string> MergeFiles, DiffFiles;
   unsigned ShardIndex = 1, ShardCount = 1;
-  bool DryRun = false, Verbose = false, Quiet = false, Merge = false;
+  double DiffThreshold = 0.0;
+  bool DryRun = false, Verbose = false, Quiet = false, Merge = false,
+       Diff = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -252,6 +400,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg == "--no-cache") {
       Opts.UseCache = false;
+    } else if (Arg == "--no-profile-reuse") {
+      Opts.ReuseProfiles = false;
     } else if (Arg.rfind("--cache-dir=", 0) == 0) {
       CacheDir = val(12);
       if (CacheDir.empty()) {
@@ -267,6 +417,14 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg == "--merge") {
       Merge = true;
+    } else if (Arg == "--diff") {
+      Diff = true;
+    } else if (Arg.rfind("--diff-threshold=", 0) == 0) {
+      if (!parseDouble(val(17), DiffThreshold) || DiffThreshold < 0) {
+        std::fprintf(stderr, "error: bad --diff-threshold value '%s'\n",
+                     val(17).c_str());
+        return 2;
+      }
     } else if (Arg.rfind("--json=", 0) == 0) {
       JsonPath = val(7);
     } else if (Arg.rfind("--csv=", 0) == 0) {
@@ -290,6 +448,8 @@ int main(int Argc, char **Argv) {
       Verbose = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
+    } else if (Arg.rfind("--", 0) != 0 && Diff) {
+      DiffFiles.push_back(Arg);
     } else if (Arg.rfind("--", 0) != 0 && Merge) {
       MergeFiles.push_back(Arg);
     } else {
@@ -298,8 +458,26 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (Merge)
-    return runMerge(MergeFiles, JsonPath, CsvPath, Quiet);
+  if (Diff)
+    return runDiff(DiffFiles, DiffThreshold, Quiet);
+
+  if (Merge) {
+    int Rc = runMerge(MergeFiles, JsonPath, CsvPath, Quiet);
+    if (Rc == 0 && !CacheDir.empty()) {
+      // Merge is the natural compaction point: shard workers appended
+      // into the shared store; fold their lines into one sorted file.
+      CacheStore Store;
+      std::string Error;
+      if (!Store.open(CacheDir, &Error) || !Store.compact(&Error))
+        std::fprintf(stderr, "warning: cache compaction failed: %s\n",
+                     Error.c_str());
+      else if (!Quiet)
+        std::fprintf(stderr, "cache: compacted %zu result(s), %zu "
+                             "profile(s)\n",
+                     Store.loadedEntries(), Store.loadedProfiles());
+    }
+    return Rc;
+  }
 
   // Validate axis names up front so a typo fails before a long run.
   for (const std::string &B : Grid.Benchmarks)
@@ -360,10 +538,14 @@ int main(int Argc, char **Argv) {
     if (Store.invalidated())
       std::fprintf(stderr,
                    "cache: fingerprint changed, discarding old store\n");
-    if (Store.skippedLines() > 0)
+    if (Store.skippedLines() + Store.skippedProfileLines() > 0)
       std::fprintf(stderr, "cache: skipped %zu corrupt line(s)\n",
-                   Store.skippedLines());
+                   Store.skippedLines() + Store.skippedProfileLines());
     Opts.Cache = &Store.cache();
+    // Profiles recorded by earlier processes turn this run's simulations
+    // into recosts wherever the images match.
+    if (Opts.ReuseProfiles)
+      Opts.Profiles = &Store.profiles();
   }
 
   if (Verbose)
@@ -395,6 +577,11 @@ int main(int Argc, char **Argv) {
                 "%u unique run(s)\n",
                 CR.Summary.Total, CR.Summary.Succeeded, CR.Summary.Failed,
                 CR.Summary.CacheHits, CR.Summary.UniqueRuns);
+    if (CR.Summary.FullSims + CR.Summary.Recosts > 0)
+      std::printf("%llu full simulation(s), %llu recost(s) from shared "
+                  "profiles\n",
+                  static_cast<unsigned long long>(CR.Summary.FullSims),
+                  static_cast<unsigned long long>(CR.Summary.Recosts));
     if (CR.Summary.Succeeded > 0 && Grid.Kind == JobKind::Measure)
       std::printf("geomean energy ratio %.4f; mean energy %+.1f%%, "
                   "time %+.1f%%, power %+.1f%%\n",
