@@ -363,3 +363,96 @@ bool CacheStore::compact(std::string *Error) {
   }
   return rewriteResults(Error) && rewriteProfiles(Error);
 }
+
+bool CacheStore::gcProfiles(uint64_t MaxBytes, ProfileGcStats &Stats,
+                            std::string *Error) {
+  if (ProfPath.empty()) {
+    if (Error)
+      *Error = "cache store was never opened";
+    return false;
+  }
+  Stats = ProfileGcStats();
+
+  // Collect the surviving (key, raw line) pairs in file order. Lines are
+  // kept verbatim — GC must not perturb bytes it decided to keep.
+  std::vector<std::pair<std::string, std::string>> Entries;
+  {
+    std::ifstream In(ProfPath, std::ios::binary);
+    bool SawHeader = false, HeaderOk = false;
+    std::string Line;
+    while (In && std::getline(In, Line)) {
+      Stats.BytesBefore += Line.size() + 1;
+      if (Line.empty())
+        continue;
+      if (!SawHeader) {
+        SawHeader = true;
+        JsonValue V;
+        HeaderOk = JsonValue::parse(Line, V) &&
+                   headerMatches(V, ProfileSchema, profileFingerprint());
+        if (!HeaderOk)
+          ++Stats.DroppedInvalid; // stale world: every entry goes
+        continue;
+      }
+      if (!HeaderOk) {
+        ++Stats.DroppedInvalid;
+        continue;
+      }
+      JsonValue V;
+      std::string Key;
+      auto P = std::make_shared<ExecutionProfile>();
+      if (!JsonValue::parse(Line, V) ||
+          !parseExecutionProfile(V, Key, *P)) {
+        ++Stats.DroppedInvalid;
+        continue;
+      }
+      Entries.push_back({std::move(Key), Line});
+    }
+  }
+
+  // Duplicate keys: concurrent appenders may have raced; the newest
+  // (latest-appended) occurrence wins, matching what a load would use
+  // after compaction.
+  {
+    std::set<std::string> Seen;
+    std::vector<std::pair<std::string, std::string>> Deduped;
+    for (auto It = Entries.rbegin(); It != Entries.rend(); ++It) {
+      if (!Seen.insert(It->first).second) {
+        ++Stats.DroppedInvalid;
+        continue;
+      }
+      Deduped.push_back(std::move(*It));
+    }
+    std::reverse(Deduped.begin(), Deduped.end()); // back to file order
+    Entries = std::move(Deduped);
+  }
+
+  // Size cap: evict from the front (oldest appends) until the rewritten
+  // file — header plus surviving lines — fits.
+  std::string Header = headerLine(ProfileSchema, profileFingerprint());
+  if (MaxBytes != 0) {
+    uint64_t Need = Header.size();
+    for (const auto &[Key, Line] : Entries)
+      Need += Line.size() + 1;
+    size_t Drop = 0;
+    while (Drop != Entries.size() && Need > MaxBytes) {
+      Need -= Entries[Drop].second.size() + 1;
+      ++Drop;
+    }
+    Stats.Evicted = Drop;
+    Entries.erase(Entries.begin(),
+                  Entries.begin() + static_cast<ptrdiff_t>(Drop));
+  }
+
+  std::string Doc = Header;
+  std::set<std::string> Keys;
+  for (const auto &[Key, Line] : Entries) {
+    Doc += Line + "\n";
+    Keys.insert(Key);
+  }
+  if (!replaceFile(ProfPath, Doc, Error))
+    return false;
+  Stats.Kept = Entries.size();
+  Stats.BytesAfter = Doc.size();
+  PersistedProfKeys = std::move(Keys);
+  return true;
+}

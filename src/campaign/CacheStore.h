@@ -84,6 +84,32 @@ public:
   /// garbage-collection path for stores grown by many appenders.
   bool compact(std::string *Error = nullptr);
 
+  /// What a profile-store GC pass did.
+  struct ProfileGcStats {
+    size_t Kept = 0;
+    /// Corrupt lines, entries under a stale semantics fingerprint, and
+    /// duplicate keys (the newest occurrence wins).
+    size_t DroppedInvalid = 0;
+    /// Valid entries evicted to honour the size cap.
+    size_t Evicted = 0;
+    uint64_t BytesBefore = 0;
+    uint64_t BytesAfter = 0;
+  };
+
+  /// Garbage-collects profiles.jsonl in place (atomic rewrite): drops
+  /// corrupt lines and entries whose semantics fingerprint no longer
+  /// matches, folds duplicate keys to their newest occurrence, and — when
+  /// \p MaxBytes is non-zero — evicts the least-recently-appended entries
+  /// until the file fits. Append order is the recency signal: save()
+  /// appends new profiles, so earlier lines are older (a GC rewrite
+  /// preserves the surviving order, keeping later passes meaningful).
+  /// Operates on the file, not the in-memory cache; run it as a
+  /// maintenance pass (`ramloc-batch --gc-profiles`), not mid-campaign —
+  /// a later save() from this process may re-append evicted entries it
+  /// still holds in memory.
+  bool gcProfiles(uint64_t MaxBytes, ProfileGcStats &Stats,
+                  std::string *Error = nullptr);
+
   /// The in-memory result cache backing this store. Point
   /// CampaignOptions::Cache here; runCampaign both serves lookups from it
   /// and inserts new results into it.

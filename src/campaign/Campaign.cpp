@@ -18,7 +18,9 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <map>
 #include <thread>
+#include <unordered_map>
 
 using namespace ramloc;
 
@@ -40,6 +42,12 @@ std::string JobSpec::cacheKey() const {
 }
 
 uint64_t JobSpec::configHash() const { return fnv1a64(cacheKey()); }
+
+std::string JobSpec::solveGroupKey() const {
+  return Benchmark + "|" + optLevelName(Level) + "|" +
+         formatString("r%u", Repeat) + "|" + Device + "|" +
+         freqModeName(Freq) + "|" + jobKindName(Kind);
+}
 
 std::vector<JobSpec> GridSpec::expand() const {
   std::vector<JobSpec> Jobs;
@@ -157,77 +165,134 @@ void fillModelFields(JobResult &R, const ModelParams &MP,
       ++R.MovedBlocks;
 }
 
-} // namespace
+/// Fills the measured + model fields from a finished pipeline run.
+void fillMeasureFields(JobResult &R, const PipelineResult &PR) {
+  R.BaseEnergyMilliJoules = PR.MeasuredBase.Energy.MilliJoules;
+  R.OptEnergyMilliJoules = PR.MeasuredOpt.Energy.MilliJoules;
+  R.BaseSeconds = PR.MeasuredBase.Energy.Seconds;
+  R.OptSeconds = PR.MeasuredOpt.Energy.Seconds;
+  R.BaseAvgMilliWatts = PR.MeasuredBase.Energy.AvgMilliWatts;
+  R.OptAvgMilliWatts = PR.MeasuredOpt.Energy.AvgMilliWatts;
+  R.BaseCycles = PR.MeasuredBase.Stats.Cycles;
+  R.OptCycles = PR.MeasuredOpt.Stats.Cycles;
+  R.PredictedBaseEnergyMilliJoules = PR.PredictedBase.EnergyMilliJoules;
+  R.PredictedOptEnergyMilliJoules = PR.PredictedOpt.EnergyMilliJoules;
+  R.PredictedBaseCycles = PR.PredictedBase.Cycles;
+  R.PredictedOptCycles = PR.PredictedOpt.Cycles;
+  R.RamBytes = PR.PredictedOpt.RamBytes;
+  R.MovedBlocks = static_cast<unsigned>(PR.MovedBlocks.size());
+}
 
-JobResult ramloc::runJob(const JobSpec &Spec, const PipelineOptions &Base) {
-  JobResult R;
-  R.Spec = Spec;
+/// Runs one solve group: jobs agreeing on everything but the
+/// Xlimit/Rspare knobs, visited in the order given. The module is built,
+/// the baseline measured and the parameters extracted once; each knob
+/// point is then an RHS patch solved with the previous point's basis and
+/// incumbent (PlacementSolver), and knob points whose placements coincide
+/// share one apply+measure call. Every per-job outcome — including every
+/// error string — is produced by the same staged functions the
+/// single-job path uses, so grouped and ungrouped runs cannot drift
+/// apart. \p OnDone is invoked after each job's slot in \p Results is
+/// final.
+void runSolveGroup(const std::vector<JobSpec> &Jobs,
+                   const std::vector<size_t> &Indices,
+                   const PipelineOptions &Base,
+                   std::vector<JobResult> &Results,
+                   const std::function<void(size_t)> &OnDone) {
+  const JobSpec &First = Jobs[Indices.front()];
 
-  if (!isKnownBeebs(Spec.Benchmark)) {
-    R.Error = "unknown benchmark '" + Spec.Benchmark + "'";
-    return R;
+  auto failAll = [&](const std::string &Error) {
+    for (size_t I : Indices) {
+      Results[I] = JobResult();
+      Results[I].Spec = Jobs[I];
+      Results[I].Error = Error;
+      OnDone(I);
+    }
+  };
+
+  if (!isKnownBeebs(First.Benchmark)) {
+    failAll("unknown benchmark '" + First.Benchmark + "'");
+    return;
   }
-  const DeviceInfo *Dev = findDevice(Spec.Device);
+  const DeviceInfo *Dev = findDevice(First.Device);
   if (!Dev) {
-    R.Error = "unknown device '" + Spec.Device + "'";
-    return R;
+    failAll("unknown device '" + First.Device + "'");
+    return;
   }
 
-  // Per-job options snapshot: the shared template plus this job's axes.
+  // Group options snapshot: the shared template plus the group's axes.
   PipelineOptions Opts = Base;
-  Opts.Knobs.RspareBytes = Spec.RspareBytes;
-  Opts.Knobs.Xlimit = Spec.Xlimit;
+  Opts.Knobs.RspareBytes = First.RspareBytes;
+  Opts.Knobs.Xlimit = First.Xlimit;
   Opts.Power = Dev->Model;
   // The device also owns the cycle model (flash wait states, in
   // particular), so both the simulator and the parameter extraction see
   // the part's actual fetch timing.
   Opts.Sim.Timing = Dev->Timing;
   Opts.Extract.Timing = Dev->Timing;
-  Opts.UseProfiledFrequencies = Spec.Freq == FreqMode::Profiled;
+  Opts.UseProfiledFrequencies = First.Freq == FreqMode::Profiled;
 
-  Module M = buildBeebs(Spec.Benchmark, Spec.Level, Spec.Repeat);
+  Module M = buildBeebs(First.Benchmark, First.Level, First.Repeat);
 
-  if (Spec.Kind == JobKind::Measure) {
-    PipelineResult PR = optimizeModule(M, Opts);
-    if (!PR.ok()) {
-      R.Error = PR.Error;
-      return R;
-    }
-    R.BaseEnergyMilliJoules = PR.MeasuredBase.Energy.MilliJoules;
-    R.OptEnergyMilliJoules = PR.MeasuredOpt.Energy.MilliJoules;
-    R.BaseSeconds = PR.MeasuredBase.Energy.Seconds;
-    R.OptSeconds = PR.MeasuredOpt.Energy.Seconds;
-    R.BaseAvgMilliWatts = PR.MeasuredBase.Energy.AvgMilliWatts;
-    R.OptAvgMilliWatts = PR.MeasuredOpt.Energy.AvgMilliWatts;
-    R.BaseCycles = PR.MeasuredBase.Stats.Cycles;
-    R.OptCycles = PR.MeasuredOpt.Stats.Cycles;
-    R.PredictedBaseEnergyMilliJoules = PR.PredictedBase.EnergyMilliJoules;
-    R.PredictedOptEnergyMilliJoules = PR.PredictedOpt.EnergyMilliJoules;
-    R.PredictedBaseCycles = PR.PredictedBase.Cycles;
-    R.PredictedOptCycles = PR.PredictedOpt.Cycles;
-    R.RamBytes = PR.PredictedOpt.RamBytes;
-    R.MovedBlocks = static_cast<unsigned>(PR.MovedBlocks.size());
-    return R;
+  // Measure jobs report the baseline; ModelOnly only simulates it when
+  // the frequency profile demands it (extractModule decides).
+  ExtractedModule EM =
+      extractModule(M, Opts, /*NeedBaseline=*/First.Kind == JobKind::Measure);
+  if (!EM.ok()) {
+    failAll(EM.Error);
+    return;
   }
 
-  // ModelOnly: stop at the ILP; simulate only if a profile is required.
-  ModuleFrequency Freq;
-  if (Opts.UseProfiledFrequencies) {
-    Measurement BaseRun =
-        measureModule(M, Opts.Power, Opts.Link, Opts.Sim, Opts.Profiles);
-    if (!BaseRun.ok()) {
-      R.Error = "profile run failed: " + BaseRun.Stats.Error;
-      return R;
+  PlacementSolver Solver(EM.MP, Opts.Knobs);
+  // Knob points whose optimal placements coincide produce bit-identical
+  // opt images; one apply+measure serves them all.
+  std::map<Assignment, JobResult> ByPlacement;
+  bool FirstJob = true;
+  for (size_t I : Indices) {
+    const JobSpec &Spec = Jobs[I];
+    ModelKnobs Knobs = Opts.Knobs;
+    Knobs.RspareBytes = Spec.RspareBytes;
+    Knobs.Xlimit = Spec.Xlimit;
+
+    MipSolution Sol;
+    Assignment InRam = Solver.solve(Knobs, Opts.Mip, &Sol);
+
+    JobResult R;
+    if (Spec.Kind == JobKind::Measure) {
+      auto It = ByPlacement.find(InRam);
+      if (It != ByPlacement.end()) {
+        R = It->second;
+      } else {
+        PipelineOptions JobOpts = Opts;
+        JobOpts.Knobs = Knobs;
+        PipelineResult PR = applyAndMeasure(M, EM, InRam, Sol, JobOpts);
+        if (!PR.ok())
+          R.Error = PR.Error;
+        else
+          fillMeasureFields(R, PR);
+        ByPlacement.emplace(std::move(InRam), R);
+      }
+    } else {
+      fillModelFields(R, EM.MP, InRam);
     }
-    Freq = moduleFrequencyFromProfile(M, BaseRun.Stats.profileMap(M),
-                                      Opts.Freq);
-  } else {
-    Freq = estimateModuleFrequency(M, Opts.Freq);
+    R.Spec = Spec;
+    R.Extractions = FirstJob ? 1 : 0;
+    if (Sol.WarmStarted)
+      R.WarmSolves = 1;
+    else
+      R.ColdSolves = 1;
+    Results[I] = std::move(R);
+    OnDone(I);
+    FirstJob = false;
   }
-  ModelParams MP = extractParams(M, Freq, Opts.Power, Opts.Extract);
-  Assignment InRam = solvePlacement(MP, Opts.Knobs, Opts.Mip);
-  fillModelFields(R, MP, InRam);
-  return R;
+}
+
+} // namespace
+
+JobResult ramloc::runJob(const JobSpec &Spec, const PipelineOptions &Base) {
+  std::vector<JobSpec> Jobs{Spec};
+  std::vector<JobResult> Results(1);
+  runSolveGroup(Jobs, {0}, Base, Results, [](size_t) {});
+  return Results[0];
 }
 
 CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
@@ -278,19 +343,40 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
   ProfileCache::Counters Before =
       Profiles ? Profiles->counters() : ProfileCache::Counters{};
 
+  // Partition the jobs that will run into solve groups: jobs differing
+  // only in the Xlimit/Rspare knobs share one extraction and one ILP, so
+  // each group runs as a single task that warm-starts successive knob
+  // points (reports are byte-identical to per-job scheduling; the knob
+  // points of one group just stop paying for repeated extractions and
+  // from-scratch solves). With reuse disabled every job is its own group.
+  std::vector<std::vector<size_t>> Groups;
+  if (Opts.ReuseSolves) {
+    std::unordered_map<std::string, size_t> GroupOf;
+    for (size_t I : RunIndices) {
+      auto [It, New] = GroupOf.emplace(Jobs[I].solveGroupKey(), Groups.size());
+      if (New)
+        Groups.emplace_back();
+      Groups[It->second].push_back(I);
+    }
+  } else {
+    for (size_t I : RunIndices)
+      Groups.push_back({I});
+  }
+
   unsigned Workers = Opts.Jobs != 0 ? Opts.Jobs
                                     : std::thread::hardware_concurrency();
   {
     JobQueue Pool(Workers);
     std::mutex ProgressMu;
     unsigned Done = 0;
-    for (size_t I : RunIndices)
-      Pool.submit([&, I] {
-        CR.Results[I] = runJob(Jobs[I], JobBase);
-        if (Opts.Progress) {
-          std::lock_guard<std::mutex> Lock(ProgressMu);
-          Opts.Progress(CR.Results[I], ++Done, CR.Summary.UniqueRuns);
-        }
+    for (const std::vector<size_t> &Group : Groups)
+      Pool.submit([&, Group] {
+        runSolveGroup(Jobs, Group, JobBase, CR.Results, [&](size_t I) {
+          if (Opts.Progress) {
+            std::lock_guard<std::mutex> Lock(ProgressMu);
+            Opts.Progress(CR.Results[I], ++Done, CR.Summary.UniqueRuns);
+          }
+        });
       });
     Pool.wait();
   }
@@ -298,6 +384,11 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
     ProfileCache::Counters After = Profiles->counters();
     CR.Summary.FullSims = After.FullSims - Before.FullSims;
     CR.Summary.Recosts = After.Recosts - Before.Recosts;
+  }
+  for (size_t I : RunIndices) {
+    CR.Summary.Extractions += CR.Results[I].Extractions;
+    CR.Summary.ColdSolves += CR.Results[I].ColdSolves;
+    CR.Summary.WarmSolves += CR.Results[I].WarmSolves;
   }
 
   // Fill duplicates and feed the cross-campaign cache.
@@ -321,6 +412,9 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
   S.UniqueRuns = CR.Summary.UniqueRuns;
   S.FullSims = CR.Summary.FullSims;
   S.Recosts = CR.Summary.Recosts;
+  S.Extractions = CR.Summary.Extractions;
+  S.ColdSolves = CR.Summary.ColdSolves;
+  S.WarmSolves = CR.Summary.WarmSolves;
   S.WallSeconds = Timer.seconds();
   CR.Summary = S;
   return CR;

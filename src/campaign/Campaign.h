@@ -26,6 +26,19 @@
 /// 1-benchmark x N-device grid performs exactly one full simulation per
 /// distinct image however many workers run.
 ///
+/// The optimizer gets the same treatment on the knob axis: jobs that
+/// share everything but Xlimit/Rspare form a *solve group*. A group runs
+/// as one pool task that extracts parameters and builds the ILP once,
+/// then visits its knob points in expansion order, each solved as an RHS
+/// patch warm-started from the previous point's basis and incumbent
+/// (core/IlpModel's PlacementSolver), so a 3x3 knob grid pays 1
+/// extraction + 1 cold solve + 8 re-optimizations
+/// (Summary.Extractions/ColdSolves/WarmSolves assert it). Knob points
+/// whose optimal placements coincide — they often do — additionally share
+/// one apply+measure call, keyed by the assignment itself. Warm and cold
+/// solves are both exact, so reports are byte-identical with solve reuse
+/// on or off (CampaignOptions::ReuseSolves, `--no-solve-reuse`).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAMLOC_CAMPAIGN_CAMPAIGN_H
@@ -75,6 +88,9 @@ struct JobSpec {
   std::string cacheKey() const;
   /// FNV-1a hash of cacheKey(), reported as the job's config_hash.
   uint64_t configHash() const;
+  /// The knob-free part of the key: jobs sharing it differ only in
+  /// Rspare/Xlimit and can share one extraction + ILP (a solve group).
+  std::string solveGroupKey() const;
 };
 
 /// A declarative grid: the cross product of the axis value lists.
@@ -103,7 +119,12 @@ struct GridSpec {
 struct JobResult {
   JobSpec Spec;
   std::string Error; ///< empty on success
+  /// Provenance/solver diagnostics. Never serialized: reports must not
+  /// depend on how a result was obtained.
   bool CacheHit = false;
+  unsigned Extractions = 0; ///< parameter extractions this result ran
+  unsigned ColdSolves = 0;  ///< MIP solves performed from scratch
+  unsigned WarmSolves = 0;  ///< MIP solves re-optimized from a neighbour
 
   // Measured (JobKind::Measure only).
   double BaseEnergyMilliJoules = 0.0, OptEnergyMilliJoules = 0.0;
@@ -159,6 +180,18 @@ struct CampaignOptions {
   /// points differing only in device recost one simulation instead of
   /// re-executing (reports stay byte-identical either way).
   bool ReuseProfiles = true;
+  /// Group jobs that differ only in the Xlimit/Rspare knobs and run each
+  /// group as one task: parameters extracted and the ILP built once, knob
+  /// points solved as warm-started RHS patches, coinciding placements
+  /// measured once (reports stay byte-identical either way). The knob
+  /// points of a group serialize on one worker by design — that is what
+  /// buys the 1-extraction/1-cold-solve guarantee — so a grid's
+  /// parallelism is its benchmark x level x device x freq spread; a grid
+  /// that is almost all knob axis on a many-core host may prefer
+  /// ReuseSolves = false, which schedules every job independently (pair
+  /// it with Base.Mip.WarmNodes = false for the fully cold reference
+  /// solver, the `--no-solve-reuse` escape hatch).
+  bool ReuseSolves = true;
   /// Optional cross-campaign profile cache (e.g. CacheStore::profiles()).
   /// When null and ReuseProfiles is true the campaign uses a private one.
   ProfileCache *Profiles = nullptr;
@@ -188,6 +221,14 @@ struct CampaignSummary {
   /// profile recosts. Zero when profile reuse is disabled.
   uint64_t FullSims = 0;
   uint64_t Recosts = 0;
+  /// How the optimizer was satisfied (diagnostics only, excluded from
+  /// serialized reports): parameter extractions run, MIP solves performed
+  /// from scratch, and MIP solves re-optimized from a neighbouring knob
+  /// point's basis. A knob grid with solve reuse does 1 extraction + 1
+  /// cold solve per (benchmark, device) and warm-solves the rest.
+  uint64_t Extractions = 0;
+  uint64_t ColdSolves = 0;
+  uint64_t WarmSolves = 0;
 };
 
 struct CampaignResult {

@@ -59,6 +59,20 @@ ModelEstimate ramloc::evaluateAssignment(const ModelParams &MP,
   return E;
 }
 
+void PlacementModel::patchKnobs(const ModelKnobs &NewKnobs) {
+  assert(NewKnobs.ClusteringAware == Knobs.ClusteringAware &&
+         NewKnobs.UseCycleCost == Knobs.UseCycleCost &&
+         NewKnobs.ModelCallEdges == Knobs.ModelCallEdges &&
+         "structural knobs cannot be patched; rebuild the model");
+  if (RamConstraint >= 0)
+    P.Constraints[static_cast<unsigned>(RamConstraint)].Rhs =
+        static_cast<double>(NewKnobs.RspareBytes);
+  if (TimeConstraint >= 0)
+    P.Constraints[static_cast<unsigned>(TimeConstraint)].Rhs =
+        (NewKnobs.Xlimit - 1.0) * BaseCycles;
+  Knobs = NewKnobs;
+}
+
 Assignment PlacementModel::decode(const MipSolution &Sol) const {
   Assignment InRam(XVar.size(), false);
   if (!Sol.feasible())
@@ -233,9 +247,11 @@ PlacementModel ramloc::buildPlacementModel(const ModelParams &MP,
                static_cast<double>(MP.CallInstrPoolBytes +
                                    MP.CallInstrBytes)});
     }
-    if (!Terms.empty())
+    if (!Terms.empty()) {
+      PM.RamConstraint = static_cast<int>(P.numConstraints());
       P.addConstraint(std::move(Terms), ConstraintSense::LessEq,
                       static_cast<double>(Knobs.RspareBytes), "ram");
+    }
   }
 
   // Time budget (Eq. 9): modelled cycles <= Xlimit * base cycles.
@@ -259,11 +275,14 @@ PlacementModel ramloc::buildPlacementModel(const ModelParams &MP,
                                MP.CallInstrCycles});
     }
     double Budget = (Knobs.Xlimit - 1.0) * PM.BaseCycles;
-    if (!Terms.empty())
+    if (!Terms.empty()) {
+      PM.TimeConstraint = static_cast<int>(P.numConstraints());
       P.addConstraint(std::move(Terms), ConstraintSense::LessEq, Budget,
                       "time");
+    }
   }
 
+  PM.Knobs = Knobs;
   return PM;
 }
 
@@ -273,6 +292,18 @@ Assignment ramloc::solvePlacement(const ModelParams &MP,
                                   MipSolution *SolverStats) {
   PlacementModel PM = buildPlacementModel(MP, Knobs);
   MipSolution Sol = solveMip(PM.P, Mip);
+  if (SolverStats)
+    *SolverStats = Sol;
+  return PM.decode(Sol);
+}
+
+Assignment PlacementSolver::solve(const ModelKnobs &Knobs,
+                                  const MipOptions &Mip,
+                                  MipSolution *SolverStats) {
+  PM.patchKnobs(Knobs);
+  // With warm nodes disabled the caller asked for the cold reference
+  // path; keeping the cross-solve state out makes every call independent.
+  MipSolution Sol = solveMip(PM.P, Mip, Mip.WarmNodes ? &Warm : nullptr);
   if (SolverStats)
     *SolverStats = Sol;
   return PM.decode(Sol);

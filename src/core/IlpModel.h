@@ -85,6 +85,19 @@ struct PlacementModel {
   double BaseEnergyTerm = 0.0;
   /// Base cycles (denominator of Eq. 9).
   double BaseCycles = 0.0;
+  /// Indices into P.Constraints of the two knob rows (-1 when the model
+  /// has no movable blocks and the row was never emitted).
+  int RamConstraint = -1;
+  int TimeConstraint = -1;
+  /// The knobs the model was built (or last patched) under.
+  ModelKnobs Knobs;
+
+  /// Retargets the knob rows to \p NewKnobs by rewriting their RHS in
+  /// place — the Eq. 7 budget becomes Rspare, the Eq. 9 budget
+  /// (Xlimit - 1) * BaseCycles. Only Xlimit/RspareBytes may differ from
+  /// the build-time knobs: the structural switches (clustering, cost
+  /// metric, call edges) shape the variable/constraint set itself.
+  void patchKnobs(const ModelKnobs &NewKnobs);
 
   /// Decodes a MIP solution into the assignment R.
   Assignment decode(const MipSolution &Sol) const;
@@ -100,6 +113,36 @@ Assignment solvePlacement(const ModelParams &MP,
                           const ModelKnobs &Knobs = {},
                           const MipOptions &Mip = {},
                           MipSolution *SolverStats = nullptr);
+
+/// The pipeline's solve stage, built once per (benchmark, device): knob
+/// points become RHS patches on one retained ILP, each solved with the
+/// previous point's basis and incumbent as warm start (solve once, branch
+/// cheap — the knob-axis analogue of the execute/recost split). The first
+/// solve is cold; every later solve re-optimizes, which
+/// MipSolution::WarmStarted reports and the campaign engine tallies as
+/// Summary.ColdSolves/WarmSolves. Warm and cold paths are both exact, so
+/// whenever the optimal placement is unique — two distinct placements
+/// with bit-equal modelled energy being the one case any pair of exact
+/// solvers may legitimately disagree on — results do not depend on the
+/// order knob points are visited in.
+/// Not thread-safe; the campaign engine runs one group per worker.
+class PlacementSolver {
+public:
+  PlacementSolver(const ModelParams &MP, const ModelKnobs &Knobs)
+      : PM(buildPlacementModel(MP, Knobs)) {}
+
+  /// Solves the placement for \p Knobs (structural knob fields must match
+  /// construction). With Mip.WarmNodes disabled every call is a fully
+  /// cold reference solve.
+  Assignment solve(const ModelKnobs &Knobs, const MipOptions &Mip = {},
+                   MipSolution *SolverStats = nullptr);
+
+  const PlacementModel &model() const { return PM; }
+
+private:
+  PlacementModel PM;
+  MipWarmStart Warm;
+};
 
 } // namespace ramloc
 

@@ -78,45 +78,58 @@ Measurement ramloc::measureModule(const Module &M, const PowerModel &Power,
   return Out;
 }
 
-PipelineResult ramloc::optimizeModule(const Module &M,
-                                      const PipelineOptions &Opts) {
-  PipelineResult R;
+ExtractedModule ramloc::extractModule(const Module &M,
+                                      const PipelineOptions &Opts,
+                                      bool NeedBaseline) {
+  ExtractedModule EM;
 
   std::vector<std::string> Diags = verifyModule(M);
   if (!Diags.empty()) {
-    R.Error = "verifier: " + Diags.front();
-    return R;
+    EM.Error = "verifier: " + Diags.front();
+    return EM;
   }
 
   // Measure the baseline first; it also provides the profile when
   // requested.
-  R.MeasuredBase =
-      measureModule(M, Opts.Power, Opts.Link, Opts.Sim, Opts.Profiles);
-  if (!R.MeasuredBase.ok()) {
-    R.Error = "baseline run failed: " + R.MeasuredBase.Stats.Error;
-    return R;
+  ModuleFrequency Freq;
+  if (NeedBaseline || Opts.UseProfiledFrequencies) {
+    EM.MeasuredBase =
+        measureModule(M, Opts.Power, Opts.Link, Opts.Sim, Opts.Profiles);
+    if (!EM.MeasuredBase.ok()) {
+      EM.Error = "baseline run failed: " + EM.MeasuredBase.Stats.Error;
+      return EM;
+    }
   }
+  Freq = Opts.UseProfiledFrequencies
+             ? moduleFrequencyFromProfile(
+                   M, EM.MeasuredBase.Stats.profileMap(M), Opts.Freq)
+             : estimateModuleFrequency(M, Opts.Freq);
 
-  ModuleFrequency Freq =
-      Opts.UseProfiledFrequencies
-          ? moduleFrequencyFromProfile(
-                M, R.MeasuredBase.Stats.profileMap(M), Opts.Freq)
-          : estimateModuleFrequency(M, Opts.Freq);
+  EM.MP = extractParams(M, Freq, Opts.Power, Opts.Extract);
+  EM.PredictedBase =
+      evaluateAssignment(EM.MP, Assignment(EM.MP.numBlocks(), false));
+  return EM;
+}
 
-  ModelParams MP = extractParams(M, Freq, Opts.Power, Opts.Extract);
-  R.PredictedBase =
-      evaluateAssignment(MP, Assignment(MP.numBlocks(), false));
+PipelineResult ramloc::applyAndMeasure(const Module &M,
+                                       const ExtractedModule &EM,
+                                       const Assignment &InRam,
+                                       const MipSolution &Solver,
+                                       const PipelineOptions &Opts) {
+  PipelineResult R;
+  R.MeasuredBase = EM.MeasuredBase;
+  R.PredictedBase = EM.PredictedBase;
+  R.Solver = Solver;
+  R.InRam = InRam;
+  R.PredictedOpt = evaluateAssignment(EM.MP, InRam);
 
-  R.InRam = solvePlacement(MP, Opts.Knobs, Opts.Mip, &R.Solver);
-  R.PredictedOpt = evaluateAssignment(MP, R.InRam);
+  for (unsigned B = 0, E = EM.MP.numBlocks(); B != E; ++B)
+    if (InRam[B])
+      R.MovedBlocks.push_back(EM.MP.Blocks[B].Name);
 
-  for (unsigned B = 0, E = MP.numBlocks(); B != E; ++B)
-    if (R.InRam[B])
-      R.MovedBlocks.push_back(MP.Blocks[B].Name);
+  R.Optimized = applyPlacement(M, EM.MP, InRam, &R.Rewrites);
 
-  R.Optimized = applyPlacement(M, MP, R.InRam, &R.Rewrites);
-
-  Diags = verifyModule(R.Optimized);
+  std::vector<std::string> Diags = verifyModule(R.Optimized);
   if (!Diags.empty()) {
     R.Error = "post-transform verifier: " + Diags.front();
     return R;
@@ -134,4 +147,20 @@ PipelineResult ramloc::optimizeModule(const Module &M,
         "transformation changed the program result: 0x%08x vs 0x%08x",
         R.MeasuredBase.Stats.ExitCode, R.MeasuredOpt.Stats.ExitCode);
   return R;
+}
+
+PipelineResult ramloc::optimizeModule(const Module &M,
+                                      const PipelineOptions &Opts) {
+  ExtractedModule EM = extractModule(M, Opts, /*NeedBaseline=*/true);
+  if (!EM.ok()) {
+    PipelineResult R;
+    R.MeasuredBase = EM.MeasuredBase;
+    R.Error = EM.Error;
+    return R;
+  }
+
+  PlacementSolver Solver(EM.MP, Opts.Knobs);
+  MipSolution Sol;
+  Assignment InRam = Solver.solve(Opts.Knobs, Opts.Mip, &Sol);
+  return applyAndMeasure(M, EM, InRam, Sol, Opts);
 }

@@ -6,10 +6,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The full Section 3 methodology as one call: extract parameters
-/// (statically estimated or profiled Fb), build and solve the ILP, apply
-/// the Figure 4 transformation, and measure both versions on the
-/// simulated SoC. This is the main public entry point of the library.
+/// The full Section 3 methodology: extract parameters (statically
+/// estimated or profiled Fb), build and solve the ILP, apply the Figure 4
+/// transformation, and measure both versions on the simulated SoC.
+///
+/// The flow is exposed both as one call (optimizeModule) and as its
+/// stages — extractModule (verify + baseline + frequencies + parameter
+/// extraction, everything knob-independent), the solve stage
+/// (core/IlpModel's PlacementSolver: the ILP built once, knob points as
+/// warm-started RHS patches) and applyAndMeasure (transform + verify +
+/// measure). The campaign engine drives the stages directly so a knob
+/// grid pays one extraction and one cold solve per (benchmark, device)
+/// instead of one per grid point; optimizeModule is exactly the staged
+/// composition, so the two paths cannot drift apart.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -108,6 +117,38 @@ struct PipelineResult {
 /// Runs the whole flow on \p M.
 PipelineResult optimizeModule(const Module &M,
                               const PipelineOptions &Opts = {});
+
+/// The knob-independent front half of the pipeline: verification, the
+/// baseline measurement, block frequencies and parameter extraction. One
+/// ExtractedModule feeds any number of knob points (its ModelParams is
+/// what PlacementSolver is built from).
+struct ExtractedModule {
+  /// Filled when the baseline was measured (\p NeedBaseline, or profiled
+  /// frequencies requested).
+  Measurement MeasuredBase;
+  ModelParams MP;
+  ModelEstimate PredictedBase;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Extract stage. \p NeedBaseline requests the baseline measurement even
+/// when static frequencies make it unnecessary for extraction (Measure
+/// jobs report it; ModelOnly jobs skip it unless profiling).
+ExtractedModule extractModule(const Module &M, const PipelineOptions &Opts,
+                              bool NeedBaseline = true);
+
+/// Apply-and-measure stage: applies \p InRam to \p M, re-verifies,
+/// measures the optimized module and assembles the PipelineResult
+/// (including the baseline numbers carried by \p EM). Deterministic in
+/// its arguments: two calls with the same module, extraction and
+/// assignment produce bit-identical results, which lets the campaign
+/// engine share one call across knob points whose placements coincide.
+PipelineResult applyAndMeasure(const Module &M, const ExtractedModule &EM,
+                               const Assignment &InRam,
+                               const MipSolution &Solver,
+                               const PipelineOptions &Opts);
 
 } // namespace ramloc
 

@@ -36,7 +36,8 @@ bool roundToFeasible(const LpProblem &P, const std::vector<double> &X,
 
 } // namespace
 
-MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts) {
+MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
+                             MipWarmStart *Warm) {
   MipSolution Best;
   Best.Proven = true; // until the node budget is hit
 
@@ -50,11 +51,30 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts) {
     RootHi[J] = P.Variables[J].Upper;
   }
 
+  // Knob-axis reuse: the LP basis survives from the previous solve, and
+  // its optimum — when still feasible under the patched bounds/RHS —
+  // opens the search with a proven-quality incumbent, so most of the new
+  // tree prunes immediately. The feasibility re-check is exact (zero
+  // tolerance): admitting a point that is infeasible by even a whisker
+  // could prune the true optimum, whereas spuriously rejecting a
+  // boundary-tight seed merely loses a head start.
+  WarmStart LocalWs;
+  WarmStart &Ws = Warm ? Warm->Lp : LocalWs;
+  Best.WarmStarted = Opts.WarmNodes && Ws.valid();
+
+  bool HaveIncumbent = false;
+  if (Warm && Warm->Incumbent.size() == P.numVariables() &&
+      P.isFeasible(Warm->Incumbent, /*Tol=*/0.0)) {
+    HaveIncumbent = true;
+    Best.Status = LpStatus::Optimal;
+    Best.Objective = P.objectiveValue(Warm->Incumbent);
+    Best.Values = Warm->Incumbent;
+  }
+
   std::vector<Node> Stack;
   Stack.push_back({std::move(RootLo), std::move(RootHi),
                    -std::numeric_limits<double>::infinity()});
 
-  bool HaveIncumbent = false;
   while (!Stack.empty()) {
     if (Best.NodesExplored >= Opts.MaxNodes) {
       Best.Proven = false;
@@ -68,7 +88,16 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts) {
       continue;
 
     ++Best.NodesExplored;
-    LpSolution Relax = solveLpWithBounds(P, N.Lower, N.Upper, Opts.Simplex);
+    LpSolution Relax =
+        Opts.WarmNodes
+            ? solveLpWarm(P, N.Lower, N.Upper, Ws, Opts.Simplex)
+            : solveLpWithBounds(P, N.Lower, N.Upper, Opts.Simplex);
+    if (Relax.WarmStarted)
+      ++Best.WarmNodeSolves;
+    else
+      ++Best.ColdNodeSolves;
+    Best.PrimalPivots += Relax.Iterations;
+    Best.DualPivots += Relax.DualIterations;
     if (Relax.Status == LpStatus::Infeasible)
       continue;
     if (Relax.Status == LpStatus::Unbounded) {
@@ -136,5 +165,8 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts) {
     }
   }
 
+  if (Warm)
+    Warm->Incumbent =
+        Best.feasible() ? Best.Values : std::vector<double>();
   return Best;
 }

@@ -11,6 +11,18 @@
 /// model after linearization). Depth-first with best-bound pruning, most
 /// fractional branching, and an LP-rounding incumbent heuristic.
 ///
+/// Solve once, branch cheap: each child node differs from its parent in
+/// exactly one variable bound, which leaves the parent's LP basis dual
+/// feasible, so by default nodes are solved by dual-simplex
+/// re-optimization of one evolving WarmStart tableau instead of a
+/// two-phase solve from scratch (MipOptions::WarmNodes; both paths are
+/// exact, so the answer is the same either way — MipSolution's counters
+/// record how each node was satisfied). A MipWarmStart additionally
+/// carries that tableau and the previous optimum *across* solveMip calls,
+/// so a sweep that only patches bounds or constraint RHS values between
+/// solves — the knob axis of a placement campaign — re-optimizes from its
+/// neighbour instead of starting over.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAMLOC_LP_BRANCHBOUND_H
@@ -29,6 +41,10 @@ struct MipOptions {
   unsigned MaxNodes = 200000;
   /// Absolute optimality gap at which a node is pruned.
   double GapTolerance = 1e-9;
+  /// Warm-start each node's relaxation from its parent's basis (dual
+  /// simplex) instead of re-solving two-phase from scratch. Exact either
+  /// way; disable for the fully cold reference path (--no-solve-reuse).
+  bool WarmNodes = true;
 };
 
 /// MIP outcome. Status Optimal with Proven false means "best found within
@@ -40,11 +56,40 @@ struct MipSolution {
   unsigned NodesExplored = 0;
   bool Proven = false;
 
+  /// Node-level solve accounting: how each explored node's relaxation was
+  /// satisfied, and the pivots each path spent. A cold search has
+  /// ColdNodeSolves == NodesExplored; the warm path pays one cold solve
+  /// (the root, unless a MipWarmStart seeded it) and re-optimizes the
+  /// rest.
+  unsigned ColdNodeSolves = 0;
+  unsigned WarmNodeSolves = 0;
+  uint64_t PrimalPivots = 0;
+  uint64_t DualPivots = 0;
+  /// True when this solve itself started from a caller-provided
+  /// MipWarmStart basis (knob-axis reuse) rather than a cold root.
+  bool WarmStarted = false;
+
   bool feasible() const { return Status == LpStatus::Optimal; }
 };
 
-/// Solves \p P to optimality (integer variables must be binary).
-MipSolution solveMip(const LpProblem &P, const MipOptions &Opts = {});
+/// Cross-solve warm-start state for a structurally fixed problem whose
+/// bounds or constraint RHS values change between solves. The LP tableau
+/// evolves in place across the search trees, and the previous optimum
+/// seeds the next solve's incumbent (after a feasibility re-check under
+/// the patched problem). Reuse with a *structurally* different problem is
+/// detected and degrades to a cold solve.
+struct MipWarmStart {
+  WarmStart Lp;
+  /// The previous solve's optimal point (empty when none); used as the
+  /// next solve's starting incumbent when still feasible.
+  std::vector<double> Incumbent;
+};
+
+/// Solves \p P to optimality (integer variables must be binary). With
+/// \p Warm, re-optimizes from the previous solve's basis and incumbent
+/// and leaves the state primed for the next call.
+MipSolution solveMip(const LpProblem &P, const MipOptions &Opts = {},
+                     MipWarmStart *Warm = nullptr);
 
 } // namespace ramloc
 

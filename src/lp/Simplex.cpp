@@ -14,6 +14,15 @@
 // Phase 1 minimises the artificial sum; phase 2 the true objective. Dantzig
 // pricing with a Bland fallback once degeneracy stalls progress.
 //
+// The warm path (WarmState, at the bottom of this file) uses a different
+// standard form: every variable keeps its column — fixed variables are NOT
+// substituted out — and every integer variable gets explicit upper and
+// lower bound rows. Branch & bound bound changes and knob-row RHS patches
+// are then pure RHS updates: adding delta * (the row's identity-start
+// column) to the RHS column retargets the solved tableau in O(rows), after
+// which the dual simplex restores primal feasibility from the still
+// dual-feasible parent basis.
+//
 //===----------------------------------------------------------------------===//
 
 #include "lp/Simplex.h"
@@ -105,6 +114,7 @@ public:
     if (S != LpStatus::Optimal)
       return Sol;
 
+    Sol.Basis = Basis;
     Sol.Values.assign(P.numVariables(), 0.0);
     for (unsigned J = 0, E = P.numVariables(); J != E; ++J)
       Sol.Values[J] = Lower[J];
@@ -295,7 +305,7 @@ private:
     while (Iterations < Opts.MaxIterations) {
       ++Iterations;
       unsigned Limit = Phase1 ? NumCols : ArtificialStart;
-      bool Bland = StallCount > NumRows + 16;
+      bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
 
       // Entering column: most negative reduced cost (Dantzig), or first
       // negative (Bland) when stalled.
@@ -399,4 +409,659 @@ LpSolution ramloc::solveLp(const LpProblem &P, const SimplexOptions &Opts) {
     Upper[J] = P.Variables[J].Upper;
   }
   return solveLpWithBounds(P, Lower, Upper, Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm path: re-optimizable tableau with explicit bound rows.
+//===----------------------------------------------------------------------===//
+
+namespace ramloc {
+
+/// The retained standard form. Unlike the cold Tableau, every variable is
+/// structural (column j is variable j, shifted by its *root* lower bound)
+/// and integer variables carry explicit bound rows:
+///
+///   x'_j <= hi_j - rootLo_j          (all vars with finite upper)
+///   -x'_j <= -(lo_j - rootLo_j)      (integer vars only; trivial at root)
+///
+/// so the bound changes branch & bound makes — and any constraint RHS
+/// patch, e.g. the placement model's knob rows — are RHS-only updates.
+/// Each row records the column that started as its identity vector (its
+/// slack or artificial); after any sequence of pivots that column holds
+/// B^-1 e_row, so "RHS of row r moved by delta" is applied as
+/// RhsCol += delta * column(IdCol[r]) over every row including the
+/// objective (whose entry at the identity column is the row's dual
+/// price). Reduced costs are untouched by patches and are recomputed
+/// only when the tableau is rebuilt; the needsRefactor() pivot budget is
+/// what bounds drift across the thousands of pivots a search tree makes.
+struct WarmState {
+  // Structure signature: a handle is only reusable against the problem
+  // shape it was built from.
+  unsigned NumVars = 0;
+  unsigned NumCons = 0;
+  size_t TermSum = 0;
+
+  std::vector<double> RootLo; ///< shift applied to every column
+
+  /// Flat row-major tableau ((NumRows + 1) x (NumCols + 1)); the warm
+  /// path lives in pivots, so the layout is optimized for them: rows are
+  /// contiguous, and pivot() walks a nonzero-index list of the pivot row
+  /// instead of the full width (placement tableaus stay fairly sparse).
+  std::vector<double> T;
+  std::vector<unsigned> NzScratch; ///< pivot-row nonzeros, reused
+  std::vector<unsigned> Basis;
+  unsigned NumRows = 0;
+  unsigned NumCols = 0;
+  unsigned RhsCol = 0;
+  unsigned ObjRow = 0;
+  unsigned Stride = 0;
+  unsigned NumArtificials = 0;
+  unsigned ArtificialStart = 0;
+
+  double *row(unsigned R) { return T.data() + size_t(R) * Stride; }
+  const double *row(unsigned R) const {
+    return T.data() + size_t(R) * Stride;
+  }
+
+  std::vector<int> ConsRow;    ///< constraint index -> tableau row (-1 none)
+  std::vector<int> UpperRowOf; ///< variable -> upper-bound row (-1 none)
+  std::vector<int> LowerRowOf; ///< variable -> lower-bound row (-1 none)
+  std::vector<unsigned> RowIdCol; ///< row -> identity-start column
+  /// Row -> the factor its original-orientation data was multiplied by
+  /// when stored: the build-time sign flip times the equilibration scale.
+  /// The placement model mixes +-1 McCormick rows with Fb*Tb cycle rows
+  /// around 1e7, and a tableau that lives across thousands of pivots
+  /// cannot survive that spread with absolute tolerances — each row is
+  /// normalized to unit max-coefficient at build, which keeps every
+  /// tolerance meaningful. Solution values are unaffected (row scaling
+  /// never moves the feasible set).
+  std::vector<double> RowScale;
+  /// The objective row is priced in units of the largest |c_j| for the
+  /// same reason; extract() reports the true objective from the values.
+  double ObjScale = 1.0;
+
+  /// The bound/RHS values the tableau currently encodes.
+  std::vector<double> AppliedLo, AppliedHi, AppliedRhs;
+
+  /// False until a solve leaves a re-optimizable (dual-feasible) basis.
+  bool Usable = false;
+
+  /// Pivots performed since the tableau was built. Dense tableau updates
+  /// accumulate rounding with every pivot; past a generous budget the
+  /// handle is rebuilt from the original data (the dense analogue of
+  /// periodic refactorization), bounding worst-case drift at a cost of
+  /// one cold solve per ~64 * rows pivots.
+  uint64_t PivotsSinceBuild = 0;
+
+  bool needsRefactor() const {
+    return PivotsSinceBuild > 64ull * (NumRows + 1);
+  }
+
+  bool matches(const LpProblem &P) const {
+    if (P.numVariables() != NumVars || P.numConstraints() != NumCons)
+      return false;
+    size_t Terms = 0;
+    for (const LpConstraint &C : P.Constraints)
+      Terms += C.Terms.size();
+    return Terms == TermSum;
+  }
+
+  /// Builds the tableau at the given bounds. Returns false when a
+  /// zero-term constraint is inconsistent on its own (the problem is
+  /// trivially infeasible).
+  bool build(const LpProblem &P, const std::vector<double> &Lower,
+             const std::vector<double> &Upper, const SimplexOptions &Opts);
+  void installObjective(const LpProblem &P, const SimplexOptions &Opts);
+  void pivotOutArtificials();
+  LpStatus primalIterate(bool Phase1, const SimplexOptions &Opts,
+                         unsigned &Iterations);
+  LpStatus dualIterate(const SimplexOptions &Opts, unsigned &Iterations);
+  void pivot(unsigned Row, unsigned Col);
+  /// Applies bound/RHS differences against the Applied* state as RHS
+  /// patches over the constraint rows (the objective row is re-priced by
+  /// installObjective afterwards).
+  void patchTo(const LpProblem &P, const std::vector<double> &Lower,
+               const std::vector<double> &Upper);
+  void extract(const LpProblem &P, LpSolution &Sol) const;
+  /// Two-phase primal solve of the freshly built tableau.
+  LpSolution solveFresh(const LpProblem &P, const SimplexOptions &Opts);
+};
+
+} // namespace ramloc
+
+bool WarmState::build(const LpProblem &P, const std::vector<double> &Lower,
+                      const std::vector<double> &Upper,
+                      const SimplexOptions &Opts) {
+  NumVars = P.numVariables();
+  NumCons = P.numConstraints();
+  TermSum = 0;
+  Usable = false;
+
+  RootLo.assign(NumVars, 0.0);
+  for (unsigned J = 0; J != NumVars; ++J)
+    RootLo[J] = P.Variables[J].Lower;
+
+  struct Row {
+    std::vector<std::pair<unsigned, double>> Terms;
+    ConstraintSense Sense;
+    double Rhs;
+    int Cons = -1;    ///< original constraint index
+    int UpperOf = -1; ///< variable whose upper bound this row is
+    int LowerOf = -1; ///< variable whose lower bound this row is
+  };
+  std::vector<Row> Rows;
+
+  ConsRow.assign(NumCons, -1);
+  AppliedRhs.assign(NumCons, 0.0);
+  for (unsigned I = 0; I != NumCons; ++I) {
+    const LpConstraint &C = P.Constraints[I];
+    TermSum += C.Terms.size();
+    AppliedRhs[I] = C.Rhs;
+    Row R;
+    R.Sense = C.Sense;
+    R.Rhs = C.Rhs;
+    R.Cons = static_cast<int>(I);
+    // Coalesce repeated variables and shift by the root lower bounds.
+    std::vector<double> Coef(NumVars, 0.0);
+    for (const auto &[Var, C2] : C.Terms) {
+      Coef[Var] += C2;
+      R.Rhs -= C2 * RootLo[Var];
+    }
+    for (unsigned J = 0; J != NumVars; ++J)
+      if (Coef[J] != 0.0)
+        R.Terms.push_back({J, Coef[J]});
+    if (R.Terms.empty()) {
+      bool OK = true;
+      switch (R.Sense) {
+      case ConstraintSense::LessEq:
+        OK = R.Rhs >= -1e-7;
+        break;
+      case ConstraintSense::GreaterEq:
+        OK = R.Rhs <= 1e-7;
+        break;
+      case ConstraintSense::Equal:
+        OK = std::abs(R.Rhs) <= 1e-7;
+        break;
+      }
+      if (!OK)
+        return false;
+      continue;
+    }
+    Rows.push_back(std::move(R));
+  }
+
+  UpperRowOf.assign(NumVars, -1);
+  LowerRowOf.assign(NumVars, -1);
+  AppliedLo = Lower;
+  AppliedHi = Upper;
+  for (unsigned J = 0; J != NumVars; ++J) {
+    if (std::isfinite(Upper[J])) {
+      Row R;
+      R.Sense = ConstraintSense::LessEq;
+      R.Rhs = Upper[J] - RootLo[J];
+      R.Terms.push_back({J, 1.0});
+      R.UpperOf = static_cast<int>(J);
+      Rows.push_back(std::move(R));
+    }
+    if (P.Variables[J].Integer) {
+      Row R;
+      R.Sense = ConstraintSense::LessEq;
+      R.Rhs = -(Lower[J] - RootLo[J]);
+      R.Terms.push_back({J, -1.0});
+      R.LowerOf = static_cast<int>(J);
+      Rows.push_back(std::move(R));
+    }
+  }
+
+  NumRows = static_cast<unsigned>(Rows.size());
+  RowIdCol.assign(NumRows, 0);
+  RowScale.assign(NumRows, 1.0);
+
+  unsigned NumSlacks = 0;
+  NumArtificials = 0;
+  for (unsigned RI = 0; RI != NumRows; ++RI) {
+    Row &R = Rows[RI];
+    if (R.Rhs < 0) {
+      RowScale[RI] = -1.0;
+      R.Rhs = -R.Rhs;
+      for (auto &[Col, Coef] : R.Terms)
+        Coef = -Coef;
+      if (R.Sense == ConstraintSense::LessEq)
+        R.Sense = ConstraintSense::GreaterEq;
+      else if (R.Sense == ConstraintSense::GreaterEq)
+        R.Sense = ConstraintSense::LessEq;
+    }
+    // Equilibrate: normalize the row to unit max-coefficient.
+    double MaxCoef = 0.0;
+    for (const auto &[Col, Coef] : R.Terms)
+      MaxCoef = std::max(MaxCoef, std::abs(Coef));
+    if (MaxCoef > 0.0 && MaxCoef != 1.0) {
+      double S = 1.0 / MaxCoef;
+      for (auto &[Col, Coef] : R.Terms)
+        Coef *= S;
+      R.Rhs *= S;
+      RowScale[RI] *= S;
+    }
+    if (R.Sense != ConstraintSense::Equal)
+      ++NumSlacks;
+    if (R.Sense != ConstraintSense::LessEq)
+      ++NumArtificials;
+  }
+
+  ArtificialStart = NumVars + NumSlacks;
+  NumCols = ArtificialStart + NumArtificials;
+  RhsCol = NumCols;
+  ObjRow = NumRows;
+  Stride = NumCols + 1;
+  T.assign(size_t(NumRows + 1) * Stride, 0.0);
+  Basis.assign(NumRows, 0);
+  PivotsSinceBuild = 0;
+
+  unsigned SlackCursor = NumVars;
+  unsigned ArtCursor = ArtificialStart;
+  for (unsigned RI = 0; RI != NumRows; ++RI) {
+    const Row &R = Rows[RI];
+    if (R.Cons >= 0)
+      ConsRow[static_cast<unsigned>(R.Cons)] = static_cast<int>(RI);
+    if (R.UpperOf >= 0)
+      UpperRowOf[static_cast<unsigned>(R.UpperOf)] = static_cast<int>(RI);
+    if (R.LowerOf >= 0)
+      LowerRowOf[static_cast<unsigned>(R.LowerOf)] = static_cast<int>(RI);
+    double *Tr = row(RI);
+    for (const auto &[Col, Coef] : R.Terms)
+      Tr[Col] += Coef;
+    Tr[RhsCol] = R.Rhs;
+    switch (R.Sense) {
+    case ConstraintSense::LessEq:
+      Tr[SlackCursor] = 1.0;
+      RowIdCol[RI] = SlackCursor;
+      Basis[RI] = SlackCursor++;
+      break;
+    case ConstraintSense::GreaterEq:
+      Tr[SlackCursor] = -1.0;
+      ++SlackCursor;
+      Tr[ArtCursor] = 1.0;
+      RowIdCol[RI] = ArtCursor;
+      Basis[RI] = ArtCursor++;
+      break;
+    case ConstraintSense::Equal:
+      Tr[ArtCursor] = 1.0;
+      RowIdCol[RI] = ArtCursor;
+      Basis[RI] = ArtCursor++;
+      break;
+    }
+  }
+  // Stored rows are flipped/scaled relative to their original
+  // orientation, so their identity-start columns track B^-1 e_r of the
+  // *stored* system; RowScale folds the flip and the equilibration back
+  // in when a patch arrives as an original-orientation delta.
+
+  if (NumArtificials > 0) {
+    double *Obj = row(ObjRow);
+    for (unsigned RI = 0; RI != NumRows; ++RI) {
+      if (Basis[RI] < ArtificialStart)
+        continue;
+      const double *Tr = row(RI);
+      for (unsigned C = 0; C <= NumCols; ++C)
+        Obj[C] -= Tr[C];
+      Obj[Basis[RI]] = 0.0;
+    }
+  } else {
+    installObjective(P, Opts);
+  }
+  return true;
+}
+
+void WarmState::installObjective(const LpProblem &P,
+                                 const SimplexOptions &Opts) {
+  double MaxC = 0.0;
+  for (unsigned J = 0; J != NumVars; ++J)
+    MaxC = std::max(MaxC, std::abs(P.Variables[J].Objective));
+  ObjScale = MaxC > 0.0 ? 1.0 / MaxC : 1.0;
+
+  double *Obj = row(ObjRow);
+  for (unsigned C = 0; C <= NumCols; ++C)
+    Obj[C] = 0.0;
+  for (unsigned J = 0; J != NumVars; ++J)
+    Obj[J] = P.Variables[J].Objective * ObjScale;
+  for (unsigned RI = 0; RI != NumRows; ++RI) {
+    unsigned BCol = Basis[RI];
+    double Cost = Obj[BCol];
+    if (std::abs(Cost) < Opts.Tolerance)
+      continue;
+    const double *Tr = row(RI);
+    for (unsigned C = 0; C <= NumCols; ++C)
+      Obj[C] -= Cost * Tr[C];
+  }
+}
+
+void WarmState::pivotOutArtificials() {
+  for (unsigned RI = 0; RI != NumRows; ++RI) {
+    if (Basis[RI] < ArtificialStart)
+      continue;
+    const double *Tr = row(RI);
+    for (unsigned C = 0; C != ArtificialStart; ++C) {
+      if (std::abs(Tr[C]) > 1e-7) {
+        pivot(RI, C);
+        break;
+      }
+    }
+  }
+}
+
+LpStatus WarmState::primalIterate(bool Phase1, const SimplexOptions &Opts,
+                                  unsigned &Iterations) {
+  unsigned StallCount = 0;
+  double LastObj = row(ObjRow)[RhsCol];
+  while (Iterations < Opts.MaxIterations) {
+    ++Iterations;
+    unsigned Limit = Phase1 ? NumCols : ArtificialStart;
+    bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
+
+    const double *Obj = row(ObjRow);
+    int Entering = -1;
+    double Best = -Opts.Tolerance;
+    for (unsigned C = 0; C != Limit; ++C) {
+      double RC = Obj[C];
+      if (RC < Best) {
+        Entering = static_cast<int>(C);
+        if (Bland)
+          break;
+        Best = RC;
+      }
+    }
+    if (Entering < 0)
+      return LpStatus::Optimal;
+
+    int Leaving = -1;
+    double BestRatio = 0.0;
+    for (unsigned R = 0; R != NumRows; ++R) {
+      const double *Tr = row(R);
+      double A = Tr[static_cast<unsigned>(Entering)];
+      if (A <= Opts.Tolerance)
+        continue;
+      double Ratio = Tr[RhsCol] / A;
+      if (Leaving < 0 || Ratio < BestRatio - Opts.Tolerance ||
+          (Ratio < BestRatio + Opts.Tolerance &&
+           Basis[R] < Basis[static_cast<unsigned>(Leaving)])) {
+        Leaving = static_cast<int>(R);
+        BestRatio = Ratio;
+      }
+    }
+    if (Leaving < 0)
+      return LpStatus::Unbounded;
+
+    pivot(static_cast<unsigned>(Leaving), static_cast<unsigned>(Entering));
+
+    double NewObj = row(ObjRow)[RhsCol];
+    if (std::abs(NewObj - LastObj) < Opts.Tolerance)
+      ++StallCount;
+    else
+      StallCount = 0;
+    LastObj = NewObj;
+  }
+  return LpStatus::IterLimit;
+}
+
+LpStatus WarmState::dualIterate(const SimplexOptions &Opts,
+                                unsigned &Iterations) {
+  unsigned StallCount = 0;
+  double LastObj = row(ObjRow)[RhsCol];
+  while (Iterations < Opts.MaxIterations) {
+    // Leaving row: most negative basic value; ties broken on the smaller
+    // basis index for determinism.
+    int Leaving = -1;
+    double MostNeg = 0.0;
+    for (unsigned R = 0; R != NumRows; ++R) {
+      double V = row(R)[RhsCol];
+      if (V >= -Opts.Tolerance)
+        continue;
+      if (Leaving < 0 || V < MostNeg - Opts.Tolerance ||
+          (V < MostNeg + Opts.Tolerance &&
+           Basis[R] < Basis[static_cast<unsigned>(Leaving)])) {
+        Leaving = static_cast<int>(R);
+        MostNeg = V;
+      }
+    }
+    if (Leaving < 0)
+      return LpStatus::Optimal; // primal feasible again
+
+    ++Iterations;
+    bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
+
+    // Entering column: dual ratio test over eligible columns (artificials
+    // must stay out — letting one re-enter would relax its == / >= row).
+    // Unlike the primal ratio test, which naturally shuns tiny pivot
+    // elements (they give huge ratios), the dual test would happily pick
+    // them — a degenerate row with reduced cost 0 over a 1e-9 coefficient
+    // "wins" the ratio test and then destroys the tableau when the pivot
+    // divides by it. So pivoting requires a minimum magnitude, near-tied
+    // ratios prefer the larger pivot element, and when only sub-threshold
+    // negative coefficients remain the row is neither reparable nor
+    // provably infeasible: give up with IterLimit and let the caller
+    // rebuild cold.
+    constexpr double PivotTol = 1e-7;
+    unsigned LR = static_cast<unsigned>(Leaving);
+    const double *Lrow = row(LR);
+    const double *Obj = row(ObjRow);
+    int Entering = -1;
+    double BestRatio = 0.0, BestMag = 0.0;
+    bool SawTiny = false;
+    for (unsigned C = 0; C != ArtificialStart; ++C) {
+      double A = Lrow[C];
+      if (A >= -Opts.Tolerance)
+        continue;
+      if (A > -PivotTol) {
+        SawTiny = true;
+        continue;
+      }
+      if (Bland && Entering >= 0)
+        continue; // first eligible column wins
+      double RC = std::max(Obj[C], 0.0);
+      double Ratio = RC / (-A);
+      if (Entering < 0 || Ratio < BestRatio - Opts.Tolerance ||
+          (!Bland && Ratio < BestRatio + Opts.Tolerance && -A > BestMag)) {
+        Entering = static_cast<int>(C);
+        BestRatio = Ratio;
+        BestMag = -A;
+      }
+    }
+    if (Entering < 0)
+      return SawTiny ? LpStatus::IterLimit : LpStatus::Infeasible;
+
+    pivot(LR, static_cast<unsigned>(Entering));
+
+    double NewObj = row(ObjRow)[RhsCol];
+    if (std::abs(NewObj - LastObj) < Opts.Tolerance)
+      ++StallCount;
+    else
+      StallCount = 0;
+    LastObj = NewObj;
+  }
+  return LpStatus::IterLimit;
+}
+
+void WarmState::pivot(unsigned Row, unsigned Col) {
+  ++PivotsSinceBuild;
+  double *PR = row(Row);
+  double Pivot = PR[Col];
+  // A nonzero-index walk is arithmetically identical to the full-width
+  // loop (subtracting Factor * 0 is a no-op) and much cheaper while the
+  // pivot row is sparse; once fill-in has made it dense, the plain
+  // contiguous loop vectorizes better than the indirection.
+  NzScratch.clear();
+  for (unsigned C = 0; C <= NumCols; ++C) {
+    if (PR[C] == 0.0)
+      continue;
+    PR[C] /= Pivot;
+    NzScratch.push_back(C);
+  }
+  bool Sparse = NzScratch.size() * 2 < NumCols;
+  for (unsigned R = 0; R <= NumRows; ++R) {
+    if (R == Row)
+      continue;
+    double *Tr = row(R);
+    double Factor = Tr[Col];
+    if (std::abs(Factor) < 1e-12)
+      continue;
+    if (Sparse) {
+      for (unsigned C : NzScratch)
+        Tr[C] -= Factor * PR[C];
+    } else {
+      for (unsigned C = 0; C <= NumCols; ++C)
+        Tr[C] -= Factor * PR[C];
+    }
+    Tr[Col] = 0.0;
+  }
+  Basis[Row] = Col;
+}
+
+void WarmState::patchTo(const LpProblem &P, const std::vector<double> &Lower,
+                        const std::vector<double> &Upper) {
+  // One RHS patch: row r's original-orientation RHS moved by Delta. The
+  // stored row may be the negation of the original (RowFlip), and after
+  // pivots the row's identity-start column holds B^-1 e_r, so the whole
+  // RHS column — including the objective row's, whose entry at the
+  // identity column is the row's dual price — shifts by (flip * delta)
+  // times that column.
+  auto patchRow = [this](int Row, double Delta) {
+    if (Row < 0 || Delta == 0.0)
+      return;
+    unsigned R0 = static_cast<unsigned>(Row);
+    double D = RowScale[R0] * Delta;
+    unsigned Id = RowIdCol[R0];
+    for (unsigned R = 0; R <= NumRows; ++R) {
+      double *Tr = row(R);
+      Tr[RhsCol] += D * Tr[Id];
+    }
+  };
+
+  for (unsigned I = 0; I != NumCons; ++I) {
+    double New = P.Constraints[I].Rhs;
+    patchRow(ConsRow[I], New - AppliedRhs[I]);
+    AppliedRhs[I] = New;
+  }
+  for (unsigned J = 0; J != NumVars; ++J) {
+    if (Upper[J] != AppliedHi[J]) {
+      // Stored row: x' <= hi - rootLo, so delta is the raw bound move.
+      assert(UpperRowOf[J] >= 0 && "bound change on a row-less variable");
+      patchRow(UpperRowOf[J], Upper[J] - AppliedHi[J]);
+      AppliedHi[J] = Upper[J];
+    }
+    if (Lower[J] != AppliedLo[J]) {
+      // Stored row: -x' <= -(lo - rootLo): a raised bound lowers the RHS.
+      assert(LowerRowOf[J] >= 0 && "bound change on a row-less variable");
+      patchRow(LowerRowOf[J], -(Lower[J] - AppliedLo[J]));
+      AppliedLo[J] = Lower[J];
+    }
+  }
+}
+
+void WarmState::extract(const LpProblem &P, LpSolution &Sol) const {
+  Sol.Basis = Basis;
+  Sol.Values.assign(NumVars, 0.0);
+  for (unsigned J = 0; J != NumVars; ++J)
+    Sol.Values[J] = RootLo[J];
+  for (unsigned R = 0; R != NumRows; ++R)
+    if (Basis[R] < NumVars)
+      Sol.Values[Basis[R]] = RootLo[Basis[R]] + row(R)[RhsCol];
+  Sol.Objective = P.objectiveValue(Sol.Values);
+}
+
+LpSolution WarmState::solveFresh(const LpProblem &P,
+                                 const SimplexOptions &Opts) {
+  LpSolution Sol;
+  if (NumArtificials > 0) {
+    LpStatus S = primalIterate(/*Phase1=*/true, Opts, Sol.Iterations);
+    if (S != LpStatus::Optimal) {
+      Sol.Status = S == LpStatus::Unbounded ? LpStatus::Infeasible : S;
+      return Sol;
+    }
+    if (row(ObjRow)[RhsCol] < -Opts.Tolerance) {
+      Sol.Status = LpStatus::Infeasible;
+      return Sol;
+    }
+    pivotOutArtificials();
+    installObjective(P, Opts);
+  }
+  Sol.Status = primalIterate(/*Phase1=*/false, Opts, Sol.Iterations);
+  if (Sol.Status != LpStatus::Optimal)
+    return Sol;
+  Usable = true;
+  extract(P, Sol);
+  return Sol;
+}
+
+WarmStart::WarmStart() = default;
+WarmStart::~WarmStart() = default;
+WarmStart::WarmStart(WarmStart &&) noexcept = default;
+WarmStart &WarmStart::operator=(WarmStart &&) noexcept = default;
+
+bool WarmStart::valid() const { return S && S->Usable; }
+
+void WarmStart::reset() { S.reset(); }
+
+LpSolution ramloc::resolveLpFromBasis(const LpProblem &P,
+                                      const std::vector<double> &Lower,
+                                      const std::vector<double> &Upper,
+                                      WarmStart &Warm,
+                                      const SimplexOptions &Opts) {
+  LpSolution Sol;
+  if (!Warm.valid() || !Warm.S->matches(P))
+    return Sol; // IterLimit: nothing to re-optimize from
+  WarmState &W = *Warm.S;
+
+  // Bounds/RHS diffs land as RHS patches (the objective row's entry
+  // updates through the identity columns like any other row); the
+  // reduced costs are untouched, so the basis stays dual feasible and the
+  // dual simplex picks up directly. Drift from the incremental updates is
+  // bounded by the periodic refactorization in solveLpWarm.
+  W.patchTo(P, Lower, Upper);
+  // Re-optimization earns its keep only while it is much cheaper than a
+  // fresh solve; a repair that drags on (a far jump across the search
+  // tree, or a tableau gone dense) is cut off and rebuilt cold instead.
+  SimplexOptions DualOpts = Opts;
+  DualOpts.MaxIterations =
+      std::min(Opts.MaxIterations, std::max(64u, W.NumRows / 4));
+  LpStatus S = W.dualIterate(DualOpts, Sol.DualIterations);
+  Sol.WarmStarted = true;
+  if (S == LpStatus::Optimal) {
+    // The dual ratio test keeps reduced costs non-negative in exact
+    // arithmetic; a short primal pass mops up any numerical residue
+    // (almost always zero iterations). It gets the same tight budget:
+    // a polish that starts pivoting in earnest signals a basis not worth
+    // saving, and the rebuild is cheaper than letting it wander.
+    S = W.primalIterate(/*Phase1=*/false, DualOpts, Sol.Iterations);
+  }
+  Sol.Status = S;
+  if (S == LpStatus::Optimal) {
+    W.extract(P, Sol);
+  } else if (S != LpStatus::Infeasible) {
+    // Iteration limit / unbounded drift: the tableau is no longer
+    // trustworthy. A dual-proven Infeasible, by contrast, leaves a
+    // dual-feasible basis the next patch can continue from.
+    W.Usable = false;
+  }
+  return Sol;
+}
+
+LpSolution ramloc::solveLpWarm(const LpProblem &P,
+                               const std::vector<double> &Lower,
+                               const std::vector<double> &Upper,
+                               WarmStart &Warm, const SimplexOptions &Opts) {
+  assert(Lower.size() == P.numVariables() &&
+         Upper.size() == P.numVariables() && "bounds size mismatch");
+  if (Warm.valid() && Warm.S->matches(P) && !Warm.S->needsRefactor()) {
+    LpSolution Sol = resolveLpFromBasis(P, Lower, Upper, Warm, Opts);
+    if (Sol.Status != LpStatus::IterLimit && Sol.Status != LpStatus::Unbounded)
+      return Sol;
+    // fall through: rebuild from scratch
+  }
+  Warm.S = std::make_unique<WarmState>();
+  if (!Warm.S->build(P, Lower, Upper, Opts)) {
+    LpSolution Sol;
+    Sol.Status = LpStatus::Infeasible;
+    return Sol;
+  }
+  return Warm.S->solveFresh(P, Opts);
 }

@@ -11,12 +11,26 @@
 /// are small (tens to a few hundred variables), so a dense tableau with
 /// Dantzig pricing and a Bland anti-cycling fallback is plenty.
 ///
+/// Two solving modes share this header:
+///
+///  - solveLp / solveLpWithBounds: build a fresh tableau and run two-phase
+///    primal simplex from scratch (the "cold" path).
+///  - solveLpWarm / resolveLpFromBasis: keep the solved tableau and basis
+///    in a WarmStart handle and re-optimize with the *dual* simplex after
+///    bound or RHS changes. A bound tightening or a knob-row RHS patch
+///    leaves the parent basis dual-feasible (the objective row is
+///    untouched), so re-optimization typically costs a handful of pivots
+///    where a cold solve pays a full phase-1 + phase-2 — the fast path
+///    branch & bound and the knob-axis sweeps ride on.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAMLOC_LP_SIMPLEX_H
 #define RAMLOC_LP_SIMPLEX_H
 
 #include "lp/Problem.h"
+
+#include <memory>
 
 namespace ramloc {
 
@@ -35,13 +49,68 @@ struct LpSolution {
   LpStatus Status = LpStatus::IterLimit;
   double Objective = 0.0;
   std::vector<double> Values;
+  /// Primal simplex pivots this solve performed (phase 1 + phase 2, or
+  /// the post-reoptimization clean-up pass on the warm path).
   unsigned Iterations = 0;
+  /// Dual simplex pivots a warm re-optimization performed (0 on the cold
+  /// path).
+  unsigned DualIterations = 0;
+  /// True when this solution was reached by re-optimizing a retained
+  /// basis rather than solving from scratch.
+  bool WarmStarted = false;
+  /// The solved basis: one standard-form column index per tableau row.
+  /// Retained so callers can observe/assert reuse; the re-optimizable
+  /// state itself lives in WarmStart.
+  std::vector<unsigned> Basis;
 };
 
 /// Simplex knobs.
 struct SimplexOptions {
   double Tolerance = 1e-9;
   unsigned MaxIterations = 100000;
+  /// Always price with Bland's rule instead of Dantzig-with-Bland-
+  /// fallback. Slower, but immune to cycling by construction; exists so
+  /// the degenerate-pivot regression tests can pin both rules.
+  bool ForceBland = false;
+};
+
+struct WarmState;
+
+/// Opaque re-optimization state: the standard-form tableau, its basis and
+/// the row bookkeeping that maps variable-bound and constraint-RHS changes
+/// onto RHS patches. Built on first use by solveLpWarm; move-only.
+///
+/// A WarmStart is tied to one problem *structure* (variable count,
+/// constraint count and coefficients). Bounds and constraint RHS values
+/// may change freely between solves — that is the point — but coefficient
+/// or shape changes require a fresh handle (solveLpWarm detects shape
+/// changes and rebuilds; coefficient edits it cannot see).
+class WarmStart {
+public:
+  WarmStart();
+  ~WarmStart();
+  WarmStart(WarmStart &&) noexcept;
+  WarmStart &operator=(WarmStart &&) noexcept;
+  WarmStart(const WarmStart &) = delete;
+  WarmStart &operator=(const WarmStart &) = delete;
+
+  /// True when the handle holds a basis that resolveLpFromBasis can
+  /// re-optimize from.
+  bool valid() const;
+  /// Drops the retained state; the next solveLpWarm builds from scratch.
+  void reset();
+
+private:
+  std::unique_ptr<WarmState> S;
+  friend LpSolution solveLpWarm(const LpProblem &P,
+                                const std::vector<double> &Lower,
+                                const std::vector<double> &Upper,
+                                WarmStart &Warm, const SimplexOptions &Opts);
+  friend LpSolution resolveLpFromBasis(const LpProblem &P,
+                                       const std::vector<double> &Lower,
+                                       const std::vector<double> &Upper,
+                                       WarmStart &Warm,
+                                       const SimplexOptions &Opts);
 };
 
 /// Solves the LP relaxation of \p P.
@@ -53,6 +122,31 @@ LpSolution solveLpWithBounds(const LpProblem &P,
                              const std::vector<double> &Lower,
                              const std::vector<double> &Upper,
                              const SimplexOptions &Opts = {});
+
+/// Warm-capable solve: on first use (or after a structure change /
+/// numerical failure) builds \p Warm's tableau at the given bounds and
+/// runs two-phase primal simplex; on later calls re-optimizes the
+/// retained basis with the dual simplex (see resolveLpFromBasis), falling
+/// back to a fresh build when re-optimization hits the iteration limit.
+/// Either way the result is the exact LP optimum; LpSolution::WarmStarted
+/// records which path satisfied the call.
+LpSolution solveLpWarm(const LpProblem &P, const std::vector<double> &Lower,
+                       const std::vector<double> &Upper, WarmStart &Warm,
+                       const SimplexOptions &Opts = {});
+
+/// Dual-simplex re-optimization entry point: diffs \p Lower/\p Upper and
+/// the constraint RHS values of \p P against the state retained in
+/// \p Warm, applies the differences as RHS patches (bounds are explicit
+/// rows in the warm tableau), re-prices the objective row against the
+/// current basis and runs the dual simplex until primal feasibility is
+/// restored. Returns IterLimit without touching the state when \p Warm
+/// holds no re-optimizable basis; callers wanting automatic fallback use
+/// solveLpWarm.
+LpSolution resolveLpFromBasis(const LpProblem &P,
+                              const std::vector<double> &Lower,
+                              const std::vector<double> &Upper,
+                              WarmStart &Warm,
+                              const SimplexOptions &Opts = {});
 
 } // namespace ramloc
 

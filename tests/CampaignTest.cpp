@@ -535,3 +535,99 @@ TEST(DeviceRegistry, FlashWaitStatesSlowFlashAndWidenTheGap) {
   double OptInflation = static_cast<double>(B.OptCycles) / A.OptCycles;
   EXPECT_LT(OptInflation, BaseInflation);
 }
+
+TEST(Campaign, SolveGroupKeyDropsOnlyTheKnobAxes) {
+  JobSpec A;
+  A.Benchmark = "crc32";
+  A.RspareBytes = 256;
+  A.Xlimit = 1.2;
+  JobSpec B = A;
+  B.RspareBytes = 1024;
+  B.Xlimit = 1.8;
+  EXPECT_EQ(A.solveGroupKey(), B.solveGroupKey());
+  EXPECT_NE(A.cacheKey(), B.cacheKey());
+  JobSpec C = A;
+  C.Device = "stm32l-lp";
+  EXPECT_NE(A.solveGroupKey(), C.solveGroupKey());
+  JobSpec D = A;
+  D.Kind = JobKind::ModelOnly;
+  EXPECT_NE(A.solveGroupKey(), D.solveGroupKey());
+}
+
+TEST(Campaign, KnobAxisIsOneExtractionOneColdSolve) {
+  // The PR-4 acceptance grid: 1 benchmark x 1 device x {3 Xlimit} x
+  // {3 Rspare} must perform exactly 1 extraction + 1 cold solve, with
+  // the remaining 8 knob points warm-started — whatever the worker
+  // count, since the whole group runs as one task.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {256, 512, 1024};
+  Grid.XlimitPoints = {1.1, 1.5, 2.0};
+
+  CampaignOptions Opts;
+  Opts.Jobs = 4;
+  CampaignResult CR = runCampaign(Grid, Opts);
+  ASSERT_EQ(CR.Summary.Failed, 0u);
+  EXPECT_EQ(CR.Summary.Extractions, 1u);
+  EXPECT_EQ(CR.Summary.ColdSolves, 1u);
+  EXPECT_EQ(CR.Summary.WarmSolves, 8u);
+}
+
+TEST(Campaign, KnobGridReportsUnchangedBySolveReuse) {
+  // Warm and cold solvers are both exact, so a knob grid's report must
+  // be byte-identical with solve reuse on or off (the --no-solve-reuse
+  // escape hatch).
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32", "int_matmult"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {256, 1024};
+  Grid.XlimitPoints = {1.1, 1.8};
+
+  CampaignOptions Reuse;
+  Reuse.Jobs = 4;
+  CampaignResult WithReuse = runCampaign(Grid, Reuse);
+  ASSERT_EQ(WithReuse.Summary.Failed, 0u);
+  EXPECT_GT(WithReuse.Summary.WarmSolves, 0u);
+
+  CampaignOptions Cold;
+  Cold.Jobs = 4;
+  Cold.ReuseSolves = false;
+  Cold.Base.Mip.WarmNodes = false;
+  CampaignResult AllCold = runCampaign(Grid, Cold);
+  ASSERT_EQ(AllCold.Summary.Failed, 0u);
+  EXPECT_EQ(AllCold.Summary.WarmSolves, 0u);
+  EXPECT_EQ(AllCold.Summary.ColdSolves,
+            static_cast<uint64_t>(Grid.jobCount()));
+  EXPECT_EQ(AllCold.Summary.Extractions,
+            static_cast<uint64_t>(Grid.jobCount()));
+
+  EXPECT_EQ(campaignToJson(WithReuse), campaignToJson(AllCold));
+  EXPECT_EQ(campaignToCsv(WithReuse), campaignToCsv(AllCold));
+}
+
+TEST(Campaign, ModelOnlyKnobGridGroupsToo) {
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {128, 512};
+  Grid.XlimitPoints = {1.1, 1.6};
+  Grid.Kind = JobKind::ModelOnly;
+
+  CampaignResult CR = runCampaign(Grid, {});
+  ASSERT_EQ(CR.Summary.Failed, 0u);
+  EXPECT_EQ(CR.Summary.Extractions, 1u);
+  EXPECT_EQ(CR.Summary.ColdSolves, 1u);
+  EXPECT_EQ(CR.Summary.WarmSolves, 3u);
+  // ModelOnly with static frequencies never simulates.
+  EXPECT_EQ(CR.Summary.FullSims + CR.Summary.Recosts, 0u);
+
+  CampaignOptions Cold;
+  Cold.ReuseSolves = false;
+  Cold.Base.Mip.WarmNodes = false;
+  CampaignResult AllCold = runCampaign(Grid, Cold);
+  EXPECT_EQ(campaignToJson(CR), campaignToJson(AllCold));
+}

@@ -98,6 +98,165 @@ TEST(Simplex, DegenerateProblemTerminates) {
   EXPECT_NEAR(S.Values[X], 5.0, 1e-7);
 }
 
+/// Beale's classic cycling example: under naive Dantzig pricing with the
+/// wrong tie-breaks, the simplex revisits the same degenerate bases
+/// forever. The regression pins termination and optimality under both
+/// pricing rules (Dantzig-with-Bland-fallback and forced Bland).
+/// Optimum: x = (1/25, 0, 1, 0), objective -1/20.
+TEST(Simplex, BealeCyclingTerminatesUnderBothPricingRules) {
+  auto Build = [] {
+    LpProblem P;
+    double Inf = std::numeric_limits<double>::infinity();
+    unsigned X1 = P.addVariable(0, Inf, -0.75);
+    unsigned X2 = P.addVariable(0, Inf, 150.0);
+    unsigned X3 = P.addVariable(0, Inf, -0.02);
+    unsigned X4 = P.addVariable(0, Inf, 6.0);
+    P.addConstraint({{X1, 0.25}, {X2, -60.0}, {X3, -0.04}, {X4, 9.0}},
+                    ConstraintSense::LessEq, 0);
+    P.addConstraint({{X1, 0.5}, {X2, -90.0}, {X3, -0.02}, {X4, 3.0}},
+                    ConstraintSense::LessEq, 0);
+    P.addConstraint({{X3, 1.0}}, ConstraintSense::LessEq, 1);
+    return P;
+  };
+
+  for (bool ForceBland : {false, true}) {
+    SimplexOptions Opts;
+    Opts.ForceBland = ForceBland;
+    LpProblem P = Build();
+    LpSolution S = solveLp(P, Opts);
+    ASSERT_EQ(S.Status, LpStatus::Optimal)
+        << "pricing rule " << (ForceBland ? "bland" : "dantzig");
+    EXPECT_NEAR(S.Objective, -0.05, 1e-9);
+    EXPECT_NEAR(S.Values[0], 0.04, 1e-7);
+    EXPECT_NEAR(S.Values[2], 1.0, 1e-7);
+    // The warm path must agree on the same degenerate-prone problem.
+    WarmStart Ws;
+    std::vector<double> Lo(P.numVariables()), Hi(P.numVariables());
+    for (unsigned J = 0; J != P.numVariables(); ++J) {
+      Lo[J] = P.Variables[J].Lower;
+      Hi[J] = P.Variables[J].Upper;
+    }
+    LpSolution W = solveLpWarm(P, Lo, Hi, Ws, Opts);
+    ASSERT_EQ(W.Status, LpStatus::Optimal);
+    EXPECT_NEAR(W.Objective, -0.05, 1e-9);
+  }
+}
+
+TEST(Simplex, DegenerateProblemTerminatesUnderForcedBland) {
+  LpProblem P;
+  unsigned X = P.addVariable(0, 10, -1);
+  P.addConstraint({{X, 1.0}}, ConstraintSense::LessEq, 5);
+  P.addConstraint({{X, 2.0}}, ConstraintSense::LessEq, 10);
+  P.addConstraint({{X, 3.0}}, ConstraintSense::LessEq, 15);
+  SimplexOptions Opts;
+  Opts.ForceBland = true;
+  LpSolution S = solveLp(P, Opts);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], 5.0, 1e-7);
+}
+
+TEST(Simplex, SolvedBasisIsExposed) {
+  LpProblem P;
+  unsigned X = P.addVariable(0, 1e9, -3);
+  unsigned Y = P.addVariable(0, 1e9, -5);
+  P.addConstraint({{X, 1.0}}, ConstraintSense::LessEq, 4);
+  P.addConstraint({{Y, 2.0}}, ConstraintSense::LessEq, 12);
+  P.addConstraint({{X, 3.0}, {Y, 2.0}}, ConstraintSense::LessEq, 18);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  // One basic column per tableau row: 3 constraints + 2 finite-upper
+  // bound rows.
+  EXPECT_EQ(S.Basis.size(), 5u);
+}
+
+TEST(WarmLp, ReoptimizesAfterBoundTightening) {
+  // Binary-style knapsack relaxation: fixing a variable via its bound
+  // rows must re-optimize from the retained basis (dual pivots, not a
+  // fresh phase-1/2), and match the cold answer exactly.
+  LpProblem P;
+  unsigned A = P.addBinary(-10);
+  unsigned B = P.addBinary(-6);
+  unsigned C = P.addBinary(-4);
+  P.addConstraint({{A, 5.0}, {B, 4.0}, {C, 3.0}}, ConstraintSense::LessEq,
+                  9);
+  std::vector<double> Lo = {0, 0, 0}, Hi = {1, 1, 1};
+
+  WarmStart Ws;
+  LpSolution Root = solveLpWarm(P, Lo, Hi, Ws, {});
+  ASSERT_EQ(Root.Status, LpStatus::Optimal);
+  EXPECT_FALSE(Root.WarmStarted);
+  ASSERT_TRUE(Ws.valid());
+
+  Hi[A] = 0.0; // branch A = 0
+  LpSolution Child = solveLpWarm(P, Lo, Hi, Ws, {});
+  ASSERT_EQ(Child.Status, LpStatus::Optimal);
+  EXPECT_TRUE(Child.WarmStarted);
+  LpSolution Cold = solveLpWithBounds(P, Lo, Hi);
+  EXPECT_NEAR(Child.Objective, Cold.Objective, 1e-9);
+  EXPECT_NEAR(Child.Values[A], 0.0, 1e-9);
+
+  Hi[A] = 1.0;
+  Lo[A] = 1.0; // backtrack and branch A = 1
+  Child = solveLpWarm(P, Lo, Hi, Ws, {});
+  ASSERT_EQ(Child.Status, LpStatus::Optimal);
+  EXPECT_TRUE(Child.WarmStarted);
+  Cold = solveLpWithBounds(P, Lo, Hi);
+  EXPECT_NEAR(Child.Objective, Cold.Objective, 1e-9);
+  EXPECT_NEAR(Child.Values[A], 1.0, 1e-9);
+}
+
+TEST(WarmLp, ReoptimizesAfterRhsPatch) {
+  // The knob-axis pattern: only a constraint RHS changes between solves.
+  LpProblem P;
+  unsigned A = P.addBinary(-10);
+  unsigned B = P.addBinary(-6);
+  P.addConstraint({{A, 5.0}, {B, 4.0}}, ConstraintSense::LessEq, 9);
+  std::vector<double> Lo = {0, 0}, Hi = {1, 1};
+
+  WarmStart Ws;
+  LpSolution First = solveLpWarm(P, Lo, Hi, Ws, {});
+  ASSERT_EQ(First.Status, LpStatus::Optimal);
+  EXPECT_NEAR(First.Objective, -16.0, 1e-9); // both fit
+
+  P.Constraints[0].Rhs = 5.0; // tighten the budget
+  LpSolution Patched = resolveLpFromBasis(P, Lo, Hi, Ws, {});
+  ASSERT_EQ(Patched.Status, LpStatus::Optimal);
+  EXPECT_TRUE(Patched.WarmStarted);
+  LpSolution Cold = solveLp(P);
+  EXPECT_NEAR(Patched.Objective, Cold.Objective, 1e-9);
+
+  P.Constraints[0].Rhs = 9.0; // and loosen it again
+  Patched = resolveLpFromBasis(P, Lo, Hi, Ws, {});
+  ASSERT_EQ(Patched.Status, LpStatus::Optimal);
+  EXPECT_NEAR(Patched.Objective, -16.0, 1e-9);
+}
+
+TEST(WarmLp, DetectsInfeasibilityAfterTightening) {
+  LpProblem P;
+  unsigned A = P.addBinary(0.0);
+  unsigned B = P.addBinary(0.0);
+  P.addConstraint({{A, 1.0}, {B, 1.0}}, ConstraintSense::GreaterEq, 2);
+  std::vector<double> Lo = {0, 0}, Hi = {1, 1};
+  WarmStart Ws;
+  ASSERT_EQ(solveLpWarm(P, Lo, Hi, Ws, {}).Status, LpStatus::Optimal);
+  Hi[A] = 0.0; // now A + B >= 2 needs A = 1
+  EXPECT_EQ(solveLpWarm(P, Lo, Hi, Ws, {}).Status, LpStatus::Infeasible);
+  // Loosening must recover, whichever path (dual-proven infeasibility
+  // keeps the basis; a rebuild re-solves cold).
+  Hi[A] = 1.0;
+  EXPECT_EQ(solveLpWarm(P, Lo, Hi, Ws, {}).Status, LpStatus::Optimal);
+}
+
+TEST(WarmLp, ResolveWithoutBasisReportsIterLimit) {
+  LpProblem P;
+  (void)P.addBinary(-1);
+  std::vector<double> Lo = {0}, Hi = {1};
+  WarmStart Ws;
+  EXPECT_FALSE(Ws.valid());
+  EXPECT_EQ(resolveLpFromBasis(P, Lo, Hi, Ws, {}).Status,
+            LpStatus::IterLimit);
+}
+
 TEST(Mip, SimpleKnapsack) {
   // max 10a + 6b + 4c st 5a + 4b + 3c <= 9 -> {a, b} wait: a+b = 16,
   // weight 9 feasible; optimal is a+b = 16.
@@ -202,11 +361,53 @@ TEST_P(MipRandomized, MatchesBruteForce) {
   }
 
   double Reference = bruteForceOptimum(P);
-  MipSolution S = solveMip(P);
-  ASSERT_TRUE(S.feasible()); // all-zeros is always feasible here
-  EXPECT_TRUE(S.Proven);
-  EXPECT_NEAR(S.Objective, Reference, 1e-6);
-  EXPECT_TRUE(P.isFeasible(S.Values));
+  // Both node-solve strategies are exact and must agree with brute force.
+  for (bool WarmNodes : {false, true}) {
+    MipOptions Opts;
+    Opts.WarmNodes = WarmNodes;
+    MipSolution S = solveMip(P, Opts);
+    ASSERT_TRUE(S.feasible()); // all-zeros is always feasible here
+    EXPECT_TRUE(S.Proven);
+    EXPECT_NEAR(S.Objective, Reference, 1e-6)
+        << (WarmNodes ? "warm" : "cold") << " nodes";
+    EXPECT_TRUE(P.isFeasible(S.Values));
+    if (WarmNodes)
+      EXPECT_EQ(S.ColdNodeSolves + S.WarmNodeSolves, S.NodesExplored);
+    else
+      EXPECT_EQ(S.ColdNodeSolves, S.NodesExplored);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, MipRandomized, ::testing::Range(0, 25));
+
+TEST(Mip, WarmStartChainsAcrossRhsPatches) {
+  // The knob-axis shape: one problem, the budget row's RHS swept; each
+  // solve after the first re-optimizes the previous basis and seeds its
+  // incumbent from the previous optimum.
+  LpProblem P = [] {
+    LpProblem Q;
+    for (int J = 0; J != 8; ++J)
+      Q.addBinary(-(5.0 + J));
+    std::vector<std::pair<unsigned, double>> Terms;
+    for (unsigned J = 0; J != 8; ++J)
+      Terms.push_back({J, double(2 + J % 4)});
+    Q.addConstraint(std::move(Terms), ConstraintSense::LessEq, 10);
+    return Q;
+  }();
+
+  MipWarmStart Warm;
+  bool First = true;
+  for (double Budget : {10.0, 6.0, 14.0, 3.0, 10.0}) {
+    P.Constraints[0].Rhs = Budget;
+    MipSolution Cold = solveMip(P, [] {
+      MipOptions O;
+      O.WarmNodes = false;
+      return O;
+    }());
+    MipSolution W = solveMip(P, {}, &Warm);
+    ASSERT_EQ(Cold.feasible(), W.feasible()) << "budget " << Budget;
+    EXPECT_NEAR(W.Objective, Cold.Objective, 1e-9) << "budget " << Budget;
+    EXPECT_EQ(W.WarmStarted, !First);
+    First = false;
+  }
+}

@@ -81,6 +81,50 @@ std::vector<unsigned> allBlocks(const ModelParams &MP) {
   return V;
 }
 
+/// Continuous random parameters: with probability 1 no two placements tie
+/// on energy, so the optimum is unique and solver-vs-enumerator checks
+/// can demand bit-for-bit equality on the assignment.
+ModelParams randomContinuousParams(SplitMix64 &Rng, unsigned N) {
+  ModelParams MP;
+  MP.EFlash = 15.0;
+  MP.ERam = 9.0;
+  MP.FuncOffset = {0};
+  for (unsigned I = 0; I != N; ++I) {
+    BlockParams B;
+    B.Name = "f:b" + std::to_string(I);
+    B.Sb = 4 + 2 * static_cast<unsigned>(Rng.nextBelow(30));
+    B.Cb = 2.0 + 38.0 * Rng.nextDouble();
+    B.Fb = 1.0 + 199.0 * Rng.nextDouble();
+    B.Kb = 6 + 2 * static_cast<unsigned>(Rng.nextBelow(6));
+    B.Tb = 1.0 + 5.0 * Rng.nextDouble();
+    B.Lb = 3.0 * Rng.nextDouble();
+    B.Term = TermKind::Cond;
+    MP.Blocks.push_back(std::move(B));
+  }
+  for (unsigned I = 0; I != N; ++I) {
+    unsigned Count = static_cast<unsigned>(Rng.nextBelow(3));
+    for (unsigned C = 0; C != Count; ++C) {
+      unsigned S = static_cast<unsigned>(Rng.nextBelow(N));
+      if (S != I)
+        MP.Blocks[I].Succs.push_back(S);
+    }
+  }
+  return MP;
+}
+
+/// The enumerator's optimum as an Assignment over all blocks.
+Assignment enumeratorOptimum(const ModelParams &MP, const ModelKnobs &Knobs) {
+  auto Points = enumerateSolutions(MP, allBlocks(MP));
+  double BaseCycles =
+      evaluateAssignment(MP, Assignment(MP.numBlocks(), false)).Cycles;
+  int Best = bestFeasiblePoint(Points, BaseCycles, Knobs);
+  EXPECT_GE(Best, 0); // all-flash is always feasible
+  Assignment InRam(MP.numBlocks(), false);
+  for (unsigned I = 0; I != MP.numBlocks(); ++I)
+    InRam[I] = (Points[static_cast<unsigned>(Best)].Mask >> I) & 1;
+  return InRam;
+}
+
 } // namespace
 
 TEST(Model, InstrumentedSetMatchesEq5) {
@@ -272,6 +316,76 @@ TEST_P(SolverVsEnumeration, IlpMatchesExhaustive) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SolverVsEnumeration,
                          ::testing::Range(0, 30));
+
+TEST(Model, PatchKnobsMatchesRebuild) {
+  SplitMix64 Rng(99);
+  ModelParams MP = randomContinuousParams(Rng, 8);
+  ModelKnobs K1;
+  K1.RspareBytes = 100;
+  K1.Xlimit = 1.2;
+  ModelKnobs K2;
+  K2.RspareBytes = 250;
+  K2.Xlimit = 1.6;
+
+  PlacementModel Patched = buildPlacementModel(MP, K1);
+  Patched.patchKnobs(K2);
+  PlacementModel Rebuilt = buildPlacementModel(MP, K2);
+
+  ASSERT_EQ(Patched.P.numConstraints(), Rebuilt.P.numConstraints());
+  ASSERT_EQ(Patched.RamConstraint, Rebuilt.RamConstraint);
+  ASSERT_EQ(Patched.TimeConstraint, Rebuilt.TimeConstraint);
+  for (unsigned I = 0; I != Patched.P.numConstraints(); ++I)
+    EXPECT_EQ(Patched.P.Constraints[I].Rhs, Rebuilt.P.Constraints[I].Rhs)
+        << "constraint " << I;
+  EXPECT_EQ(Patched.Knobs.RspareBytes, K2.RspareBytes);
+  EXPECT_EQ(Patched.Knobs.Xlimit, K2.Xlimit);
+}
+
+/// Solve-reuse correctness, bit-for-bit: on tie-free random models the
+/// cold solver, the warm-noded solver and a PlacementSolver chain that
+/// visits knob points in sequence (each warm-started from its neighbour)
+/// must all return exactly the enumerator's optimal assignment — and
+/// therefore exactly its energy, since both sides evaluate through
+/// evaluateAssignment.
+class WarmSolverVsEnumeration : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarmSolverVsEnumeration, ColdWarmAndChainedMatchExhaustive) {
+  SplitMix64 Rng(static_cast<uint64_t>(GetParam()) * 292663 + 17);
+  unsigned N = 3 + static_cast<unsigned>(Rng.nextBelow(8)); // 3..10
+  ModelParams MP = randomContinuousParams(Rng, N);
+
+  // A small knob axis around random budgets.
+  std::vector<ModelKnobs> Axis;
+  for (int I = 0; I != 3; ++I) {
+    ModelKnobs K;
+    K.RspareBytes = 30 + static_cast<unsigned>(Rng.nextBelow(200));
+    K.Xlimit = 1.05 + Rng.nextDouble();
+    Axis.push_back(K);
+  }
+
+  PlacementSolver Chain(MP, Axis.front());
+  for (const ModelKnobs &K : Axis) {
+    Assignment Truth = enumeratorOptimum(MP, K);
+    double TruthEnergy = evaluateAssignment(MP, Truth).EnergyMilliJoules;
+
+    MipOptions Cold;
+    Cold.WarmNodes = false;
+    Assignment FromCold = solvePlacement(MP, K, Cold);
+    EXPECT_EQ(FromCold, Truth) << "cold solver diverged";
+
+    Assignment FromWarm = solvePlacement(MP, K);
+    EXPECT_EQ(FromWarm, Truth) << "warm-noded solver diverged";
+
+    MipSolution Stats;
+    Assignment FromChain = Chain.solve(K, {}, &Stats);
+    EXPECT_EQ(FromChain, Truth) << "knob-chained solver diverged";
+    EXPECT_EQ(evaluateAssignment(MP, FromChain).EnergyMilliJoules,
+              TruthEnergy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WarmSolverVsEnumeration,
+                         ::testing::Range(0, 20));
 
 TEST(Greedy, NeverBeatsIlpAndStaysFeasible) {
   for (int Seed = 0; Seed != 10; ++Seed) {

@@ -159,3 +159,49 @@ TEST(Pipeline, VerifierRejectionSurfaces) {
   EXPECT_FALSE(R.ok());
   EXPECT_NE(R.Error.find("verifier"), std::string::npos);
 }
+
+TEST(Pipeline, StagedFlowMatchesOptimizeModule) {
+  // optimizeModule is documented as exactly extract -> solve -> apply;
+  // driving the stages by hand must reproduce it bit for bit (the
+  // campaign engine's solve groups rely on this).
+  Module M = buildBeebs("crc32", OptLevel::O1, 2);
+  PipelineOptions Opts = fastOptions();
+
+  PipelineResult Whole = optimizeModule(M, Opts);
+  ASSERT_TRUE(Whole.ok());
+
+  ExtractedModule EM = extractModule(M, Opts);
+  ASSERT_TRUE(EM.ok());
+  EXPECT_EQ(EM.MeasuredBase.Stats.Cycles, Whole.MeasuredBase.Stats.Cycles);
+  EXPECT_EQ(EM.PredictedBase.EnergyMilliJoules,
+            Whole.PredictedBase.EnergyMilliJoules);
+
+  PlacementSolver Solver(EM.MP, Opts.Knobs);
+  MipSolution Sol;
+  Assignment InRam = Solver.solve(Opts.Knobs, Opts.Mip, &Sol);
+  EXPECT_EQ(InRam, Whole.InRam);
+
+  PipelineResult Staged = applyAndMeasure(M, EM, InRam, Sol, Opts);
+  ASSERT_TRUE(Staged.ok());
+  EXPECT_EQ(Staged.MeasuredOpt.Stats.Cycles,
+            Whole.MeasuredOpt.Stats.Cycles);
+  EXPECT_EQ(Staged.MeasuredOpt.Energy.MilliJoules,
+            Whole.MeasuredOpt.Energy.MilliJoules);
+  EXPECT_EQ(Staged.MovedBlocks, Whole.MovedBlocks);
+  EXPECT_EQ(Staged.PredictedOpt.RamBytes, Whole.PredictedOpt.RamBytes);
+}
+
+TEST(Pipeline, ExtractModuleSkipsBaselineWhenNotNeeded) {
+  Module M = buildBeebs("crc32", OptLevel::O1, 2);
+  PipelineOptions Opts = fastOptions();
+  ExtractedModule EM = extractModule(M, Opts, /*NeedBaseline=*/false);
+  ASSERT_TRUE(EM.ok());
+  EXPECT_EQ(EM.MeasuredBase.Stats.Cycles, 0u); // never simulated
+  EXPECT_GT(EM.MP.numBlocks(), 0u);
+
+  // Profiled frequencies force the baseline regardless.
+  Opts.UseProfiledFrequencies = true;
+  EM = extractModule(M, Opts, /*NeedBaseline=*/false);
+  ASSERT_TRUE(EM.ok());
+  EXPECT_GT(EM.MeasuredBase.Stats.Cycles, 0u);
+}

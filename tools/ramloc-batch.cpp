@@ -27,9 +27,20 @@
 //     --no-profile-reuse    re-simulate every grid point instead of
 //                           recosting shared execution profiles (the
 //                           reports are byte-identical either way)
+//     --no-solve-reuse      re-extract and cold-solve every grid point
+//                           instead of sharing the ILP across a knob axis
+//                           and warm-starting from neighbouring solves
+//                           (the reports are byte-identical either way)
 //     --cache-dir=DIR       persistent result + profile cache: load
 //                           before running, append after, so repeated
 //                           runs are incremental
+//     --gc-profiles         compact the profile store instead of running:
+//                           drop corrupt/stale-fingerprint lines and fold
+//                           duplicate keys, then enforce the size cap
+//                           (needs --cache-dir)
+//     --max-profile-bytes=N with --gc-profiles: evict least-recently-
+//                           appended profiles until profiles.jsonl is at
+//                           most N bytes (0 = no cap, the default)
 //     --shard=K/N           run only the K-th of N contiguous slices of
 //                           the expanded grid (1-based)
 //     --merge F1 F2 ...     combine shard JSON reports instead of running;
@@ -58,6 +69,7 @@
 #include "support/Table.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -79,13 +91,16 @@ void usage() {
       "                    [--xlimit=F,...] [--freq=static,profiled]\n"
       "                    [--repeat=N] [--model-only] [--jobs=N]\n"
       "                    [--no-cache] [--no-profile-reuse]\n"
+      "                    [--no-solve-reuse]\n"
       "                    [--cache-dir=DIR] [--shard=K/N]\n"
       "                    [--json=FILE] [--csv=FILE] [--dry-run]\n"
       "                    [--list-devices] [--list-benchmarks]\n"
       "                    [--verbose] [--quiet]\n"
       "       ramloc-batch --merge SHARD.json... [--json=FILE] [--csv=FILE]\n"
       "                    [--cache-dir=DIR]\n"
-      "       ramloc-batch --diff A.json B.json [--diff-threshold=PCT]\n");
+      "       ramloc-batch --diff A.json B.json [--diff-threshold=PCT]\n"
+      "       ramloc-batch --gc-profiles --cache-dir=DIR\n"
+      "                    [--max-profile-bytes=N]\n");
 }
 
 std::vector<std::string> splitList(const std::string &S) {
@@ -112,6 +127,20 @@ bool parseUnsigned(const std::string &S, unsigned &Out) {
   if (*End != '\0' || V > 0xFFFFFFFFul)
     return false;
   Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// 64-bit variant for byte counts: profile stores grown by many
+/// appenders can legitimately exceed 4 GiB.
+bool parseUnsigned64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 0);
+  if (*End != '\0' || errno == ERANGE)
+    return false;
+  Out = V;
   return true;
 }
 
@@ -326,9 +355,10 @@ int main(int Argc, char **Argv) {
   std::string JsonPath, CsvPath, CacheDir;
   std::vector<std::string> MergeFiles, DiffFiles;
   unsigned ShardIndex = 1, ShardCount = 1;
+  uint64_t MaxProfileBytes = 0;
   double DiffThreshold = 0.0;
   bool DryRun = false, Verbose = false, Quiet = false, Merge = false,
-       Diff = false;
+       Diff = false, GcProfiles = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -402,6 +432,19 @@ int main(int Argc, char **Argv) {
       Opts.UseCache = false;
     } else if (Arg == "--no-profile-reuse") {
       Opts.ReuseProfiles = false;
+    } else if (Arg == "--no-solve-reuse") {
+      // The escape hatch is fully cold: no knob-axis grouping, and every
+      // branch & bound node re-solves two-phase from scratch.
+      Opts.ReuseSolves = false;
+      Opts.Base.Mip.WarmNodes = false;
+    } else if (Arg == "--gc-profiles") {
+      GcProfiles = true;
+    } else if (Arg.rfind("--max-profile-bytes=", 0) == 0) {
+      if (!parseUnsigned64(val(20), MaxProfileBytes)) {
+        std::fprintf(stderr, "error: bad --max-profile-bytes value '%s'\n",
+                     val(20).c_str());
+        return 2;
+      }
     } else if (Arg.rfind("--cache-dir=", 0) == 0) {
       CacheDir = val(12);
       if (CacheDir.empty()) {
@@ -460,6 +503,29 @@ int main(int Argc, char **Argv) {
 
   if (Diff)
     return runDiff(DiffFiles, DiffThreshold, Quiet);
+
+  if (GcProfiles) {
+    if (CacheDir.empty()) {
+      std::fprintf(stderr, "error: --gc-profiles needs --cache-dir\n");
+      return 2;
+    }
+    CacheStore Store;
+    CacheStore::ProfileGcStats Stats;
+    std::string Error;
+    if (!Store.open(CacheDir, &Error) ||
+        !Store.gcProfiles(MaxProfileBytes, Stats, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (!Quiet)
+      std::fprintf(stderr,
+                   "profiles: %zu kept, %zu stale/duplicate dropped, %zu "
+                   "evicted over cap; %llu -> %llu bytes\n",
+                   Stats.Kept, Stats.DroppedInvalid, Stats.Evicted,
+                   static_cast<unsigned long long>(Stats.BytesBefore),
+                   static_cast<unsigned long long>(Stats.BytesAfter));
+    return 0;
+  }
 
   if (Merge) {
     int Rc = runMerge(MergeFiles, JsonPath, CsvPath, Quiet);
@@ -582,6 +648,12 @@ int main(int Argc, char **Argv) {
                   "profiles\n",
                   static_cast<unsigned long long>(CR.Summary.FullSims),
                   static_cast<unsigned long long>(CR.Summary.Recosts));
+    if (CR.Summary.ColdSolves + CR.Summary.WarmSolves > 0)
+      std::printf("%llu extraction(s), %llu cold solve(s), %llu warm "
+                  "solve(s) from neighbouring knob points\n",
+                  static_cast<unsigned long long>(CR.Summary.Extractions),
+                  static_cast<unsigned long long>(CR.Summary.ColdSolves),
+                  static_cast<unsigned long long>(CR.Summary.WarmSolves));
     if (CR.Summary.Succeeded > 0 && Grid.Kind == JobKind::Measure)
       std::printf("geomean energy ratio %.4f; mean energy %+.1f%%, "
                   "time %+.1f%%, power %+.1f%%\n",
