@@ -3,14 +3,22 @@
 // Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
 // trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
 //
-// The perf harness for the solve-once/branch-cheap split. Two levels:
+// The perf harness for the solve-once/branch-cheap split. Three levels:
+//
+//  - Tableau level: the bounded-variable simplex keeps one row per
+//    constraint — variable boxes are data, not rows — where the
+//    explicit-bound-row formulation (through PR 4) carried an upper-bound
+//    row per finite-upper variable plus a lower-bound row per integer
+//    variable. bounded/explicit_tableau_rows count both over the model
+//    mix; CI asserts the ratio stays <= 0.6.
 //
 //  - Node level: the same Section 4 placement MIPs solved with
-//    WarmNodes off (every branch & bound node pays a two-phase simplex
-//    from scratch) and on (every child re-optimizes its parent's basis
-//    with the dual simplex). cold/warm_nodes_per_sec are branch & bound
-//    nodes retired per wall second; their ratio is the per-node win, and
-//    CI asserts it stays >= 2x.
+//    WarmNodes off (every branch & bound node pays a fresh solve) and on
+//    (every child re-optimizes its parent's basis with the dual
+//    simplex). cold/warm_nodes_per_sec are branch & bound nodes retired
+//    per wall second; their ratio is the per-node win, and CI asserts it
+//    stays >= 2x. cold/warm_pivots_per_node record how much simplex work
+//    one node costs each way.
 //
 //  - Knob-axis level: a {Rspare} x {Xlimit} grid over one extracted
 //    model, solved per-point from scratch (build + cold solve each
@@ -30,6 +38,7 @@
 #include "support/Json.h"
 #include "support/Timer.h"
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -102,6 +111,33 @@ int main() {
       Set.Knobs.push_back(K);
     }
 
+  // --- tableau level: bounded-variable vs explicit-bound-row rows --------
+  uint64_t BoundedRows = 0, ExplicitRows = 0;
+  for (const ModelParams &MP : Set.Models) {
+    PlacementModel PM = buildPlacementModel(MP, Set.Knobs.front());
+    // The bounded tableau's truth comes from the solver itself: one
+    // basic column per row in the solved basis.
+    LpSolution S = solveLp(PM.P);
+    BoundedRows += S.Basis.size();
+    // The explicit-bound-row formulation carried every constraint plus
+    // one upper-bound row per finite-upper variable plus one lower-bound
+    // row per integer variable.
+    uint64_t Explicit = PM.P.numConstraints();
+    for (const LpVariable &V : PM.P.Variables) {
+      if (std::isfinite(V.Upper))
+        ++Explicit;
+      if (V.Integer)
+        ++Explicit;
+    }
+    ExplicitRows += Explicit;
+  }
+  double RowRatio =
+      ExplicitRows ? double(BoundedRows) / double(ExplicitRows) : 1.0;
+  std::printf("tableau rows: %llu bounded-variable vs %llu "
+              "explicit-bound-row (%.2fx)\n",
+              static_cast<unsigned long long>(BoundedRows),
+              static_cast<unsigned long long>(ExplicitRows), RowRatio);
+
   // Per-solve node cap: keeps a single pass to CI-friendly seconds. Both
   // modes get the same budget, so the throughput ratio stays fair.
   constexpr unsigned MaxNodes = 1500;
@@ -139,15 +175,21 @@ int main() {
   double WarmNodesPerSec = WarmNodes * WarmIters / WarmSecs;
 
   double NodeSpeedup = WarmNodesPerSec / ColdNodesPerSec;
-  std::printf("branch & bound nodes: %.0f/sec cold two-phase (%llu nodes, "
-              "%llu primal pivots per pass)\n",
+  double ColdPivotsPerNode =
+      ColdNodes ? double(ColdPrimal + ColdDual) / double(ColdNodes) : 0.0;
+  double WarmPivotsPerNode =
+      WarmNodes ? double(WarmPrimal + WarmDual) / double(WarmNodes) : 0.0;
+  std::printf("branch & bound nodes: %.0f/sec cold from-scratch (%llu "
+              "nodes, %.1f pivots/node per pass)\n",
               ColdNodesPerSec, static_cast<unsigned long long>(ColdNodes),
-              static_cast<unsigned long long>(ColdPrimal));
+              ColdPivotsPerNode);
   std::printf("                      %.0f/sec warm dual-simplex (%llu "
-              "nodes, %llu primal + %llu dual pivots per pass): %.1fx\n",
+              "nodes, %llu primal + %llu dual pivots, %.1f pivots/node): "
+              "%.1fx\n",
               WarmNodesPerSec, static_cast<unsigned long long>(WarmNodes),
               static_cast<unsigned long long>(WarmPrimal),
-              static_cast<unsigned long long>(WarmDual), NodeSpeedup);
+              static_cast<unsigned long long>(WarmDual), WarmPivotsPerNode,
+              NodeSpeedup);
 
   // --- knob-axis level: per-point rebuild vs one warm-started solver -----
   size_t KnobConfigs = Set.Models.size() * Set.Knobs.size();
@@ -194,14 +236,19 @@ int main() {
 
   JsonWriter W;
   W.beginObject();
-  W.field("schema", "ramloc-bench-mip-throughput-v1");
+  W.field("schema", "ramloc-bench-mip-throughput-v2");
   W.field("benchmarks", static_cast<uint64_t>(Set.Models.size()));
   W.field("knob_points", static_cast<uint64_t>(Set.Knobs.size()));
+  W.field("bounded_tableau_rows", BoundedRows);
+  W.field("explicit_tableau_rows", ExplicitRows);
+  W.field("tableau_row_ratio", RowRatio);
   W.field("cold_nodes_per_pass", ColdNodes);
   W.field("warm_nodes_per_pass", WarmNodes);
   W.field("cold_primal_pivots", ColdPrimal);
   W.field("warm_primal_pivots", WarmPrimal);
   W.field("warm_dual_pivots", WarmDual);
+  W.field("cold_pivots_per_node", ColdPivotsPerNode);
+  W.field("warm_pivots_per_node", WarmPivotsPerNode);
   W.field("cold_nodes_per_sec", ColdNodesPerSec);
   W.field("warm_nodes_per_sec", WarmNodesPerSec);
   W.field("warm_node_speedup", NodeSpeedup);

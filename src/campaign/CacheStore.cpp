@@ -29,6 +29,8 @@ constexpr const char *ReportSchema = "ramloc-campaign-v2";
 constexpr const char *StoreFileName = "results.jsonl";
 constexpr const char *ProfileSchema = "ramloc-profiles-v1";
 constexpr const char *ProfileFileName = "profiles.jsonl";
+constexpr const char *IncumbentSchema = "ramloc-incumbents-v1";
+constexpr const char *IncumbentFileName = "incumbents.jsonl";
 /// Bump when the interpreter's architectural behaviour (instruction
 /// semantics, block accounting, halt conventions) changes in a way that
 /// alters recorded profiles. Timing/power changes do NOT bump it.
@@ -136,12 +138,9 @@ bool appendToFile(const std::string &Path, const std::string &Doc,
   return true;
 }
 
-} // namespace
-
-std::string CacheStore::fingerprint() {
-  uint64_t H = Fnv1aOffset;
-  hashBytes(H, StoreSchema);
-  hashBytes(H, ReportSchema);
+/// Hashes every device's power table and timing model into \p H: the
+/// shared ingredient of the result and incumbent fingerprints.
+void hashDeviceRegistry(uint64_t &H) {
   for (const DeviceInfo &D : deviceRegistry()) {
     hashBytes(H, D.Name);
     D.Model.forEachActiveValue([&H](double V) { hashDouble(H, V); });
@@ -156,6 +155,63 @@ std::string CacheStore::fingerprint() {
                        T.FlashWaitStates})
       hashBytes(H, formatString("%u", V));
   }
+}
+
+/// One serialized incumbent: the solve-group key, the model energy its
+/// assignment achieves, and the assignment as a block bitstring.
+std::string incumbentLine(const std::string &Group,
+                          const IncumbentStore::Entry &E) {
+  std::string Bits(E.InRam.size(), '0');
+  for (size_t I = 0; I != E.InRam.size(); ++I)
+    if (E.InRam[I])
+      Bits[I] = '1';
+  JsonWriter W(/*Pretty=*/false);
+  W.beginObject();
+  W.field("group", Group);
+  W.field("energy_mj", E.EnergyMilliJoules);
+  W.field("blocks", Bits);
+  W.endObject();
+  return W.str() + "\n";
+}
+
+bool parseIncumbent(const JsonValue &V, std::string &Group,
+                    IncumbentStore::Entry &E) {
+  if (V.kind() != JsonValue::Kind::Object)
+    return false;
+  const JsonValue *G = V.find("group");
+  const JsonValue *En = V.find("energy_mj");
+  const JsonValue *B = V.find("blocks");
+  if (!G || G->kind() != JsonValue::Kind::String || !En ||
+      En->kind() != JsonValue::Kind::Number || !B ||
+      B->kind() != JsonValue::Kind::String)
+    return false;
+  Group = G->string();
+  E.EnergyMilliJoules = En->number();
+  const std::string &Bits = B->string();
+  E.InRam.assign(Bits.size(), false);
+  for (size_t I = 0; I != Bits.size(); ++I) {
+    if (Bits[I] == '1')
+      E.InRam[I] = true;
+    else if (Bits[I] != '0')
+      return false;
+  }
+  return !Group.empty();
+}
+
+} // namespace
+
+std::string CacheStore::fingerprint() {
+  uint64_t H = Fnv1aOffset;
+  hashBytes(H, StoreSchema);
+  hashBytes(H, ReportSchema);
+  hashDeviceRegistry(H);
+  return formatString("%016llx", static_cast<unsigned long long>(H));
+}
+
+std::string CacheStore::incumbentFingerprint() {
+  uint64_t H = Fnv1aOffset;
+  hashBytes(H, IncumbentSchema);
+  hashDeviceRegistry(H);
   return formatString("%016llx", static_cast<unsigned long long>(H));
 }
 
@@ -168,9 +224,11 @@ std::string CacheStore::profileFingerprint() {
 
 bool CacheStore::open(const std::string &Dir, std::string *Error) {
   Loaded = Skipped = LoadedProfs = SkippedProfs = 0;
+  LoadedIncs = SkippedIncs = 0;
   Invalidated = false;
   PersistedKeys.clear();
   PersistedProfKeys.clear();
+  PersistedIncEnergy.clear();
 
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
@@ -182,6 +240,7 @@ bool CacheStore::open(const std::string &Dir, std::string *Error) {
   }
   Path = (std::filesystem::path(Dir) / StoreFileName).string();
   ProfPath = (std::filesystem::path(Dir) / ProfileFileName).string();
+  IncPath = (std::filesystem::path(Dir) / IncumbentFileName).string();
 
   // --- results.jsonl ------------------------------------------------------
   {
@@ -264,6 +323,47 @@ bool CacheStore::open(const std::string &Dir, std::string *Error) {
       }
     }
   }
+
+  // --- incumbents.jsonl ---------------------------------------------------
+  {
+    std::ifstream In(IncPath, std::ios::binary);
+    bool SawHeader = false;
+    if (In) {
+      std::string Line;
+      while (std::getline(In, Line)) {
+        if (Line.empty())
+          continue;
+        JsonValue V;
+        if (!JsonValue::parse(Line, V)) {
+          ++SkippedIncs;
+          if (!SawHeader)
+            break;
+          continue;
+        }
+        if (!SawHeader) {
+          SawHeader = true;
+          if (!headerMatches(V, IncumbentSchema, incumbentFingerprint()))
+            break; // different model world: seeds would only miss
+          continue;
+        }
+        std::string Group;
+        IncumbentStore::Entry E;
+        if (!parseIncumbent(V, Group, E)) {
+          ++SkippedIncs;
+          continue;
+        }
+        // Concurrent appenders race improved entries to disk; offer()'s
+        // best-wins rule folds duplicates whatever order they load in.
+        Incumbents.offer(Group, E.InRam, E.EnergyMilliJoules);
+        auto It = PersistedIncEnergy.find(Group);
+        if (It == PersistedIncEnergy.end())
+          PersistedIncEnergy.emplace(Group, E.EnergyMilliJoules);
+        else
+          It->second = std::min(It->second, E.EnergyMilliJoules);
+        ++LoadedIncs;
+      }
+    }
+  }
   return true;
 }
 
@@ -340,6 +440,42 @@ bool CacheStore::appendProfiles(std::string *Error) {
   return true;
 }
 
+bool CacheStore::rewriteIncumbents(std::string *Error) {
+  std::string Doc = headerLine(IncumbentSchema, incumbentFingerprint());
+  std::map<std::string, double> Energies;
+  for (const auto &[Group, E] : Incumbents.snapshot()) {
+    Doc += incumbentLine(Group, E);
+    Energies.emplace(Group, E.EnergyMilliJoules);
+  }
+  if (!replaceFile(IncPath, Doc, Error))
+    return false;
+  PersistedIncEnergy = std::move(Energies);
+  return true;
+}
+
+bool CacheStore::appendIncumbents(std::string *Error) {
+  std::string Doc;
+  std::vector<std::pair<std::string, double>> NewEnergies;
+  for (const auto &[Group, E] : Incumbents.snapshot()) {
+    // Only improvements hit the disk: load-time best-wins folding makes
+    // a re-appended better entry supersede the old line without a
+    // rewrite.
+    auto It = PersistedIncEnergy.find(Group);
+    if (It != PersistedIncEnergy.end() &&
+        E.EnergyMilliJoules >= It->second)
+      continue;
+    Doc += incumbentLine(Group, E);
+    NewEnergies.push_back({Group, E.EnergyMilliJoules});
+  }
+  if (Doc.empty())
+    return true;
+  if (!appendToFile(IncPath, Doc, Error))
+    return false;
+  for (auto &[Group, Energy] : NewEnergies)
+    PersistedIncEnergy[Group] = Energy;
+  return true;
+}
+
 bool CacheStore::save(std::string *Error) {
   if (Path.empty()) {
     if (Error)
@@ -350,9 +486,13 @@ bool CacheStore::save(std::string *Error) {
             ? appendResults(Error)
             : rewriteResults(Error)))
     return false;
-  return fileAppendable(ProfPath, ProfileSchema, profileFingerprint())
-             ? appendProfiles(Error)
-             : rewriteProfiles(Error);
+  if (!(fileAppendable(ProfPath, ProfileSchema, profileFingerprint())
+            ? appendProfiles(Error)
+            : rewriteProfiles(Error)))
+    return false;
+  return fileAppendable(IncPath, IncumbentSchema, incumbentFingerprint())
+             ? appendIncumbents(Error)
+             : rewriteIncumbents(Error);
 }
 
 bool CacheStore::compact(std::string *Error) {
@@ -361,7 +501,17 @@ bool CacheStore::compact(std::string *Error) {
       *Error = "cache store was never opened";
     return false;
   }
-  return rewriteResults(Error) && rewriteProfiles(Error);
+  return rewriteResults(Error) && rewriteProfiles(Error) &&
+         rewriteIncumbents(Error);
+}
+
+bool CacheStore::compactIncumbents(std::string *Error) {
+  if (IncPath.empty()) {
+    if (Error)
+      *Error = "cache store was never opened";
+    return false;
+  }
+  return rewriteIncumbents(Error);
 }
 
 bool CacheStore::gcProfiles(uint64_t MaxBytes, ProfileGcStats &Stats,

@@ -12,7 +12,7 @@
 /// produced it is unchanged, and a benchmark simulated once is recosted —
 /// not re-executed — even across processes and device-table changes.
 ///
-/// Format: two JSON-lines files inside the cache directory.
+/// Format: three JSON-lines files inside the cache directory.
 ///  - `results.jsonl`: one JobResult per line in the report dialect
 ///    (campaign/Report.h), keyed implicitly by its spec's cacheKey().
 ///    Its header fingerprint covers the device registry's power tables
@@ -24,6 +24,16 @@
 ///    semantics version: a power recalibration retires every cached
 ///    *result* yet keeps every cached *profile*, turning the re-sweep
 ///    into recosts instead of re-simulations.
+///  - `incumbents.jsonl`: the best-known placement per solve group
+///    (block bitstring + model energy), the seed for a later process's
+///    first cold MIP solve. Same fingerprint discipline as results (the
+///    device registry shapes the model), but staleness here is harmless
+///    by construction — a seed is re-validated at zero tolerance before
+///    it may prune anything, and a surviving seed can only steer which
+///    of several bit-equal-energy optima wins (the unique-optimum caveat
+///    every exact-solver reuse path in this repo shares) — so the
+///    fingerprint only avoids pointless seeding attempts, it is not a
+///    correctness gate.
 ///
 /// Writes are append-mode: save() appends only entries not yet on disk,
 /// one complete record per line with no fsync, so concurrent writers
@@ -43,6 +53,7 @@
 #include "campaign/Campaign.h"
 #include "sim/ProfileCache.h"
 
+#include <map>
 #include <set>
 #include <string>
 
@@ -63,6 +74,11 @@ public:
   /// independent of the device registry — execution profiles are
   /// device-independent, which is their whole value.
   static std::string profileFingerprint();
+
+  /// The fingerprint of the incumbent store: its own schema plus the
+  /// device registry (the registry shapes the placement models the
+  /// assignments were optimal for).
+  static std::string incumbentFingerprint();
 
   /// Binds the store to <Dir>/results.jsonl and <Dir>/profiles.jsonl,
   /// creating \p Dir when missing, and loads whatever valid entries the
@@ -110,6 +126,12 @@ public:
   bool gcProfiles(uint64_t MaxBytes, ProfileGcStats &Stats,
                   std::string *Error = nullptr);
 
+  /// Sorted, deduplicated atomic rewrite of incumbents.jsonl alone:
+  /// drops corrupt lines and stale-fingerprint entries, folds duplicate
+  /// groups to their best assignment. The incumbent-side companion of
+  /// gcProfiles (`ramloc-batch --gc-profiles` runs both).
+  bool compactIncumbents(std::string *Error = nullptr);
+
   /// The in-memory result cache backing this store. Point
   /// CampaignOptions::Cache here; runCampaign both serves lookups from it
   /// and inserts new results into it.
@@ -121,14 +143,22 @@ public:
   /// processes are recosted instead of re-run.
   ProfileCache &profiles() { return Profiles; }
 
+  /// The incumbent store backing this store. Point
+  /// CampaignOptions::Incumbents here so a solve group's first cold
+  /// solve opens with the best-known placement from prior invocations.
+  IncumbentStore &incumbents() { return Incumbents; }
+
   const std::string &path() const { return Path; }
   const std::string &profilePath() const { return ProfPath; }
+  const std::string &incumbentPath() const { return IncPath; }
 
   /// Diagnostics from the last open().
   size_t loadedEntries() const { return Loaded; }
   size_t skippedLines() const { return Skipped; }
   size_t loadedProfiles() const { return LoadedProfs; }
   size_t skippedProfileLines() const { return SkippedProfs; }
+  size_t loadedIncumbents() const { return LoadedIncs; }
+  size_t skippedIncumbentLines() const { return SkippedIncs; }
   /// True when a results store existed but carried a different
   /// fingerprint (its entries were discarded wholesale).
   bool invalidated() const { return Invalidated; }
@@ -138,11 +168,15 @@ private:
   bool appendResults(std::string *Error);
   bool rewriteProfiles(std::string *Error);
   bool appendProfiles(std::string *Error);
+  bool rewriteIncumbents(std::string *Error);
+  bool appendIncumbents(std::string *Error);
 
   ResultCache Cache;
   ProfileCache Profiles;
+  IncumbentStore Incumbents;
   std::string Path;
   std::string ProfPath;
+  std::string IncPath;
   /// Cache keys already durable in each file (loaded or saved by us).
   /// save() appends only entries outside these sets; whether appending is
   /// safe is probed from the file itself at save() time (valid matching
@@ -150,10 +184,15 @@ private:
   /// are extended, never clobbered.
   std::set<std::string> PersistedKeys;
   std::set<std::string> PersistedProfKeys;
+  /// Incumbents durable per group *at an energy*: an improved assignment
+  /// re-appends (best-wins on load), an unchanged one does not.
+  std::map<std::string, double> PersistedIncEnergy;
   size_t Loaded = 0;
   size_t Skipped = 0;
   size_t LoadedProfs = 0;
   size_t SkippedProfs = 0;
+  size_t LoadedIncs = 0;
+  size_t SkippedIncs = 0;
   bool Invalidated = false;
 };
 

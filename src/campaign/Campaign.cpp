@@ -113,6 +113,45 @@ ResultCache::snapshot() const {
   return Entries;
 }
 
+bool IncumbentStore::lookup(const std::string &GroupKey, Entry &Out) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(GroupKey);
+  if (It == Map.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+void IncumbentStore::offer(const std::string &GroupKey,
+                           const Assignment &InRam,
+                           double EnergyMilliJoules) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(GroupKey);
+  // Strictly-better-wins makes the stored entry independent of offer
+  // order: ties keep the earlier assignment.
+  if (It == Map.end()) {
+    Map.emplace(GroupKey, Entry{InRam, EnergyMilliJoules});
+    return;
+  }
+  if (EnergyMilliJoules < It->second.EnergyMilliJoules)
+    It->second = Entry{InRam, EnergyMilliJoules};
+}
+
+size_t IncumbentStore::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+std::vector<std::pair<std::string, IncumbentStore::Entry>>
+IncumbentStore::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, Entry>> Entries(Map.begin(),
+                                                     Map.end());
+  std::sort(Entries.begin(), Entries.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Entries;
+}
+
 std::pair<size_t, size_t> ramloc::shardRange(size_t Total, unsigned Index,
                                              unsigned Count) {
   if (Count == 0 || Index == 0 || Index > Count)
@@ -197,7 +236,9 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
                    const std::vector<size_t> &Indices,
                    const PipelineOptions &Base,
                    std::vector<JobResult> &Results,
-                   const std::function<void(size_t)> &OnDone) {
+                   const std::function<void(size_t)> &OnDone,
+                   IncumbentStore *Incumbents = nullptr,
+                   bool SeedIncumbents = true) {
   const JobSpec &First = Jobs[Indices.front()];
 
   auto failAll = [&](const std::string &Error) {
@@ -243,6 +284,19 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
   }
 
   PlacementSolver Solver(EM.MP, Opts.Knobs);
+  // Open the group's first solve with the persisted best-known placement
+  // (cross-process incumbent). The solver re-validates the seed at zero
+  // tolerance under the patched knobs, so a stale entry merely misses;
+  // with warm nodes disabled the cross-solve state is off by design and
+  // the seed would never be read.
+  const std::string GroupKey = First.solveGroupKey();
+  bool Seeded = false;
+  if (Incumbents && SeedIncumbents && Opts.Mip.WarmNodes) {
+    IncumbentStore::Entry Known;
+    if (Incumbents->lookup(GroupKey, Known))
+      Seeded = Solver.seedIncumbent(EM.MP, Known.InRam);
+  }
+
   // Knob points whose optimal placements coincide produce bit-identical
   // opt images; one apply+measure serves them all.
   std::map<Assignment, JobResult> ByPlacement;
@@ -255,6 +309,15 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
 
     MipSolution Sol;
     Assignment InRam = Solver.solve(Knobs, Opts.Mip, &Sol);
+    // Offer the *opening* point's optimum, not every point's: a re-run
+    // of the same grid seeds at the same opening point, where this
+    // assignment re-validates exactly and opens the search with the true
+    // optimum. Later points' optima live under looser budgets (axes are
+    // conventionally ascending) and would mostly fail the zero-tolerance
+    // re-check at the next run's tighter opening point.
+    if (Incumbents && FirstJob)
+      Incumbents->offer(GroupKey, InRam,
+                        evaluateAssignment(EM.MP, InRam).EnergyMilliJoules);
 
     JobResult R;
     if (Spec.Kind == JobKind::Measure) {
@@ -276,6 +339,9 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
     }
     R.Spec = Spec;
     R.Extractions = FirstJob ? 1 : 0;
+    // A group's later solves are seeded by the knob chain itself; only
+    // the first one can have been opened by the persistent store.
+    R.IncumbentSeeds = FirstJob && Seeded && Sol.SeededIncumbent ? 1 : 0;
     if (Sol.WarmStarted)
       R.WarmSolves = 1;
     else
@@ -371,12 +437,15 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
     unsigned Done = 0;
     for (const std::vector<size_t> &Group : Groups)
       Pool.submit([&, Group] {
-        runSolveGroup(Jobs, Group, JobBase, CR.Results, [&](size_t I) {
-          if (Opts.Progress) {
-            std::lock_guard<std::mutex> Lock(ProgressMu);
-            Opts.Progress(CR.Results[I], ++Done, CR.Summary.UniqueRuns);
-          }
-        });
+        runSolveGroup(
+            Jobs, Group, JobBase, CR.Results,
+            [&](size_t I) {
+              if (Opts.Progress) {
+                std::lock_guard<std::mutex> Lock(ProgressMu);
+                Opts.Progress(CR.Results[I], ++Done, CR.Summary.UniqueRuns);
+              }
+            },
+            Opts.Incumbents, Opts.SeedIncumbents);
       });
     Pool.wait();
   }
@@ -389,6 +458,7 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
     CR.Summary.Extractions += CR.Results[I].Extractions;
     CR.Summary.ColdSolves += CR.Results[I].ColdSolves;
     CR.Summary.WarmSolves += CR.Results[I].WarmSolves;
+    CR.Summary.IncumbentSeeds += CR.Results[I].IncumbentSeeds;
   }
 
   // Fill duplicates and feed the cross-campaign cache.
@@ -415,6 +485,7 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
   S.Extractions = CR.Summary.Extractions;
   S.ColdSolves = CR.Summary.ColdSolves;
   S.WarmSolves = CR.Summary.WarmSolves;
+  S.IncumbentSeeds = CR.Summary.IncumbentSeeds;
   S.WallSeconds = Timer.seconds();
   CR.Summary = S;
   return CR;

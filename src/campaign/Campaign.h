@@ -39,6 +39,20 @@
 /// solves are both exact, so reports are byte-identical with solve reuse
 /// on or off (CampaignOptions::ReuseSolves, `--no-solve-reuse`).
 ///
+/// Even the group's first solve need not start from nothing: an
+/// IncumbentStore remembers the best-known placement per solve group —
+/// persisted across processes by campaign/CacheStore — and the group
+/// seeds its first cold solve with it. The seed is re-validated at zero
+/// tolerance under the actual knobs before it may prune anything, so a
+/// stale assignment costs nothing and results stay byte-identical with
+/// seeding on or off (CampaignOptions::SeedIncumbents,
+/// `--no-incumbent-seed`) whenever the optimal placement is unique —
+/// two distinct placements with bit-equal modelled energy being the one
+/// case any pair of exact solvers may legitimately disagree on, the
+/// same caveat warm knob chaining has carried since PR 4; what a fresh
+/// grid gains is a proven-quality incumbent before the first node is
+/// explored.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAMLOC_CAMPAIGN_CAMPAIGN_H
@@ -120,11 +134,14 @@ struct JobResult {
   JobSpec Spec;
   std::string Error; ///< empty on success
   /// Provenance/solver diagnostics. Never serialized: reports must not
-  /// depend on how a result was obtained.
+  /// depend on how a result was obtained (--diff ignores these fields for
+  /// the same reason — node-order or seeding changes must never read as
+  /// result drift).
   bool CacheHit = false;
   unsigned Extractions = 0; ///< parameter extractions this result ran
   unsigned ColdSolves = 0;  ///< MIP solves performed from scratch
   unsigned WarmSolves = 0;  ///< MIP solves re-optimized from a neighbour
+  unsigned IncumbentSeeds = 0; ///< solves opened by a persisted incumbent
 
   // Measured (JobKind::Measure only).
   double BaseEnergyMilliJoules = 0.0, OptEnergyMilliJoules = 0.0;
@@ -166,6 +183,40 @@ private:
   std::unordered_map<std::string, JobResult> Map;
 };
 
+/// Thread-safe best-known-placement memory, keyed by solveGroupKey(). A
+/// solve group offers its *opening* knob point's optimum (a re-run of
+/// the same grid seeds at that same point, where the entry re-validates
+/// exactly; later points' looser-budget optima would mostly fail the
+/// zero-tolerance re-check there); across offers the store keeps the one
+/// with the lowest model energy, which is knob-independent, so "best" is
+/// well defined. A later campaign — or, through CacheStore's
+/// incumbents.jsonl, a later process — seeds its first cold solve from
+/// it. Entries are hints, not truth: the solver re-validates a seed at
+/// zero tolerance against the actual model before it may prune anything.
+class IncumbentStore {
+public:
+  struct Entry {
+    Assignment InRam;
+    double EnergyMilliJoules = 0.0;
+  };
+
+  /// Best-known assignment for \p GroupKey; false when none.
+  bool lookup(const std::string &GroupKey, Entry &Out) const;
+  /// Offers an optimal assignment; kept only when strictly better (lower
+  /// model energy) than the stored one, so the store converges whatever
+  /// order offers arrive in.
+  void offer(const std::string &GroupKey, const Assignment &InRam,
+             double EnergyMilliJoules);
+  size_t size() const;
+
+  /// All entries ordered by key: the deterministic persistence order.
+  std::vector<std::pair<std::string, Entry>> snapshot() const;
+
+private:
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, Entry> Map;
+};
+
 struct CampaignOptions {
   /// Worker threads. 0 picks std::thread::hardware_concurrency().
   unsigned Jobs = 1;
@@ -195,6 +246,18 @@ struct CampaignOptions {
   /// Optional cross-campaign profile cache (e.g. CacheStore::profiles()).
   /// When null and ReuseProfiles is true the campaign uses a private one.
   ProfileCache *Profiles = nullptr;
+  /// Optional cross-campaign incumbent store (e.g.
+  /// CacheStore::incumbents()): solve groups offer their optimal
+  /// placements into it and — with SeedIncumbents — open their first cold
+  /// solve from its best-known entry.
+  IncumbentStore *Incumbents = nullptr;
+  /// Seed each solve group's first solve from Incumbents. Results are
+  /// byte-identical either way whenever the optimal placement is unique
+  /// (seeds are re-validated at zero tolerance and both paths are exact;
+  /// bit-equal-energy ties are the one legitimate divergence, as for
+  /// warm knob chaining); `--no-incumbent-seed` is the A/B escape hatch
+  /// that proves it.
+  bool SeedIncumbents = true;
   /// Progress callback, invoked serialized (never concurrently) after
   /// each unique job finishes.
   std::function<void(const JobResult &, unsigned Done, unsigned Total)>
@@ -229,6 +292,9 @@ struct CampaignSummary {
   uint64_t Extractions = 0;
   uint64_t ColdSolves = 0;
   uint64_t WarmSolves = 0;
+  /// Solve groups whose first solve was opened by a persisted incumbent
+  /// (diagnostics only, excluded from serialized reports).
+  uint64_t IncumbentSeeds = 0;
 };
 
 struct CampaignResult {

@@ -133,6 +133,13 @@ void ramloc::writeJobResult(JsonWriter &W, const JobResult &R) {
   W.field("ram_bytes", R.RamBytes);
   W.field("moved_blocks", R.MovedBlocks);
   W.endObject();
+  // Solver-effort counters (ColdSolves/WarmSolves/IncumbentSeeds/pivots)
+  // are deliberately NOT serialized: reports must not depend on how a
+  // result was obtained, or the byte-identity guarantees (cached vs
+  // computed, warm vs --no-solve-reuse, seeded vs --no-incumbent-seed,
+  // any node order) would be unachievable. parseJobResult still accepts
+  // an optional "solver" block from diagnostic dialects, and --diff
+  // ignores it.
   W.endObject();
 }
 
@@ -199,15 +206,38 @@ bool ramloc::parseJobResult(const JsonValue &V, JobResult &Out,
   const JsonValue *Model = need(V, "model", Error);
   if (!Model)
     return false;
-  return needNumber(*Model, "base_energy_mj",
-                    Out.PredictedBaseEnergyMilliJoules, Error) &&
-         needNumber(*Model, "opt_energy_mj",
-                    Out.PredictedOptEnergyMilliJoules, Error) &&
-         needNumber(*Model, "base_cycles", Out.PredictedBaseCycles,
-                    Error) &&
-         needNumber(*Model, "opt_cycles", Out.PredictedOptCycles, Error) &&
-         needUnsigned(*Model, "ram_bytes", Out.RamBytes, Error) &&
-         needUnsigned(*Model, "moved_blocks", Out.MovedBlocks, Error);
+  if (!(needNumber(*Model, "base_energy_mj",
+                   Out.PredictedBaseEnergyMilliJoules, Error) &&
+        needNumber(*Model, "opt_energy_mj",
+                   Out.PredictedOptEnergyMilliJoules, Error) &&
+        needNumber(*Model, "base_cycles", Out.PredictedBaseCycles,
+                   Error) &&
+        needNumber(*Model, "opt_cycles", Out.PredictedOptCycles, Error) &&
+        needUnsigned(*Model, "ram_bytes", Out.RamBytes, Error) &&
+        needUnsigned(*Model, "moved_blocks", Out.MovedBlocks, Error)))
+    return false;
+
+  // Optional solver-effort diagnostics (not part of the canonical
+  // dialect; never re-serialized): tolerate and absorb them so a report
+  // annotated by an external tool still parses, compares and merges —
+  // and so --diff can never mistake effort drift (a node-order or
+  // incumbent-seeding change) for result drift. Unknown subfields
+  // (pivot counts and whatever a future dialect adds) are skipped.
+  if (const JsonValue *Solver = V.find("solver")) {
+    if (Solver->kind() == JsonValue::Kind::Object) {
+      auto grab = [&](const char *Key, unsigned &Field) {
+        const JsonValue *F = Solver->find(Key);
+        if (F && F->kind() == JsonValue::Kind::Number && F->number() >= 0 &&
+            F->number() <= 4294967295.0)
+          Field = static_cast<unsigned>(F->number());
+      };
+      grab("extractions", Out.Extractions);
+      grab("cold_solves", Out.ColdSolves);
+      grab("warm_solves", Out.WarmSolves);
+      grab("incumbent_seeds", Out.IncumbentSeeds);
+    }
+  }
+  return true;
 }
 
 std::string ramloc::campaignToJson(const CampaignResult &R, bool Pretty) {

@@ -73,6 +73,43 @@ void PlacementModel::patchKnobs(const ModelKnobs &NewKnobs) {
   Knobs = NewKnobs;
 }
 
+std::vector<double>
+PlacementModel::encode(const ModelParams &MP, const Assignment &InRam) const {
+  if (InRam.size() != XVar.size() || MP.numBlocks() != XVar.size())
+    return {};
+  std::vector<double> X(P.numVariables(), 0.0);
+  for (unsigned B = 0, E = XVar.size(); B != E; ++B) {
+    if (InRam[B] && XVar[B] < 0)
+      return {}; // block can no longer move: the assignment is stale
+    if (XVar[B] >= 0)
+      X[static_cast<unsigned>(XVar[B])] = InRam[B] ? 1.0 : 0.0;
+  }
+  // The continuous variables are pinned at integral x: y is the crossing
+  // indicator (its objective pressure is upward-positive), z = x * y (the
+  // McCormick rows and its negative objective coefficient meet exactly
+  // there), c the call-crossing indicator, w = x * c (only the RAM row
+  // pushes on w, from above via its lower bound).
+  std::vector<bool> Instrumented = computeInstrumented(MP, InRam);
+  for (unsigned B = 0, E = XVar.size(); B != E; ++B) {
+    double Y = Instrumented[B] ? 1.0 : 0.0;
+    if (YVar[B] >= 0)
+      X[static_cast<unsigned>(YVar[B])] = Y;
+    if (ZVar[B] >= 0)
+      X[static_cast<unsigned>(ZVar[B])] = InRam[B] ? Y : 0.0;
+    for (unsigned CI = 0, CE = CallVar[B].size(); CI != CE; ++CI) {
+      if (CallVar[B][CI] < 0)
+        continue;
+      bool Crosses =
+          InRam[B] != InRam[MP.Blocks[B].Calls[CI].CalleeEntry];
+      X[static_cast<unsigned>(CallVar[B][CI])] = Crosses ? 1.0 : 0.0;
+      if (CallPoolVar[B][CI] >= 0)
+        X[static_cast<unsigned>(CallPoolVar[B][CI])] =
+            (InRam[B] && Crosses) ? 1.0 : 0.0;
+    }
+  }
+  return X;
+}
+
 Assignment PlacementModel::decode(const MipSolution &Sol) const {
   Assignment InRam(XVar.size(), false);
   if (!Sol.feasible())
@@ -149,8 +186,10 @@ PlacementModel ramloc::buildPlacementModel(const ModelParams &MP,
   // Call-edge indicators c >= |x_caller - x_calleeEntry|, plus the
   // product w = x_caller * c: a rewritten call in a RAM-resident caller
   // places its literal-pool word in RAM, which Eq. 7 must account for.
-  std::vector<std::vector<int>> CallVar(N);
-  std::vector<std::vector<int>> CallPoolVar(N);
+  std::vector<std::vector<int>> &CallVar = PM.CallVar;
+  std::vector<std::vector<int>> &CallPoolVar = PM.CallPoolVar;
+  CallVar.assign(N, {});
+  CallPoolVar.assign(N, {});
   if (Knobs.ModelCallEdges) {
     for (unsigned B = 0; B != N; ++B) {
       const BlockParams &Blk = MP.Blocks[B];
@@ -295,6 +334,15 @@ Assignment ramloc::solvePlacement(const ModelParams &MP,
   if (SolverStats)
     *SolverStats = Sol;
   return PM.decode(Sol);
+}
+
+bool PlacementSolver::seedIncumbent(const ModelParams &MP,
+                                    const Assignment &InRam) {
+  std::vector<double> Seed = PM.encode(MP, InRam);
+  if (Seed.empty())
+    return false;
+  Warm.Incumbent = std::move(Seed);
+  return true;
 }
 
 Assignment PlacementSolver::solve(const ModelKnobs &Knobs,

@@ -81,6 +81,10 @@ struct PlacementModel {
   std::vector<int> XVar;
   std::vector<int> YVar;
   std::vector<int> ZVar;
+  /// Per (block, call-site): cross-memory-call indicator c and its RAM
+  /// literal-pool product w = x * c, -1 when the edge cannot cross.
+  std::vector<std::vector<int>> CallVar;
+  std::vector<std::vector<int>> CallPoolVar;
   /// Objective constant: energy of the all-flash baseline (mW*cycles).
   double BaseEnergyTerm = 0.0;
   /// Base cycles (denominator of Eq. 9).
@@ -101,6 +105,17 @@ struct PlacementModel {
 
   /// Decodes a MIP solution into the assignment R.
   Assignment decode(const MipSolution &Sol) const;
+
+  /// The inverse of decode: lifts an assignment to the canonical full
+  /// variable vector (x from the assignment; y/z/c/w at the values the
+  /// objective and constraint pressure pin them to at integral points —
+  /// the optimal completion of that x). Returns an empty vector when the
+  /// assignment does not fit this model (wrong arity, or a block marked
+  /// in-RAM that has no placement variable). Used to replant a persisted
+  /// incumbent: feed the result to a MipWarmStart and solveMip re-checks
+  /// it at zero tolerance before letting it prune anything.
+  std::vector<double> encode(const ModelParams &MP,
+                             const Assignment &InRam) const;
 };
 
 /// Builds the ILP for \p MP under \p Knobs.
@@ -136,6 +151,17 @@ public:
   /// cold reference solve.
   Assignment solve(const ModelKnobs &Knobs, const MipOptions &Mip = {},
                    MipSolution *SolverStats = nullptr);
+
+  /// Plants \p InRam as the next solve's starting incumbent — the
+  /// cross-process analogue of the knob-chain's previous-optimum seed
+  /// (typically the persistent cache's best-known assignment for this
+  /// solve group). The seed is only a pruning hint: solveMip re-validates
+  /// it at zero tolerance under the solve's actual knobs, so a stale or
+  /// infeasible seed costs nothing and cannot change the answer. Returns
+  /// false (and plants nothing) when the assignment does not fit the
+  /// model. Only honoured by warm-noded solves (a cold reference solve
+  /// carries no cross-solve state by design).
+  bool seedIncumbent(const ModelParams &MP, const Assignment &InRam);
 
   const PlacementModel &model() const { return PM; }
 

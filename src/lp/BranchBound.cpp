@@ -15,13 +15,50 @@
 
 using namespace ramloc;
 
+const char *ramloc::nodeOrderName(NodeOrder O) {
+  switch (O) {
+  case NodeOrder::Dfs:
+    return "dfs";
+  case NodeOrder::BestBound:
+    return "best-bound";
+  case NodeOrder::Hybrid:
+    return "hybrid";
+  }
+  return "?";
+}
+
+bool ramloc::nodeOrderFromName(const std::string &Name, NodeOrder &Out) {
+  if (Name == "dfs")
+    Out = NodeOrder::Dfs;
+  else if (Name == "best-bound")
+    Out = NodeOrder::BestBound;
+  else if (Name == "hybrid")
+    Out = NodeOrder::Hybrid;
+  else
+    return false;
+  return true;
+}
+
 namespace {
 
 struct Node {
   std::vector<double> Lower;
   std::vector<double> Upper;
-  double Bound; // parent LP objective: lower bound on this subtree
+  double Bound;      ///< parent LP objective: lower bound on this subtree
+  uint64_t Seq = 0;  ///< creation order; deterministic tie-break
+  int BranchVar = -1; ///< variable whose bound created this node
+  bool BranchUp = false; ///< true: forced to 1; false: forced to 0
+  double FracDist = 0.0; ///< fractional distance the branch moved it
 };
+
+/// Heap discipline for best-bound mode: the "largest" element (heap top)
+/// is the open node with the smallest parent bound; among equal bounds
+/// the youngest node wins, which keeps ties diving like Dfs would.
+bool worseThan(const Node &A, const Node &B) {
+  if (A.Bound != B.Bound)
+    return A.Bound > B.Bound;
+  return A.Seq < B.Seq;
+}
 
 /// Rounds an LP point to the nearest binary assignment; returns true if
 /// the rounded point is feasible. Cheap incumbent generator.
@@ -32,6 +69,86 @@ bool roundToFeasible(const LpProblem &P, const std::vector<double> &X,
     if (P.Variables[J].Integer)
       Out[J] = Out[J] >= 0.5 ? 1.0 : 0.0;
   return P.isFeasible(Out);
+}
+
+/// Per-variable branching history: average objective degradation per unit
+/// of fraction moved, one estimate per direction. Reset for every
+/// solveMip call so a solve's branching decisions depend only on its own
+/// tree, not on what a previous knob point explored.
+struct PseudoCosts {
+  std::vector<double> DownSum, UpSum;
+  std::vector<unsigned> DownCnt, UpCnt;
+
+  explicit PseudoCosts(unsigned N)
+      : DownSum(N, 0.0), UpSum(N, 0.0), DownCnt(N, 0), UpCnt(N, 0) {}
+
+  void observe(unsigned Var, bool Up, double Degradation, double Dist) {
+    double PerUnit = std::max(Degradation, 0.0) / std::max(Dist, 1e-6);
+    if (Up) {
+      UpSum[Var] += PerUnit;
+      ++UpCnt[Var];
+    } else {
+      DownSum[Var] += PerUnit;
+      ++DownCnt[Var];
+    }
+  }
+
+  double estimate(unsigned Var, bool Up, double Fallback) const {
+    unsigned Cnt = Up ? UpCnt[Var] : DownCnt[Var];
+    if (Cnt == 0)
+      return Fallback;
+    return (Up ? UpSum[Var] : DownSum[Var]) / Cnt;
+  }
+};
+
+/// Picks the branching variable for a fractional relaxation point.
+/// Pseudo-cost scoring multiplies the estimated degradation of the two
+/// children (the product rule); variables without history score with the
+/// tree-wide average so early decisions degrade to most-fractional.
+int pickBranchVariable(const LpProblem &P, const std::vector<double> &X,
+                       const MipOptions &Opts, const PseudoCosts &PC) {
+  int BranchVar = -1;
+  double BestScore = 0.0;
+
+  // Tree-wide average per-unit degradation, the fallback estimate.
+  double Sum = 0.0;
+  unsigned Cnt = 0;
+  if (Opts.PseudoCostBranching) {
+    for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
+      if (PC.DownCnt[J]) {
+        Sum += PC.DownSum[J] / PC.DownCnt[J];
+        ++Cnt;
+      }
+      if (PC.UpCnt[J]) {
+        Sum += PC.UpSum[J] / PC.UpCnt[J];
+        ++Cnt;
+      }
+    }
+  }
+  double Fallback = Cnt ? Sum / Cnt : 1.0;
+
+  for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
+    if (!P.Variables[J].Integer)
+      continue;
+    double V = X[J];
+    double Frac = std::min(V - std::floor(V), std::ceil(V) - V);
+    if (Frac <= Opts.IntegerTolerance)
+      continue;
+    double Score;
+    if (Opts.PseudoCostBranching) {
+      double Down = V - std::floor(V);
+      double Up = std::ceil(V) - V;
+      Score = std::max(Down * PC.estimate(J, false, Fallback), 1e-12) *
+              std::max(Up * PC.estimate(J, true, Fallback), 1e-12);
+    } else {
+      Score = Frac;
+    }
+    if (BranchVar < 0 || Score > BestScore) {
+      BranchVar = static_cast<int>(J);
+      BestScore = Score;
+    }
+  }
+  return BranchVar;
 }
 
 } // namespace
@@ -51,13 +168,13 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
     RootHi[J] = P.Variables[J].Upper;
   }
 
-  // Knob-axis reuse: the LP basis survives from the previous solve, and
-  // its optimum — when still feasible under the patched bounds/RHS —
-  // opens the search with a proven-quality incumbent, so most of the new
-  // tree prunes immediately. The feasibility re-check is exact (zero
-  // tolerance): admitting a point that is infeasible by even a whisker
-  // could prune the true optimum, whereas spuriously rejecting a
-  // boundary-tight seed merely loses a head start.
+  // Knob-axis / cross-process reuse: the LP basis survives from the
+  // previous solve, and the seeded incumbent — when still feasible under
+  // the patched bounds/RHS — opens the search with a proven-quality
+  // point, so most of the new tree prunes immediately. The feasibility
+  // re-check is exact (zero tolerance): admitting a point that is
+  // infeasible by even a whisker could prune the true optimum, whereas
+  // spuriously rejecting a boundary-tight seed merely loses a head start.
   WarmStart LocalWs;
   WarmStart &Ws = Warm ? Warm->Lp : LocalWs;
   Best.WarmStarted = Opts.WarmNodes && Ws.valid();
@@ -66,26 +183,50 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
   if (Warm && Warm->Incumbent.size() == P.numVariables() &&
       P.isFeasible(Warm->Incumbent, /*Tol=*/0.0)) {
     HaveIncumbent = true;
+    Best.SeededIncumbent = true;
     Best.Status = LpStatus::Optimal;
     Best.Objective = P.objectiveValue(Warm->Incumbent);
     Best.Values = Warm->Incumbent;
   }
 
-  std::vector<Node> Stack;
-  Stack.push_back({std::move(RootLo), std::move(RootHi),
-                   -std::numeric_limits<double>::infinity()});
+  PseudoCosts PC(P.numVariables());
 
-  while (!Stack.empty()) {
+  // The open list doubles as a stack (diving mode) and a binary heap
+  // (best-bound mode). Hybrid starts diving and heapifies once the first
+  // incumbent exists — from then on pops take the smallest-bound node.
+  std::vector<Node> Open;
+  uint64_t NextSeq = 0;
+  bool HeapMode = Opts.Order == NodeOrder::BestBound ||
+                  (Opts.Order == NodeOrder::Hybrid && HaveIncumbent);
+  Node Root;
+  Root.Lower = std::move(RootLo);
+  Root.Upper = std::move(RootHi);
+  Root.Bound = -std::numeric_limits<double>::infinity();
+  Root.Seq = NextSeq++;
+  Open.push_back(std::move(Root));
+
+  while (!Open.empty()) {
     if (Best.NodesExplored >= Opts.MaxNodes) {
       Best.Proven = false;
       break;
     }
-    Node N = std::move(Stack.back());
-    Stack.pop_back();
+    if (!HeapMode && Opts.Order == NodeOrder::Hybrid && HaveIncumbent) {
+      std::make_heap(Open.begin(), Open.end(), worseThan);
+      HeapMode = true;
+    }
+    if (HeapMode)
+      std::pop_heap(Open.begin(), Open.end(), worseThan);
+    Node N = std::move(Open.back());
+    Open.pop_back();
 
-    // Bound pruning against the incumbent.
-    if (HaveIncumbent && N.Bound >= Best.Objective - Opts.GapTolerance)
+    // Bound pruning against the incumbent. In best-bound mode the popped
+    // node has the smallest bound of the whole open list, so a prune
+    // here proves every remaining node away too.
+    if (HaveIncumbent && N.Bound >= Best.Objective - Opts.GapTolerance) {
+      if (HeapMode)
+        break;
       continue;
+    }
 
     ++Best.NodesExplored;
     LpSolution Relax =
@@ -98,6 +239,15 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
       ++Best.ColdNodeSolves;
     Best.PrimalPivots += Relax.Iterations;
     Best.DualPivots += Relax.DualIterations;
+    Best.BoundFlips += Relax.BoundFlips;
+
+    // Feed the branching history: this node's relaxation tells us what
+    // its creating branch actually cost per unit of fraction moved.
+    if (N.BranchVar >= 0 && std::isfinite(N.Bound) &&
+        Relax.Status == LpStatus::Optimal)
+      PC.observe(static_cast<unsigned>(N.BranchVar), N.BranchUp,
+                 Relax.Objective - N.Bound, N.FracDist);
+
     if (Relax.Status == LpStatus::Infeasible)
       continue;
     if (Relax.Status == LpStatus::Unbounded) {
@@ -114,19 +264,7 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
         Relax.Objective >= Best.Objective - Opts.GapTolerance)
       continue;
 
-    // Most fractional binary.
-    int BranchVar = -1;
-    double BestFrac = Opts.IntegerTolerance;
-    for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
-      if (!P.Variables[J].Integer)
-        continue;
-      double V = Relax.Values[J];
-      double Frac = std::min(V - std::floor(V), std::ceil(V) - V);
-      if (Frac > BestFrac) {
-        BestFrac = Frac;
-        BranchVar = static_cast<int>(J);
-      }
-    }
+    int BranchVar = pickBranchVariable(P, Relax.Values, Opts, PC);
 
     if (BranchVar < 0) {
       // Integral: new incumbent.
@@ -151,17 +289,25 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
 
     unsigned BV = static_cast<unsigned>(BranchVar);
     double Frac = Relax.Values[BV];
-    // Explore the closer side first (DFS pops the last pushed node).
-    Node Zero{N.Lower, N.Upper, Relax.Objective};
+    Node Zero{N.Lower, N.Upper, Relax.Objective, 0, BranchVar, false, Frac};
     Zero.Upper[BV] = 0.0;
-    Node One{std::move(N.Lower), std::move(N.Upper), Relax.Objective};
+    Node One{std::move(N.Lower), std::move(N.Upper), Relax.Objective, 0,
+             BranchVar, true, 1.0 - Frac};
     One.Lower[BV] = 1.0;
+    // Explore the closer side first: the stack pops the last pushed
+    // node, and the heap breaks bound ties towards the younger Seq.
+    auto push = [&](Node &&Child) {
+      Child.Seq = NextSeq++;
+      Open.push_back(std::move(Child));
+      if (HeapMode)
+        std::push_heap(Open.begin(), Open.end(), worseThan);
+    };
     if (Frac >= 0.5) {
-      Stack.push_back(std::move(Zero));
-      Stack.push_back(std::move(One));
+      push(std::move(Zero));
+      push(std::move(One));
     } else {
-      Stack.push_back(std::move(One));
-      Stack.push_back(std::move(Zero));
+      push(std::move(One));
+      push(std::move(Zero));
     }
   }
 

@@ -8,20 +8,43 @@
 /// \file
 /// Branch & bound over the simplex relaxation for problems whose integer
 /// variables are all binary (exactly the shape of the paper's Section 4
-/// model after linearization). Depth-first with best-bound pruning, most
-/// fractional branching, and an LP-rounding incumbent heuristic.
+/// model after linearization), with best-bound pruning, pseudo-cost
+/// branching (most-fractional until costs are observed) and an
+/// LP-rounding incumbent heuristic.
+///
+/// Node selection is pluggable (MipOptions::Order). Warm starts made node
+/// cost uneven — a child next to its parent re-optimizes in a handful of
+/// dual pivots where a far jump pays a bigger repair — so the policy is a
+/// real lever:
+///
+///  - Dfs (default): classic depth-first diving, the warm-friendliest
+///    order — every node is one bound change from the previous one, so
+///    the dual repair is local and the retained tableau pays for itself.
+///  - BestBound: always expand the open node with the smallest parent
+///    bound; minimizes nodes explored and proves the gap earliest, at the
+///    price of larger basis repairs per node.
+///  - Hybrid: dive depth-first until the first incumbent exists, then
+///    switch to best-bound for the proof phase — the smallest trees of
+///    the three, the strongest choice for cold (--no-solve-reuse) runs
+///    where there is no retained basis to thrash.
+///
+/// All orders are exact and return an optimal solution; on problems with
+/// a unique optimum they return bit-identical assignments.
 ///
 /// Solve once, branch cheap: each child node differs from its parent in
-/// exactly one variable bound, which leaves the parent's LP basis dual
-/// feasible, so by default nodes are solved by dual-simplex
-/// re-optimization of one evolving WarmStart tableau instead of a
-/// two-phase solve from scratch (MipOptions::WarmNodes; both paths are
-/// exact, so the answer is the same either way — MipSolution's counters
-/// record how each node was satisfied). A MipWarmStart additionally
-/// carries that tableau and the previous optimum *across* solveMip calls,
-/// so a sweep that only patches bounds or constraint RHS values between
-/// solves — the knob axis of a placement campaign — re-optimizes from its
-/// neighbour instead of starting over.
+/// exactly one variable bound, which — with the bounded-variable tableau
+/// — is an O(1) box update plus an O(rows) basic-value refresh that
+/// leaves the parent basis dual feasible, so by default nodes are solved
+/// by dual-simplex re-optimization of one evolving WarmStart tableau
+/// instead of a fresh solve (MipOptions::WarmNodes; both paths are exact,
+/// so the answer is the same either way — MipSolution's counters record
+/// how each node was satisfied). A MipWarmStart additionally carries that
+/// tableau and the previous optimum *across* solveMip calls, so a sweep
+/// that only patches bounds or constraint RHS values between solves — the
+/// knob axis of a placement campaign — re-optimizes from its neighbour
+/// instead of starting over, and an externally seeded incumbent (e.g. the
+/// persistent cache's best-known assignment) opens the search with most
+/// of the tree already pruned.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +54,16 @@
 #include "lp/Simplex.h"
 
 namespace ramloc {
+
+/// Which open node the search expands next.
+enum class NodeOrder : uint8_t {
+  Dfs,       ///< depth-first diving (warm-friendliest)
+  BestBound, ///< smallest parent bound first (smallest tree)
+  Hybrid,    ///< dive until an incumbent exists, then best-bound
+};
+
+const char *nodeOrderName(NodeOrder O);
+bool nodeOrderFromName(const std::string &Name, NodeOrder &Out);
 
 /// MIP search knobs.
 struct MipOptions {
@@ -42,9 +75,16 @@ struct MipOptions {
   /// Absolute optimality gap at which a node is pruned.
   double GapTolerance = 1e-9;
   /// Warm-start each node's relaxation from its parent's basis (dual
-  /// simplex) instead of re-solving two-phase from scratch. Exact either
-  /// way; disable for the fully cold reference path (--no-solve-reuse).
+  /// simplex) instead of re-solving from scratch. Exact either way;
+  /// disable for the fully cold reference path (--no-solve-reuse).
   bool WarmNodes = true;
+  /// Node-selection policy (see NodeOrder). Every order is exact.
+  NodeOrder Order = NodeOrder::Dfs;
+  /// Branch on the variable with the best pseudo-cost score (estimated
+  /// objective degradation both ways), falling back to most-fractional
+  /// until a variable has observed degradations. Disable for plain
+  /// most-fractional branching.
+  bool PseudoCostBranching = true;
 };
 
 /// MIP outcome. Status Optimal with Proven false means "best found within
@@ -60,28 +100,37 @@ struct MipSolution {
   /// satisfied, and the pivots each path spent. A cold search has
   /// ColdNodeSolves == NodesExplored; the warm path pays one cold solve
   /// (the root, unless a MipWarmStart seeded it) and re-optimizes the
-  /// rest.
+  /// rest. BoundFlips counts ratio-test outcomes that moved a variable
+  /// across its box without a pivot (bounded-variable fast path).
   unsigned ColdNodeSolves = 0;
   unsigned WarmNodeSolves = 0;
   uint64_t PrimalPivots = 0;
   uint64_t DualPivots = 0;
+  uint64_t BoundFlips = 0;
   /// True when this solve itself started from a caller-provided
   /// MipWarmStart basis (knob-axis reuse) rather than a cold root.
   bool WarmStarted = false;
+  /// True when the caller-provided incumbent survived the zero-tolerance
+  /// feasibility re-check and opened the search.
+  bool SeededIncumbent = false;
 
   bool feasible() const { return Status == LpStatus::Optimal; }
 };
 
 /// Cross-solve warm-start state for a structurally fixed problem whose
 /// bounds or constraint RHS values change between solves. The LP tableau
-/// evolves in place across the search trees, and the previous optimum
-/// seeds the next solve's incumbent (after a feasibility re-check under
-/// the patched problem). Reuse with a *structurally* different problem is
+/// evolves in place across the search trees, and the previous optimum —
+/// or an externally provided assignment, e.g. the persistent cache's
+/// best-known placement — seeds the next solve's incumbent (after an
+/// exact, zero-tolerance feasibility re-check under the patched problem:
+/// admitting a point infeasible by even a whisker could prune the true
+/// optimum, whereas spuriously rejecting a boundary-tight seed merely
+/// loses a head start). Reuse with a *structurally* different problem is
 /// detected and degrades to a cold solve.
 struct MipWarmStart {
   WarmStart Lp;
-  /// The previous solve's optimal point (empty when none); used as the
-  /// next solve's starting incumbent when still feasible.
+  /// The incumbent seed for the next solve (empty when none): the
+  /// previous solve's optimum, or a caller-planted assignment.
   std::vector<double> Incumbent;
 };
 

@@ -11,8 +11,14 @@
 ///
 ///   minimize    c . x
 ///   subject to  a_i . x  {<=, >=, ==}  b_i
-///               lo_j <= x_j <= hi_j     (finite lower bounds required)
+///               lo_j <= x_j <= hi_j
 ///               x_j integral for integer-marked variables
+///
+/// Either bound may be infinite: the bounded-variable simplex keeps a
+/// nonbasic variable at whichever finite bound it has (or at zero when
+/// both are infinite — a free variable), so boxes are data, not rows. A
+/// variable with lo == hi is fixed: it participates in constraints and
+/// the objective but never enters a basis.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,15 +54,22 @@ struct LpVariable {
   double Objective = 0.0;
   bool Integer = false;
   std::string Name;
+
+  /// True when the box pins the variable to a single value.
+  bool isFixed() const { return Lower == Upper; }
+  /// True when both bounds are infinite.
+  bool isFree() const {
+    return !std::isfinite(Lower) && !std::isfinite(Upper);
+  }
 };
 
 /// A minimization LP/MIP.
 class LpProblem {
 public:
-  /// Adds a variable and returns its index.
+  /// Adds a variable and returns its index. Bounds may be infinite on
+  /// either side (a fully free variable has both infinite).
   unsigned addVariable(double Lower, double Upper, double Objective,
                        bool Integer = false, std::string Name = {}) {
-    assert(std::isfinite(Lower) && "finite lower bounds required");
     assert(Lower <= Upper && "empty variable domain");
     Variables.push_back({Lower, Upper, Objective, Integer, std::move(Name)});
     return static_cast<unsigned>(Variables.size()) - 1;

@@ -1,27 +1,49 @@
-//===- lp/Simplex.cpp - two-phase primal simplex ------------------------------===//
+//===- lp/Simplex.cpp - bounded-variable simplex ------------------------------===//
 //
 // Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
 // trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
 //
 //===----------------------------------------------------------------------===//
 //
-// Implementation notes. The problem is converted to standard form:
-//   - every variable is shifted by its (finite) lower bound so x' >= 0;
-//   - finite upper bounds become explicit rows x' <= hi - lo;
-//   - fixed variables (lo == hi) are substituted into RHS and dropped;
-//   - rows are normalised to non-negative RHS; <= rows get a slack, >= rows
-//     a surplus plus an artificial, == rows an artificial.
-// Phase 1 minimises the artificial sum; phase 2 the true objective. Dantzig
-// pricing with a Bland fallback once degeneracy stalls progress.
+// Implementation notes. One engine serves both the cold and the warm path:
+// a dense bounded-variable tableau in which every constraint becomes an
+// equality with one bounded slack
 //
-// The warm path (WarmState, at the bottom of this file) uses a different
-// standard form: every variable keeps its column — fixed variables are NOT
-// substituted out — and every integer variable gets explicit upper and
-// lower bound rows. Branch & bound bound changes and knob-row RHS patches
-// are then pure RHS updates: adding delta * (the row's identity-start
-// column) to the RHS column retargets the solved tableau in O(rows), after
-// which the dual simplex restores primal feasibility from the still
-// dual-feasible parent basis.
+//   a_i . x + s_i = b_i    with  s_i in [0, inf)   for <=
+//                                s_i in (-inf, 0]  for >=
+//                                s_i in [0, 0]     for ==
+//
+// and every variable — structural or slack — carries its [lb, ub] box as
+// data. Nonbasic variables sit at a bound (or at zero when free); the
+// RHS is not a tableau column but the vector Beta of current *basic
+// values*, updated in closed form by every pivot, bound flip and patch.
+// There are no bound rows and no artificial columns: the tableau has
+// exactly one row per (non-degenerate) constraint, roughly half of the
+// all-bounds-as-rows formulation this repo used through PR 4.
+//
+// A cold solve starts from the all-slack basis with structurals at their
+// finite bounds. That start is primal infeasible exactly where >=/== rows
+// bite, so feasibility is restored by a dual simplex under a *zero*
+// objective (every status is trivially dual-feasible then — the
+// artificial-free analogue of phase 1), after which the true objective is
+// priced against the basis and primal bounded iterations finish the job.
+// The primal ratio test has three outcomes: a basic variable hits a
+// bound (ordinary pivot), the entering variable's own span is the
+// binding limit (a bound *flip*: no pivot, no elimination, an O(rows)
+// value update), or nothing binds (unbounded).
+//
+// The warm path keeps the whole state. Branch & bound bound changes and
+// knob-row RHS patches are O(rows) updates — a nonbasic variable slides
+// along its moved bound, an RHS shift lands through the row's slack
+// column (which holds B^-1 e_r after any pivot sequence) — and leave the
+// basis dual feasible because the objective row is untouched, so the
+// dual simplex re-optimizes from where the parent left off.
+//
+// Rows are equilibrated to unit max-coefficient at build: the placement
+// model mixes +-1 McCormick rows with Fb*Tb cycle-budget rows around
+// 1e7, and a tableau living across thousands of pivots cannot survive
+// that spread with absolute tolerances. Row scaling never moves the
+// feasible set, and the slack boxes (0 / +-inf) are scale-invariant.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +51,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 using namespace ramloc;
 
@@ -76,425 +99,85 @@ bool LpProblem::isFeasible(const std::vector<double> &X, double Tol) const {
 
 namespace {
 
-/// Dense tableau: Rows x Cols, column Cols-1 is the RHS, row Rows-1 the
-/// objective under optimisation (phase 1 or 2).
-class Tableau {
-public:
-  Tableau(const LpProblem &P, const std::vector<double> &Lower,
-          const std::vector<double> &Upper, const SimplexOptions &Opts)
-      : P(P), Opts(Opts), Lower(Lower), Upper(Upper) {}
+constexpr double Inf = std::numeric_limits<double>::infinity();
 
-  LpSolution solve() {
-    LpSolution Sol;
-    if (!build()) {
-      Sol.Status = LpStatus::Infeasible;
-      return Sol;
-    }
+/// Minimum |pivot element| either ratio test will divide by. The dual
+/// test in particular would otherwise happily pick a degenerate 1e-9
+/// coefficient ("ratio 0") and destroy the tableau dividing by it.
+constexpr double PivotTol = 1e-7;
 
-    // Phase 1: minimise artificial sum (already priced into row Obj).
-    if (NumArtificials > 0) {
-      LpStatus S = iterate(/*Phase1=*/true);
-      if (S != LpStatus::Optimal) {
-        Sol.Status = S == LpStatus::Unbounded ? LpStatus::Infeasible : S;
-        Sol.Iterations = Iterations;
-        return Sol;
-      }
-      if (T[ObjRow][RhsCol] < -Opts.Tolerance) {
-        Sol.Status = LpStatus::Infeasible;
-        Sol.Iterations = Iterations;
-        return Sol;
-      }
-      pivotOutArtificials();
-      installPhase2Objective();
-    }
-
-    LpStatus S = iterate(/*Phase1=*/false);
-    Sol.Status = S;
-    Sol.Iterations = Iterations;
-    if (S != LpStatus::Optimal)
-      return Sol;
-
-    Sol.Basis = Basis;
-    Sol.Values.assign(P.numVariables(), 0.0);
-    for (unsigned J = 0, E = P.numVariables(); J != E; ++J)
-      Sol.Values[J] = Lower[J];
-    for (unsigned R = 0; R != NumRows; ++R) {
-      unsigned Col = Basis[R];
-      if (Col < NumStructural) {
-        unsigned Var = StructuralVar[Col];
-        Sol.Values[Var] = Lower[Var] + T[R][RhsCol];
-      }
-    }
-    Sol.Objective = P.objectiveValue(Sol.Values);
-    return Sol;
-  }
-
-private:
-  /// Builds the standard-form tableau; returns false on trivially
-  /// inconsistent fixed-variable rows.
-  bool build() {
-    unsigned NV = P.numVariables();
-    // Structural columns: non-fixed variables.
-    StructuralVar.clear();
-    VarColumn.assign(NV, UINT32_MAX);
-    for (unsigned J = 0; J != NV; ++J) {
-      if (Upper[J] - Lower[J] > Opts.Tolerance) {
-        VarColumn[J] = static_cast<unsigned>(StructuralVar.size());
-        StructuralVar.push_back(J);
-      }
-    }
-    NumStructural = static_cast<unsigned>(StructuralVar.size());
-
-    // Row list: original constraints + upper-bound rows.
-    struct Row {
-      std::vector<std::pair<unsigned, double>> Terms; // column, coef
-      ConstraintSense Sense;
-      double Rhs;
-    };
-    std::vector<Row> Rows;
-    for (const LpConstraint &C : P.Constraints) {
-      Row R;
-      R.Sense = C.Sense;
-      R.Rhs = C.Rhs;
-      for (const auto &[Var, Coef] : C.Terms) {
-        R.Rhs -= Coef * Lower[Var]; // shift by lower bound
-        if (VarColumn[Var] != UINT32_MAX)
-          R.Terms.push_back({VarColumn[Var], Coef});
-        // fixed variables contribute only via the shift above
-      }
-      if (R.Terms.empty()) {
-        // Constant row: must hold on its own.
-        bool OK = true;
-        switch (R.Sense) {
-        case ConstraintSense::LessEq:
-          OK = R.Rhs >= -1e-7;
-          break;
-        case ConstraintSense::GreaterEq:
-          OK = R.Rhs <= 1e-7;
-          break;
-        case ConstraintSense::Equal:
-          OK = std::abs(R.Rhs) <= 1e-7;
-          break;
-        }
-        if (!OK)
-          return false;
-        continue;
-      }
-      Rows.push_back(std::move(R));
-    }
-    for (unsigned Col = 0; Col != NumStructural; ++Col) {
-      unsigned Var = StructuralVar[Col];
-      if (!std::isfinite(Upper[Var]))
-        continue;
-      Row R;
-      R.Sense = ConstraintSense::LessEq;
-      R.Rhs = Upper[Var] - Lower[Var];
-      R.Terms.push_back({Col, 1.0});
-      Rows.push_back(std::move(R));
-    }
-
-    NumRows = static_cast<unsigned>(Rows.size());
-
-    // Count slack and artificial columns after RHS normalisation.
-    unsigned NumSlacks = 0;
-    NumArtificials = 0;
-    for (Row &R : Rows) {
-      if (R.Rhs < 0) {
-        R.Rhs = -R.Rhs;
-        for (auto &[Col, Coef] : R.Terms)
-          Coef = -Coef;
-        if (R.Sense == ConstraintSense::LessEq)
-          R.Sense = ConstraintSense::GreaterEq;
-        else if (R.Sense == ConstraintSense::GreaterEq)
-          R.Sense = ConstraintSense::LessEq;
-      }
-      if (R.Sense != ConstraintSense::Equal)
-        ++NumSlacks;
-      if (R.Sense != ConstraintSense::LessEq)
-        ++NumArtificials;
-    }
-
-    NumCols = NumStructural + NumSlacks + NumArtificials;
-    RhsCol = NumCols;
-    ObjRow = NumRows;
-    T.assign(NumRows + 1, std::vector<double>(NumCols + 1, 0.0));
-    Basis.assign(NumRows, 0);
-    ArtificialStart = NumStructural + NumSlacks;
-
-    unsigned SlackCursor = NumStructural;
-    unsigned ArtCursor = ArtificialStart;
-    for (unsigned RI = 0; RI != NumRows; ++RI) {
-      const Row &R = Rows[RI];
-      for (const auto &[Col, Coef] : R.Terms)
-        T[RI][Col] += Coef;
-      T[RI][RhsCol] = R.Rhs;
-      switch (R.Sense) {
-      case ConstraintSense::LessEq:
-        T[RI][SlackCursor] = 1.0;
-        Basis[RI] = SlackCursor++;
-        break;
-      case ConstraintSense::GreaterEq:
-        T[RI][SlackCursor] = -1.0;
-        ++SlackCursor;
-        T[RI][ArtCursor] = 1.0;
-        Basis[RI] = ArtCursor++;
-        break;
-      case ConstraintSense::Equal:
-        T[RI][ArtCursor] = 1.0;
-        Basis[RI] = ArtCursor++;
-        break;
-      }
-    }
-
-    if (NumArtificials > 0) {
-      // Phase-1 objective: minimise sum of artificials. Express the
-      // objective row in terms of non-basic columns: row_obj = -sum of
-      // rows with artificial basics.
-      for (unsigned RI = 0; RI != NumRows; ++RI) {
-        if (Basis[RI] < ArtificialStart)
-          continue;
-        for (unsigned C = 0; C <= NumCols; ++C)
-          T[ObjRow][C] -= T[RI][C];
-        // keep the artificial's own column zeroed in the objective
-        T[ObjRow][Basis[RI]] = 0.0;
-      }
-    } else {
-      installPhase2Objective();
-    }
-    return true;
-  }
-
-  /// Loads the real objective into the objective row, priced out against
-  /// the current basis.
-  void installPhase2Objective() {
-    for (unsigned C = 0; C <= NumCols; ++C)
-      T[ObjRow][C] = 0.0;
-    for (unsigned Col = 0; Col != NumStructural; ++Col)
-      T[ObjRow][Col] = P.Variables[StructuralVar[Col]].Objective;
-    // Price out basic variables.
-    for (unsigned RI = 0; RI != NumRows; ++RI) {
-      unsigned BCol = Basis[RI];
-      double Cost = T[ObjRow][BCol];
-      if (std::abs(Cost) < Opts.Tolerance)
-        continue;
-      for (unsigned C = 0; C <= NumCols; ++C)
-        T[ObjRow][C] -= Cost * T[RI][C];
-    }
-  }
-
-  /// After phase 1, force remaining (degenerate) artificial basics out of
-  /// the basis where possible.
-  void pivotOutArtificials() {
-    for (unsigned RI = 0; RI != NumRows; ++RI) {
-      if (Basis[RI] < ArtificialStart)
-        continue;
-      for (unsigned C = 0; C != ArtificialStart; ++C) {
-        if (std::abs(T[RI][C]) > 1e-7) {
-          pivot(RI, C);
-          break;
-        }
-      }
-    }
-  }
-
-  /// Primal simplex iterations on the current objective row. In phase 1
-  /// artificial columns may re-enter; in phase 2 they are barred.
-  LpStatus iterate(bool Phase1) {
-    unsigned StallCount = 0;
-    double LastObj = T[ObjRow][RhsCol];
-    while (Iterations < Opts.MaxIterations) {
-      ++Iterations;
-      unsigned Limit = Phase1 ? NumCols : ArtificialStart;
-      bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
-
-      // Entering column: most negative reduced cost (Dantzig), or first
-      // negative (Bland) when stalled.
-      int Entering = -1;
-      double Best = -Opts.Tolerance;
-      for (unsigned C = 0; C != Limit; ++C) {
-        double RC = T[ObjRow][C];
-        if (RC < Best) {
-          Entering = static_cast<int>(C);
-          if (Bland)
-            break;
-          Best = RC;
-        }
-      }
-      if (Entering < 0)
-        return LpStatus::Optimal;
-
-      // Leaving row: minimum ratio test (Bland tie-break on basis index).
-      int Leaving = -1;
-      double BestRatio = 0.0;
-      for (unsigned R = 0; R != NumRows; ++R) {
-        double A = T[R][static_cast<unsigned>(Entering)];
-        if (A <= Opts.Tolerance)
-          continue;
-        double Ratio = T[R][RhsCol] / A;
-        if (Leaving < 0 || Ratio < BestRatio - Opts.Tolerance ||
-            (Ratio < BestRatio + Opts.Tolerance &&
-             Basis[R] < Basis[static_cast<unsigned>(Leaving)])) {
-          Leaving = static_cast<int>(R);
-          BestRatio = Ratio;
-        }
-      }
-      if (Leaving < 0)
-        return LpStatus::Unbounded;
-
-      pivot(static_cast<unsigned>(Leaving),
-            static_cast<unsigned>(Entering));
-
-      double Obj = T[ObjRow][RhsCol];
-      if (std::abs(Obj - LastObj) < Opts.Tolerance)
-        ++StallCount;
-      else
-        StallCount = 0;
-      LastObj = Obj;
-    }
-    return LpStatus::IterLimit;
-  }
-
-  void pivot(unsigned Row, unsigned Col) {
-    double Pivot = T[Row][Col];
-    for (unsigned C = 0; C <= NumCols; ++C)
-      T[Row][C] /= Pivot;
-    for (unsigned R = 0; R <= NumRows; ++R) {
-      if (R == Row)
-        continue;
-      double Factor = T[R][Col];
-      if (std::abs(Factor) < 1e-12)
-        continue;
-      for (unsigned C = 0; C <= NumCols; ++C)
-        T[R][C] -= Factor * T[Row][C];
-      T[R][Col] = 0.0; // cut numerical drift
-    }
-    Basis[Row] = Col;
-  }
-
-  const LpProblem &P;
-  const SimplexOptions &Opts;
-  const std::vector<double> &Lower;
-  const std::vector<double> &Upper;
-
-  std::vector<std::vector<double>> T;
-  std::vector<unsigned> Basis;
-  std::vector<unsigned> StructuralVar; ///< column -> original variable
-  std::vector<unsigned> VarColumn;     ///< variable -> column (or UINT32_MAX)
-  unsigned NumStructural = 0;
-  unsigned NumRows = 0;
-  unsigned NumCols = 0;
-  unsigned RhsCol = 0;
-  unsigned ObjRow = 0;
-  unsigned NumArtificials = 0;
-  unsigned ArtificialStart = 0;
-  unsigned Iterations = 0;
-};
+/// A box violation a stuck row (no above-threshold pivot element) is
+/// allowed to keep. Rows are equilibrated to unit max-coefficient, so
+/// this is ~1e-7 of a row's dominant term — below every tolerance the
+/// callers apply — whereas rebuilding the whole warm state over it costs
+/// a full cold solve. Material stuck violations still fail hard.
+constexpr double StuckTol = 1e-7;
 
 } // namespace
 
-LpSolution ramloc::solveLpWithBounds(const LpProblem &P,
-                                     const std::vector<double> &Lower,
-                                     const std::vector<double> &Upper,
-                                     const SimplexOptions &Opts) {
-  assert(Lower.size() == P.numVariables() &&
-         Upper.size() == P.numVariables() && "bounds size mismatch");
-  Tableau Tab(P, Lower, Upper, Opts);
-  return Tab.solve();
-}
-
-LpSolution ramloc::solveLp(const LpProblem &P, const SimplexOptions &Opts) {
-  std::vector<double> Lower(P.numVariables()), Upper(P.numVariables());
-  for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
-    Lower[J] = P.Variables[J].Lower;
-    Upper[J] = P.Variables[J].Upper;
-  }
-  return solveLpWithBounds(P, Lower, Upper, Opts);
-}
-
-//===----------------------------------------------------------------------===//
-// Warm path: re-optimizable tableau with explicit bound rows.
-//===----------------------------------------------------------------------===//
-
 namespace ramloc {
 
-/// The retained standard form. Unlike the cold Tableau, every variable is
-/// structural (column j is variable j, shifted by its *root* lower bound)
-/// and integer variables carry explicit bound rows:
-///
-///   x'_j <= hi_j - rootLo_j          (all vars with finite upper)
-///   -x'_j <= -(lo_j - rootLo_j)      (integer vars only; trivial at root)
-///
-/// so the bound changes branch & bound makes — and any constraint RHS
-/// patch, e.g. the placement model's knob rows — are RHS-only updates.
-/// Each row records the column that started as its identity vector (its
-/// slack or artificial); after any sequence of pivots that column holds
-/// B^-1 e_row, so "RHS of row r moved by delta" is applied as
-/// RhsCol += delta * column(IdCol[r]) over every row including the
-/// objective (whose entry at the identity column is the row's dual
-/// price). Reduced costs are untouched by patches and are recomputed
-/// only when the tableau is rebuilt; the needsRefactor() pivot budget is
-/// what bounds drift across the thousands of pivots a search tree makes.
+/// The retained bounded-variable state (also built throwaway for cold
+/// solves). Columns are [0, NumVars) structural then one slack per row;
+/// Beta holds the basic values, Stat/Lo/Hi the nonbasic side and the box
+/// of every column.
 struct WarmState {
+  enum class VStat : uint8_t { Basic, AtLower, AtUpper, Free };
+
   // Structure signature: a handle is only reusable against the problem
   // shape it was built from.
   unsigned NumVars = 0;
   unsigned NumCons = 0;
   size_t TermSum = 0;
 
-  std::vector<double> RootLo; ///< shift applied to every column
-
-  /// Flat row-major tableau ((NumRows + 1) x (NumCols + 1)); the warm
-  /// path lives in pivots, so the layout is optimized for them: rows are
-  /// contiguous, and pivot() walks a nonzero-index list of the pivot row
-  /// instead of the full width (placement tableaus stay fairly sparse).
+  /// Flat row-major coefficient tableau (NumRows x NumCols). The warm
+  /// path lives in pivots, so elimination walks a nonzero-index list of
+  /// the pivot row while it stays sparse.
   std::vector<double> T;
-  std::vector<unsigned> NzScratch; ///< pivot-row nonzeros, reused
+  std::vector<double> Obj;  ///< reduced costs, one per column (scaled)
+  std::vector<double> Beta; ///< current value of each row's basic var
   std::vector<unsigned> Basis;
+  std::vector<VStat> Stat;  ///< per column
+  std::vector<double> Lo, Hi; ///< per-column box (slacks included)
+  std::vector<unsigned> NzScratch;
+  /// dualIterate scratch, member-owned like NzScratch: the dual runs
+  /// once per branch & bound node, so per-call allocations would sit on
+  /// the solver's hottest path.
+  std::vector<std::tuple<double, double, unsigned>> CandScratch;
+  std::vector<bool> DeferScratch;
   unsigned NumRows = 0;
   unsigned NumCols = 0;
-  unsigned RhsCol = 0;
-  unsigned ObjRow = 0;
-  unsigned Stride = 0;
-  unsigned NumArtificials = 0;
-  unsigned ArtificialStart = 0;
 
-  double *row(unsigned R) { return T.data() + size_t(R) * Stride; }
+  double *row(unsigned R) { return T.data() + size_t(R) * NumCols; }
   const double *row(unsigned R) const {
-    return T.data() + size_t(R) * Stride;
+    return T.data() + size_t(R) * NumCols;
   }
 
-  std::vector<int> ConsRow;    ///< constraint index -> tableau row (-1 none)
-  std::vector<int> UpperRowOf; ///< variable -> upper-bound row (-1 none)
-  std::vector<int> LowerRowOf; ///< variable -> lower-bound row (-1 none)
-  std::vector<unsigned> RowIdCol; ///< row -> identity-start column
-  /// Row -> the factor its original-orientation data was multiplied by
-  /// when stored: the build-time sign flip times the equilibration scale.
-  /// The placement model mixes +-1 McCormick rows with Fb*Tb cycle rows
-  /// around 1e7, and a tableau that lives across thousands of pivots
-  /// cannot survive that spread with absolute tolerances — each row is
-  /// normalized to unit max-coefficient at build, which keeps every
-  /// tolerance meaningful. Solution values are unaffected (row scaling
-  /// never moves the feasible set).
+  std::vector<int> ConsRow; ///< constraint index -> tableau row (-1 none)
+  /// Row -> the equilibration scale its original data was multiplied by;
+  /// folds an original-orientation RHS delta into stored units.
   std::vector<double> RowScale;
   /// The objective row is priced in units of the largest |c_j| for the
-  /// same reason; extract() reports the true objective from the values.
+  /// same dynamic-range reason; extract() reports the true objective
+  /// from the values.
   double ObjScale = 1.0;
 
-  /// The bound/RHS values the tableau currently encodes.
-  std::vector<double> AppliedLo, AppliedHi, AppliedRhs;
+  /// The constraint RHS values the state currently encodes (variable
+  /// bounds are encoded directly in Lo/Hi).
+  std::vector<double> AppliedRhs;
 
   /// False until a solve leaves a re-optimizable (dual-feasible) basis.
   bool Usable = false;
 
-  /// Pivots performed since the tableau was built. Dense tableau updates
+  /// Pivots performed since the tableau was built. Dense updates
   /// accumulate rounding with every pivot; past a generous budget the
   /// handle is rebuilt from the original data (the dense analogue of
   /// periodic refactorization), bounding worst-case drift at a cost of
-  /// one cold solve per ~64 * rows pivots.
+  /// one cold solve per ~64 * (rows + vars) pivots.
   uint64_t PivotsSinceBuild = 0;
 
   bool needsRefactor() const {
-    return PivotsSinceBuild > 64ull * (NumRows + 1);
+    return PivotsSinceBuild > 64ull * (NumRows + NumVars + 1);
   }
 
   bool matches(const LpProblem &P) const {
@@ -506,24 +189,33 @@ struct WarmState {
     return Terms == TermSum;
   }
 
-  /// Builds the tableau at the given bounds. Returns false when a
-  /// zero-term constraint is inconsistent on its own (the problem is
-  /// trivially infeasible).
+  bool fixed(unsigned C) const { return Lo[C] == Hi[C]; }
+
+  /// The value a nonbasic column currently stands at.
+  double nbVal(unsigned C) const {
+    switch (Stat[C]) {
+    case VStat::AtLower:
+      return Lo[C];
+    case VStat::AtUpper:
+      return Hi[C];
+    default:
+      return 0.0; // Free (Basic values live in Beta)
+    }
+  }
+
   bool build(const LpProblem &P, const std::vector<double> &Lower,
              const std::vector<double> &Upper, const SimplexOptions &Opts);
   void installObjective(const LpProblem &P, const SimplexOptions &Opts);
-  void pivotOutArtificials();
-  LpStatus primalIterate(bool Phase1, const SimplexOptions &Opts,
-                         unsigned &Iterations);
-  LpStatus dualIterate(const SimplexOptions &Opts, unsigned &Iterations);
-  void pivot(unsigned Row, unsigned Col);
-  /// Applies bound/RHS differences against the Applied* state as RHS
-  /// patches over the constraint rows (the objective row is re-priced by
-  /// installObjective afterwards).
-  void patchTo(const LpProblem &P, const std::vector<double> &Lower,
+  LpStatus primalIterate(const SimplexOptions &Opts, unsigned &Iterations,
+                         unsigned &BoundFlips);
+  LpStatus dualIterate(const SimplexOptions &Opts, unsigned &Iterations,
+                       unsigned &BoundFlips);
+  void eliminate(unsigned Row, unsigned Col);
+  bool patchTo(const LpProblem &P, const std::vector<double> &Lower,
                const std::vector<double> &Upper);
+  bool anyEmptyBox() const;
+  bool primalInfeasible(double Tol) const;
   void extract(const LpProblem &P, LpSolution &Sol) const;
-  /// Two-phase primal solve of the freshly built tableau.
   LpSolution solveFresh(const LpProblem &P, const SimplexOptions &Opts);
 };
 
@@ -532,27 +224,27 @@ struct WarmState {
 bool WarmState::build(const LpProblem &P, const std::vector<double> &Lower,
                       const std::vector<double> &Upper,
                       const SimplexOptions &Opts) {
+  (void)Opts;
   NumVars = P.numVariables();
   NumCons = P.numConstraints();
   TermSum = 0;
   Usable = false;
 
-  RootLo.assign(NumVars, 0.0);
   for (unsigned J = 0; J != NumVars; ++J)
-    RootLo[J] = P.Variables[J].Lower;
+    if (Lower[J] > Upper[J])
+      return false; // empty box: trivially infeasible
 
   struct Row {
     std::vector<std::pair<unsigned, double>> Terms;
     ConstraintSense Sense;
     double Rhs;
-    int Cons = -1;    ///< original constraint index
-    int UpperOf = -1; ///< variable whose upper bound this row is
-    int LowerOf = -1; ///< variable whose lower bound this row is
+    int Cons;
   };
   std::vector<Row> Rows;
 
   ConsRow.assign(NumCons, -1);
   AppliedRhs.assign(NumCons, 0.0);
+  std::vector<double> Coef(NumVars, 0.0);
   for (unsigned I = 0; I != NumCons; ++I) {
     const LpConstraint &C = P.Constraints[I];
     TermSum += C.Terms.size();
@@ -561,16 +253,18 @@ bool WarmState::build(const LpProblem &P, const std::vector<double> &Lower,
     R.Sense = C.Sense;
     R.Rhs = C.Rhs;
     R.Cons = static_cast<int>(I);
-    // Coalesce repeated variables and shift by the root lower bounds.
-    std::vector<double> Coef(NumVars, 0.0);
-    for (const auto &[Var, C2] : C.Terms) {
+    // Coalesce repeated variables.
+    for (const auto &[Var, C2] : C.Terms)
       Coef[Var] += C2;
-      R.Rhs -= C2 * RootLo[Var];
+    for (const auto &[Var, C2] : C.Terms) {
+      (void)C2;
+      if (Coef[Var] != 0.0) {
+        R.Terms.push_back({Var, Coef[Var]});
+        Coef[Var] = 0.0;
+      }
     }
-    for (unsigned J = 0; J != NumVars; ++J)
-      if (Coef[J] != 0.0)
-        R.Terms.push_back({J, Coef[J]});
     if (R.Terms.empty()) {
+      // Constant row: must hold on its own.
       bool OK = true;
       switch (R.Sense) {
       case ConstraintSense::LessEq:
@@ -590,124 +284,67 @@ bool WarmState::build(const LpProblem &P, const std::vector<double> &Lower,
     Rows.push_back(std::move(R));
   }
 
-  UpperRowOf.assign(NumVars, -1);
-  LowerRowOf.assign(NumVars, -1);
-  AppliedLo = Lower;
-  AppliedHi = Upper;
-  for (unsigned J = 0; J != NumVars; ++J) {
-    if (std::isfinite(Upper[J])) {
-      Row R;
-      R.Sense = ConstraintSense::LessEq;
-      R.Rhs = Upper[J] - RootLo[J];
-      R.Terms.push_back({J, 1.0});
-      R.UpperOf = static_cast<int>(J);
-      Rows.push_back(std::move(R));
-    }
-    if (P.Variables[J].Integer) {
-      Row R;
-      R.Sense = ConstraintSense::LessEq;
-      R.Rhs = -(Lower[J] - RootLo[J]);
-      R.Terms.push_back({J, -1.0});
-      R.LowerOf = static_cast<int>(J);
-      Rows.push_back(std::move(R));
-    }
-  }
-
   NumRows = static_cast<unsigned>(Rows.size());
-  RowIdCol.assign(NumRows, 0);
+  NumCols = NumVars + NumRows;
   RowScale.assign(NumRows, 1.0);
 
-  unsigned NumSlacks = 0;
-  NumArtificials = 0;
-  for (unsigned RI = 0; RI != NumRows; ++RI) {
-    Row &R = Rows[RI];
-    if (R.Rhs < 0) {
-      RowScale[RI] = -1.0;
-      R.Rhs = -R.Rhs;
-      for (auto &[Col, Coef] : R.Terms)
-        Coef = -Coef;
-      if (R.Sense == ConstraintSense::LessEq)
-        R.Sense = ConstraintSense::GreaterEq;
-      else if (R.Sense == ConstraintSense::GreaterEq)
-        R.Sense = ConstraintSense::LessEq;
-    }
-    // Equilibrate: normalize the row to unit max-coefficient.
-    double MaxCoef = 0.0;
-    for (const auto &[Col, Coef] : R.Terms)
-      MaxCoef = std::max(MaxCoef, std::abs(Coef));
-    if (MaxCoef > 0.0 && MaxCoef != 1.0) {
-      double S = 1.0 / MaxCoef;
-      for (auto &[Col, Coef] : R.Terms)
-        Coef *= S;
-      R.Rhs *= S;
-      RowScale[RI] *= S;
-    }
-    if (R.Sense != ConstraintSense::Equal)
-      ++NumSlacks;
-    if (R.Sense != ConstraintSense::LessEq)
-      ++NumArtificials;
-  }
-
-  ArtificialStart = NumVars + NumSlacks;
-  NumCols = ArtificialStart + NumArtificials;
-  RhsCol = NumCols;
-  ObjRow = NumRows;
-  Stride = NumCols + 1;
-  T.assign(size_t(NumRows + 1) * Stride, 0.0);
+  T.assign(size_t(NumRows) * NumCols, 0.0);
+  Obj.assign(NumCols, 0.0);
+  Beta.assign(NumRows, 0.0);
   Basis.assign(NumRows, 0);
+  Stat.assign(NumCols, VStat::Basic);
+  Lo.assign(NumCols, 0.0);
+  Hi.assign(NumCols, 0.0);
+  ObjScale = 1.0;
   PivotsSinceBuild = 0;
 
-  unsigned SlackCursor = NumVars;
-  unsigned ArtCursor = ArtificialStart;
+  // Structural columns: box from the overrides, nonbasic at a finite
+  // bound (lower preferred), free when both bounds are infinite. Any
+  // start is dual-feasible under the zero phase-1 objective.
+  for (unsigned J = 0; J != NumVars; ++J) {
+    Lo[J] = Lower[J];
+    Hi[J] = Upper[J];
+    Stat[J] = std::isfinite(Lo[J])   ? VStat::AtLower
+              : std::isfinite(Hi[J]) ? VStat::AtUpper
+                                     : VStat::Free;
+  }
+
   for (unsigned RI = 0; RI != NumRows; ++RI) {
-    const Row &R = Rows[RI];
-    if (R.Cons >= 0)
-      ConsRow[static_cast<unsigned>(R.Cons)] = static_cast<int>(RI);
-    if (R.UpperOf >= 0)
-      UpperRowOf[static_cast<unsigned>(R.UpperOf)] = static_cast<int>(RI);
-    if (R.LowerOf >= 0)
-      LowerRowOf[static_cast<unsigned>(R.LowerOf)] = static_cast<int>(RI);
+    Row &R = Rows[RI];
+    ConsRow[static_cast<unsigned>(R.Cons)] = static_cast<int>(RI);
+    // Equilibrate: normalize the row to unit max-coefficient.
+    double MaxCoef = 0.0;
+    for (const auto &[Col, C2] : R.Terms)
+      MaxCoef = std::max(MaxCoef, std::abs(C2));
+    double S = MaxCoef > 0.0 ? 1.0 / MaxCoef : 1.0;
+    RowScale[RI] = S;
+
     double *Tr = row(RI);
-    for (const auto &[Col, Coef] : R.Terms)
-      Tr[Col] += Coef;
-    Tr[RhsCol] = R.Rhs;
+    for (const auto &[Col, C2] : R.Terms)
+      Tr[Col] = C2 * S;
+    unsigned SlackCol = NumVars + RI;
+    Tr[SlackCol] = 1.0;
+    Basis[RI] = SlackCol;
+    Stat[SlackCol] = VStat::Basic;
     switch (R.Sense) {
     case ConstraintSense::LessEq:
-      Tr[SlackCursor] = 1.0;
-      RowIdCol[RI] = SlackCursor;
-      Basis[RI] = SlackCursor++;
+      Lo[SlackCol] = 0.0;
+      Hi[SlackCol] = Inf;
       break;
     case ConstraintSense::GreaterEq:
-      Tr[SlackCursor] = -1.0;
-      ++SlackCursor;
-      Tr[ArtCursor] = 1.0;
-      RowIdCol[RI] = ArtCursor;
-      Basis[RI] = ArtCursor++;
+      Lo[SlackCol] = -Inf;
+      Hi[SlackCol] = 0.0;
       break;
     case ConstraintSense::Equal:
-      Tr[ArtCursor] = 1.0;
-      RowIdCol[RI] = ArtCursor;
-      Basis[RI] = ArtCursor++;
+      Lo[SlackCol] = 0.0;
+      Hi[SlackCol] = 0.0;
       break;
     }
-  }
-  // Stored rows are flipped/scaled relative to their original
-  // orientation, so their identity-start columns track B^-1 e_r of the
-  // *stored* system; RowScale folds the flip and the equilibration back
-  // in when a patch arrives as an original-orientation delta.
-
-  if (NumArtificials > 0) {
-    double *Obj = row(ObjRow);
-    for (unsigned RI = 0; RI != NumRows; ++RI) {
-      if (Basis[RI] < ArtificialStart)
-        continue;
-      const double *Tr = row(RI);
-      for (unsigned C = 0; C <= NumCols; ++C)
-        Obj[C] -= Tr[C];
-      Obj[Basis[RI]] = 0.0;
-    }
-  } else {
-    installObjective(P, Opts);
+    // Basic (slack) value: the scaled RHS minus the nonbasic activity.
+    double B = R.Rhs * S;
+    for (const auto &[Col, C2] : R.Terms)
+      B -= C2 * S * nbVal(Col);
+    Beta[RI] = B;
   }
   return true;
 }
@@ -719,169 +356,23 @@ void WarmState::installObjective(const LpProblem &P,
     MaxC = std::max(MaxC, std::abs(P.Variables[J].Objective));
   ObjScale = MaxC > 0.0 ? 1.0 / MaxC : 1.0;
 
-  double *Obj = row(ObjRow);
-  for (unsigned C = 0; C <= NumCols; ++C)
-    Obj[C] = 0.0;
+  std::fill(Obj.begin(), Obj.end(), 0.0);
   for (unsigned J = 0; J != NumVars; ++J)
     Obj[J] = P.Variables[J].Objective * ObjScale;
+  // Price out basic variables. T[r][Basis[k]] is the identity on basic
+  // columns, so one pass over the rows suffices.
   for (unsigned RI = 0; RI != NumRows; ++RI) {
-    unsigned BCol = Basis[RI];
-    double Cost = Obj[BCol];
-    if (std::abs(Cost) < Opts.Tolerance)
+    double Cost = Obj[Basis[RI]];
+    if (std::abs(Cost) < Opts.Tolerance * 1e-3)
       continue;
     const double *Tr = row(RI);
-    for (unsigned C = 0; C <= NumCols; ++C)
+    for (unsigned C = 0; C != NumCols; ++C)
       Obj[C] -= Cost * Tr[C];
+    Obj[Basis[RI]] = 0.0;
   }
 }
 
-void WarmState::pivotOutArtificials() {
-  for (unsigned RI = 0; RI != NumRows; ++RI) {
-    if (Basis[RI] < ArtificialStart)
-      continue;
-    const double *Tr = row(RI);
-    for (unsigned C = 0; C != ArtificialStart; ++C) {
-      if (std::abs(Tr[C]) > 1e-7) {
-        pivot(RI, C);
-        break;
-      }
-    }
-  }
-}
-
-LpStatus WarmState::primalIterate(bool Phase1, const SimplexOptions &Opts,
-                                  unsigned &Iterations) {
-  unsigned StallCount = 0;
-  double LastObj = row(ObjRow)[RhsCol];
-  while (Iterations < Opts.MaxIterations) {
-    ++Iterations;
-    unsigned Limit = Phase1 ? NumCols : ArtificialStart;
-    bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
-
-    const double *Obj = row(ObjRow);
-    int Entering = -1;
-    double Best = -Opts.Tolerance;
-    for (unsigned C = 0; C != Limit; ++C) {
-      double RC = Obj[C];
-      if (RC < Best) {
-        Entering = static_cast<int>(C);
-        if (Bland)
-          break;
-        Best = RC;
-      }
-    }
-    if (Entering < 0)
-      return LpStatus::Optimal;
-
-    int Leaving = -1;
-    double BestRatio = 0.0;
-    for (unsigned R = 0; R != NumRows; ++R) {
-      const double *Tr = row(R);
-      double A = Tr[static_cast<unsigned>(Entering)];
-      if (A <= Opts.Tolerance)
-        continue;
-      double Ratio = Tr[RhsCol] / A;
-      if (Leaving < 0 || Ratio < BestRatio - Opts.Tolerance ||
-          (Ratio < BestRatio + Opts.Tolerance &&
-           Basis[R] < Basis[static_cast<unsigned>(Leaving)])) {
-        Leaving = static_cast<int>(R);
-        BestRatio = Ratio;
-      }
-    }
-    if (Leaving < 0)
-      return LpStatus::Unbounded;
-
-    pivot(static_cast<unsigned>(Leaving), static_cast<unsigned>(Entering));
-
-    double NewObj = row(ObjRow)[RhsCol];
-    if (std::abs(NewObj - LastObj) < Opts.Tolerance)
-      ++StallCount;
-    else
-      StallCount = 0;
-    LastObj = NewObj;
-  }
-  return LpStatus::IterLimit;
-}
-
-LpStatus WarmState::dualIterate(const SimplexOptions &Opts,
-                                unsigned &Iterations) {
-  unsigned StallCount = 0;
-  double LastObj = row(ObjRow)[RhsCol];
-  while (Iterations < Opts.MaxIterations) {
-    // Leaving row: most negative basic value; ties broken on the smaller
-    // basis index for determinism.
-    int Leaving = -1;
-    double MostNeg = 0.0;
-    for (unsigned R = 0; R != NumRows; ++R) {
-      double V = row(R)[RhsCol];
-      if (V >= -Opts.Tolerance)
-        continue;
-      if (Leaving < 0 || V < MostNeg - Opts.Tolerance ||
-          (V < MostNeg + Opts.Tolerance &&
-           Basis[R] < Basis[static_cast<unsigned>(Leaving)])) {
-        Leaving = static_cast<int>(R);
-        MostNeg = V;
-      }
-    }
-    if (Leaving < 0)
-      return LpStatus::Optimal; // primal feasible again
-
-    ++Iterations;
-    bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
-
-    // Entering column: dual ratio test over eligible columns (artificials
-    // must stay out — letting one re-enter would relax its == / >= row).
-    // Unlike the primal ratio test, which naturally shuns tiny pivot
-    // elements (they give huge ratios), the dual test would happily pick
-    // them — a degenerate row with reduced cost 0 over a 1e-9 coefficient
-    // "wins" the ratio test and then destroys the tableau when the pivot
-    // divides by it. So pivoting requires a minimum magnitude, near-tied
-    // ratios prefer the larger pivot element, and when only sub-threshold
-    // negative coefficients remain the row is neither reparable nor
-    // provably infeasible: give up with IterLimit and let the caller
-    // rebuild cold.
-    constexpr double PivotTol = 1e-7;
-    unsigned LR = static_cast<unsigned>(Leaving);
-    const double *Lrow = row(LR);
-    const double *Obj = row(ObjRow);
-    int Entering = -1;
-    double BestRatio = 0.0, BestMag = 0.0;
-    bool SawTiny = false;
-    for (unsigned C = 0; C != ArtificialStart; ++C) {
-      double A = Lrow[C];
-      if (A >= -Opts.Tolerance)
-        continue;
-      if (A > -PivotTol) {
-        SawTiny = true;
-        continue;
-      }
-      if (Bland && Entering >= 0)
-        continue; // first eligible column wins
-      double RC = std::max(Obj[C], 0.0);
-      double Ratio = RC / (-A);
-      if (Entering < 0 || Ratio < BestRatio - Opts.Tolerance ||
-          (!Bland && Ratio < BestRatio + Opts.Tolerance && -A > BestMag)) {
-        Entering = static_cast<int>(C);
-        BestRatio = Ratio;
-        BestMag = -A;
-      }
-    }
-    if (Entering < 0)
-      return SawTiny ? LpStatus::IterLimit : LpStatus::Infeasible;
-
-    pivot(LR, static_cast<unsigned>(Entering));
-
-    double NewObj = row(ObjRow)[RhsCol];
-    if (std::abs(NewObj - LastObj) < Opts.Tolerance)
-      ++StallCount;
-    else
-      StallCount = 0;
-    LastObj = NewObj;
-  }
-  return LpStatus::IterLimit;
-}
-
-void WarmState::pivot(unsigned Row, unsigned Col) {
+void WarmState::eliminate(unsigned Row, unsigned Col) {
   ++PivotsSinceBuild;
   double *PR = row(Row);
   double Pivot = PR[Col];
@@ -890,107 +381,457 @@ void WarmState::pivot(unsigned Row, unsigned Col) {
   // pivot row is sparse; once fill-in has made it dense, the plain
   // contiguous loop vectorizes better than the indirection.
   NzScratch.clear();
-  for (unsigned C = 0; C <= NumCols; ++C) {
+  for (unsigned C = 0; C != NumCols; ++C) {
     if (PR[C] == 0.0)
       continue;
     PR[C] /= Pivot;
     NzScratch.push_back(C);
   }
   bool Sparse = NzScratch.size() * 2 < NumCols;
-  for (unsigned R = 0; R <= NumRows; ++R) {
-    if (R == Row)
-      continue;
-    double *Tr = row(R);
+  auto apply = [&](double *Tr) {
     double Factor = Tr[Col];
     if (std::abs(Factor) < 1e-12)
-      continue;
+      return;
     if (Sparse) {
       for (unsigned C : NzScratch)
         Tr[C] -= Factor * PR[C];
     } else {
-      for (unsigned C = 0; C <= NumCols; ++C)
+      for (unsigned C = 0; C != NumCols; ++C)
         Tr[C] -= Factor * PR[C];
     }
-    Tr[Col] = 0.0;
-  }
+    Tr[Col] = 0.0; // cut numerical drift
+  };
+  for (unsigned R = 0; R != NumRows; ++R)
+    if (R != Row)
+      apply(this->row(R));
+  apply(Obj.data());
   Basis[Row] = Col;
 }
 
-void WarmState::patchTo(const LpProblem &P, const std::vector<double> &Lower,
-                        const std::vector<double> &Upper) {
-  // One RHS patch: row r's original-orientation RHS moved by Delta. The
-  // stored row may be the negation of the original (RowFlip), and after
-  // pivots the row's identity-start column holds B^-1 e_r, so the whole
-  // RHS column — including the objective row's, whose entry at the
-  // identity column is the row's dual price — shifts by (flip * delta)
-  // times that column.
-  auto patchRow = [this](int Row, double Delta) {
-    if (Row < 0 || Delta == 0.0)
-      return;
-    unsigned R0 = static_cast<unsigned>(Row);
-    double D = RowScale[R0] * Delta;
-    unsigned Id = RowIdCol[R0];
-    for (unsigned R = 0; R <= NumRows; ++R) {
-      double *Tr = row(R);
-      Tr[RhsCol] += D * Tr[Id];
-    }
-  };
+bool WarmState::primalInfeasible(double Tol) const {
+  for (unsigned R = 0; R != NumRows; ++R) {
+    unsigned B = Basis[R];
+    if (Beta[R] < Lo[B] - Tol || Beta[R] > Hi[B] + Tol)
+      return true;
+  }
+  return false;
+}
 
+bool WarmState::anyEmptyBox() const {
+  for (unsigned J = 0; J != NumVars; ++J)
+    if (Lo[J] > Hi[J])
+      return true;
+  return false;
+}
+
+LpStatus WarmState::primalIterate(const SimplexOptions &Opts,
+                                  unsigned &Iterations,
+                                  unsigned &BoundFlips) {
+  unsigned StallCount = 0;
+  while (Iterations < Opts.MaxIterations) {
+    bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
+
+    // Entering column: an at-lower (or free) variable with negative
+    // reduced cost moves up, an at-upper (or free) one with positive
+    // reduced cost moves down. Dantzig picks the worst violation; Bland
+    // the first.
+    int Entering = -1;
+    double Dir = 0.0, Best = Opts.Tolerance;
+    for (unsigned C = 0; C != NumCols; ++C) {
+      if (Stat[C] == VStat::Basic || fixed(C))
+        continue;
+      double RC = Obj[C];
+      double D = 0.0;
+      if (RC < -Opts.Tolerance && Stat[C] != VStat::AtUpper)
+        D = 1.0;
+      else if (RC > Opts.Tolerance && Stat[C] != VStat::AtLower)
+        D = -1.0;
+      if (D == 0.0)
+        continue;
+      if (std::abs(RC) > Best) {
+        Entering = static_cast<int>(C);
+        Dir = D;
+        if (Bland)
+          break;
+        Best = std::abs(RC);
+      }
+    }
+    if (Entering < 0)
+      return LpStatus::Optimal;
+    unsigned Q = static_cast<unsigned>(Entering);
+
+    // Ratio test: how far can the entering variable travel before a
+    // basic variable hits a bound — or before its own span runs out (a
+    // bound flip, no pivot needed). Near-tied rows prefer the larger
+    // pivot element for stability, then the lower basis index for
+    // determinism.
+    double FlipLimit =
+        Stat[Q] == VStat::Free ? Inf : Hi[Q] - Lo[Q]; // >= 0, may be Inf
+    int LeaveRow = -1;
+    bool LeaveToLower = false;
+    double BestT = Inf, BestMag = 0.0;
+    for (unsigned R = 0; R != NumRows; ++R) {
+      double A = Dir * row(R)[Q];
+      if (std::abs(A) < PivotTol)
+        continue;
+      unsigned B = Basis[R];
+      double t, Mag = std::abs(row(R)[Q]);
+      bool ToLower;
+      if (A > 0.0) { // basic value decreases towards its lower bound
+        if (!std::isfinite(Lo[B]))
+          continue;
+        t = (Beta[R] - Lo[B]) / A;
+        ToLower = true;
+      } else { // basic value increases towards its upper bound
+        if (!std::isfinite(Hi[B]))
+          continue;
+        t = (Hi[B] - Beta[R]) / (-A);
+        ToLower = false;
+      }
+      t = std::max(t, 0.0); // clamp tiny feasibility residue
+      if (LeaveRow < 0 || t < BestT - Opts.Tolerance ||
+          (t < BestT + Opts.Tolerance &&
+           (Mag > BestMag + Opts.Tolerance ||
+            (std::abs(Mag - BestMag) <= Opts.Tolerance &&
+             Basis[R] < Basis[static_cast<unsigned>(LeaveRow)])))) {
+        LeaveRow = static_cast<int>(R);
+        LeaveToLower = ToLower;
+        BestT = t;
+        BestMag = Mag;
+      }
+    }
+
+    ++Iterations;
+    double RcQ = Obj[Q]; // captured now: elimination zeroes the column
+    double Step;
+    if (FlipLimit <= BestT) {
+      if (!std::isfinite(FlipLimit))
+        return LpStatus::Unbounded; // nothing binds in this direction
+      // Bound flip: the entering variable jumps to its opposite bound.
+      Step = FlipLimit;
+      for (unsigned R = 0; R != NumRows; ++R)
+        Beta[R] -= Step * Dir * row(R)[Q];
+      Stat[Q] = Stat[Q] == VStat::AtLower ? VStat::AtUpper : VStat::AtLower;
+      ++BoundFlips;
+    } else {
+      Step = BestT;
+      unsigned LR = static_cast<unsigned>(LeaveRow);
+      unsigned P = Basis[LR];
+      for (unsigned R = 0; R != NumRows; ++R)
+        if (R != LR)
+          Beta[R] -= Step * Dir * row(R)[Q];
+      double VQ = nbVal(Q) + Step * Dir;
+      Stat[P] = LeaveToLower ? VStat::AtLower : VStat::AtUpper;
+      Stat[Q] = VStat::Basic;
+      Beta[LR] = VQ;
+      eliminate(LR, Q);
+    }
+
+    // Objective progress |rc * step| drives the anti-cycling switch.
+    if (std::abs(RcQ) * Step < Opts.Tolerance)
+      ++StallCount;
+    else
+      StallCount = 0;
+  }
+  return LpStatus::IterLimit;
+}
+
+LpStatus WarmState::dualIterate(const SimplexOptions &Opts,
+                                unsigned &Iterations,
+                                unsigned &BoundFlips) {
+  unsigned StallCount = 0;
+  // Per-iteration candidate list for the bound-flipping ratio test:
+  // {ratio, -|a|, column}, sorted ascending so ties prefer the larger
+  // pivot element and then the lower column index — deterministic.
+  std::vector<std::tuple<double, double, unsigned>> &Cands = CandScratch;
+  Cands.reserve(NumCols);
+  // Rows set aside within one iteration because every eligible entering
+  // coefficient was sub-threshold: other violated rows are repaired
+  // first, after which a deferred row is usually repairable again (or
+  // its violation gone). Only when *every* violated row is stuck does
+  // the repair give up.
+  std::vector<bool> &RowDeferred = DeferScratch;
+  RowDeferred.assign(NumRows, false);
+  while (Iterations < Opts.MaxIterations) {
+    bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
+    std::fill(RowDeferred.begin(), RowDeferred.end(), false);
+
+    unsigned LR = 0, P = 0;
+    double Target = 0.0;
+    bool BelowLb = false;
+    int BlandPick = -1;
+    for (;;) {
+      // Leaving row: the basic variable furthest outside its box (Bland:
+      // the lowest basis index among violators), deferred rows skipped.
+      int Leaving = -1;
+      double Worst = Opts.Tolerance;
+      bool DeferredViolated = false;
+      for (unsigned R = 0; R != NumRows; ++R) {
+        unsigned B = Basis[R];
+        double ViolLo = Lo[B] - Beta[R];
+        double ViolHi = Beta[R] - Hi[B];
+        double V = std::max(ViolLo, ViolHi);
+        if (V <= Opts.Tolerance)
+          continue;
+        if (RowDeferred[R]) {
+          if (V > StuckTol)
+            DeferredViolated = true;
+          continue;
+        }
+        if (Leaving < 0 ||
+            (Bland ? B < Basis[static_cast<unsigned>(Leaving)]
+                   : V > Worst)) {
+          Leaving = static_cast<int>(R);
+          Worst = std::max(V, Worst);
+          BelowLb = ViolLo >= ViolHi;
+        }
+      }
+      if (Leaving < 0)
+        // Every repairable row is inside its box. A still-violated
+        // deferred row is numerically stuck: neither reparable nor
+        // provably infeasible — give up and let the caller rebuild.
+        return DeferredViolated ? LpStatus::IterLimit : LpStatus::Optimal;
+      LR = static_cast<unsigned>(Leaving);
+      P = Basis[LR];
+      Target = BelowLb ? Lo[P] : Hi[P];
+
+      // Entering candidates: the dual ratio test over sign-eligible
+      // columns. The leaving variable lands on its violated bound, so
+      // the entering one must move *into* its box: at-lower columns need
+      // the matching coefficient sign to increase, at-upper ones to
+      // decrease; free columns are eligible either way (their reduced
+      // cost is ~0, so they win most ratio contests — the standard
+      // preference). Fixed columns never enter: a zero-span column
+      // cannot absorb any movement, and letting one in (an == row's
+      // slack, the artificial analogue) would relax its row. Unlike the
+      // primal test, which naturally shuns tiny pivot elements, the dual
+      // test would happily divide by one, so pivoting requires a minimum
+      // magnitude.
+      const double *Lrow = row(LR);
+      Cands.clear();
+      BlandPick = -1;
+      bool SawTiny = false;
+      for (unsigned C = 0; C != NumCols; ++C) {
+        if (Stat[C] == VStat::Basic || fixed(C))
+          continue;
+        double A = Lrow[C];
+        bool Eligible;
+        switch (Stat[C]) {
+        case VStat::AtLower:
+          Eligible = BelowLb ? A < 0.0 : A > 0.0;
+          break;
+        case VStat::AtUpper:
+          Eligible = BelowLb ? A > 0.0 : A < 0.0;
+          break;
+        default: // Free
+          Eligible = A != 0.0;
+          break;
+        }
+        if (!Eligible)
+          continue;
+        if (std::abs(A) < PivotTol) {
+          SawTiny = true;
+          continue;
+        }
+        if (Bland) {
+          BlandPick = static_cast<int>(C);
+          break; // first eligible wins, no flips: termination first
+        }
+        // Dual-feasibility residue is clamped: at-lower costs are >= 0
+        // and at-upper <= 0 in exact arithmetic.
+        double RC = Stat[C] == VStat::AtLower   ? std::max(Obj[C], 0.0)
+                    : Stat[C] == VStat::AtUpper ? std::max(-Obj[C], 0.0)
+                                                : std::abs(Obj[C]);
+        Cands.push_back({RC / std::abs(A), -std::abs(A), C});
+      }
+      if (BlandPick >= 0 || !Cands.empty())
+        break;
+      if (!SawTiny)
+        return LpStatus::Infeasible; // this row alone proves it
+      RowDeferred[LR] = true; // stuck for now: repair another row first
+    }
+
+    ++Iterations;
+    const double *Lrow = row(LR);
+
+    // Bound-flipping ratio test. On an all-boxed problem (every
+    // placement variable lives in [0, 1]) the plain dual test chains:
+    // the entering variable overshoots its own span, lands outside its
+    // box and must immediately leave again, so one repair costs a dozen
+    // pivots. Walking the candidates in ratio order instead, every
+    // column whose whole span cannot absorb the remaining violation
+    // *flips* to its opposite bound — an O(rows) value update, no
+    // elimination — and the first column that can absorb the rest
+    // pivots. Dual feasibility is preserved exactly because a flipped
+    // column's reduced cost crosses zero at the chosen pivot ratio: its
+    // new sign matches its new side.
+    unsigned Q;
+    if (BlandPick >= 0) {
+      Q = static_cast<unsigned>(BlandPick);
+    } else {
+      std::sort(Cands.begin(), Cands.end());
+      Q = std::get<2>(Cands.back()); // fallback: worst-ratio column
+      for (size_t I = 0; I != Cands.size(); ++I) {
+        unsigned C = std::get<2>(Cands[I]);
+        double AbsA = -std::get<1>(Cands[I]);
+        double Span = Stat[C] == VStat::Free ? Inf : Hi[C] - Lo[C];
+        double Remaining = std::abs(Beta[LR] - Target);
+        if (AbsA * Span >= Remaining || I + 1 == Cands.size()) {
+          Q = C;
+          break;
+        }
+        // Flip C across its box; every basic value — the violated row's
+        // included — absorbs the move.
+        double Delta = Stat[C] == VStat::AtLower ? Span : -Span;
+        for (unsigned R = 0; R != NumRows; ++R)
+          Beta[R] -= Delta * row(R)[C];
+        Stat[C] =
+            Stat[C] == VStat::AtLower ? VStat::AtUpper : VStat::AtLower;
+        ++BoundFlips;
+      }
+    }
+
+    // Pivot: the leaving variable goes to its violated bound, the
+    // entering one absorbs what the flips left over.
+    double DeltaQ = (Beta[LR] - Target) / Lrow[Q];
+    for (unsigned R = 0; R != NumRows; ++R)
+      if (R != LR)
+        Beta[R] -= DeltaQ * row(R)[Q];
+    double VQ = nbVal(Q) + DeltaQ;
+    Stat[P] = BelowLb ? VStat::AtLower : VStat::AtUpper;
+    Stat[Q] = VStat::Basic;
+    Beta[LR] = VQ;
+    eliminate(LR, Q);
+
+    if (std::abs(DeltaQ) < Opts.Tolerance)
+      ++StallCount;
+    else
+      StallCount = 0;
+  }
+  return LpStatus::IterLimit;
+}
+
+/// Applies bound/RHS differences in place. Returns false when a change
+/// cannot be absorbed without breaking dual feasibility (a nonbasic
+/// variable forced to switch sides because its resting bound vanished) —
+/// the caller then rebuilds cold.
+bool WarmState::patchTo(const LpProblem &P, const std::vector<double> &Lower,
+                        const std::vector<double> &Upper) {
+  bool OK = true;
+
+  // Constraint RHS deltas land through the row's slack column, which
+  // holds B^-1 e_r after any pivot sequence.
   for (unsigned I = 0; I != NumCons; ++I) {
     double New = P.Constraints[I].Rhs;
-    patchRow(ConsRow[I], New - AppliedRhs[I]);
+    double Delta = New - AppliedRhs[I];
+    if (Delta == 0.0)
+      continue;
     AppliedRhs[I] = New;
+    int R0 = ConsRow[I];
+    if (R0 < 0)
+      continue; // constant row: unchanged consistency assumed
+    double D = RowScale[static_cast<unsigned>(R0)] * Delta;
+    unsigned Id = NumVars + static_cast<unsigned>(R0);
+    for (unsigned R = 0; R != NumRows; ++R)
+      Beta[R] += D * row(R)[Id];
   }
+
+  // Variable-bound deltas: a nonbasic variable slides along to its moved
+  // bound (O(rows) down its column); a basic one merely has its box
+  // re-checked by the next dual pass.
   for (unsigned J = 0; J != NumVars; ++J) {
-    if (Upper[J] != AppliedHi[J]) {
-      // Stored row: x' <= hi - rootLo, so delta is the raw bound move.
-      assert(UpperRowOf[J] >= 0 && "bound change on a row-less variable");
-      patchRow(UpperRowOf[J], Upper[J] - AppliedHi[J]);
-      AppliedHi[J] = Upper[J];
+    if (Lower[J] == Lo[J] && Upper[J] == Hi[J])
+      continue;
+    double OldVal = nbVal(J);
+    bool WasBasic = Stat[J] == VStat::Basic;
+    Lo[J] = Lower[J];
+    Hi[J] = Upper[J];
+    if (WasBasic)
+      continue;
+    // Re-derive the resting side; a forced side switch would break dual
+    // feasibility (the reduced-cost sign convention is per side).
+    VStat NewStat = Stat[J];
+    if (NewStat == VStat::AtLower && !std::isfinite(Lo[J]))
+      NewStat = std::isfinite(Hi[J]) ? VStat::AtUpper : VStat::Free;
+    else if (NewStat == VStat::AtUpper && !std::isfinite(Hi[J]))
+      NewStat = std::isfinite(Lo[J]) ? VStat::AtLower : VStat::Free;
+    else if (NewStat == VStat::Free &&
+             (std::isfinite(Lo[J]) || std::isfinite(Hi[J])))
+      NewStat = std::isfinite(Lo[J]) ? VStat::AtLower : VStat::AtUpper;
+    if (NewStat != Stat[J]) {
+      OK = false;
+      Stat[J] = NewStat;
     }
-    if (Lower[J] != AppliedLo[J]) {
-      // Stored row: -x' <= -(lo - rootLo): a raised bound lowers the RHS.
-      assert(LowerRowOf[J] >= 0 && "bound change on a row-less variable");
-      patchRow(LowerRowOf[J], -(Lower[J] - AppliedLo[J]));
-      AppliedLo[J] = Lower[J];
-    }
+    double NewVal = nbVal(J);
+    double Delta = NewVal - OldVal;
+    if (Delta != 0.0)
+      for (unsigned R = 0; R != NumRows; ++R)
+        Beta[R] -= Delta * row(R)[J];
   }
+  return OK;
 }
 
 void WarmState::extract(const LpProblem &P, LpSolution &Sol) const {
   Sol.Basis = Basis;
   Sol.Values.assign(NumVars, 0.0);
   for (unsigned J = 0; J != NumVars; ++J)
-    Sol.Values[J] = RootLo[J];
+    if (Stat[J] != VStat::Basic)
+      Sol.Values[J] = nbVal(J);
   for (unsigned R = 0; R != NumRows; ++R)
     if (Basis[R] < NumVars)
-      Sol.Values[Basis[R]] = RootLo[Basis[R]] + row(R)[RhsCol];
+      Sol.Values[Basis[R]] = Beta[R];
   Sol.Objective = P.objectiveValue(Sol.Values);
 }
 
 LpSolution WarmState::solveFresh(const LpProblem &P,
                                  const SimplexOptions &Opts) {
   LpSolution Sol;
-  if (NumArtificials > 0) {
-    LpStatus S = primalIterate(/*Phase1=*/true, Opts, Sol.Iterations);
+  // Feasibility phase: the all-slack start violates boxes exactly where
+  // >=/== rows bite. Under the zero objective every status is dual
+  // feasible, so the dual simplex is the artificial-free phase 1.
+  if (primalInfeasible(Opts.Tolerance)) {
+    LpStatus S = dualIterate(Opts, Sol.DualIterations, Sol.BoundFlips);
     if (S != LpStatus::Optimal) {
-      Sol.Status = S == LpStatus::Unbounded ? LpStatus::Infeasible : S;
+      Sol.Status = S;
       return Sol;
     }
-    if (row(ObjRow)[RhsCol] < -Opts.Tolerance) {
-      Sol.Status = LpStatus::Infeasible;
-      return Sol;
-    }
-    pivotOutArtificials();
-    installObjective(P, Opts);
   }
-  Sol.Status = primalIterate(/*Phase1=*/false, Opts, Sol.Iterations);
+  installObjective(P, Opts);
+  Sol.Status = primalIterate(Opts, Sol.Iterations, Sol.BoundFlips);
   if (Sol.Status != LpStatus::Optimal)
     return Sol;
   Usable = true;
   extract(P, Sol);
   return Sol;
 }
+
+LpSolution ramloc::solveLpWithBounds(const LpProblem &P,
+                                     const std::vector<double> &Lower,
+                                     const std::vector<double> &Upper,
+                                     const SimplexOptions &Opts) {
+  assert(Lower.size() == P.numVariables() &&
+         Upper.size() == P.numVariables() && "bounds size mismatch");
+  WarmState W;
+  if (!W.build(P, Lower, Upper, Opts)) {
+    LpSolution Sol;
+    Sol.Status = LpStatus::Infeasible;
+    return Sol;
+  }
+  return W.solveFresh(P, Opts);
+}
+
+LpSolution ramloc::solveLp(const LpProblem &P, const SimplexOptions &Opts) {
+  std::vector<double> Lower(P.numVariables()), Upper(P.numVariables());
+  for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
+    Lower[J] = P.Variables[J].Lower;
+    Upper[J] = P.Variables[J].Upper;
+  }
+  return solveLpWithBounds(P, Lower, Upper, Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm path entry points.
+//===----------------------------------------------------------------------===//
 
 WarmStart::WarmStart() = default;
 WarmStart::~WarmStart() = default;
@@ -1011,27 +852,40 @@ LpSolution ramloc::resolveLpFromBasis(const LpProblem &P,
     return Sol; // IterLimit: nothing to re-optimize from
   WarmState &W = *Warm.S;
 
-  // Bounds/RHS diffs land as RHS patches (the objective row's entry
-  // updates through the identity columns like any other row); the
-  // reduced costs are untouched, so the basis stays dual feasible and the
-  // dual simplex picks up directly. Drift from the incremental updates is
-  // bounded by the periodic refactorization in solveLpWarm.
-  W.patchTo(P, Lower, Upper);
-  // Re-optimization earns its keep only while it is much cheaper than a
-  // fresh solve; a repair that drags on (a far jump across the search
-  // tree, or a tableau gone dense) is cut off and rebuilt cold instead.
+  // Bound/RHS diffs are absorbed in place; the reduced costs are
+  // untouched, so the basis stays dual feasible and the dual simplex
+  // picks up directly. Drift from the incremental updates is bounded by
+  // the periodic refactorization in solveLpWarm.
+  if (!W.patchTo(P, Lower, Upper)) {
+    // A bound side-switch the warm state cannot absorb: rebuild cold.
+    W.Usable = false;
+    return Sol;
+  }
+  Sol.WarmStarted = true;
+  if (W.anyEmptyBox()) {
+    // A crossed box is infeasible by inspection; the state stays
+    // coherent, so a later widening patch can continue from here.
+    Sol.Status = LpStatus::Infeasible;
+    return Sol;
+  }
+  // Re-optimization earns its keep only while it is cheaper than a fresh
+  // solve; a repair that drags on (a far jump across the search tree, or
+  // a tableau gone dense) is cut off and rebuilt cold instead. The
+  // budget is sized just above what a cold solve typically costs — a
+  // repair cut off *below* that line wastes its pivots and then pays the
+  // rebuild anyway, which is how a too-tight budget quietly halves warm
+  // throughput.
   SimplexOptions DualOpts = Opts;
   DualOpts.MaxIterations =
-      std::min(Opts.MaxIterations, std::max(64u, W.NumRows / 4));
-  LpStatus S = W.dualIterate(DualOpts, Sol.DualIterations);
-  Sol.WarmStarted = true;
+      std::min(Opts.MaxIterations, std::max(128u, W.NumRows + W.NumVars));
+  LpStatus S = W.dualIterate(DualOpts, Sol.DualIterations, Sol.BoundFlips);
   if (S == LpStatus::Optimal) {
-    // The dual ratio test keeps reduced costs non-negative in exact
+    // The dual ratio test keeps reduced costs sign-correct in exact
     // arithmetic; a short primal pass mops up any numerical residue
-    // (almost always zero iterations). It gets the same tight budget:
-    // a polish that starts pivoting in earnest signals a basis not worth
+    // (almost always zero iterations). It gets the same tight budget: a
+    // polish that starts pivoting in earnest signals a basis not worth
     // saving, and the rebuild is cheaper than letting it wander.
-    S = W.primalIterate(/*Phase1=*/false, DualOpts, Sol.Iterations);
+    S = W.primalIterate(DualOpts, Sol.Iterations, Sol.BoundFlips);
   }
   Sol.Status = S;
   if (S == LpStatus::Optimal) {

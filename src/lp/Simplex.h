@@ -1,4 +1,4 @@
-//===- lp/Simplex.h - two-phase primal simplex ------------------*- C++ -*-===//
+//===- lp/Simplex.h - bounded-variable simplex ------------------*- C++ -*-===//
 //
 // Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
 // trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
@@ -6,22 +6,35 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Dense two-phase tableau simplex. Integrality markers are ignored here;
-/// lp/BranchBound.h layers 0/1 search on top. Problem sizes in this project
-/// are small (tens to a few hundred variables), so a dense tableau with
-/// Dantzig pricing and a Bland anti-cycling fallback is plenty.
+/// Dense bounded-variable tableau simplex. Integrality markers are ignored
+/// here; lp/BranchBound.h layers 0/1 search on top. Problem sizes in this
+/// project are small (tens to a few hundred variables), so a dense tableau
+/// with Dantzig pricing and a Bland anti-cycling fallback is plenty.
+///
+/// Variables carry their [lb, ub] box implicitly: a nonbasic variable sits
+/// *at* its lower or upper bound (or at zero when free) and the tableau
+/// holds only one row per constraint — no explicit bound rows. That halves
+/// the tableau against the classic all-bounds-as-rows formulation this
+/// repo used through PR 4, and it makes every bound change a O(1) status/
+/// box update plus an O(rows) basic-value refresh instead of a row edit.
+/// The primal ratio test gains the bound-flip case: when the entering
+/// variable's own span is the binding limit it jumps to its opposite
+/// bound with no pivot at all (LpSolution::BoundFlips counts these).
 ///
 /// Two solving modes share this header:
 ///
-///  - solveLp / solveLpWithBounds: build a fresh tableau and run two-phase
-///    primal simplex from scratch (the "cold" path).
-///  - solveLpWarm / resolveLpFromBasis: keep the solved tableau and basis
-///    in a WarmStart handle and re-optimize with the *dual* simplex after
-///    bound or RHS changes. A bound tightening or a knob-row RHS patch
-///    leaves the parent basis dual-feasible (the objective row is
-///    untouched), so re-optimization typically costs a handful of pivots
-///    where a cold solve pays a full phase-1 + phase-2 — the fast path
-///    branch & bound and the knob-axis sweeps ride on.
+///  - solveLp / solveLpWithBounds: build a fresh tableau and solve from
+///    scratch (the "cold" path): a dual-simplex feasibility phase from the
+///    all-slack basis under a zero objective, then primal iterations on
+///    the true objective.
+///  - solveLpWarm / resolveLpFromBasis: keep the solved tableau, basis and
+///    nonbasic statuses in a WarmStart handle and re-optimize with the
+///    *dual* simplex after bound or RHS changes. A bound tightening or a
+///    knob-row RHS patch leaves the retained basis dual-feasible (the
+///    objective row is untouched), so re-optimization typically costs a
+///    handful of pivots where a cold solve pays a full feasibility +
+///    optimality pass — the fast path branch & bound and the knob-axis
+///    sweeps ride on.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,18 +62,22 @@ struct LpSolution {
   LpStatus Status = LpStatus::IterLimit;
   double Objective = 0.0;
   std::vector<double> Values;
-  /// Primal simplex pivots this solve performed (phase 1 + phase 2, or
+  /// Primal simplex pivots this solve performed (the optimality phase, or
   /// the post-reoptimization clean-up pass on the warm path).
   unsigned Iterations = 0;
-  /// Dual simplex pivots a warm re-optimization performed (0 on the cold
-  /// path).
+  /// Dual simplex pivots performed: the cold path's feasibility phase, or
+  /// the warm path's re-optimization.
   unsigned DualIterations = 0;
+  /// Ratio-test outcomes where the entering variable jumped to its other
+  /// bound without a basis change (bounded-variable fast path: no pivot,
+  /// no elimination, just an O(rows) value update).
+  unsigned BoundFlips = 0;
   /// True when this solution was reached by re-optimizing a retained
   /// basis rather than solving from scratch.
   bool WarmStarted = false;
-  /// The solved basis: one standard-form column index per tableau row.
-  /// Retained so callers can observe/assert reuse; the re-optimizable
-  /// state itself lives in WarmStart.
+  /// The solved basis: one column index per tableau row (columns are
+  /// variables first, then one slack per row). With implicit bounds the
+  /// tableau has exactly one row per non-degenerate constraint.
   std::vector<unsigned> Basis;
 };
 
@@ -76,9 +93,10 @@ struct SimplexOptions {
 
 struct WarmState;
 
-/// Opaque re-optimization state: the standard-form tableau, its basis and
-/// the row bookkeeping that maps variable-bound and constraint-RHS changes
-/// onto RHS patches. Built on first use by solveLpWarm; move-only.
+/// Opaque re-optimization state: the bounded-variable tableau, its basis,
+/// the per-column nonbasic statuses and the bookkeeping that maps
+/// variable-bound and constraint-RHS changes onto O(rows) updates. Built
+/// on first use by solveLpWarm; move-only.
 ///
 /// A WarmStart is tied to one problem *structure* (variable count,
 /// constraint count and coefficients). Bounds and constraint RHS values
@@ -117,7 +135,8 @@ private:
 LpSolution solveLp(const LpProblem &P, const SimplexOptions &Opts = {});
 
 /// Solves with per-variable bound overrides (used by branch & bound to fix
-/// binaries). \p Lower/\p Upper must have one entry per variable.
+/// binaries). \p Lower/\p Upper must have one entry per variable. An empty
+/// box (Lower[j] > Upper[j]) is reported as Infeasible.
 LpSolution solveLpWithBounds(const LpProblem &P,
                              const std::vector<double> &Lower,
                              const std::vector<double> &Upper,
@@ -125,28 +144,29 @@ LpSolution solveLpWithBounds(const LpProblem &P,
 
 /// Warm-capable solve: on first use (or after a structure change /
 /// numerical failure) builds \p Warm's tableau at the given bounds and
-/// runs two-phase primal simplex; on later calls re-optimizes the
-/// retained basis with the dual simplex (see resolveLpFromBasis), falling
-/// back to a fresh build when re-optimization hits the iteration limit.
-/// Either way the result is the exact LP optimum; LpSolution::WarmStarted
-/// records which path satisfied the call.
+/// solves cold; on later calls re-optimizes the retained basis with the
+/// dual simplex (see resolveLpFromBasis), falling back to a fresh build
+/// when re-optimization hits the iteration limit. Either way the result
+/// is the exact LP optimum; LpSolution::WarmStarted records which path
+/// satisfied the call.
 LpSolution solveLpWarm(const LpProblem &P, const std::vector<double> &Lower,
                        const std::vector<double> &Upper, WarmStart &Warm,
                        const SimplexOptions &Opts = {});
 
 /// Dual-simplex re-optimization entry point: diffs \p Lower/\p Upper and
 /// the constraint RHS values of \p P against the state retained in
-/// \p Warm, applies the differences as RHS patches (bounds are explicit
-/// rows in the warm tableau), re-prices the objective row against the
-/// current basis and runs the dual simplex until primal feasibility is
-/// restored. Returns IterLimit without touching the state when \p Warm
-/// holds no re-optimizable basis; callers wanting automatic fallback use
-/// solveLpWarm.
+/// \p Warm and applies the differences in place — a nonbasic variable is
+/// slid along to its moved bound, a basic one merely has its box
+/// re-checked, and a constraint RHS shift lands through the row's slack
+/// column — then runs the dual simplex until every basic variable is back
+/// inside its box. Returns IterLimit without touching the state when
+/// \p Warm holds no re-optimizable basis; callers wanting automatic
+/// fallback use solveLpWarm.
 LpSolution resolveLpFromBasis(const LpProblem &P,
                               const std::vector<double> &Lower,
                               const std::vector<double> &Upper,
                               WarmStart &Warm,
-                              const SimplexOptions &Opts = {});
+                              const SimplexOptions &Opts);
 
 } // namespace ramloc
 

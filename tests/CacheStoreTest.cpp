@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -555,4 +556,126 @@ TEST(CacheStore, GcProfilesDiscardsStaleFingerprintWholesale) {
   ASSERT_TRUE(After.open(Dir));
   EXPECT_EQ(After.loadedProfiles(), 0u);
   EXPECT_EQ(After.skippedProfileLines(), 0u); // clean, just empty
+}
+
+TEST(CacheStore, IncumbentsRoundTripAcrossProcesses) {
+  std::string Dir = freshDir("incumbents");
+  GridSpec Grid = tinyGrid();
+  Grid.Kind = JobKind::ModelOnly;
+
+  CacheStore First;
+  ASSERT_TRUE(First.open(Dir));
+  EXPECT_EQ(First.loadedIncumbents(), 0u);
+  CampaignOptions Opts;
+  Opts.Incumbents = &First.incumbents();
+  CampaignResult CR1 = runCampaign(Grid, Opts);
+  ASSERT_EQ(CR1.Summary.Failed, 0u);
+  EXPECT_EQ(CR1.Summary.IncumbentSeeds, 0u); // nothing persisted yet
+  EXPECT_EQ(First.incumbents().size(), 1u);  // one solve group
+  std::string Error;
+  ASSERT_TRUE(First.save(&Error)) << Error;
+
+  // "Next process": the store reloads the incumbent and the same grid's
+  // first cold solve opens from it — with a byte-identical report.
+  CacheStore Second;
+  ASSERT_TRUE(Second.open(Dir));
+  EXPECT_EQ(Second.loadedIncumbents(), 1u);
+  CampaignOptions Opts2;
+  Opts2.Incumbents = &Second.incumbents();
+  CampaignResult CR2 = runCampaign(Grid, Opts2);
+  ASSERT_EQ(CR2.Summary.Failed, 0u);
+  EXPECT_EQ(CR2.Summary.IncumbentSeeds, 1u);
+  EXPECT_EQ(campaignToJson(CR1), campaignToJson(CR2));
+
+  // Unchanged incumbents append nothing on a re-save.
+  std::string Before = slurp(Second.incumbentPath());
+  ASSERT_TRUE(Second.save(&Error)) << Error;
+  EXPECT_EQ(slurp(Second.incumbentPath()), Before);
+}
+
+TEST(CacheStore, StaleIncumbentFingerprintIsDiscarded) {
+  std::string Dir = freshDir("incstale");
+  {
+    CacheStore Store;
+    ASSERT_TRUE(Store.open(Dir));
+    Store.incumbents().offer("crc32|O1|r2|stm32f100|static|model-only",
+                             {true, false}, 1.0);
+    ASSERT_TRUE(Store.save());
+  }
+  // Corrupt the header fingerprint: a different model world.
+  std::string Path =
+      (std::filesystem::path(Dir) / "incumbents.jsonl").string();
+  std::string Doc = slurp(Path);
+  ASSERT_TRUE(writeTextFile(
+      Path,
+      "{\"schema\": \"ramloc-incumbents-v1\", \"fingerprint\": "
+      "\"0000000000000000\"}\n" +
+          Doc.substr(Doc.find('\n') + 1)));
+
+  CacheStore Reload;
+  ASSERT_TRUE(Reload.open(Dir));
+  EXPECT_EQ(Reload.loadedIncumbents(), 0u);
+  EXPECT_EQ(Reload.incumbents().size(), 0u);
+}
+
+TEST(CacheStore, CorruptIncumbentLinesAreSkippedNotFatal) {
+  std::string Dir = freshDir("inccorrupt");
+  {
+    CacheStore Store;
+    ASSERT_TRUE(Store.open(Dir));
+    Store.incumbents().offer("groupA", {true, false, true}, 2.5);
+    Store.incumbents().offer("groupB", {false, true}, 1.5);
+    ASSERT_TRUE(Store.save());
+  }
+  std::string Path =
+      (std::filesystem::path(Dir) / "incumbents.jsonl").string();
+  std::string Doc = slurp(Path);
+  // A torn tail line (killed writer) and a wrong-typed record.
+  ASSERT_TRUE(writeTextFile(
+      Path, Doc + "{\"group\": \"groupC\", \"energy_mj\": \"nan\", "
+                  "\"blocks\": 7}\n{\"group\": \"groupD\", \"ener"));
+
+  CacheStore Reload;
+  ASSERT_TRUE(Reload.open(Dir));
+  EXPECT_EQ(Reload.loadedIncumbents(), 2u);
+  EXPECT_EQ(Reload.skippedIncumbentLines(), 2u);
+  IncumbentStore::Entry E;
+  ASSERT_TRUE(Reload.incumbents().lookup("groupA", E));
+  EXPECT_EQ(E.InRam, Assignment({true, false, true}));
+}
+
+TEST(CacheStore, AppendedImprovementWinsOnLoadAndCompactFolds) {
+  std::string Dir = freshDir("incimprove");
+  {
+    CacheStore Store;
+    ASSERT_TRUE(Store.open(Dir));
+    Store.incumbents().offer("g", {false, false}, 9.0);
+    ASSERT_TRUE(Store.save());
+    // An improvement re-appends: two lines for "g" on disk, best wins
+    // at the next load.
+    Store.incumbents().offer("g", {true, false}, 3.0);
+    ASSERT_TRUE(Store.save());
+  }
+  std::string Path =
+      (std::filesystem::path(Dir) / "incumbents.jsonl").string();
+  std::string TwoAppends = slurp(Path);
+  EXPECT_EQ(std::count(TwoAppends.begin(), TwoAppends.end(), '\n'), 3);
+
+  CacheStore Reload;
+  ASSERT_TRUE(Reload.open(Dir));
+  EXPECT_EQ(Reload.loadedIncumbents(), 2u); // both lines parsed
+  IncumbentStore::Entry E;
+  ASSERT_TRUE(Reload.incumbents().lookup("g", E));
+  EXPECT_EQ(E.EnergyMilliJoules, 3.0);
+  EXPECT_EQ(E.InRam, Assignment({true, false}));
+
+  // compactIncumbents folds the duplicates to one line per group.
+  ASSERT_TRUE(Reload.compactIncumbents());
+  std::string Compacted = slurp(Path);
+  EXPECT_EQ(std::count(Compacted.begin(), Compacted.end(), '\n'), 2);
+  CacheStore Again;
+  ASSERT_TRUE(Again.open(Dir));
+  EXPECT_EQ(Again.loadedIncumbents(), 1u);
+  ASSERT_TRUE(Again.incumbents().lookup("g", E));
+  EXPECT_EQ(E.EnergyMilliJoules, 3.0);
 }

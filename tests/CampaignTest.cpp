@@ -631,3 +631,128 @@ TEST(Campaign, ModelOnlyKnobGridGroupsToo) {
   CampaignResult AllCold = runCampaign(Grid, Cold);
   EXPECT_EQ(campaignToJson(CR), campaignToJson(AllCold));
 }
+
+TEST(Campaign, IncumbentStoreKeepsTheBestAssignment) {
+  IncumbentStore Store;
+  Assignment A = {true, false, true};
+  Assignment B = {false, true, false};
+  Store.offer("g", A, 5.0);
+  Store.offer("g", B, 7.0); // worse: ignored
+  IncumbentStore::Entry E;
+  ASSERT_TRUE(Store.lookup("g", E));
+  EXPECT_EQ(E.InRam, A);
+  EXPECT_EQ(E.EnergyMilliJoules, 5.0);
+  Store.offer("g", B, 4.0); // better: replaces
+  ASSERT_TRUE(Store.lookup("g", E));
+  EXPECT_EQ(E.InRam, B);
+  // Ties keep the earlier entry, so the store is offer-order independent.
+  Store.offer("g", A, 4.0);
+  ASSERT_TRUE(Store.lookup("g", E));
+  EXPECT_EQ(E.InRam, B);
+  EXPECT_FALSE(Store.lookup("other", E));
+  EXPECT_EQ(Store.size(), 1u);
+}
+
+TEST(Campaign, IncumbentSeedingKeepsReportsByteIdentical) {
+  // The cross-process pattern in-process: campaign 1 populates the
+  // store, campaign 2 opens its solve groups from it. Reports must be
+  // byte-identical with and without seeding, and the seeded run must
+  // say it seeded.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {256, 1024};
+  Grid.XlimitPoints = {1.1, 1.8};
+  Grid.Kind = JobKind::ModelOnly;
+
+  CampaignResult Baseline = runCampaign(Grid, {});
+  ASSERT_EQ(Baseline.Summary.Failed, 0u);
+  EXPECT_EQ(Baseline.Summary.IncumbentSeeds, 0u);
+
+  IncumbentStore Store;
+  CampaignOptions Warmup;
+  Warmup.Incumbents = &Store;
+  CampaignResult First = runCampaign(Grid, Warmup);
+  ASSERT_EQ(First.Summary.Failed, 0u);
+  EXPECT_EQ(First.Summary.IncumbentSeeds, 0u); // store was empty
+  EXPECT_EQ(Store.size(), 1u);                 // one solve group
+
+  CampaignOptions Seeded;
+  Seeded.Incumbents = &Store;
+  CampaignResult Second = runCampaign(Grid, Seeded);
+  ASSERT_EQ(Second.Summary.Failed, 0u);
+  EXPECT_EQ(Second.Summary.IncumbentSeeds, 1u);
+
+  CampaignOptions NoSeed;
+  NoSeed.Incumbents = &Store;
+  NoSeed.SeedIncumbents = false;
+  CampaignResult Unseeded = runCampaign(Grid, NoSeed);
+  ASSERT_EQ(Unseeded.Summary.Failed, 0u);
+  EXPECT_EQ(Unseeded.Summary.IncumbentSeeds, 0u);
+
+  EXPECT_EQ(campaignToJson(Baseline), campaignToJson(Second));
+  EXPECT_EQ(campaignToJson(Baseline), campaignToJson(Unseeded));
+}
+
+TEST(Campaign, NodeOrdersProduceByteIdenticalReports) {
+  // Every node-selection policy is exact; on the BEEBS models the
+  // optimum is unique, so the whole report must not depend on the order
+  // the search tree was walked in.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32", "int_matmult"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {128, 512};
+  Grid.XlimitPoints = {1.05, 1.5};
+  Grid.Kind = JobKind::ModelOnly;
+
+  std::string Reports[3];
+  NodeOrder Orders[3] = {NodeOrder::Dfs, NodeOrder::BestBound,
+                         NodeOrder::Hybrid};
+  for (int I = 0; I != 3; ++I) {
+    CampaignOptions Opts;
+    Opts.Base.Mip.Order = Orders[I];
+    CampaignResult CR = runCampaign(Grid, Opts);
+    ASSERT_EQ(CR.Summary.Failed, 0u) << nodeOrderName(Orders[I]);
+    Reports[I] = campaignToJson(CR);
+  }
+  EXPECT_EQ(Reports[0], Reports[1]);
+  EXPECT_EQ(Reports[0], Reports[2]);
+}
+
+TEST(Campaign, ReportWithSolverDiagnosticsParsesAndDiffsClean) {
+  // A report annotated with a "solver" effort block (a diagnostic
+  // dialect extension) must parse, absorb the counters, and reserialize
+  // to the canonical byte stream — effort is provenance, not results.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.Kind = JobKind::ModelOnly;
+  CampaignResult CR = runCampaign(Grid, {});
+  ASSERT_EQ(CR.Summary.Failed, 0u);
+  std::string Canonical = campaignToJson(CR);
+
+  // Inject a solver block into every job object.
+  std::string Annotated = Canonical;
+  const std::string Needle = "\"model\":";
+  const std::string Block =
+      "\"solver\": {\"cold_solves\": 3, \"warm_solves\": 9, "
+      "\"incumbent_seeds\": 1, \"primal_pivots\": 1234}, ";
+  for (size_t Pos = 0; (Pos = Annotated.find(Needle, Pos)) !=
+                       std::string::npos;
+       Pos += Block.size() + Needle.size())
+    Annotated.insert(Pos, Block);
+  ASSERT_NE(Annotated, Canonical);
+
+  CampaignResult Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseCampaignReport(Annotated, Parsed, &Error)) << Error;
+  ASSERT_EQ(Parsed.Results.size(), CR.Results.size());
+  EXPECT_EQ(Parsed.Results[0].ColdSolves, 3u);
+  EXPECT_EQ(Parsed.Results[0].WarmSolves, 9u);
+  EXPECT_EQ(Parsed.Results[0].IncumbentSeeds, 1u);
+  // Re-serialization drops the diagnostics: back to canonical bytes.
+  EXPECT_EQ(campaignToJson(Parsed), Canonical);
+}

@@ -164,9 +164,125 @@ TEST(Simplex, SolvedBasisIsExposed) {
   P.addConstraint({{X, 3.0}, {Y, 2.0}}, ConstraintSense::LessEq, 18);
   LpSolution S = solveLp(P);
   ASSERT_EQ(S.Status, LpStatus::Optimal);
-  // One basic column per tableau row: 3 constraints + 2 finite-upper
-  // bound rows.
-  EXPECT_EQ(S.Basis.size(), 5u);
+  // One basic column per tableau row, and with implicit bounds the
+  // tableau has exactly one row per constraint — the [0, 1e9] boxes are
+  // variable data, not rows (the explicit-bound-row formulation carried
+  // 5 rows here).
+  EXPECT_EQ(S.Basis.size(), 3u);
+}
+
+TEST(Simplex, BoundFlipReachesOptimumWithoutPivots) {
+  // min -x - y st x + y <= 10, x,y in [0,1]: both variables just flip to
+  // their upper bounds; the slack stays basic and no elimination runs.
+  LpProblem P;
+  unsigned X = P.addVariable(0, 1, -1);
+  unsigned Y = P.addVariable(0, 1, -1);
+  P.addConstraint({{X, 1.0}, {Y, 1.0}}, ConstraintSense::LessEq, 10);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], 1.0, 1e-9);
+  EXPECT_NEAR(S.Values[Y], 1.0, 1e-9);
+  EXPECT_NEAR(S.Objective, -2.0, 1e-9);
+  EXPECT_EQ(S.BoundFlips, 2u);
+  EXPECT_EQ(S.Basis, std::vector<unsigned>{2u}); // the slack never left
+}
+
+TEST(Simplex, BoundFlipInterleavesWithPivots) {
+  // min -3a - b st 2a + b <= 2, a in [0,1], b in [0,3]: a flips to its
+  // upper bound (ratio 1 on the row ties its span 1; the flip wins), then
+  // b enters basically to soak up the remaining slack.
+  LpProblem P;
+  unsigned A = P.addVariable(0, 1, -3);
+  unsigned B = P.addVariable(0, 3, -1);
+  P.addConstraint({{A, 2.0}, {B, 1.0}}, ConstraintSense::LessEq, 2);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Values[A], 1.0, 1e-9);
+  EXPECT_NEAR(S.Values[B], 0.0, 1e-9);
+  EXPECT_NEAR(S.Objective, -3.0, 1e-9);
+  EXPECT_GE(S.BoundFlips, 1u);
+}
+
+TEST(Simplex, FreeVariableSettlesInterior) {
+  // min y st y >= x - 3, y >= 1 - x, x free, y free: optimum at the
+  // kink x = 2, y = -1. Both variables start nonbasic-free at 0.
+  double Inf = std::numeric_limits<double>::infinity();
+  LpProblem P;
+  unsigned X = P.addVariable(-Inf, Inf, 0);
+  unsigned Y = P.addVariable(-Inf, Inf, 1);
+  P.addConstraint({{Y, 1.0}, {X, -1.0}}, ConstraintSense::GreaterEq, -3);
+  P.addConstraint({{Y, 1.0}, {X, 1.0}}, ConstraintSense::GreaterEq, 1);
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], 2.0, 1e-7);
+  EXPECT_NEAR(S.Values[Y], -1.0, 1e-7);
+  EXPECT_NEAR(S.Objective, -1.0, 1e-7);
+}
+
+TEST(Simplex, FreeVariableUnboundedBelow) {
+  double Inf = std::numeric_limits<double>::infinity();
+  LpProblem P;
+  unsigned X = P.addVariable(-Inf, Inf, 1); // min x, x free
+  (void)X;
+  EXPECT_EQ(solveLp(P).Status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, InfeasibleBoundBoxDetected) {
+  // Crossed bound overrides (branch & bound hands these to
+  // solveLpWithBounds in principle) are infeasible by inspection.
+  LpProblem P;
+  unsigned A = P.addBinary(-1);
+  unsigned B = P.addBinary(-1);
+  P.addConstraint({{A, 1.0}, {B, 1.0}}, ConstraintSense::LessEq, 1);
+  std::vector<double> Lo = {1, 0}, Hi = {0, 1}; // A's box is empty
+  EXPECT_EQ(solveLpWithBounds(P, Lo, Hi).Status, LpStatus::Infeasible);
+}
+
+TEST(WarmLp, InfeasibleBoxPatchAndRecovery) {
+  // A warm tableau patched to an empty box reports infeasible without
+  // pivoting, stays re-optimizable, and recovers when the box widens.
+  LpProblem P;
+  unsigned A = P.addBinary(-5);
+  unsigned B = P.addBinary(-3);
+  P.addConstraint({{A, 2.0}, {B, 3.0}}, ConstraintSense::LessEq, 4);
+  std::vector<double> Lo = {0, 0}, Hi = {1, 1};
+  WarmStart Ws;
+  ASSERT_EQ(solveLpWarm(P, Lo, Hi, Ws, {}).Status, LpStatus::Optimal);
+  Lo[A] = 1.0;
+  Hi[A] = 0.0; // empty box
+  LpSolution Crossed = solveLpWarm(P, Lo, Hi, Ws, {});
+  EXPECT_EQ(Crossed.Status, LpStatus::Infeasible);
+  EXPECT_TRUE(Crossed.WarmStarted);
+  Lo[A] = 0.0;
+  Hi[A] = 1.0;
+  LpSolution Back = solveLpWarm(P, Lo, Hi, Ws, {});
+  ASSERT_EQ(Back.Status, LpStatus::Optimal);
+  EXPECT_NEAR(Back.Objective, -7.0, 1e-9); // A = 1, B = 2/3 again
+}
+
+TEST(WarmLp, FixedVariableViaBoundsNeverEnters) {
+  // Fixing a variable through the override box (lb == ub) pins it while
+  // the rest re-optimizes; warm and cold agree exactly.
+  LpProblem P;
+  unsigned A = P.addBinary(-10);
+  unsigned B = P.addBinary(-6);
+  unsigned C = P.addBinary(-4);
+  P.addConstraint({{A, 5.0}, {B, 4.0}, {C, 3.0}}, ConstraintSense::LessEq,
+                  9);
+  std::vector<double> Lo = {0, 0, 0}, Hi = {1, 1, 1};
+  WarmStart Ws;
+  ASSERT_EQ(solveLpWarm(P, Lo, Hi, Ws, {}).Status, LpStatus::Optimal);
+  for (double V : {1.0, 0.0}) {
+    Lo[B] = Hi[B] = V; // fix B at each bound in turn
+    LpSolution Warm = solveLpWarm(P, Lo, Hi, Ws, {});
+    LpSolution Cold = solveLpWithBounds(P, Lo, Hi);
+    ASSERT_EQ(Warm.Status, LpStatus::Optimal);
+    ASSERT_EQ(Cold.Status, LpStatus::Optimal);
+    EXPECT_NEAR(Warm.Values[B], V, 1e-9);
+    EXPECT_NEAR(Warm.Objective, Cold.Objective, 1e-9);
+    Lo[B] = 0.0;
+    Hi[B] = 1.0;
+  }
 }
 
 TEST(WarmLp, ReoptimizesAfterBoundTightening) {
@@ -361,21 +477,29 @@ TEST_P(MipRandomized, MatchesBruteForce) {
   }
 
   double Reference = bruteForceOptimum(P);
-  // Both node-solve strategies are exact and must agree with brute force.
-  for (bool WarmNodes : {false, true}) {
-    MipOptions Opts;
-    Opts.WarmNodes = WarmNodes;
-    MipSolution S = solveMip(P, Opts);
-    ASSERT_TRUE(S.feasible()); // all-zeros is always feasible here
-    EXPECT_TRUE(S.Proven);
-    EXPECT_NEAR(S.Objective, Reference, 1e-6)
-        << (WarmNodes ? "warm" : "cold") << " nodes";
-    EXPECT_TRUE(P.isFeasible(S.Values));
-    if (WarmNodes)
-      EXPECT_EQ(S.ColdNodeSolves + S.WarmNodeSolves, S.NodesExplored);
-    else
-      EXPECT_EQ(S.ColdNodeSolves, S.NodesExplored);
-  }
+  // Every node-solve strategy x node order x branching rule is exact and
+  // must agree with brute force.
+  for (bool WarmNodes : {false, true})
+    for (NodeOrder Order :
+         {NodeOrder::Dfs, NodeOrder::BestBound, NodeOrder::Hybrid})
+      for (bool PseudoCost : {false, true}) {
+        MipOptions Opts;
+        Opts.WarmNodes = WarmNodes;
+        Opts.Order = Order;
+        Opts.PseudoCostBranching = PseudoCost;
+        MipSolution S = solveMip(P, Opts);
+        ASSERT_TRUE(S.feasible()); // all-zeros is always feasible here
+        EXPECT_TRUE(S.Proven);
+        EXPECT_NEAR(S.Objective, Reference, 1e-6)
+            << (WarmNodes ? "warm" : "cold") << " nodes, "
+            << nodeOrderName(Order) << " order, "
+            << (PseudoCost ? "pseudo-cost" : "most-fractional");
+        EXPECT_TRUE(P.isFeasible(S.Values));
+        if (WarmNodes)
+          EXPECT_EQ(S.ColdNodeSolves + S.WarmNodeSolves, S.NodesExplored);
+        else
+          EXPECT_EQ(S.ColdNodeSolves, S.NodesExplored);
+      }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, MipRandomized, ::testing::Range(0, 25));
@@ -410,4 +534,58 @@ TEST(Mip, WarmStartChainsAcrossRhsPatches) {
     EXPECT_EQ(W.WarmStarted, !First);
     First = false;
   }
+}
+
+TEST(Mip, ExternallySeededIncumbentOpensTheSearch) {
+  // Planting a feasible assignment in the warm state before the first
+  // solve marks the solution as seeded and cannot change the answer; an
+  // infeasible plant is rejected by the zero-tolerance re-check.
+  LpProblem P;
+  unsigned A = P.addBinary(-10);
+  unsigned B = P.addBinary(-6);
+  unsigned C = P.addBinary(-4);
+  P.addConstraint({{A, 5.0}, {B, 4.0}, {C, 3.0}}, ConstraintSense::LessEq,
+                  9);
+  MipSolution Plain = solveMip(P);
+  ASSERT_TRUE(Plain.feasible());
+  EXPECT_FALSE(Plain.SeededIncumbent);
+
+  MipWarmStart Seeded;
+  Seeded.Incumbent = {1.0, 1.0, 0.0}; // the known optimum
+  MipSolution S = solveMip(P, {}, &Seeded);
+  ASSERT_TRUE(S.feasible());
+  EXPECT_TRUE(S.SeededIncumbent);
+  EXPECT_NEAR(S.Objective, Plain.Objective, 1e-9);
+  EXPECT_EQ(S.Values, Plain.Values);
+
+  MipWarmStart Bogus;
+  Bogus.Incumbent = {1.0, 1.0, 1.0}; // weight 12 > 9: infeasible
+  MipSolution R = solveMip(P, {}, &Bogus);
+  ASSERT_TRUE(R.feasible());
+  EXPECT_FALSE(R.SeededIncumbent);
+  EXPECT_NEAR(R.Objective, Plain.Objective, 1e-9);
+}
+
+TEST(Mip, BestBoundProvesWithoutExhaustingOpenList) {
+  // A chunkier knapsack: best-bound must reach the same optimum as Dfs
+  // and terminate by bound (the open list prunes wholesale once the top
+  // node cannot beat the incumbent).
+  LpProblem P;
+  for (int J = 0; J != 12; ++J)
+    P.addBinary(-(3.0 + (J * 7) % 11));
+  std::vector<std::pair<unsigned, double>> Terms;
+  for (unsigned J = 0; J != 12; ++J)
+    Terms.push_back({J, double(2 + (J * 5) % 7)});
+  P.addConstraint(std::move(Terms), ConstraintSense::LessEq, 23);
+
+  MipOptions Dfs;
+  Dfs.Order = NodeOrder::Dfs;
+  MipOptions BB;
+  BB.Order = NodeOrder::BestBound;
+  MipSolution SDfs = solveMip(P, Dfs);
+  MipSolution SBB = solveMip(P, BB);
+  ASSERT_TRUE(SDfs.feasible());
+  ASSERT_TRUE(SBB.feasible());
+  EXPECT_TRUE(SBB.Proven);
+  EXPECT_NEAR(SDfs.Objective, SBB.Objective, 1e-9);
 }

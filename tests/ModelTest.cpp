@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace ramloc;
 
 namespace {
@@ -368,13 +370,23 @@ TEST_P(WarmSolverVsEnumeration, ColdWarmAndChainedMatchExhaustive) {
     Assignment Truth = enumeratorOptimum(MP, K);
     double TruthEnergy = evaluateAssignment(MP, Truth).EnergyMilliJoules;
 
-    MipOptions Cold;
-    Cold.WarmNodes = false;
-    Assignment FromCold = solvePlacement(MP, K, Cold);
-    EXPECT_EQ(FromCold, Truth) << "cold solver diverged";
+    // Every node order must land on the enumerator's optimum, cold and
+    // warm alike.
+    for (NodeOrder Order :
+         {NodeOrder::Dfs, NodeOrder::BestBound, NodeOrder::Hybrid}) {
+      MipOptions Cold;
+      Cold.WarmNodes = false;
+      Cold.Order = Order;
+      Assignment FromCold = solvePlacement(MP, K, Cold);
+      EXPECT_EQ(FromCold, Truth)
+          << "cold solver diverged (" << nodeOrderName(Order) << ")";
 
-    Assignment FromWarm = solvePlacement(MP, K);
-    EXPECT_EQ(FromWarm, Truth) << "warm-noded solver diverged";
+      MipOptions WarmOpts;
+      WarmOpts.Order = Order;
+      Assignment FromWarm = solvePlacement(MP, K, WarmOpts);
+      EXPECT_EQ(FromWarm, Truth)
+          << "warm-noded solver diverged (" << nodeOrderName(Order) << ")";
+    }
 
     MipSolution Stats;
     Assignment FromChain = Chain.solve(K, {}, &Stats);
@@ -386,6 +398,71 @@ TEST_P(WarmSolverVsEnumeration, ColdWarmAndChainedMatchExhaustive) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, WarmSolverVsEnumeration,
                          ::testing::Range(0, 20));
+
+TEST(Model, EncodeIsTheInverseOfDecodeAndOptimallyComplete) {
+  // encode() lifts an assignment to the canonical variable vector: it
+  // must be feasible at zero tolerance, achieve exactly the model energy
+  // of the assignment, and decode straight back.
+  SplitMix64 Rng(4242);
+  ModelParams MP = randomContinuousParams(Rng, 8);
+  ModelKnobs K;
+  K.RspareBytes = 150;
+  K.Xlimit = 1.6;
+  PlacementModel PM = buildPlacementModel(MP, K);
+
+  MipSolution Sol = solveMip(PM.P);
+  ASSERT_TRUE(Sol.feasible());
+  Assignment InRam = PM.decode(Sol);
+
+  std::vector<double> X = PM.encode(MP, InRam);
+  ASSERT_EQ(X.size(), PM.P.numVariables());
+  EXPECT_TRUE(PM.P.isFeasible(X, /*Tol=*/0.0));
+  // The encoded point reproduces the solver's objective: y/z/c/w are
+  // pinned at their optimal completions for this x (the solver's own
+  // point may carry simplex-arithmetic residue, hence the tolerance).
+  EXPECT_NEAR(PM.P.objectiveValue(X), Sol.Objective,
+              1e-6 * std::abs(Sol.Objective) + 1e-9);
+
+  MipSolution Round;
+  Round.Status = LpStatus::Optimal;
+  Round.Values = X;
+  EXPECT_EQ(PM.decode(Round), InRam);
+
+  // Wrong arity is rejected.
+  EXPECT_TRUE(PM.encode(MP, Assignment(MP.numBlocks() + 1, false)).empty());
+}
+
+TEST(Model, SeededSolverMatchesUnseededBitForBit) {
+  // The persistent-incumbent path: seeding a fresh solver with the known
+  // optimum must flag the solve as seeded and return the identical
+  // assignment; seeding with a stale/infeasible assignment must be
+  // harmless.
+  SplitMix64 Rng(777);
+  ModelParams MP = randomContinuousParams(Rng, 9);
+  ModelKnobs K;
+  K.RspareBytes = 120;
+  K.Xlimit = 1.4;
+
+  Assignment Truth = enumeratorOptimum(MP, K);
+
+  PlacementSolver Seeded(MP, K);
+  ASSERT_TRUE(Seeded.seedIncumbent(MP, Truth));
+  MipSolution Stats;
+  Assignment FromSeeded = Seeded.solve(K, {}, &Stats);
+  EXPECT_TRUE(Stats.SeededIncumbent);
+  EXPECT_EQ(FromSeeded, Truth);
+
+  // An over-stuffed assignment (everything in RAM) fails the RAM budget
+  // re-check and is discarded, not trusted.
+  PlacementSolver Stale(MP, K);
+  Assignment Everything(MP.numBlocks(), true);
+  if (Stale.seedIncumbent(MP, Everything)) {
+    MipSolution StaleStats;
+    Assignment FromStale = Stale.solve(K, {}, &StaleStats);
+    EXPECT_FALSE(StaleStats.SeededIncumbent);
+    EXPECT_EQ(FromStale, Truth);
+  }
+}
 
 TEST(Greedy, NeverBeatsIlpAndStaysFeasible) {
   for (int Seed = 0; Seed != 10; ++Seed) {

@@ -31,13 +31,22 @@
 //                           instead of sharing the ILP across a knob axis
 //                           and warm-starting from neighbouring solves
 //                           (the reports are byte-identical either way)
+//     --no-incumbent-seed   do not open a solve group's first solve with
+//                           the cache's persisted best-known placement
+//                           (seeds are re-validated at zero tolerance;
+//                           reports are byte-identical either way unless
+//                           distinct placements tie on modelled energy)
+//     --node-order=ORDER    branch & bound node selection: dfs (default;
+//                           warm-friendliest), best-bound, or hybrid
+//                           (dive until an incumbent exists, then
+//                           best-bound; every order is exact)
 //     --cache-dir=DIR       persistent result + profile cache: load
 //                           before running, append after, so repeated
 //                           runs are incremental
-//     --gc-profiles         compact the profile store instead of running:
-//                           drop corrupt/stale-fingerprint lines and fold
-//                           duplicate keys, then enforce the size cap
-//                           (needs --cache-dir)
+//     --gc-profiles         compact the profile + incumbent stores
+//                           instead of running: drop corrupt/stale-
+//                           fingerprint lines and fold duplicate keys,
+//                           then enforce the size cap (needs --cache-dir)
 //     --max-profile-bytes=N with --gc-profiles: evict least-recently-
 //                           appended profiles until profiles.jsonl is at
 //                           most N bytes (0 = no cap, the default)
@@ -91,7 +100,8 @@ void usage() {
       "                    [--xlimit=F,...] [--freq=static,profiled]\n"
       "                    [--repeat=N] [--model-only] [--jobs=N]\n"
       "                    [--no-cache] [--no-profile-reuse]\n"
-      "                    [--no-solve-reuse]\n"
+      "                    [--no-solve-reuse] [--no-incumbent-seed]\n"
+      "                    [--node-order=dfs|best-bound|hybrid]\n"
       "                    [--cache-dir=DIR] [--shard=K/N]\n"
       "                    [--json=FILE] [--csv=FILE] [--dry-run]\n"
       "                    [--list-devices] [--list-benchmarks]\n"
@@ -279,6 +289,13 @@ int runDiff(const std::vector<std::string> &Files, double ThresholdPct,
       continue;
     }
 
+    // The compared metric set is deliberately closed over *results*.
+    // Solver-effort counters (extractions, cold/warm solves, incumbent
+    // seeds, pivot counts) are provenance, not results: a node-order or
+    // seeding change legitimately moves them while every measured and
+    // modelled quantity stays bit-identical, so they must never be able
+    // to report drift — reports carrying a diagnostic "solver" block
+    // parse fine and diff clean here.
     struct Metric {
       const char *Name;
       double Old, New;
@@ -434,9 +451,18 @@ int main(int Argc, char **Argv) {
       Opts.ReuseProfiles = false;
     } else if (Arg == "--no-solve-reuse") {
       // The escape hatch is fully cold: no knob-axis grouping, and every
-      // branch & bound node re-solves two-phase from scratch.
+      // branch & bound node re-solves from scratch (which also leaves
+      // incumbent seeds unread — they ride on the warm state).
       Opts.ReuseSolves = false;
       Opts.Base.Mip.WarmNodes = false;
+    } else if (Arg == "--no-incumbent-seed") {
+      Opts.SeedIncumbents = false;
+    } else if (Arg.rfind("--node-order=", 0) == 0) {
+      if (!nodeOrderFromName(val(13), Opts.Base.Mip.Order)) {
+        std::fprintf(stderr, "error: unknown node order '%s'\n",
+                     val(13).c_str());
+        return 2;
+      }
     } else if (Arg == "--gc-profiles") {
       GcProfiles = true;
     } else if (Arg.rfind("--max-profile-bytes=", 0) == 0) {
@@ -513,17 +539,21 @@ int main(int Argc, char **Argv) {
     CacheStore::ProfileGcStats Stats;
     std::string Error;
     if (!Store.open(CacheDir, &Error) ||
-        !Store.gcProfiles(MaxProfileBytes, Stats, &Error)) {
+        !Store.gcProfiles(MaxProfileBytes, Stats, &Error) ||
+        !Store.compactIncumbents(&Error)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
       return 1;
     }
-    if (!Quiet)
+    if (!Quiet) {
       std::fprintf(stderr,
                    "profiles: %zu kept, %zu stale/duplicate dropped, %zu "
                    "evicted over cap; %llu -> %llu bytes\n",
                    Stats.Kept, Stats.DroppedInvalid, Stats.Evicted,
                    static_cast<unsigned long long>(Stats.BytesBefore),
                    static_cast<unsigned long long>(Stats.BytesAfter));
+      std::fprintf(stderr, "incumbents: %zu kept\n",
+                   Store.incumbents().size());
+    }
     return 0;
   }
 
@@ -612,6 +642,9 @@ int main(int Argc, char **Argv) {
     // into recosts wherever the images match.
     if (Opts.ReuseProfiles)
       Opts.Profiles = &Store.profiles();
+    // Incumbents always collect (offers keep the store fresh);
+    // --no-incumbent-seed only stops them opening new searches.
+    Opts.Incumbents = &Store.incumbents();
   }
 
   if (Verbose)
@@ -654,6 +687,11 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(CR.Summary.Extractions),
                   static_cast<unsigned long long>(CR.Summary.ColdSolves),
                   static_cast<unsigned long long>(CR.Summary.WarmSolves));
+    if (CR.Summary.IncumbentSeeds > 0)
+      std::printf("%llu solve group(s) seeded from persisted "
+                  "incumbents\n",
+                  static_cast<unsigned long long>(
+                      CR.Summary.IncumbentSeeds));
     if (CR.Summary.Succeeded > 0 && Grid.Kind == JobKind::Measure)
       std::printf("geomean energy ratio %.4f; mean energy %+.1f%%, "
                   "time %+.1f%%, power %+.1f%%\n",
