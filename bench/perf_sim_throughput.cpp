@@ -29,6 +29,7 @@
 #include "power/DeviceRegistry.h"
 #include "sim/ProfileCache.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -44,18 +45,19 @@ constexpr const char *Benchmark = "crc32";
 constexpr unsigned Repeat = 200;
 
 /// Runs \p Body repeatedly until it has consumed at least \p MinSeconds,
-/// returning iterations per second.
+/// returning iterations per second. Each measured window also lands in
+/// the bench.measure_seconds histogram.
 template <typename Fn> double ratePerSec(double MinSeconds, Fn &&Body) {
   // One warm-up iteration keeps one-time costs (allocation, cache
   // priming) out of the measured window.
   Body();
   unsigned Iters = 0;
-  WallTimer Timer;
+  ScopedTimer Timer(&globalMetrics().histogram("bench.measure_seconds"));
   do {
     Body();
     ++Iters;
   } while (Timer.seconds() < MinSeconds);
-  return Iters / Timer.seconds();
+  return Iters / Timer.stop();
 }
 
 } // namespace
@@ -140,18 +142,18 @@ int main() {
   Grid.Devices = deviceNames();
   Grid.Repeat = Repeat;
 
+  // The campaign times itself (Summary.WallSeconds is a view over the
+  // campaign.wall_seconds histogram); no harness-side stopwatch needed.
   CampaignOptions NoReuse;
   NoReuse.Jobs = 1;
   NoReuse.ReuseProfiles = false;
-  WallTimer T1;
   CampaignResult R1 = runCampaign(Grid, NoReuse);
-  double CampaignNoReuse = R1.Results.size() / T1.seconds();
+  double CampaignNoReuse = R1.Results.size() / R1.Summary.WallSeconds;
 
   CampaignOptions Reuse;
   Reuse.Jobs = 1;
-  WallTimer T2;
   CampaignResult R2 = runCampaign(Grid, Reuse);
-  double CampaignReuse = R2.Results.size() / T2.seconds();
+  double CampaignReuse = R2.Results.size() / R2.Summary.WallSeconds;
   std::printf("campaign grid (whole Measure jobs): %.2f configs/sec "
               "without reuse, %.2f with (%llu sims + %llu recosts)\n",
               CampaignNoReuse, CampaignReuse,

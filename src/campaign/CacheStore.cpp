@@ -12,6 +12,7 @@
 #include "support/Format.h"
 #include "support/Hash.h"
 #include "support/Json.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <filesystem>
@@ -223,6 +224,7 @@ std::string CacheStore::profileFingerprint() {
 }
 
 bool CacheStore::open(const std::string &Dir, std::string *Error) {
+  TraceSpan Span("cache.load", "cache");
   Loaded = Skipped = LoadedProfs = SkippedProfs = 0;
   LoadedIncs = SkippedIncs = 0;
   Invalidated = false;
@@ -477,6 +479,7 @@ bool CacheStore::appendIncumbents(std::string *Error) {
 }
 
 bool CacheStore::save(std::string *Error) {
+  TraceSpan Span("cache.append", "cache");
   if (Path.empty()) {
     if (Error)
       *Error = "cache store was never opened";
@@ -496,6 +499,7 @@ bool CacheStore::save(std::string *Error) {
 }
 
 bool CacheStore::compact(std::string *Error) {
+  TraceSpan Span("cache.compact", "cache");
   if (Path.empty()) {
     if (Error)
       *Error = "cache store was never opened";
@@ -506,6 +510,7 @@ bool CacheStore::compact(std::string *Error) {
 }
 
 bool CacheStore::compactIncumbents(std::string *Error) {
+  TraceSpan Span("cache.compact", "cache");
   if (IncPath.empty()) {
     if (Error)
       *Error = "cache store was never opened";
@@ -516,6 +521,7 @@ bool CacheStore::compactIncumbents(std::string *Error) {
 
 bool CacheStore::gcProfiles(uint64_t MaxBytes, ProfileGcStats &Stats,
                             std::string *Error) {
+  TraceSpan Span("cache.compact", "cache");
   if (ProfPath.empty()) {
     if (Error)
       *Error = "cache store was never opened";

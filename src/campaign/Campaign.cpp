@@ -14,8 +14,10 @@
 #include "support/Format.h"
 #include "support/Hash.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <map>
@@ -237,9 +239,15 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
                    const PipelineOptions &Base,
                    std::vector<JobResult> &Results,
                    const std::function<void(size_t)> &OnDone,
+                   MetricsRegistry &Reg,
                    IncumbentStore *Incumbents = nullptr,
                    bool SeedIncumbents = true) {
   const JobSpec &First = Jobs[Indices.front()];
+  TraceSpan GroupSpan("solve-group", "campaign");
+  if (GroupSpan.active()) {
+    GroupSpan.arg("group", First.solveGroupKey());
+    GroupSpan.arg("jobs", std::to_string(Indices.size()));
+  }
 
   auto failAll = [&](const std::string &Error) {
     for (size_t I : Indices) {
@@ -346,6 +354,16 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
       R.WarmSolves = 1;
     else
       R.ColdSolves = 1;
+    // The registry is the campaign's book of record for these counters;
+    // the Summary fields are read back out of it as deltas.
+    Reg.counter("campaign.solve.extractions").add(R.Extractions);
+    Reg.counter("campaign.solve.cold").add(R.ColdSolves);
+    Reg.counter("campaign.solve.warm").add(R.WarmSolves);
+    Reg.counter("campaign.solve.incumbent_seeds").add(R.IncumbentSeeds);
+    Reg.histogram("campaign.solve.nodes")
+        .record(static_cast<double>(Sol.NodesExplored));
+    Reg.histogram("campaign.solve.pivots")
+        .record(static_cast<double>(Sol.PrimalPivots + Sol.DualPivots));
     Results[I] = std::move(R);
     OnDone(I);
     FirstJob = false;
@@ -357,13 +375,47 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
 JobResult ramloc::runJob(const JobSpec &Spec, const PipelineOptions &Base) {
   std::vector<JobSpec> Jobs{Spec};
   std::vector<JobResult> Results(1);
-  runSolveGroup(Jobs, {0}, Base, Results, [](size_t) {});
+  MetricsRegistry Scratch;
+  runSolveGroup(Jobs, {0}, Base, Results, [](size_t) {}, Scratch);
   return Results[0];
 }
 
+namespace {
+
+/// The campaign.* counter values a Summary view is a delta over. Taken
+/// before any work, subtracted at the end, so a registry shared across
+/// sequential campaigns (globalMetrics(), typically) still yields exact
+/// per-campaign summaries.
+struct CampaignBaseline {
+  uint64_t Extractions, ColdSolves, WarmSolves, IncumbentSeeds;
+  uint64_t FullSims, Recosts, CacheHits, UniqueRuns;
+
+  explicit CampaignBaseline(const MetricsRegistry &Reg)
+      : Extractions(Reg.counterValue("campaign.solve.extractions")),
+        ColdSolves(Reg.counterValue("campaign.solve.cold")),
+        WarmSolves(Reg.counterValue("campaign.solve.warm")),
+        IncumbentSeeds(Reg.counterValue("campaign.solve.incumbent_seeds")),
+        FullSims(Reg.counterValue("campaign.sim.full_sims")),
+        Recosts(Reg.counterValue("campaign.sim.recosts")),
+        CacheHits(Reg.counterValue("campaign.cache.hits")),
+        UniqueRuns(Reg.counterValue("campaign.jobs.unique")) {}
+};
+
+} // namespace
+
 CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
                                    const CampaignOptions &Opts) {
-  WallTimer Timer;
+  // The Summary counters are views over this registry: every count is
+  // recorded into Reg as it happens and read back out as a delta at the
+  // end, so `--metrics` snapshots and CampaignSummary can never drift
+  // apart. Without a caller-supplied registry a private one serves.
+  MetricsRegistry LocalMetrics;
+  MetricsRegistry &Reg = Opts.Metrics ? *Opts.Metrics : LocalMetrics;
+  const CampaignBaseline Start(Reg);
+  ScopedTimer Timer(&Reg.histogram("campaign.wall_seconds"));
+  TraceSpan CampaignSpan("campaign", "campaign");
+  if (CampaignSpan.active())
+    CampaignSpan.arg("jobs", std::to_string(Jobs.size()));
   CampaignResult CR;
   CR.Results.resize(Jobs.size());
 
@@ -393,6 +445,10 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
         CopyFrom[I] = static_cast<ptrdiff_t>(It->second);
     }
   }
+  Reg.counter("campaign.jobs.total").add(Jobs.size());
+  Reg.counter("campaign.jobs.unique").add(RunIndices.size());
+  // The Progress callback needs the unique-run total while jobs are
+  // still finishing; the final Summary re-reads it from the registry.
   CR.Summary.UniqueRuns = static_cast<unsigned>(RunIndices.size());
 
   // Group jobs by execution key: every job shares one ProfileCache, so
@@ -445,23 +501,21 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
                 Opts.Progress(CR.Results[I], ++Done, CR.Summary.UniqueRuns);
               }
             },
-            Opts.Incumbents, Opts.SeedIncumbents);
+            Reg, Opts.Incumbents, Opts.SeedIncumbents);
       });
     Pool.wait();
   }
   if (Profiles) {
+    // The ProfileCache may be shared across campaigns (CacheStore's),
+    // so its counters are windowed here rather than read raw.
     ProfileCache::Counters After = Profiles->counters();
-    CR.Summary.FullSims = After.FullSims - Before.FullSims;
-    CR.Summary.Recosts = After.Recosts - Before.Recosts;
-  }
-  for (size_t I : RunIndices) {
-    CR.Summary.Extractions += CR.Results[I].Extractions;
-    CR.Summary.ColdSolves += CR.Results[I].ColdSolves;
-    CR.Summary.WarmSolves += CR.Results[I].WarmSolves;
-    CR.Summary.IncumbentSeeds += CR.Results[I].IncumbentSeeds;
+    Reg.counter("campaign.sim.full_sims").add(After.FullSims -
+                                              Before.FullSims);
+    Reg.counter("campaign.sim.recosts").add(After.Recosts - Before.Recosts);
   }
 
   // Fill duplicates and feed the cross-campaign cache.
+  uint64_t CacheHits = 0;
   for (size_t I = 0; I != Jobs.size(); ++I) {
     if (CopyFrom[I] >= 0) {
       CR.Results[I] = CR.Results[CopyFrom[I]];
@@ -469,24 +523,34 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
       CR.Results[I].CacheHit = true;
     }
     if (CR.Results[I].CacheHit)
-      ++CR.Summary.CacheHits;
+      ++CacheHits;
   }
+  Reg.counter("campaign.cache.hits").add(CacheHits);
   if (Opts.Cache)
     for (size_t I : RunIndices)
       Opts.Cache->insert(Jobs[I].cacheKey(), CR.Results[I]);
 
-  // Aggregate the deterministic summary, then restore the scheduling
-  // diagnostics gathered above.
+  // Aggregate the deterministic summary, then fill the scheduling
+  // diagnostics as views over the registry: each field is the counter's
+  // growth since this campaign started.
   CampaignSummary S = computeSummary(CR.Results);
-  S.CacheHits = CR.Summary.CacheHits;
-  S.UniqueRuns = CR.Summary.UniqueRuns;
-  S.FullSims = CR.Summary.FullSims;
-  S.Recosts = CR.Summary.Recosts;
-  S.Extractions = CR.Summary.Extractions;
-  S.ColdSolves = CR.Summary.ColdSolves;
-  S.WarmSolves = CR.Summary.WarmSolves;
-  S.IncumbentSeeds = CR.Summary.IncumbentSeeds;
-  S.WallSeconds = Timer.seconds();
+  S.CacheHits = static_cast<unsigned>(
+      Reg.counterValue("campaign.cache.hits") - Start.CacheHits);
+  S.UniqueRuns = static_cast<unsigned>(
+      Reg.counterValue("campaign.jobs.unique") - Start.UniqueRuns);
+  S.FullSims =
+      Reg.counterValue("campaign.sim.full_sims") - Start.FullSims;
+  S.Recosts = Reg.counterValue("campaign.sim.recosts") - Start.Recosts;
+  S.Extractions =
+      Reg.counterValue("campaign.solve.extractions") - Start.Extractions;
+  S.ColdSolves =
+      Reg.counterValue("campaign.solve.cold") - Start.ColdSolves;
+  S.WarmSolves =
+      Reg.counterValue("campaign.solve.warm") - Start.WarmSolves;
+  S.IncumbentSeeds =
+      Reg.counterValue("campaign.solve.incumbent_seeds") -
+      Start.IncumbentSeeds;
+  S.WallSeconds = Timer.stop();
   CR.Summary = S;
   return CR;
 }

@@ -71,6 +71,7 @@
 
 namespace ramloc {
 
+class MetricsRegistry;
 class ProfileCache;
 
 /// How block frequencies Fb are obtained (the Figure 5 estimated-vs-
@@ -143,13 +144,13 @@ struct JobResult {
   unsigned WarmSolves = 0;  ///< MIP solves re-optimized from a neighbour
   unsigned IncumbentSeeds = 0; ///< solves opened by a persisted incumbent
 
-  // Measured (JobKind::Measure only).
+  /// Measured (JobKind::Measure only).
   double BaseEnergyMilliJoules = 0.0, OptEnergyMilliJoules = 0.0;
   double BaseSeconds = 0.0, OptSeconds = 0.0;
   double BaseAvgMilliWatts = 0.0, OptAvgMilliWatts = 0.0;
   uint64_t BaseCycles = 0, OptCycles = 0;
 
-  // Model-side (both kinds).
+  /// Model-side (both kinds).
   double PredictedBaseEnergyMilliJoules = 0.0;
   double PredictedOptEnergyMilliJoules = 0.0;
   double PredictedBaseCycles = 0.0;
@@ -258,6 +259,17 @@ struct CampaignOptions {
   /// warm knob chaining); `--no-incumbent-seed` is the A/B escape hatch
   /// that proves it.
   bool SeedIncumbents = true;
+  /// Registry the campaign records its counters into (campaign.* keys:
+  /// extractions, cold/warm solves, incumbent seeds, full sims vs
+  /// recosts, cache hits, solve histograms). The Summary counter fields
+  /// are views over this registry — computed as before/after deltas, so
+  /// a registry shared across sequential campaigns still yields exact
+  /// per-campaign summaries. Null uses a campaign-private registry;
+  /// `ramloc-batch --metrics` passes globalMetrics() so one snapshot
+  /// carries the campaign.* keys next to the deep layers' mip.*/sim.*/
+  /// jobqueue.*/cache.* keys. Metrics are a side channel: reports are
+  /// byte-identical whether or not a registry is attached.
+  MetricsRegistry *Metrics = nullptr;
   /// Progress callback, invoked serialized (never concurrently) after
   /// each unique job finishes.
   std::function<void(const JobResult &, unsigned Done, unsigned Total)>

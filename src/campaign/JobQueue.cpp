@@ -7,6 +7,9 @@
 
 #include "campaign/JobQueue.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <chrono>
 
 using namespace ramloc;
@@ -85,8 +88,22 @@ bool JobQueue::tryRunOne(unsigned Self) {
   if (!J)
     return false;
 
-  J();
+  {
+    // Name the thread lazily, per job rather than at pool start: the
+    // recorder is typically installed after the pool's threads exist,
+    // and naming is one TLS lookup — noise against a whole job.
+    if (TraceRecorder *R = TraceRecorder::current())
+      R->setThreadName("worker-" + std::to_string(Self));
+    TraceSpan Span("job", "queue");
+    if (Span.active() && Stolen)
+      Span.arg("stolen", "1");
+    J();
+  }
 
+  MetricsRegistry &M = globalMetrics();
+  M.counter("jobqueue.jobs").add();
+  if (Stolen)
+    M.counter("jobqueue.steals").add();
   {
     std::lock_guard<std::mutex> Lock(StateMu);
     if (Stolen)
@@ -98,9 +115,11 @@ bool JobQueue::tryRunOne(unsigned Self) {
 }
 
 void JobQueue::workerLoop(unsigned Self) {
+  Counter &IdleNs = globalMetrics().counter("jobqueue.idle_ns");
   for (;;) {
     if (tryRunOne(Self))
       continue;
+    auto IdleFrom = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> Lock(StateMu);
     if (Stopping)
       return;
@@ -109,5 +128,9 @@ void JobQueue::workerLoop(unsigned Self) {
     // can also mean jobs are *running* elsewhere, so wake on a timeout
     // too rather than requiring a perfectly paired notify.
     WorkCv.wait_for(Lock, std::chrono::milliseconds(10));
+    IdleNs.add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - IdleFrom)
+            .count()));
   }
 }

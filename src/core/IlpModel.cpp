@@ -8,6 +8,7 @@
 #include "core/IlpModel.h"
 
 #include "support/Format.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -348,10 +349,16 @@ bool PlacementSolver::seedIncumbent(const ModelParams &MP,
 Assignment PlacementSolver::solve(const ModelKnobs &Knobs,
                                   const MipOptions &Mip,
                                   MipSolution *SolverStats) {
+  TraceSpan Span("solve", "solver");
   PM.patchKnobs(Knobs);
   // With warm nodes disabled the caller asked for the cold reference
   // path; keeping the cross-solve state out makes every call independent.
   MipSolution Sol = solveMip(PM.P, Mip, Mip.WarmNodes ? &Warm : nullptr);
+  if (Span.active()) {
+    Span.arg("warm", Sol.WarmStarted ? "1" : "0");
+    Span.arg("seeded", Sol.SeededIncumbent ? "1" : "0");
+    Span.arg("nodes", std::to_string(Sol.NodesExplored));
+  }
   if (SolverStats)
     *SolverStats = Sol;
   return PM.decode(Sol);

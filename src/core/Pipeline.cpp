@@ -11,6 +11,7 @@
 #include "sim/ProfileCache.h"
 #include "support/Format.h"
 #include "support/Statistics.h"
+#include "support/Trace.h"
 
 using namespace ramloc;
 
@@ -42,6 +43,7 @@ Measurement ramloc::measureModule(const Module &M, const PowerModel &Power,
 
   // Power-profile sampling is timing-dependent output: always simulate.
   if (!Profiles || Sim.SampleIntervalCycles != 0) {
+    TraceSpan Span("fullsim", "sim");
     Out.Stats = runImage(LR.Img, Sim);
     Out.Energy = Power.integrate(Out.Stats);
     return Out;
@@ -56,6 +58,8 @@ Measurement ramloc::measureModule(const Module &M, const PowerModel &Power,
     // device-independent profile every later device recosts from. The
     // owner must publish (null on a faulted run) or waiters block
     // forever, so publish on every path out.
+    TraceSpan Span("fullsim", "sim");
+    Span.arg("profiled", "1");
     auto Fresh = std::make_shared<ExecutionProfile>();
     try {
       Out.Stats = runImageProfiled(LR.Img, Sim, *Fresh);
@@ -65,14 +69,22 @@ Measurement ramloc::measureModule(const Module &M, const PowerModel &Power,
     }
     Profiles->noteFullSim();
     Profiles->publish(Key, Fresh->Valid ? std::move(Fresh) : nullptr);
-  } else if (Shared && recostProfile(LR.Img, *Shared, Sim, Out.Stats)) {
-    Profiles->noteRecost();
   } else {
-    // No usable profile (the profiling run faulted, or this timing model
-    // would exceed the cycle budget): full simulation, bit-identical by
-    // definition.
-    Out.Stats = runImage(LR.Img, Sim);
-    Profiles->noteFullSim();
+    bool Recosted = false;
+    if (Shared) {
+      TraceSpan Span("recost", "sim");
+      Recosted = recostProfile(LR.Img, *Shared, Sim, Out.Stats);
+    }
+    if (Recosted) {
+      Profiles->noteRecost();
+    } else {
+      // No usable profile (the profiling run faulted, or this timing
+      // model would exceed the cycle budget): full simulation,
+      // bit-identical by definition.
+      TraceSpan Span("fullsim", "sim");
+      Out.Stats = runImage(LR.Img, Sim);
+      Profiles->noteFullSim();
+    }
   }
   Out.Energy = Power.integrate(Out.Stats);
   return Out;
@@ -81,6 +93,7 @@ Measurement ramloc::measureModule(const Module &M, const PowerModel &Power,
 ExtractedModule ramloc::extractModule(const Module &M,
                                       const PipelineOptions &Opts,
                                       bool NeedBaseline) {
+  TraceSpan Span("extract", "pipeline");
   ExtractedModule EM;
 
   std::vector<std::string> Diags = verifyModule(M);
@@ -116,6 +129,7 @@ PipelineResult ramloc::applyAndMeasure(const Module &M,
                                        const Assignment &InRam,
                                        const MipSolution &Solver,
                                        const PipelineOptions &Opts) {
+  TraceSpan Span("apply", "pipeline");
   PipelineResult R;
   R.MeasuredBase = EM.MeasuredBase;
   R.PredictedBase = EM.PredictedBase;

@@ -7,6 +7,8 @@
 
 #include "lp/BranchBound.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -157,6 +159,30 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
                              MipWarmStart *Warm) {
   MipSolution Best;
   Best.Proven = true; // until the node budget is hit
+
+  // Publish this solve's effort into the global metrics registry on
+  // every exit path. The registry is the one source the campaign
+  // summaries, the perf harnesses and --metrics snapshots all read, so
+  // nobody re-derives pivot counts by hand; recording happens once per
+  // solve (never per node or pivot), so the cost is a handful of
+  // relaxed atomic adds.
+  struct EffortRecorder {
+    const MipSolution &Sol;
+    ~EffortRecorder() {
+      MetricsRegistry &M = globalMetrics();
+      M.counter("mip.solves").add();
+      M.counter("mip.nodes").add(Sol.NodesExplored);
+      M.counter("mip.cold_node_solves").add(Sol.ColdNodeSolves);
+      M.counter("mip.warm_node_solves").add(Sol.WarmNodeSolves);
+      M.counter("mip.primal_pivots").add(Sol.PrimalPivots);
+      M.counter("mip.dual_pivots").add(Sol.DualPivots);
+      M.counter("mip.bound_flips").add(Sol.BoundFlips);
+      if (Sol.WarmStarted)
+        M.counter("mip.warm_starts").add();
+      if (Sol.SeededIncumbent)
+        M.counter("mip.seeded_incumbents").add();
+    }
+  } Effort{Best};
 
   for ([[maybe_unused]] const LpVariable &V : P.Variables)
     assert((!V.Integer || (V.Lower >= 0.0 && V.Upper <= 1.0)) &&

@@ -7,10 +7,13 @@
 
 #include "sim/Predecode.h"
 
+#include "support/Trace.h"
+
 using namespace ramloc;
 
 DecodedImage ramloc::predecodeImage(const Image &Img,
                                     const TimingModel &Timing) {
+  TraceSpan Span("predecode", "sim");
   DecodedImage Dec;
   Dec.reserve(Img.Instrs.size());
   for (const PlacedInstr &P : Img.Instrs) {

@@ -7,6 +7,8 @@
 
 #include "sim/ProfileCache.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 
 using namespace ramloc;
@@ -60,11 +62,13 @@ void ProfileCache::preload(const std::string &Key,
 }
 
 void ProfileCache::noteFullSim() {
+  globalMetrics().counter("sim.full_sims").add();
   std::lock_guard<std::mutex> Lock(Mu);
   ++Stats.FullSims;
 }
 
 void ProfileCache::noteRecost() {
+  globalMetrics().counter("sim.recosts").add();
   std::lock_guard<std::mutex> Lock(Mu);
   ++Stats.Recosts;
 }

@@ -6,15 +6,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A monotonic wall-clock stopwatch for the campaign engine and the
+/// Monotonic wall-clock stopwatches for the campaign engine and the
 /// harnesses. Wall times are diagnostics only: they are deliberately kept
 /// out of the machine-readable reports so identical campaigns produce
 /// byte-identical output regardless of thread count or machine load.
+/// ScopedTimer feeds its elapsed time into a metrics histogram, so
+/// every timed phase lands in the same registry `--metrics` snapshots
+/// instead of being accumulated by hand at each call site.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAMLOC_SUPPORT_TIMER_H
 #define RAMLOC_SUPPORT_TIMER_H
+
+#include "support/Metrics.h"
 
 #include <chrono>
 
@@ -35,6 +40,42 @@ public:
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
+};
+
+/// A WallTimer that reports into a metrics histogram: the elapsed
+/// seconds are recorded exactly once, at stop() or destruction,
+/// whichever comes first. Passing no histogram gives a plain scoped
+/// stopwatch (seconds()/stop() still work), so one class serves both
+/// "time this block into the registry" and "how long did that take".
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Histogram *Sink = nullptr) : Sink(Sink) {}
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  /// Seconds elapsed so far (before stop()) or the final reading
+  /// (after); polling it does not record anything.
+  double seconds() const { return Stopped ? Elapsed : T.seconds(); }
+
+  /// Freezes the reading, records it into the histogram (once), and
+  /// returns it.
+  double stop() {
+    if (!Stopped) {
+      Elapsed = T.seconds();
+      Stopped = true;
+      if (Sink)
+        Sink->record(Elapsed);
+    }
+    return Elapsed;
+  }
+
+private:
+  WallTimer T;
+  Histogram *Sink;
+  double Elapsed = 0.0;
+  bool Stopped = false;
 };
 
 } // namespace ramloc

@@ -1,0 +1,158 @@
+//===- support/Trace.h - structured span tracing ----------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead, thread-safe span recorder for campaign telemetry.
+/// Instrumentation sites open a scoped TraceSpan (name + category +
+/// optional string args); the span measures its own lifetime on the
+/// monotonic clock and, on destruction, appends one complete event to a
+/// per-thread buffer owned by the process's installed TraceRecorder.
+/// Buffers are only merged when the recorder is drained — at campaign
+/// end — so concurrent workers never contend on a shared event list.
+///
+/// Tracing is strictly a side channel: when no recorder is installed
+/// (the default) a span is two relaxed atomic loads and no allocation,
+/// and nothing a recorder captures may feed back into results — campaign
+/// reports are byte-identical with tracing on or off, the same contract
+/// the diagnostic "solver" block and the Summary wall clock follow.
+///
+/// Snapshots serialize to Chrome trace_event JSON ("ph":"X" complete
+/// events plus thread_name metadata), the format chrome://tracing and
+/// Perfetto open directly; `ramloc-batch --trace=FILE` wires it up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SUPPORT_TRACE_H
+#define RAMLOC_SUPPORT_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ramloc {
+
+/// One completed span: [StartNs, StartNs + DurNs) on thread \p Tid,
+/// timestamps relative to the owning recorder's construction.
+struct TraceEvent {
+  const char *Name = "";     ///< static string: the span's label
+  const char *Category = ""; ///< static string: subsystem ("solver", ...)
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  unsigned Tid = 0;
+  /// Small string key/value annotations ("warm"="1", ...).
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Everything a recorder captured, ready to serialize: events sorted by
+/// (thread, start time) and the names threads registered for themselves.
+struct TraceSnapshot {
+  std::vector<TraceEvent> Events;
+  std::vector<std::pair<unsigned, std::string>> ThreadNames;
+};
+
+/// The span sink. At most one recorder is installed process-wide at a
+/// time; instrumentation sites reach it through TraceRecorder::current(),
+/// which is null — and spans are near-free — whenever tracing is off.
+///
+/// Lifecycle contract: uninstall() (or destroy the recorder, which
+/// uninstalls itself) only after the threads it traced have quiesced;
+/// a span that outlives the install window is dropped, not recorded.
+class TraceRecorder {
+public:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder &) = delete;
+  TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  /// Makes this the process-wide recorder (replacing any other).
+  void install();
+  /// Clears the process-wide recorder; subsequent spans are no-ops.
+  static void uninstall();
+  /// The installed recorder, or null when tracing is off.
+  static TraceRecorder *current();
+
+  /// Nanoseconds on the monotonic clock since this recorder was built.
+  uint64_t nowNs() const;
+
+  /// Appends \p E to the calling thread's buffer (registering the thread
+  /// on first use; its Tid field is assigned here).
+  void record(TraceEvent E);
+
+  /// Names the calling thread in the trace ("worker-3"); shows up as
+  /// thread_name metadata in the Chrome JSON.
+  void setThreadName(std::string Name);
+
+  /// Copies out everything recorded so far, events sorted by
+  /// (tid, start, duration) so identical recordings serialize
+  /// identically whatever order threads flushed in.
+  TraceSnapshot snapshot() const;
+
+  /// Total events recorded (diagnostics/tests).
+  size_t eventCount() const;
+
+private:
+  struct ThreadLog {
+    unsigned Tid = 0;
+    std::string Name;
+    std::vector<TraceEvent> Events;
+    std::mutex Mu; ///< guards Events/Name against snapshot() readers
+  };
+
+  ThreadLog &threadLog();
+
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu; ///< guards Logs (registration + snapshot)
+  std::vector<std::unique_ptr<ThreadLog>> Logs;
+};
+
+/// Scoped RAII span. Opens on construction, records on destruction; all
+/// methods are no-ops when no recorder is installed. Typical use:
+///
+///   TraceSpan Span("solve", "solver");
+///   Span.arg("warm", WarmStarted ? "1" : "0");
+///
+class TraceSpan {
+public:
+  TraceSpan(const char *Name, const char *Category)
+      : R(TraceRecorder::current()), Name(Name), Category(Category) {
+    if (R)
+      StartNs = R->nowNs();
+  }
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// True when a recorder will capture this span — gate any argument
+  /// formatting that is not free on it.
+  bool active() const { return R != nullptr; }
+
+  /// Attaches a key/value annotation (no-op when inactive).
+  TraceSpan &arg(const char *Key, std::string Value);
+
+private:
+  TraceRecorder *R;
+  const char *Name;
+  const char *Category;
+  uint64_t StartNs = 0;
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Serializes \p S as a Chrome trace_event JSON document (an object with
+/// a "traceEvents" array of "ph":"X" complete events — timestamps in
+/// microseconds — preceded by thread_name metadata). Deterministic for
+/// identical snapshots. Open it in chrome://tracing or ui.perfetto.dev.
+std::string traceToChromeJson(const TraceSnapshot &S, bool Pretty = true);
+
+} // namespace ramloc
+
+#endif // RAMLOC_SUPPORT_TRACE_H

@@ -1,0 +1,182 @@
+//===- tests/TraceTest.cpp - span recorder and Chrome JSON --------------------------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ramloc;
+
+TEST(Trace, NoRecorderMeansInactiveSpans) {
+  ASSERT_EQ(TraceRecorder::current(), nullptr);
+  TraceSpan Span("orphan", "test");
+  EXPECT_FALSE(Span.active());
+  Span.arg("ignored", "1"); // must be a no-op, not a crash
+}
+
+TEST(Trace, SpansNestAndSortParentFirst) {
+  TraceRecorder R;
+  R.install();
+  {
+    TraceSpan Outer("outer", "test");
+    {
+      TraceSpan Inner("inner", "test");
+      EXPECT_TRUE(Inner.active());
+    }
+  }
+  TraceRecorder::uninstall();
+
+  TraceSnapshot S = R.snapshot();
+  ASSERT_EQ(S.Events.size(), 2u);
+  // Same start-ordering Chrome expects: the enclosing span first.
+  EXPECT_STREQ(S.Events[0].Name, "outer");
+  EXPECT_STREQ(S.Events[1].Name, "inner");
+  // The child's window is contained in the parent's.
+  EXPECT_LE(S.Events[0].StartNs, S.Events[1].StartNs);
+  EXPECT_GE(S.Events[0].StartNs + S.Events[0].DurNs,
+            S.Events[1].StartNs + S.Events[1].DurNs);
+}
+
+TEST(Trace, ArgsAreRecorded) {
+  TraceRecorder R;
+  R.install();
+  {
+    TraceSpan Span("solve", "solver");
+    Span.arg("warm", "1").arg("nodes", "42");
+  }
+  TraceRecorder::uninstall();
+
+  TraceSnapshot S = R.snapshot();
+  ASSERT_EQ(S.Events.size(), 1u);
+  ASSERT_EQ(S.Events[0].Args.size(), 2u);
+  EXPECT_EQ(S.Events[0].Args[0].first, "warm");
+  EXPECT_EQ(S.Events[0].Args[0].second, "1");
+  EXPECT_EQ(S.Events[0].Args[1].first, "nodes");
+  EXPECT_EQ(S.Events[0].Args[1].second, "42");
+}
+
+TEST(Trace, SpanCrossingUninstallIsDropped) {
+  TraceRecorder R;
+  R.install();
+  {
+    TraceSpan Span("doomed", "test");
+    EXPECT_TRUE(Span.active());
+    TraceRecorder::uninstall();
+    // Span closes here: the recorder is gone, so it must drop, not record.
+  }
+  EXPECT_EQ(R.eventCount(), 0u);
+}
+
+TEST(Trace, ConcurrentThreadsEachGetTheirOwnLane) {
+  constexpr unsigned Threads = 4, SpansPerThread = 200;
+  TraceRecorder R;
+  R.install();
+  {
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back([&R, T] {
+        R.setThreadName("lane-" + std::to_string(T));
+        for (unsigned I = 0; I != SpansPerThread; ++I)
+          TraceSpan Span("work", "test");
+      });
+    for (std::thread &T : Pool)
+      T.join();
+  }
+  TraceRecorder::uninstall();
+
+  EXPECT_EQ(R.eventCount(), Threads * SpansPerThread);
+  TraceSnapshot S = R.snapshot();
+  EXPECT_EQ(S.ThreadNames.size(), Threads);
+  // Events are grouped by lane, each lane sorted by start time.
+  for (size_t I = 1; I != S.Events.size(); ++I) {
+    const TraceEvent &A = S.Events[I - 1], &B = S.Events[I];
+    EXPECT_TRUE(A.Tid < B.Tid ||
+                (A.Tid == B.Tid && A.StartNs <= B.StartNs));
+  }
+}
+
+TEST(Trace, SecondRecorderDoesNotInheritStaleThreadCaches) {
+  TraceRecorder First;
+  First.install();
+  { TraceSpan Span("one", "test"); }
+  TraceRecorder::uninstall();
+
+  TraceRecorder Second;
+  Second.install();
+  { TraceSpan Span("two", "test"); }
+  TraceRecorder::uninstall();
+
+  ASSERT_EQ(First.eventCount(), 1u);
+  ASSERT_EQ(Second.eventCount(), 1u);
+  EXPECT_STREQ(First.snapshot().Events[0].Name, "one");
+  EXPECT_STREQ(Second.snapshot().Events[0].Name, "two");
+}
+
+TEST(Trace, ChromeJsonRoundTripsThroughTheParser) {
+  TraceRecorder R;
+  R.install();
+  R.setThreadName("main");
+  {
+    TraceSpan Span("solve", "solver");
+    Span.arg("warm", "0");
+  }
+  { TraceSpan Span("apply", "pipeline"); }
+  TraceRecorder::uninstall();
+
+  std::string Doc = traceToChromeJson(R.snapshot());
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Doc, V, &Error)) << Error;
+
+  const JsonValue *Unit = V.find("displayTimeUnit");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_EQ(Unit->string(), "ms");
+
+  const JsonValue *Events = V.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->kind(), JsonValue::Kind::Array);
+  // One thread_name metadata event plus the two spans.
+  ASSERT_EQ(Events->items().size(), 3u);
+
+  const JsonValue &Meta = Events->items()[0];
+  EXPECT_EQ(Meta.find("ph")->string(), "M");
+  EXPECT_EQ(Meta.find("name")->string(), "thread_name");
+  EXPECT_EQ(Meta.find("args")->find("name")->string(), "main");
+
+  const JsonValue &Solve = Events->items()[1];
+  EXPECT_EQ(Solve.find("ph")->string(), "X");
+  EXPECT_EQ(Solve.find("name")->string(), "solve");
+  EXPECT_EQ(Solve.find("cat")->string(), "solver");
+  EXPECT_GE(Solve.find("dur")->number(), 0.0);
+  EXPECT_EQ(Solve.find("args")->find("warm")->string(), "0");
+
+  const JsonValue &Apply = Events->items()[2];
+  EXPECT_EQ(Apply.find("name")->string(), "apply");
+  // ts is microseconds on the same clock: apply started after solve.
+  EXPECT_GE(Apply.find("ts")->number(), Solve.find("ts")->number());
+}
+
+TEST(Trace, IdenticalSnapshotsSerializeIdentically) {
+  TraceSnapshot S;
+  TraceEvent E;
+  E.Name = "extract";
+  E.Category = "pipeline";
+  E.StartNs = 1500;
+  E.DurNs = 2500;
+  E.Tid = 0;
+  S.Events.push_back(E);
+  S.ThreadNames.emplace_back(0u, "main");
+  EXPECT_EQ(traceToChromeJson(S), traceToChromeJson(S));
+  EXPECT_NE(traceToChromeJson(S, /*Pretty=*/true),
+            traceToChromeJson(S, /*Pretty=*/false));
+}

@@ -61,6 +61,16 @@
 //     --diff-threshold=PCT  |delta| tolerance for --diff (default 0)
 //     --json=FILE           write the JSON report ('-' = stdout)
 //     --csv=FILE            write the CSV report ('-' = stdout)
+//     --trace=FILE          record spans across the run (extract, solves,
+//                           simulations, cache I/O, one lane per worker)
+//                           and write Chrome trace_event JSON: open it in
+//                           chrome://tracing or ui.perfetto.dev
+//     --metrics=FILE        write a JSON snapshot of the metrics registry
+//                           (solver pivots/nodes, full sims vs recosts,
+//                           cache hits, queue idle time) after the run
+//                           Telemetry is a side channel: reports are
+//                           byte-identical with these on, off, or at any
+//                           --jobs value.
 //     --dry-run             print the expanded job list and exit
 //     --list-devices        print the device registry and exit
 //     --list-benchmarks     print the benchmark registry and exit
@@ -75,7 +85,9 @@
 #include "campaign/Report.h"
 #include "power/DeviceRegistry.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -85,6 +97,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -103,7 +116,8 @@ void usage() {
       "                    [--no-solve-reuse] [--no-incumbent-seed]\n"
       "                    [--node-order=dfs|best-bound|hybrid]\n"
       "                    [--cache-dir=DIR] [--shard=K/N]\n"
-      "                    [--json=FILE] [--csv=FILE] [--dry-run]\n"
+      "                    [--json=FILE] [--csv=FILE]\n"
+      "                    [--trace=FILE] [--metrics=FILE] [--dry-run]\n"
       "                    [--list-devices] [--list-benchmarks]\n"
       "                    [--verbose] [--quiet]\n"
       "       ramloc-batch --merge SHARD.json... [--json=FILE] [--csv=FILE]\n"
@@ -369,7 +383,7 @@ int main(int Argc, char **Argv) {
   Grid.Benchmarks = beebsNames();
   CampaignOptions Opts;
   Opts.Jobs = 0; // hardware concurrency
-  std::string JsonPath, CsvPath, CacheDir;
+  std::string JsonPath, CsvPath, CacheDir, TracePath, MetricsPath;
   std::vector<std::string> MergeFiles, DiffFiles;
   unsigned ShardIndex = 1, ShardCount = 1;
   uint64_t MaxProfileBytes = 0;
@@ -498,6 +512,18 @@ int main(int Argc, char **Argv) {
       JsonPath = val(7);
     } else if (Arg.rfind("--csv=", 0) == 0) {
       CsvPath = val(6);
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = val(8);
+      if (TracePath.empty()) {
+        std::fprintf(stderr, "error: empty --trace path\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      MetricsPath = val(10);
+      if (MetricsPath.empty()) {
+        std::fprintf(stderr, "error: empty --metrics path\n");
+        return 2;
+      }
     } else if (Arg == "--dry-run") {
       DryRun = true;
     } else if (Arg == "--list-devices") {
@@ -622,6 +648,20 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Telemetry. The campaign records into the process-wide registry (the
+  // same one the deep layers use), so one --metrics snapshot carries
+  // campaign.* next to mip.*/sim.*/jobqueue.*/cache.* — and the end-of-
+  // run counters table below reads from it too. The recorder installs
+  // before the cache store opens so the load shows up in the trace.
+  // Neither may affect reports: byte-identity on/off is CI-enforced.
+  Opts.Metrics = &globalMetrics();
+  std::unique_ptr<TraceRecorder> Recorder;
+  if (!TracePath.empty()) {
+    Recorder = std::make_unique<TraceRecorder>();
+    Recorder->install();
+    Recorder->setThreadName("main");
+  }
+
   // Persistent cache: load whatever an earlier run left behind; the
   // campaign serves hits from it and inserts what it computes.
   CacheStore Store;
@@ -697,6 +737,24 @@ int main(int Argc, char **Argv) {
                   "time %+.1f%%, power %+.1f%%\n",
                   CR.Summary.GeomeanEnergyRatio, CR.Summary.MeanEnergyPct,
                   CR.Summary.MeanTimePct, CR.Summary.MeanPowerPct);
+    // The counters table reads the metrics registry — the same snapshot
+    // --metrics serializes — not separately-kept Summary state; the two
+    // cannot disagree because the Summary fields are views over it.
+    {
+      MetricsRegistry &M = globalMetrics();
+      Table C({"counter", "value"});
+      auto Row = [&C, &M](const char *Key) {
+        C.addRow({Key, formatString("%llu", static_cast<unsigned long long>(
+                                                M.counterValue(Key)))});
+      };
+      Row("campaign.sim.full_sims");
+      Row("campaign.sim.recosts");
+      Row("campaign.solve.extractions");
+      Row("campaign.solve.cold");
+      Row("campaign.solve.warm");
+      Row("campaign.solve.incumbent_seeds");
+      std::printf("%s", C.render().c_str());
+    }
     std::fprintf(stderr, "wall time %.2fs\n", CR.Summary.WallSeconds);
   }
 
@@ -718,6 +776,27 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
       return 1;
     }
+  }
+  if (Recorder) {
+    // The pool's threads are joined and the cache store saved, so every
+    // span has closed; drain the recorder and stop tracing.
+    TraceSnapshot Snap = Recorder->snapshot();
+    TraceRecorder::uninstall();
+    if (!writeTextFile(TracePath, traceToChromeJson(Snap), &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (!Quiet)
+      std::fprintf(stderr, "trace: %zu event(s) -> %s\n",
+                   Snap.Events.size(), TracePath.c_str());
+  }
+  if (!MetricsPath.empty()) {
+    if (!writeTextFile(MetricsPath, globalMetrics().toJson(), &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (!Quiet)
+      std::fprintf(stderr, "metrics -> %s\n", MetricsPath.c_str());
   }
   return CR.Summary.Failed == 0 ? 0 : 1;
 }
