@@ -20,6 +20,12 @@
 //    stays >= 2x. cold/warm_pivots_per_node record how much simplex work
 //    one node costs each way.
 //
+//  - Parallel level: the same warm-noded solves with the branch & bound
+//    tree fanned out over SolverConfig::Threads work-stealing workers,
+//    each re-optimizing its own clone of the solved root tableau.
+//    par_nodes_per_sec over warm_nodes_per_sec is the tree-level
+//    scaling; CI asserts >= 1.8x at 4 threads.
+//
 //  - Knob-axis level: a {Rspare} x {Xlimit} grid over one extracted
 //    model, solved per-point from scratch (build + cold solve each
 //    point) vs through one PlacementSolver (ILP built once, each point
@@ -40,6 +46,7 @@
 #include "support/Timer.h"
 
 #include <cmath>
+#include <thread>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -88,7 +95,7 @@ double measureFor(double MinSeconds, unsigned &Iters, Fn &&Body) {
 
 /// The solver's own account of one pass's work: deltas of the mip.*
 /// counters every solveMip records into the global registry. Reading the
-/// registry instead of summing per-call MipSolution fields keeps this
+/// registry instead of summing per-call SolverStats ledgers keeps this
 /// harness's BENCH numbers drawn from the same source --metrics
 /// snapshots and campaign summaries use.
 struct SolverEffort {
@@ -172,13 +179,14 @@ int main() {
   constexpr unsigned MaxNodes = 1500;
 
   // --- node level: cold two-phase vs warm dual re-optimization -----------
-  auto solveAll = [&](bool WarmNodes) {
-    MipOptions Mip;
-    Mip.WarmNodes = WarmNodes;
-    Mip.MaxNodes = MaxNodes;
+  auto solveAll = [&](bool WarmNodes, unsigned Threads = 1) {
+    SolverConfig Cfg;
+    Cfg.WarmNodes = WarmNodes;
+    Cfg.MaxNodes = MaxNodes;
+    Cfg.Threads = Threads;
     for (const ModelParams &MP : Set.Models)
       for (const ModelKnobs &K : Set.Knobs)
-        (void)solvePlacement(MP, K, Mip);
+        (void)solvePlacement(MP, K, Cfg);
   };
 
   // One windowed pass gives the per-pass counts (the solver is
@@ -215,16 +223,36 @@ int main() {
               static_cast<unsigned long long>(WarmDual), WarmPivotsPerNode,
               NodeSpeedup);
 
+  // --- parallel level: the warm tree search over a work-stealing pool ----
+  // Node throughput, not wall time per config: tree shapes legitimately
+  // differ across thread counts (pruning races resolve canonically but
+  // explore different frontiers), so the fair scaling measure is nodes
+  // retired per second.
+  constexpr unsigned SolverThreads = 4;
+  unsigned HwThreads = std::max(1u, std::thread::hardware_concurrency());
+  SolverEffort ParPass = counterWindow([&] { solveAll(true, SolverThreads); });
+  uint64_t ParNodes = ParPass.Nodes;
+  unsigned ParIters = 0;
+  double ParSecs =
+      measureFor(1.0, ParIters, [&] { solveAll(true, SolverThreads); });
+  double ParNodesPerSec = ParNodes * ParIters / ParSecs;
+  double ParallelNodeSpeedup = ParNodesPerSec / WarmNodesPerSec;
+  std::printf("parallel tree search: %.0f nodes/sec at %u threads (%llu "
+              "nodes per pass): %.1fx serial warm [%u hardware threads]\n",
+              ParNodesPerSec, SolverThreads,
+              static_cast<unsigned long long>(ParNodes),
+              ParallelNodeSpeedup, HwThreads);
+
   // --- knob-axis level: per-point rebuild vs one warm-started solver -----
   size_t KnobConfigs = Set.Models.size() * Set.Knobs.size();
   unsigned ColdAxisIters = 0;
   double ColdAxisSecs = measureFor(0.5, ColdAxisIters, [&] {
     for (const ModelParams &MP : Set.Models)
       for (const ModelKnobs &K : Set.Knobs) {
-        MipOptions Mip;
-        Mip.WarmNodes = false;
-        Mip.MaxNodes = MaxNodes;
-        (void)solvePlacement(MP, K, Mip);
+        SolverConfig Cfg;
+        Cfg.WarmNodes = false;
+        Cfg.MaxNodes = MaxNodes;
+        (void)solvePlacement(MP, K, Cfg);
       }
   });
   double ColdAxisPerSec = KnobConfigs * ColdAxisIters / ColdAxisSecs;
@@ -233,9 +261,9 @@ int main() {
     for (const ModelParams &MP : Set.Models) {
       PlacementSolver Solver(MP, Set.Knobs.front());
       for (const ModelKnobs &K : Set.Knobs) {
-        MipOptions Mip;
-        Mip.MaxNodes = MaxNodes;
-        (void)Solver.solve(K, Mip);
+        SolverConfig Cfg;
+        Cfg.MaxNodes = MaxNodes;
+        (void)Solver.solve(K, Cfg);
       }
     }
   };
@@ -257,7 +285,7 @@ int main() {
 
   JsonWriter W;
   W.beginObject();
-  W.field("schema", "ramloc-bench-mip-throughput-v2");
+  W.field("schema", "ramloc-bench-mip-throughput-v3");
   W.field("benchmarks", static_cast<uint64_t>(Set.Models.size()));
   W.field("knob_points", static_cast<uint64_t>(Set.Knobs.size()));
   W.field("bounded_tableau_rows", BoundedRows);
@@ -273,6 +301,11 @@ int main() {
   W.field("cold_nodes_per_sec", ColdNodesPerSec);
   W.field("warm_nodes_per_sec", WarmNodesPerSec);
   W.field("warm_node_speedup", NodeSpeedup);
+  W.field("solver_threads", static_cast<uint64_t>(SolverThreads));
+  W.field("hardware_concurrency", static_cast<uint64_t>(HwThreads));
+  W.field("par_nodes_per_pass", ParNodes);
+  W.field("par_nodes_per_sec", ParNodesPerSec);
+  W.field("parallel_node_speedup", ParallelNodeSpeedup);
   W.field("coldaxis_configs_per_sec", ColdAxisPerSec);
   W.field("warmaxis_configs_per_sec", WarmAxisPerSec);
   W.field("knob_axis_speedup", AxisSpeedup);

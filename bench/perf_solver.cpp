@@ -49,7 +49,7 @@ BENCHMARK(BM_SimplexRelaxation)->Arg(10)->Arg(30)->Arg(100);
 
 void BM_BranchAndBound(benchmark::State &State) {
   LpProblem P = randomKnapsack(static_cast<unsigned>(State.range(0)), 7);
-  MipOptions Opts;
+  SolverConfig Opts;
   Opts.MaxNodes = 20000; // bound worst-case node counts for timing
   for (auto _ : State) {
     MipSolution S = solveMip(P, Opts);

@@ -299,7 +299,7 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
   // the seed would never be read.
   const std::string GroupKey = First.solveGroupKey();
   bool Seeded = false;
-  if (Incumbents && SeedIncumbents && Opts.Mip.WarmNodes) {
+  if (Incumbents && SeedIncumbents && Opts.Solver.WarmNodes) {
     IncumbentStore::Entry Known;
     if (Incumbents->lookup(GroupKey, Known))
       Seeded = Solver.seedIncumbent(EM.MP, Known.InRam);
@@ -316,7 +316,7 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
     Knobs.Xlimit = Spec.Xlimit;
 
     MipSolution Sol;
-    Assignment InRam = Solver.solve(Knobs, Opts.Mip, &Sol);
+    Assignment InRam = Solver.solve(Knobs, Opts.Solver, &Sol);
     // Offer the *opening* point's optimum, not every point's: a re-run
     // of the same grid seeds at the same opening point, where this
     // assignment re-validates exactly and opens the search with the true
@@ -349,8 +349,8 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
     R.Extractions = FirstJob ? 1 : 0;
     // A group's later solves are seeded by the knob chain itself; only
     // the first one can have been opened by the persistent store.
-    R.IncumbentSeeds = FirstJob && Seeded && Sol.SeededIncumbent ? 1 : 0;
-    if (Sol.WarmStarted)
+    R.IncumbentSeeds = FirstJob && Seeded && Sol.seededIncumbent() ? 1 : 0;
+    if (Sol.warmStarted())
       R.WarmSolves = 1;
     else
       R.ColdSolves = 1;
@@ -363,7 +363,7 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
     Reg.histogram("campaign.solve.nodes")
         .record(static_cast<double>(Sol.NodesExplored));
     Reg.histogram("campaign.solve.pivots")
-        .record(static_cast<double>(Sol.PrimalPivots + Sol.DualPivots));
+        .record(static_cast<double>(Sol.primalPivots() + Sol.dualPivots()));
     Results[I] = std::move(R);
     OnDone(I);
     FirstJob = false;

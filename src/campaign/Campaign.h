@@ -241,8 +241,8 @@ struct CampaignOptions {
   /// parallelism is its benchmark x level x device x freq spread; a grid
   /// that is almost all knob axis on a many-core host may prefer
   /// ReuseSolves = false, which schedules every job independently (pair
-  /// it with Base.Mip.WarmNodes = false for the fully cold reference
-  /// solver, the `--no-solve-reuse` escape hatch).
+  /// it with Base.Solver.WarmNodes = false for the fully cold reference
+  /// solver — `--reuse` without the `solve` token).
   bool ReuseSolves = true;
   /// Optional cross-campaign profile cache (e.g. CacheStore::profiles()).
   /// When null and ReuseProfiles is true the campaign uses a private one.

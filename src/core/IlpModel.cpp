@@ -328,12 +328,12 @@ PlacementModel ramloc::buildPlacementModel(const ModelParams &MP,
 
 Assignment ramloc::solvePlacement(const ModelParams &MP,
                                   const ModelKnobs &Knobs,
-                                  const MipOptions &Mip,
-                                  MipSolution *SolverStats) {
+                                  const SolverConfig &Cfg,
+                                  MipSolution *Out) {
   PlacementModel PM = buildPlacementModel(MP, Knobs);
-  MipSolution Sol = solveMip(PM.P, Mip);
-  if (SolverStats)
-    *SolverStats = Sol;
+  MipSolution Sol = solveMip(PM.P, Cfg);
+  if (Out)
+    *Out = Sol;
   return PM.decode(Sol);
 }
 
@@ -347,19 +347,19 @@ bool PlacementSolver::seedIncumbent(const ModelParams &MP,
 }
 
 Assignment PlacementSolver::solve(const ModelKnobs &Knobs,
-                                  const MipOptions &Mip,
-                                  MipSolution *SolverStats) {
+                                  const SolverConfig &Cfg,
+                                  MipSolution *Out) {
   TraceSpan Span("solve", "solver");
   PM.patchKnobs(Knobs);
   // With warm nodes disabled the caller asked for the cold reference
   // path; keeping the cross-solve state out makes every call independent.
-  MipSolution Sol = solveMip(PM.P, Mip, Mip.WarmNodes ? &Warm : nullptr);
+  MipSolution Sol = solveMip(PM.P, Cfg, Cfg.WarmNodes ? &Warm : nullptr);
   if (Span.active()) {
-    Span.arg("warm", Sol.WarmStarted ? "1" : "0");
-    Span.arg("seeded", Sol.SeededIncumbent ? "1" : "0");
+    Span.arg("warm", Sol.warmStarted() ? "1" : "0");
+    Span.arg("seeded", Sol.seededIncumbent() ? "1" : "0");
     Span.arg("nodes", std::to_string(Sol.NodesExplored));
   }
-  if (SolverStats)
-    *SolverStats = Sol;
+  if (Out)
+    *Out = Sol;
   return PM.decode(Sol);
 }

@@ -126,8 +126,8 @@ PlacementModel buildPlacementModel(const ModelParams &MP,
 /// if the solver fails (it cannot: all-flash is always feasible).
 Assignment solvePlacement(const ModelParams &MP,
                           const ModelKnobs &Knobs = {},
-                          const MipOptions &Mip = {},
-                          MipSolution *SolverStats = nullptr);
+                          const SolverConfig &Cfg = {},
+                          MipSolution *Out = nullptr);
 
 /// The pipeline's solve stage, built once per (benchmark, device): knob
 /// points become RHS patches on one retained ILP, each solved with the
@@ -147,10 +147,13 @@ public:
       : PM(buildPlacementModel(MP, Knobs)) {}
 
   /// Solves the placement for \p Knobs (structural knob fields must match
-  /// construction). With Mip.WarmNodes disabled every call is a fully
-  /// cold reference solve.
-  Assignment solve(const ModelKnobs &Knobs, const MipOptions &Mip = {},
-                   MipSolution *SolverStats = nullptr);
+  /// construction). With Cfg.WarmNodes disabled every call is a fully
+  /// cold reference solve; Cfg.Threads > 1 searches each tree in
+  /// parallel (the retained cross-solve state stays single-owner — the
+  /// "not thread-safe" note above is about concurrent solve() calls,
+  /// not about the solver's internal worker pool).
+  Assignment solve(const ModelKnobs &Knobs, const SolverConfig &Cfg = {},
+                   MipSolution *Out = nullptr);
 
   /// Plants \p InRam as the next solve's starting incumbent — the
   /// cross-process analogue of the knob-chain's previous-optimum seed

@@ -175,6 +175,6 @@ PipelineResult ramloc::optimizeModule(const Module &M,
 
   PlacementSolver Solver(EM.MP, Opts.Knobs);
   MipSolution Sol;
-  Assignment InRam = Solver.solve(Opts.Knobs, Opts.Mip, &Sol);
+  Assignment InRam = Solver.solve(Opts.Knobs, Opts.Solver, &Sol);
   return applyAndMeasure(M, EM, InRam, Sol, Opts);
 }

@@ -10,36 +10,17 @@
 #include "support/Metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <limits>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 using namespace ramloc;
-
-const char *ramloc::nodeOrderName(NodeOrder O) {
-  switch (O) {
-  case NodeOrder::Dfs:
-    return "dfs";
-  case NodeOrder::BestBound:
-    return "best-bound";
-  case NodeOrder::Hybrid:
-    return "hybrid";
-  }
-  return "?";
-}
-
-bool ramloc::nodeOrderFromName(const std::string &Name, NodeOrder &Out) {
-  if (Name == "dfs")
-    Out = NodeOrder::Dfs;
-  else if (Name == "best-bound")
-    Out = NodeOrder::BestBound;
-  else if (Name == "hybrid")
-    Out = NodeOrder::Hybrid;
-  else
-    return false;
-  return true;
-}
 
 namespace {
 
@@ -47,7 +28,7 @@ struct Node {
   std::vector<double> Lower;
   std::vector<double> Upper;
   double Bound;      ///< parent LP objective: lower bound on this subtree
-  uint64_t Seq = 0;  ///< creation order; deterministic tie-break
+  uint64_t Seq = 0;  ///< creation order; heap tie-break towards diving
   int BranchVar = -1; ///< variable whose bound created this node
   bool BranchUp = false; ///< true: forced to 1; false: forced to 0
   double FracDist = 0.0; ///< fractional distance the branch moved it
@@ -73,10 +54,43 @@ bool roundToFeasible(const LpProblem &P, const std::vector<double> &X,
   return P.isFeasible(Out);
 }
 
+/// Snaps every integral-within-tolerance integer variable to its exact
+/// 0/1 value. Incumbents are canonicalized before they are compared or
+/// stored, so the same binary assignment reached through two different
+/// tableau histories (warm chains drift in the last bits) produces one
+/// representative point.
+void snapIntegers(const LpProblem &P, std::vector<double> &V, double IntTol) {
+  for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
+    if (!P.Variables[J].Integer)
+      continue;
+    double R = std::round(V[J]);
+    if (std::abs(V[J] - R) <= IntTol)
+      V[J] = R;
+  }
+}
+
+/// The canonical incumbent order (see BranchBound.h): a candidate
+/// replaces the current best only on a strictly smaller objective, or a
+/// bit-equal objective with a lexicographically smaller assignment. The
+/// relation is a total order on candidate points, so the surviving
+/// incumbent is independent of the order candidates arrive in — the
+/// property the parallel search's determinism rests on. The serial path
+/// applies the same rule so thread counts agree.
+bool canonicallyBetter(double Obj, const std::vector<double> &V, bool HaveCur,
+                       double CurObj, const std::vector<double> &CurV) {
+  if (!HaveCur)
+    return true;
+  if (Obj != CurObj)
+    return Obj < CurObj;
+  return std::lexicographical_compare(V.begin(), V.end(), CurV.begin(),
+                                      CurV.end());
+}
+
 /// Per-variable branching history: average objective degradation per unit
 /// of fraction moved, one estimate per direction. Reset for every
-/// solveMip call so a solve's branching decisions depend only on its own
-/// tree, not on what a previous knob point explored.
+/// solveMip call (and kept per worker in the parallel search) so a
+/// solve's branching decisions depend only on its own tree, not on what a
+/// previous knob point explored.
 struct PseudoCosts {
   std::vector<double> DownSum, UpSum;
   std::vector<unsigned> DownCnt, UpCnt;
@@ -108,7 +122,7 @@ struct PseudoCosts {
 /// children (the product rule); variables without history score with the
 /// tree-wide average so early decisions degrade to most-fractional.
 int pickBranchVariable(const LpProblem &P, const std::vector<double> &X,
-                       const MipOptions &Opts, const PseudoCosts &PC) {
+                       const SolverConfig &Opts, const PseudoCosts &PC) {
   int BranchVar = -1;
   double BestScore = 0.0;
 
@@ -153,9 +167,301 @@ int pickBranchVariable(const LpProblem &P, const std::vector<double> &X,
   return BranchVar;
 }
 
+/// Splits \p N on \p BranchVar and hands both children to \p Push,
+/// closer side last: a LIFO shard pops the last pushed node, and the
+/// heap breaks bound ties towards the younger Seq — either way the
+/// search dives into the half the relaxation already leans towards.
+template <typename PushFn>
+void branchNode(Node &&N, int BranchVar, double Frac, double Bound,
+                PushFn &&Push) {
+  unsigned BV = static_cast<unsigned>(BranchVar);
+  Node Zero{N.Lower, N.Upper, Bound, 0, BranchVar, false, Frac};
+  Zero.Upper[BV] = 0.0;
+  Node One{std::move(N.Lower), std::move(N.Upper), Bound, 0, BranchVar, true,
+           1.0 - Frac};
+  One.Lower[BV] = 1.0;
+  if (Frac >= 0.5) {
+    Push(std::move(Zero));
+    Push(std::move(One));
+  } else {
+    Push(std::move(One));
+    Push(std::move(Zero));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel tree search.
+//===----------------------------------------------------------------------===//
+
+/// Work-stealing search over the open list, JobQueue-style: one deque
+/// shard per worker, own-end pops, sibling steals when dry. Dfs shards
+/// pop their own back (diving) and steal a victim's *front* — the oldest
+/// node, closest to the root, i.e. the largest unexplored subtree, which
+/// keeps steals rare. Best-bound shards maintain the heap discipline
+/// in-place (deque iterators are random-access), and a steal takes the
+/// victim's heap top; Hybrid shards convert to heaps lazily once the
+/// shared incumbent exists. Termination and result selection are in
+/// BranchBound.h's file comment: Pending/Queued counters close the
+/// search, the canonical incumbent order makes the answer independent of
+/// worker scheduling.
+struct ParallelTree {
+  struct Shard {
+    std::deque<Node> Q;
+    std::mutex Mu;
+    bool Heap = false;
+  };
+
+  const LpProblem &P;
+  const SolverConfig &Cfg;
+  unsigned NumWorkers;
+  const WarmStart *RootWs; ///< solved root tableau each worker clones
+
+  std::vector<Shard> Shards;
+
+  std::mutex StateMu;
+  std::condition_variable WorkCv;
+  size_t Queued = 0;  ///< unclaimed nodes across all shards
+  size_t Pending = 0; ///< unclaimed + in-flight nodes
+  bool Stopping = false; ///< hard abort (unbounded relaxation)
+
+  // Shared incumbent. BestObj is a monotone non-increasing pruning bound
+  // read with relaxed loads on the hot path; installs go through IncMu
+  // and the canonical order.
+  std::atomic<bool> HaveInc{false};
+  std::atomic<double> BestObj{std::numeric_limits<double>::infinity()};
+  std::mutex IncMu;
+  double IncObjective = 0.0;
+  std::vector<double> IncValues;
+
+  std::atomic<uint64_t> NextSeq{0};
+  std::atomic<unsigned> Explored{0};
+  std::atomic<bool> LostProof{false};
+  std::atomic<bool> SawUnbounded{false};
+
+  std::vector<SolverStats> WorkerStats;
+
+  ParallelTree(const LpProblem &P, const SolverConfig &Cfg,
+               unsigned NumWorkers, const WarmStart *RootWs)
+      : P(P), Cfg(Cfg), NumWorkers(NumWorkers), RootWs(RootWs),
+        Shards(NumWorkers), WorkerStats(NumWorkers) {
+    if (Cfg.Order == NodeOrder::BestBound)
+      for (Shard &S : Shards)
+        S.Heap = true;
+  }
+
+  void seedIncumbent(double Obj, std::vector<double> Values) {
+    IncObjective = Obj;
+    IncValues = std::move(Values);
+    BestObj.store(Obj, std::memory_order_relaxed);
+    HaveInc.store(true, std::memory_order_relaxed);
+  }
+
+  void offerIncumbent(std::vector<double> &&V, double Obj) {
+    std::lock_guard<std::mutex> L(IncMu);
+    if (canonicallyBetter(Obj, V, HaveInc.load(std::memory_order_relaxed),
+                          IncObjective, IncValues)) {
+      IncObjective = Obj;
+      IncValues = std::move(V);
+      BestObj.store(Obj, std::memory_order_relaxed);
+      HaveInc.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Hybrid shards flip to the heap discipline the first time they are
+  /// touched after the shared incumbent appears. Caller holds S.Mu.
+  void maybeConvert(Shard &S) {
+    if (!S.Heap && Cfg.Order == NodeOrder::Hybrid &&
+        HaveInc.load(std::memory_order_relaxed)) {
+      std::make_heap(S.Q.begin(), S.Q.end(), worseThan);
+      S.Heap = true;
+    }
+  }
+
+  /// Direct push during single-threaded setup (root children).
+  void pushInitial(Node &&N) {
+    N.Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+    Shard &S = Shards[0];
+    S.Q.push_back(std::move(N));
+    if (S.Heap)
+      std::push_heap(S.Q.begin(), S.Q.end(), worseThan);
+    ++Queued;
+    ++Pending;
+  }
+
+  void pushChild(unsigned Me, Node &&N) {
+    N.Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+    Shard &S = Shards[Me];
+    {
+      std::lock_guard<std::mutex> L(S.Mu);
+      maybeConvert(S);
+      S.Q.push_back(std::move(N));
+      if (S.Heap)
+        std::push_heap(S.Q.begin(), S.Q.end(), worseThan);
+    }
+    {
+      std::lock_guard<std::mutex> L(StateMu);
+      ++Queued;
+      ++Pending;
+    }
+    WorkCv.notify_one();
+  }
+
+  /// Pops one node from \p Victim. Owners and thieves use the same heap
+  /// pop in heap mode (the best-bound node matters more than locality);
+  /// in diving mode the owner takes its newest node and a thief the
+  /// victim's oldest.
+  bool tryPop(unsigned Victim, bool Stealing, Node &Out) {
+    Shard &S = Shards[Victim];
+    std::lock_guard<std::mutex> L(S.Mu);
+    maybeConvert(S);
+    if (S.Q.empty())
+      return false;
+    if (S.Heap) {
+      std::pop_heap(S.Q.begin(), S.Q.end(), worseThan);
+      Out = std::move(S.Q.back());
+      S.Q.pop_back();
+    } else if (Stealing) {
+      Out = std::move(S.Q.front());
+      S.Q.pop_front();
+    } else {
+      Out = std::move(S.Q.back());
+      S.Q.pop_back();
+    }
+    return true;
+  }
+
+  /// Blocks until a node is claimed or the search is over. A claim
+  /// reserves one node by decrementing Queued (pushes make the node
+  /// visible in its shard *before* incrementing Queued, so a reservation
+  /// is always backed); the scan then walks own shard first, siblings
+  /// after, retrying on the rare transient miss where concurrent claims
+  /// and pushes shuffle which shard holds the backing node.
+  bool claimNode(unsigned Me, Node &Out) {
+    {
+      std::unique_lock<std::mutex> L(StateMu);
+      WorkCv.wait(L, [&] { return Stopping || Pending == 0 || Queued > 0; });
+      if (Stopping || Queued == 0)
+        return false;
+      --Queued;
+    }
+    for (;;) {
+      for (unsigned K = 0; K != NumWorkers; ++K)
+        if (tryPop((Me + K) % NumWorkers, /*Stealing=*/K != 0, Out))
+          return true;
+      std::this_thread::yield();
+      std::lock_guard<std::mutex> L(StateMu);
+      if (Stopping)
+        return false;
+    }
+  }
+
+  void finishNode() {
+    std::lock_guard<std::mutex> L(StateMu);
+    --Pending;
+    if (Pending == 0)
+      WorkCv.notify_all();
+  }
+
+  void abortSearch() {
+    {
+      std::lock_guard<std::mutex> L(StateMu);
+      Stopping = true;
+    }
+    WorkCv.notify_all();
+  }
+
+  void processNode(unsigned Me, Node N, WarmStart &W, PseudoCosts &PC,
+                   SolverStats &St) {
+    if (N.Bound >= BestObj.load(std::memory_order_relaxed) - Cfg.GapTolerance)
+      return;
+    unsigned Ticket = Explored.fetch_add(1, std::memory_order_relaxed);
+    if (Ticket >= Cfg.MaxNodes) {
+      Explored.fetch_sub(1, std::memory_order_relaxed);
+      LostProof.store(true, std::memory_order_relaxed);
+      return;
+    }
+
+    LpSolution Relax = Cfg.WarmNodes
+                           ? solveLpWarm(P, N.Lower, N.Upper, W, Cfg)
+                           : solveLpWithBounds(P, N.Lower, N.Upper, Cfg);
+    if (Relax.WarmStarted)
+      ++St.WarmNodeSolves;
+    else
+      ++St.ColdNodeSolves;
+    St.PrimalPivots += Relax.Iterations;
+    St.DualPivots += Relax.DualIterations;
+    St.BoundFlips += Relax.BoundFlips;
+    if (Relax.Refactorized)
+      ++St.Refactorizations;
+
+    if (N.BranchVar >= 0 && std::isfinite(N.Bound) &&
+        Relax.Status == LpStatus::Optimal)
+      PC.observe(static_cast<unsigned>(N.BranchVar), N.BranchUp,
+                 Relax.Objective - N.Bound, N.FracDist);
+
+    if (Relax.Status == LpStatus::Infeasible)
+      return;
+    if (Relax.Status == LpStatus::Unbounded) {
+      SawUnbounded.store(true, std::memory_order_relaxed);
+      abortSearch();
+      return;
+    }
+    if (Relax.Status == LpStatus::IterLimit) {
+      LostProof.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (Relax.Objective >=
+        BestObj.load(std::memory_order_relaxed) - Cfg.GapTolerance)
+      return;
+
+    int BranchVar = pickBranchVariable(P, Relax.Values, Cfg, PC);
+    if (BranchVar < 0) {
+      std::vector<double> Cand = std::move(Relax.Values);
+      snapIntegers(P, Cand, Cfg.IntegerTolerance);
+      double Obj = P.objectiveValue(Cand);
+      offerIncumbent(std::move(Cand), Obj);
+      return;
+    }
+
+    if (!HaveInc.load(std::memory_order_relaxed)) {
+      std::vector<double> Rounded;
+      if (roundToFeasible(P, Relax.Values, Rounded)) {
+        double Obj = P.objectiveValue(Rounded);
+        offerIncumbent(std::move(Rounded), Obj);
+      }
+    }
+
+    double Frac = Relax.Values[static_cast<unsigned>(BranchVar)];
+    branchNode(std::move(N), BranchVar, Frac, Relax.Objective,
+               [&](Node &&Child) { pushChild(Me, std::move(Child)); });
+  }
+
+  void worker(unsigned Me) {
+    WarmStart W;
+    if (Cfg.WarmNodes && RootWs)
+      W = RootWs->clone();
+    PseudoCosts PC(P.numVariables());
+    SolverStats &St = WorkerStats[Me];
+    Node N;
+    while (claimNode(Me, N)) {
+      processNode(Me, std::move(N), W, PC, St);
+      finishNode();
+    }
+  }
+
+  void run() {
+    std::vector<std::thread> Threads;
+    Threads.reserve(NumWorkers);
+    for (unsigned I = 0; I != NumWorkers; ++I)
+      Threads.emplace_back([this, I] { worker(I); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+};
+
 } // namespace
 
-MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
+MipSolution ramloc::solveMip(const LpProblem &P, const SolverConfig &Cfg,
                              MipWarmStart *Warm) {
   MipSolution Best;
   Best.Proven = true; // until the node budget is hit
@@ -172,14 +478,15 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
       MetricsRegistry &M = globalMetrics();
       M.counter("mip.solves").add();
       M.counter("mip.nodes").add(Sol.NodesExplored);
-      M.counter("mip.cold_node_solves").add(Sol.ColdNodeSolves);
-      M.counter("mip.warm_node_solves").add(Sol.WarmNodeSolves);
-      M.counter("mip.primal_pivots").add(Sol.PrimalPivots);
-      M.counter("mip.dual_pivots").add(Sol.DualPivots);
-      M.counter("mip.bound_flips").add(Sol.BoundFlips);
-      if (Sol.WarmStarted)
+      M.counter("mip.cold_node_solves").add(Sol.Stats.ColdNodeSolves);
+      M.counter("mip.warm_node_solves").add(Sol.Stats.WarmNodeSolves);
+      M.counter("mip.primal_pivots").add(Sol.Stats.PrimalPivots);
+      M.counter("mip.dual_pivots").add(Sol.Stats.DualPivots);
+      M.counter("mip.bound_flips").add(Sol.Stats.BoundFlips);
+      M.counter("mip.refactorizations").add(Sol.Stats.Refactorizations);
+      if (Sol.Stats.WarmStarted)
         M.counter("mip.warm_starts").add();
-      if (Sol.SeededIncumbent)
+      if (Sol.Stats.SeededIncumbent)
         M.counter("mip.seeded_incumbents").add();
     }
   } Effort{Best};
@@ -203,17 +510,106 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
   // spuriously rejecting a boundary-tight seed merely loses a head start.
   WarmStart LocalWs;
   WarmStart &Ws = Warm ? Warm->Lp : LocalWs;
-  Best.WarmStarted = Opts.WarmNodes && Ws.valid();
+  Best.Stats.WarmStarted = Cfg.WarmNodes && Ws.valid();
 
   bool HaveIncumbent = false;
   if (Warm && Warm->Incumbent.size() == P.numVariables() &&
       P.isFeasible(Warm->Incumbent, /*Tol=*/0.0)) {
     HaveIncumbent = true;
-    Best.SeededIncumbent = true;
+    Best.Stats.SeededIncumbent = true;
     Best.Status = LpStatus::Optimal;
     Best.Objective = P.objectiveValue(Warm->Incumbent);
     Best.Values = Warm->Incumbent;
   }
+
+  unsigned Threads = std::max(1u, Cfg.Threads);
+
+  if (Threads > 1) {
+    //===--- Parallel tree search ------------------------------------------===//
+    // The root relaxation is solved serially on the caller's tableau —
+    // preserving the cross-solve warm-start semantics and the campaign's
+    // cold/warm accounting — then the tree below it fans out over the
+    // work-stealing pool, each worker re-optimizing its own clone of the
+    // solved root tableau.
+    if (Cfg.MaxNodes == 0) {
+      Best.Proven = false;
+      return Best;
+    }
+    ++Best.NodesExplored;
+    LpSolution Relax = Cfg.WarmNodes
+                           ? solveLpWarm(P, RootLo, RootHi, Ws, Cfg)
+                           : solveLpWithBounds(P, RootLo, RootHi, Cfg);
+    if (Relax.WarmStarted)
+      ++Best.Stats.WarmNodeSolves;
+    else
+      ++Best.Stats.ColdNodeSolves;
+    Best.Stats.PrimalPivots += Relax.Iterations;
+    Best.Stats.DualPivots += Relax.DualIterations;
+    Best.Stats.BoundFlips += Relax.BoundFlips;
+    if (Relax.Refactorized)
+      ++Best.Stats.Refactorizations;
+
+    if (Relax.Status == LpStatus::Unbounded) {
+      Best.Status = LpStatus::Unbounded;
+      return Best;
+    }
+    if (Relax.Status == LpStatus::IterLimit) {
+      Best.Proven = false;
+      return Best;
+    }
+    if (Relax.Status == LpStatus::Optimal &&
+        !(HaveIncumbent &&
+          Relax.Objective >= Best.Objective - Cfg.GapTolerance)) {
+      ParallelTree PT(P, Cfg, Threads, Cfg.WarmNodes ? &Ws : nullptr);
+      if (HaveIncumbent)
+        PT.seedIncumbent(Best.Objective, Best.Values);
+
+      PseudoCosts RootPC(P.numVariables());
+      int BranchVar = pickBranchVariable(P, Relax.Values, Cfg, RootPC);
+      if (BranchVar < 0) {
+        std::vector<double> Cand = std::move(Relax.Values);
+        snapIntegers(P, Cand, Cfg.IntegerTolerance);
+        double Obj = P.objectiveValue(Cand);
+        PT.offerIncumbent(std::move(Cand), Obj);
+      } else {
+        if (!PT.HaveInc.load(std::memory_order_relaxed)) {
+          std::vector<double> Rounded;
+          if (roundToFeasible(P, Relax.Values, Rounded)) {
+            double Obj = P.objectiveValue(Rounded);
+            PT.offerIncumbent(std::move(Rounded), Obj);
+          }
+        }
+        Node Root;
+        Root.Lower = std::move(RootLo);
+        Root.Upper = std::move(RootHi);
+        double Frac = Relax.Values[static_cast<unsigned>(BranchVar)];
+        branchNode(std::move(Root), BranchVar, Frac, Relax.Objective,
+                   [&](Node &&Child) { PT.pushInitial(std::move(Child)); });
+        PT.run();
+      }
+
+      Best.NodesExplored += PT.Explored.load(std::memory_order_relaxed);
+      for (const SolverStats &St : PT.WorkerStats)
+        Best.Stats.merge(St);
+      if (PT.SawUnbounded.load(std::memory_order_relaxed)) {
+        Best.Status = LpStatus::Unbounded;
+        return Best;
+      }
+      if (PT.LostProof.load(std::memory_order_relaxed))
+        Best.Proven = false;
+      if (PT.HaveInc.load(std::memory_order_acquire)) {
+        Best.Status = LpStatus::Optimal;
+        Best.Objective = PT.IncObjective;
+        Best.Values = std::move(PT.IncValues);
+      }
+    }
+    if (Warm)
+      Warm->Incumbent =
+          Best.feasible() ? Best.Values : std::vector<double>();
+    return Best;
+  }
+
+  //===--- Serial tree search ----------------------------------------------===//
 
   PseudoCosts PC(P.numVariables());
 
@@ -222,8 +618,8 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
   // incumbent exists — from then on pops take the smallest-bound node.
   std::vector<Node> Open;
   uint64_t NextSeq = 0;
-  bool HeapMode = Opts.Order == NodeOrder::BestBound ||
-                  (Opts.Order == NodeOrder::Hybrid && HaveIncumbent);
+  bool HeapMode = Cfg.Order == NodeOrder::BestBound ||
+                  (Cfg.Order == NodeOrder::Hybrid && HaveIncumbent);
   Node Root;
   Root.Lower = std::move(RootLo);
   Root.Upper = std::move(RootHi);
@@ -232,11 +628,11 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
   Open.push_back(std::move(Root));
 
   while (!Open.empty()) {
-    if (Best.NodesExplored >= Opts.MaxNodes) {
+    if (Best.NodesExplored >= Cfg.MaxNodes) {
       Best.Proven = false;
       break;
     }
-    if (!HeapMode && Opts.Order == NodeOrder::Hybrid && HaveIncumbent) {
+    if (!HeapMode && Cfg.Order == NodeOrder::Hybrid && HaveIncumbent) {
       std::make_heap(Open.begin(), Open.end(), worseThan);
       HeapMode = true;
     }
@@ -248,24 +644,25 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
     // Bound pruning against the incumbent. In best-bound mode the popped
     // node has the smallest bound of the whole open list, so a prune
     // here proves every remaining node away too.
-    if (HaveIncumbent && N.Bound >= Best.Objective - Opts.GapTolerance) {
+    if (HaveIncumbent && N.Bound >= Best.Objective - Cfg.GapTolerance) {
       if (HeapMode)
         break;
       continue;
     }
 
     ++Best.NodesExplored;
-    LpSolution Relax =
-        Opts.WarmNodes
-            ? solveLpWarm(P, N.Lower, N.Upper, Ws, Opts.Simplex)
-            : solveLpWithBounds(P, N.Lower, N.Upper, Opts.Simplex);
+    LpSolution Relax = Cfg.WarmNodes
+                           ? solveLpWarm(P, N.Lower, N.Upper, Ws, Cfg)
+                           : solveLpWithBounds(P, N.Lower, N.Upper, Cfg);
     if (Relax.WarmStarted)
-      ++Best.WarmNodeSolves;
+      ++Best.Stats.WarmNodeSolves;
     else
-      ++Best.ColdNodeSolves;
-    Best.PrimalPivots += Relax.Iterations;
-    Best.DualPivots += Relax.DualIterations;
-    Best.BoundFlips += Relax.BoundFlips;
+      ++Best.Stats.ColdNodeSolves;
+    Best.Stats.PrimalPivots += Relax.Iterations;
+    Best.Stats.DualPivots += Relax.DualIterations;
+    Best.Stats.BoundFlips += Relax.BoundFlips;
+    if (Relax.Refactorized)
+      ++Best.Stats.Refactorizations;
 
     // Feed the branching history: this node's relaxation tells us what
     // its creating branch actually cost per unit of fraction moved.
@@ -287,18 +684,23 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
       continue;
     }
     if (HaveIncumbent &&
-        Relax.Objective >= Best.Objective - Opts.GapTolerance)
+        Relax.Objective >= Best.Objective - Cfg.GapTolerance)
       continue;
 
-    int BranchVar = pickBranchVariable(P, Relax.Values, Opts, PC);
+    int BranchVar = pickBranchVariable(P, Relax.Values, Cfg, PC);
 
     if (BranchVar < 0) {
-      // Integral: new incumbent.
-      if (!HaveIncumbent || Relax.Objective < Best.Objective) {
+      // Integral: candidate incumbent, installed under the same
+      // canonical order the parallel search uses so thread counts agree.
+      std::vector<double> Cand = std::move(Relax.Values);
+      snapIntegers(P, Cand, Cfg.IntegerTolerance);
+      double Obj = P.objectiveValue(Cand);
+      if (canonicallyBetter(Obj, Cand, HaveIncumbent, Best.Objective,
+                            Best.Values)) {
         HaveIncumbent = true;
         Best.Status = LpStatus::Optimal;
-        Best.Objective = Relax.Objective;
-        Best.Values = Relax.Values;
+        Best.Objective = Obj;
+        Best.Values = std::move(Cand);
       }
       continue;
     }
@@ -313,28 +715,14 @@ MipSolution ramloc::solveMip(const LpProblem &P, const MipOptions &Opts,
       Best.Values = std::move(Rounded);
     }
 
-    unsigned BV = static_cast<unsigned>(BranchVar);
-    double Frac = Relax.Values[BV];
-    Node Zero{N.Lower, N.Upper, Relax.Objective, 0, BranchVar, false, Frac};
-    Zero.Upper[BV] = 0.0;
-    Node One{std::move(N.Lower), std::move(N.Upper), Relax.Objective, 0,
-             BranchVar, true, 1.0 - Frac};
-    One.Lower[BV] = 1.0;
-    // Explore the closer side first: the stack pops the last pushed
-    // node, and the heap breaks bound ties towards the younger Seq.
-    auto push = [&](Node &&Child) {
-      Child.Seq = NextSeq++;
-      Open.push_back(std::move(Child));
-      if (HeapMode)
-        std::push_heap(Open.begin(), Open.end(), worseThan);
-    };
-    if (Frac >= 0.5) {
-      push(std::move(Zero));
-      push(std::move(One));
-    } else {
-      push(std::move(One));
-      push(std::move(Zero));
-    }
+    double Frac = Relax.Values[static_cast<unsigned>(BranchVar)];
+    branchNode(std::move(N), BranchVar, Frac, Relax.Objective,
+               [&](Node &&Child) {
+                 Child.Seq = NextSeq++;
+                 Open.push_back(std::move(Child));
+                 if (HeapMode)
+                   std::push_heap(Open.begin(), Open.end(), worseThan);
+               });
   }
 
   if (Warm)

@@ -12,10 +12,10 @@
 /// branching (most-fractional until costs are observed) and an
 /// LP-rounding incumbent heuristic.
 ///
-/// Node selection is pluggable (MipOptions::Order). Warm starts made node
-/// cost uneven — a child next to its parent re-optimizes in a handful of
-/// dual pivots where a far jump pays a bigger repair — so the policy is a
-/// real lever:
+/// Node selection is pluggable (SolverConfig::Order). Warm starts made
+/// node cost uneven — a child next to its parent re-optimizes in a
+/// handful of dual pivots where a far jump pays a bigger repair — so the
+/// policy is a real lever:
 ///
 ///  - Dfs (default): classic depth-first diving, the warm-friendliest
 ///    order — every node is one bound change from the previous one, so
@@ -25,8 +25,8 @@
 ///    price of larger basis repairs per node.
 ///  - Hybrid: dive depth-first until the first incumbent exists, then
 ///    switch to best-bound for the proof phase — the smallest trees of
-///    the three, the strongest choice for cold (--no-solve-reuse) runs
-///    where there is no retained basis to thrash.
+///    the three, the strongest choice for cold (--reuse without 'solve')
+///    runs where there is no retained basis to thrash.
 ///
 /// All orders are exact and return an optimal solution; on problems with
 /// a unique optimum they return bit-identical assignments.
@@ -36,15 +36,32 @@
 /// — is an O(1) box update plus an O(rows) basic-value refresh that
 /// leaves the parent basis dual feasible, so by default nodes are solved
 /// by dual-simplex re-optimization of one evolving WarmStart tableau
-/// instead of a fresh solve (MipOptions::WarmNodes; both paths are exact,
-/// so the answer is the same either way — MipSolution's counters record
-/// how each node was satisfied). A MipWarmStart additionally carries that
-/// tableau and the previous optimum *across* solveMip calls, so a sweep
-/// that only patches bounds or constraint RHS values between solves — the
-/// knob axis of a placement campaign — re-optimizes from its neighbour
-/// instead of starting over, and an externally seeded incumbent (e.g. the
-/// persistent cache's best-known assignment) opens the search with most
-/// of the tree already pruned.
+/// instead of a fresh solve (SolverConfig::WarmNodes; both paths are
+/// exact, so the answer is the same either way — MipSolution::Stats
+/// records how each node was satisfied). A MipWarmStart additionally
+/// carries that tableau and the previous optimum *across* solveMip calls,
+/// so a sweep that only patches bounds or constraint RHS values between
+/// solves — the knob axis of a placement campaign — re-optimizes from its
+/// neighbour instead of starting over, and an externally seeded incumbent
+/// (e.g. the persistent cache's best-known assignment) opens the search
+/// with most of the tree already pruned.
+///
+/// With SolverConfig::Threads > 1 the tree itself is searched in
+/// parallel: the root relaxation is solved once on the caller's warm
+/// tableau (preserving the cross-solve reuse semantics above), then the
+/// open list is sharded across workers with JobQueue-style deque
+/// stealing — each worker dives its own shard front-to-back in the
+/// configured order and steals from a sibling's tail when dry — and each
+/// worker re-optimizes its own deep copy of the solved root tableau.
+/// The shared incumbent makes pruning global. Determinism comes from
+/// *canonical result selection*, not from scheduling: a candidate
+/// incumbent's integer values are snapped exactly and it replaces the
+/// current best only when its objective is strictly smaller, or bit-equal
+/// with a lexicographically smaller assignment. That rule is independent
+/// of tree shape and arrival order, and the serial path applies the same
+/// rule, so any thread count returns the same assignment whenever the
+/// optimum is unique (multiple bit-equal-energy optima remain the one
+/// documented divergence, exactly as for node-order and warm/cold A/Bs).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,38 +72,6 @@
 
 namespace ramloc {
 
-/// Which open node the search expands next.
-enum class NodeOrder : uint8_t {
-  Dfs,       ///< depth-first diving (warm-friendliest)
-  BestBound, ///< smallest parent bound first (smallest tree)
-  Hybrid,    ///< dive until an incumbent exists, then best-bound
-};
-
-const char *nodeOrderName(NodeOrder O);
-bool nodeOrderFromName(const std::string &Name, NodeOrder &Out);
-
-/// MIP search knobs.
-struct MipOptions {
-  SimplexOptions Simplex;
-  double IntegerTolerance = 1e-6;
-  /// Node budget; exceeding it returns the best incumbent with
-  /// Proven = false.
-  unsigned MaxNodes = 200000;
-  /// Absolute optimality gap at which a node is pruned.
-  double GapTolerance = 1e-9;
-  /// Warm-start each node's relaxation from its parent's basis (dual
-  /// simplex) instead of re-solving from scratch. Exact either way;
-  /// disable for the fully cold reference path (--no-solve-reuse).
-  bool WarmNodes = true;
-  /// Node-selection policy (see NodeOrder). Every order is exact.
-  NodeOrder Order = NodeOrder::Dfs;
-  /// Branch on the variable with the best pseudo-cost score (estimated
-  /// objective degradation both ways), falling back to most-fractional
-  /// until a variable has observed degradations. Disable for plain
-  /// most-fractional branching.
-  bool PseudoCostBranching = true;
-};
-
 /// MIP outcome. Status Optimal with Proven false means "best found within
 /// the node budget".
 struct MipSolution {
@@ -96,25 +81,21 @@ struct MipSolution {
   unsigned NodesExplored = 0;
   bool Proven = false;
 
-  /// Node-level solve accounting: how each explored node's relaxation was
-  /// satisfied, and the pivots each path spent. A cold search has
-  /// ColdNodeSolves == NodesExplored; the warm path pays one cold solve
-  /// (the root, unless a MipWarmStart seeded it) and re-optimizes the
-  /// rest. BoundFlips counts ratio-test outcomes that moved a variable
-  /// across its box without a pivot (bounded-variable fast path).
-  unsigned ColdNodeSolves = 0;
-  unsigned WarmNodeSolves = 0;
-  uint64_t PrimalPivots = 0;
-  uint64_t DualPivots = 0;
-  uint64_t BoundFlips = 0;
-  /// True when this solve itself started from a caller-provided
-  /// MipWarmStart basis (knob-axis reuse) rather than a cold root.
-  bool WarmStarted = false;
-  /// True when the caller-provided incumbent survived the zero-tolerance
-  /// feasibility re-check and opened the search.
-  bool SeededIncumbent = false;
+  /// The solve's effort ledger (merged across workers when the tree was
+  /// searched in parallel), also published into the mip.* metrics
+  /// counters. Use the accessors below for the common reads.
+  SolverStats Stats;
 
   bool feasible() const { return Status == LpStatus::Optimal; }
+
+  unsigned coldNodeSolves() const { return Stats.ColdNodeSolves; }
+  unsigned warmNodeSolves() const { return Stats.WarmNodeSolves; }
+  uint64_t primalPivots() const { return Stats.PrimalPivots; }
+  uint64_t dualPivots() const { return Stats.DualPivots; }
+  uint64_t boundFlips() const { return Stats.BoundFlips; }
+  uint64_t refactorizations() const { return Stats.Refactorizations; }
+  bool warmStarted() const { return Stats.WarmStarted; }
+  bool seededIncumbent() const { return Stats.SeededIncumbent; }
 };
 
 /// Cross-solve warm-start state for a structurally fixed problem whose
@@ -136,8 +117,10 @@ struct MipWarmStart {
 
 /// Solves \p P to optimality (integer variables must be binary). With
 /// \p Warm, re-optimizes from the previous solve's basis and incumbent
-/// and leaves the state primed for the next call.
-MipSolution solveMip(const LpProblem &P, const MipOptions &Opts = {},
+/// and leaves the state primed for the next call. Cfg.Threads > 1
+/// searches the tree with a work-stealing worker pool; results are
+/// canonical across thread counts (see the file comment).
+MipSolution solveMip(const LpProblem &P, const SolverConfig &Cfg = {},
                      MipWarmStart *Warm = nullptr);
 
 } // namespace ramloc

@@ -170,14 +170,17 @@ struct WarmState {
   bool Usable = false;
 
   /// Pivots performed since the tableau was built. Dense updates
-  /// accumulate rounding with every pivot; past a generous budget the
+  /// accumulate rounding with every pivot; past the configured budget the
   /// handle is rebuilt from the original data (the dense analogue of
-  /// periodic refactorization), bounding worst-case drift at a cost of
-  /// one cold solve per ~64 * (rows + vars) pivots.
+  /// periodic product-form/LU refactorization), bounding worst-case
+  /// drift at a cost of one cold solve per
+  /// RefactorInterval * (rows + vars + 1) pivots.
   uint64_t PivotsSinceBuild = 0;
 
-  bool needsRefactor() const {
-    return PivotsSinceBuild > 64ull * (NumRows + NumVars + 1);
+  bool needsRefactor(const SolverConfig &Opts) const {
+    return Opts.RefactorInterval != 0 &&
+           PivotsSinceBuild >
+               uint64_t(Opts.RefactorInterval) * (NumRows + NumVars + 1);
   }
 
   bool matches(const LpProblem &P) const {
@@ -204,11 +207,11 @@ struct WarmState {
   }
 
   bool build(const LpProblem &P, const std::vector<double> &Lower,
-             const std::vector<double> &Upper, const SimplexOptions &Opts);
-  void installObjective(const LpProblem &P, const SimplexOptions &Opts);
-  LpStatus primalIterate(const SimplexOptions &Opts, unsigned &Iterations,
+             const std::vector<double> &Upper, const SolverConfig &Opts);
+  void installObjective(const LpProblem &P, const SolverConfig &Opts);
+  LpStatus primalIterate(const SolverConfig &Opts, unsigned &Iterations,
                          unsigned &BoundFlips);
-  LpStatus dualIterate(const SimplexOptions &Opts, unsigned &Iterations,
+  LpStatus dualIterate(const SolverConfig &Opts, unsigned &Iterations,
                        unsigned &BoundFlips);
   void eliminate(unsigned Row, unsigned Col);
   bool patchTo(const LpProblem &P, const std::vector<double> &Lower,
@@ -216,14 +219,14 @@ struct WarmState {
   bool anyEmptyBox() const;
   bool primalInfeasible(double Tol) const;
   void extract(const LpProblem &P, LpSolution &Sol) const;
-  LpSolution solveFresh(const LpProblem &P, const SimplexOptions &Opts);
+  LpSolution solveFresh(const LpProblem &P, const SolverConfig &Opts);
 };
 
 } // namespace ramloc
 
 bool WarmState::build(const LpProblem &P, const std::vector<double> &Lower,
                       const std::vector<double> &Upper,
-                      const SimplexOptions &Opts) {
+                      const SolverConfig &Opts) {
   (void)Opts;
   NumVars = P.numVariables();
   NumCons = P.numConstraints();
@@ -350,7 +353,7 @@ bool WarmState::build(const LpProblem &P, const std::vector<double> &Lower,
 }
 
 void WarmState::installObjective(const LpProblem &P,
-                                 const SimplexOptions &Opts) {
+                                 const SolverConfig &Opts) {
   double MaxC = 0.0;
   for (unsigned J = 0; J != NumVars; ++J)
     MaxC = std::max(MaxC, std::abs(P.Variables[J].Objective));
@@ -424,7 +427,7 @@ bool WarmState::anyEmptyBox() const {
   return false;
 }
 
-LpStatus WarmState::primalIterate(const SimplexOptions &Opts,
+LpStatus WarmState::primalIterate(const SolverConfig &Opts,
                                   unsigned &Iterations,
                                   unsigned &BoundFlips) {
   unsigned StallCount = 0;
@@ -536,7 +539,7 @@ LpStatus WarmState::primalIterate(const SimplexOptions &Opts,
   return LpStatus::IterLimit;
 }
 
-LpStatus WarmState::dualIterate(const SimplexOptions &Opts,
+LpStatus WarmState::dualIterate(const SolverConfig &Opts,
                                 unsigned &Iterations,
                                 unsigned &BoundFlips) {
   unsigned StallCount = 0;
@@ -784,7 +787,7 @@ void WarmState::extract(const LpProblem &P, LpSolution &Sol) const {
 }
 
 LpSolution WarmState::solveFresh(const LpProblem &P,
-                                 const SimplexOptions &Opts) {
+                                 const SolverConfig &Opts) {
   LpSolution Sol;
   // Feasibility phase: the all-slack start violates boxes exactly where
   // >=/== rows bite. Under the zero objective every status is dual
@@ -808,7 +811,7 @@ LpSolution WarmState::solveFresh(const LpProblem &P,
 LpSolution ramloc::solveLpWithBounds(const LpProblem &P,
                                      const std::vector<double> &Lower,
                                      const std::vector<double> &Upper,
-                                     const SimplexOptions &Opts) {
+                                     const SolverConfig &Opts) {
   assert(Lower.size() == P.numVariables() &&
          Upper.size() == P.numVariables() && "bounds size mismatch");
   WarmState W;
@@ -820,7 +823,7 @@ LpSolution ramloc::solveLpWithBounds(const LpProblem &P,
   return W.solveFresh(P, Opts);
 }
 
-LpSolution ramloc::solveLp(const LpProblem &P, const SimplexOptions &Opts) {
+LpSolution ramloc::solveLp(const LpProblem &P, const SolverConfig &Opts) {
   std::vector<double> Lower(P.numVariables()), Upper(P.numVariables());
   for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
     Lower[J] = P.Variables[J].Lower;
@@ -842,11 +845,18 @@ bool WarmStart::valid() const { return S && S->Usable; }
 
 void WarmStart::reset() { S.reset(); }
 
+WarmStart WarmStart::clone() const {
+  WarmStart C;
+  if (S)
+    C.S = std::make_unique<WarmState>(*S);
+  return C;
+}
+
 LpSolution ramloc::resolveLpFromBasis(const LpProblem &P,
                                       const std::vector<double> &Lower,
                                       const std::vector<double> &Upper,
                                       WarmStart &Warm,
-                                      const SimplexOptions &Opts) {
+                                      const SolverConfig &Opts) {
   LpSolution Sol;
   if (!Warm.valid() || !Warm.S->matches(P))
     return Sol; // IterLimit: nothing to re-optimize from
@@ -875,7 +885,7 @@ LpSolution ramloc::resolveLpFromBasis(const LpProblem &P,
   // repair cut off *below* that line wastes its pivots and then pays the
   // rebuild anyway, which is how a too-tight budget quietly halves warm
   // throughput.
-  SimplexOptions DualOpts = Opts;
+  SolverConfig DualOpts = Opts;
   DualOpts.MaxIterations =
       std::min(Opts.MaxIterations, std::max(128u, W.NumRows + W.NumVars));
   LpStatus S = W.dualIterate(DualOpts, Sol.DualIterations, Sol.BoundFlips);
@@ -902,10 +912,11 @@ LpSolution ramloc::resolveLpFromBasis(const LpProblem &P,
 LpSolution ramloc::solveLpWarm(const LpProblem &P,
                                const std::vector<double> &Lower,
                                const std::vector<double> &Upper,
-                               WarmStart &Warm, const SimplexOptions &Opts) {
+                               WarmStart &Warm, const SolverConfig &Opts) {
   assert(Lower.size() == P.numVariables() &&
          Upper.size() == P.numVariables() && "bounds size mismatch");
-  if (Warm.valid() && Warm.S->matches(P) && !Warm.S->needsRefactor()) {
+  bool HadUsableMatch = Warm.valid() && Warm.S->matches(P);
+  if (HadUsableMatch && !Warm.S->needsRefactor(Opts)) {
     LpSolution Sol = resolveLpFromBasis(P, Lower, Upper, Warm, Opts);
     if (Sol.Status != LpStatus::IterLimit && Sol.Status != LpStatus::Unbounded)
       return Sol;
@@ -915,7 +926,10 @@ LpSolution ramloc::solveLpWarm(const LpProblem &P,
   if (!Warm.S->build(P, Lower, Upper, Opts)) {
     LpSolution Sol;
     Sol.Status = LpStatus::Infeasible;
+    Sol.Refactorized = HadUsableMatch;
     return Sol;
   }
-  return Warm.S->solveFresh(P, Opts);
+  LpSolution Sol = Warm.S->solveFresh(P, Opts);
+  Sol.Refactorized = HadUsableMatch;
+  return Sol;
 }

@@ -42,6 +42,7 @@
 #define RAMLOC_LP_SIMPLEX_H
 
 #include "lp/Problem.h"
+#include "lp/SolverConfig.h"
 
 #include <memory>
 
@@ -75,20 +76,15 @@ struct LpSolution {
   /// True when this solution was reached by re-optimizing a retained
   /// basis rather than solving from scratch.
   bool WarmStarted = false;
+  /// True when a previously valid, structurally matching warm tableau was
+  /// rebuilt from original problem data for this solve — the periodic
+  /// SolverConfig::RefactorInterval cadence, or a repair after a failed
+  /// re-optimization. First builds and structure changes don't count.
+  bool Refactorized = false;
   /// The solved basis: one column index per tableau row (columns are
   /// variables first, then one slack per row). With implicit bounds the
   /// tableau has exactly one row per non-degenerate constraint.
   std::vector<unsigned> Basis;
-};
-
-/// Simplex knobs.
-struct SimplexOptions {
-  double Tolerance = 1e-9;
-  unsigned MaxIterations = 100000;
-  /// Always price with Bland's rule instead of Dantzig-with-Bland-
-  /// fallback. Slower, but immune to cycling by construction; exists so
-  /// the degenerate-pivot regression tests can pin both rules.
-  bool ForceBland = false;
 };
 
 struct WarmState;
@@ -117,22 +113,26 @@ public:
   bool valid() const;
   /// Drops the retained state; the next solveLpWarm builds from scratch.
   void reset();
+  /// Deep-copies the retained tableau into an independent handle. The
+  /// parallel branch & bound clones the solved root tableau once per
+  /// worker so each thread re-optimizes its own copy with no sharing.
+  WarmStart clone() const;
 
 private:
   std::unique_ptr<WarmState> S;
   friend LpSolution solveLpWarm(const LpProblem &P,
                                 const std::vector<double> &Lower,
                                 const std::vector<double> &Upper,
-                                WarmStart &Warm, const SimplexOptions &Opts);
+                                WarmStart &Warm, const SolverConfig &Cfg);
   friend LpSolution resolveLpFromBasis(const LpProblem &P,
                                        const std::vector<double> &Lower,
                                        const std::vector<double> &Upper,
                                        WarmStart &Warm,
-                                       const SimplexOptions &Opts);
+                                       const SolverConfig &Cfg);
 };
 
 /// Solves the LP relaxation of \p P.
-LpSolution solveLp(const LpProblem &P, const SimplexOptions &Opts = {});
+LpSolution solveLp(const LpProblem &P, const SolverConfig &Cfg = {});
 
 /// Solves with per-variable bound overrides (used by branch & bound to fix
 /// binaries). \p Lower/\p Upper must have one entry per variable. An empty
@@ -140,18 +140,20 @@ LpSolution solveLp(const LpProblem &P, const SimplexOptions &Opts = {});
 LpSolution solveLpWithBounds(const LpProblem &P,
                              const std::vector<double> &Lower,
                              const std::vector<double> &Upper,
-                             const SimplexOptions &Opts = {});
+                             const SolverConfig &Cfg = {});
 
 /// Warm-capable solve: on first use (or after a structure change /
 /// numerical failure) builds \p Warm's tableau at the given bounds and
 /// solves cold; on later calls re-optimizes the retained basis with the
 /// dual simplex (see resolveLpFromBasis), falling back to a fresh build
-/// when re-optimization hits the iteration limit. Either way the result
-/// is the exact LP optimum; LpSolution::WarmStarted records which path
-/// satisfied the call.
+/// when re-optimization hits the iteration limit or the tableau reaches
+/// its SolverConfig::RefactorInterval refactorization cadence. Either way
+/// the result is the exact LP optimum; LpSolution::WarmStarted records
+/// which path satisfied the call and LpSolution::Refactorized whether a
+/// retained tableau was rebuilt.
 LpSolution solveLpWarm(const LpProblem &P, const std::vector<double> &Lower,
                        const std::vector<double> &Upper, WarmStart &Warm,
-                       const SimplexOptions &Opts = {});
+                       const SolverConfig &Cfg = {});
 
 /// Dual-simplex re-optimization entry point: diffs \p Lower/\p Upper and
 /// the constraint RHS values of \p P against the state retained in
@@ -166,7 +168,7 @@ LpSolution resolveLpFromBasis(const LpProblem &P,
                               const std::vector<double> &Lower,
                               const std::vector<double> &Upper,
                               WarmStart &Warm,
-                              const SimplexOptions &Opts);
+                              const SolverConfig &Cfg);
 
 } // namespace ramloc
 

@@ -1,0 +1,43 @@
+//===- lp/SolverConfig.cpp - unified solver knobs and counters ------------===//
+
+#include "lp/SolverConfig.h"
+
+namespace ramloc {
+
+const char *nodeOrderName(NodeOrder O) {
+  switch (O) {
+  case NodeOrder::Dfs:
+    return "dfs";
+  case NodeOrder::BestBound:
+    return "best-bound";
+  case NodeOrder::Hybrid:
+    return "hybrid";
+  }
+  return "dfs";
+}
+
+bool nodeOrderFromName(const std::string &Name, NodeOrder &Out) {
+  if (Name == "dfs")
+    Out = NodeOrder::Dfs;
+  else if (Name == "best-bound")
+    Out = NodeOrder::BestBound;
+  else if (Name == "hybrid")
+    Out = NodeOrder::Hybrid;
+  else
+    return false;
+  return true;
+}
+
+SolverStats &SolverStats::merge(const SolverStats &Other) {
+  ColdNodeSolves += Other.ColdNodeSolves;
+  WarmNodeSolves += Other.WarmNodeSolves;
+  PrimalPivots += Other.PrimalPivots;
+  DualPivots += Other.DualPivots;
+  BoundFlips += Other.BoundFlips;
+  Refactorizations += Other.Refactorizations;
+  WarmStarted = WarmStarted || Other.WarmStarted;
+  SeededIncumbent = SeededIncumbent || Other.SeededIncumbent;
+  return *this;
+}
+
+} // namespace ramloc

@@ -1,0 +1,139 @@
+//===- lp/SolverConfig.h - unified solver knobs and counters ----*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One configuration struct for the whole exact-solver stack and one
+/// counter struct for its effort accounting.
+///
+/// Through PR 6 the stack threaded three structs individually —
+/// SimplexOptions into every simplex entry point, MipOptions (embedding a
+/// SimplexOptions) into solveMip, and ad-hoc counter fields on
+/// MipSolution — so adding a knob meant touching every call site from
+/// PlacementSolver down to resolveLpFromBasis. SolverConfig flattens the
+/// knobs into a single value that rides unchanged through
+/// PlacementSolver -> solveMip -> solveLpWarm -> resolveLpFromBasis;
+/// thread count, pricing rule and refactorization cadence plug in here
+/// and nowhere else. SolverStats is the matching effort ledger: one
+/// instance per solve (or per worker in the parallel tree search, merged
+/// at the end), mirrored into the mip.* metrics so per-thread counts
+/// aggregate through the registry instead of ad-hoc summing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_LP_SOLVERCONFIG_H
+#define RAMLOC_LP_SOLVERCONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace ramloc {
+
+/// Which open node the branch & bound search expands next. Every order is
+/// exact; see lp/BranchBound.h for the trade-offs.
+enum class NodeOrder : uint8_t {
+  Dfs,       ///< depth-first diving (warm-friendliest)
+  BestBound, ///< smallest parent bound first (smallest tree)
+  Hybrid,    ///< dive until an incumbent exists, then best-bound
+};
+
+const char *nodeOrderName(NodeOrder O);
+bool nodeOrderFromName(const std::string &Name, NodeOrder &Out);
+
+/// Every knob the exact-solver stack reads, LP engine and MIP search
+/// alike. One instance flows through the whole call chain; layers read
+/// the fields they own and pass the value on untouched.
+struct SolverConfig {
+  //===--- LP engine (simplex) --------------------------------------------===//
+
+  /// Reduced-cost / feasibility tolerance for both ratio tests.
+  double Tolerance = 1e-9;
+  /// Pivot budget per simplex phase.
+  unsigned MaxIterations = 100000;
+  /// Always price with Bland's rule instead of Dantzig-with-Bland-
+  /// fallback. Slower, but immune to cycling by construction; exists so
+  /// the degenerate-pivot regression tests can pin both rules.
+  bool ForceBland = false;
+  /// Refactorization cadence: a retained warm tableau is rebuilt from the
+  /// original problem data after RefactorInterval * (rows + vars + 1)
+  /// pivots, bounding the rounding drift dense in-place updates
+  /// accumulate (the dense analogue of periodic product-form/LU
+  /// refactorization) and re-sparsifying fill-in before long warm chains
+  /// — best-bound order's far basis jumps in particular — start
+  /// thrashing. 0 disables the cadence entirely.
+  unsigned RefactorInterval = 64;
+
+  //===--- MIP search (branch & bound) ------------------------------------===//
+
+  /// |value - round(value)| below which a binary is considered integral.
+  double IntegerTolerance = 1e-6;
+  /// Node budget; exceeding it returns the best incumbent with
+  /// Proven = false.
+  unsigned MaxNodes = 200000;
+  /// Absolute optimality gap at which a node is pruned.
+  double GapTolerance = 1e-9;
+  /// Warm-start each node's relaxation from its parent's basis (dual
+  /// simplex) instead of re-solving from scratch. Exact either way;
+  /// disable for the fully cold reference path (--reuse without 'solve').
+  bool WarmNodes = true;
+  /// Node-selection policy (see NodeOrder). Every order is exact.
+  NodeOrder Order = NodeOrder::Dfs;
+  /// Branch on the variable with the best pseudo-cost score (estimated
+  /// objective degradation both ways), falling back to most-fractional
+  /// until a variable has observed degradations. Disable for plain
+  /// most-fractional branching.
+  bool PseudoCostBranching = true;
+
+  //===--- Parallel tree search -------------------------------------------===//
+
+  /// Worker threads for the branch & bound tree (--solver-threads). 1 =
+  /// serial. Each worker carries its own warm tableau cloned from the
+  /// solved root and a work-stealing shard of the open list; the shared
+  /// incumbent is installed under a canonical tie-break (strictly better
+  /// objective, else bit-equal objective and lexicographically smaller
+  /// assignment), so the result never depends on worker arrival order
+  /// and reports stay byte-identical across thread counts whenever the
+  /// optimum is unique — the same caveat every other exact-path A/B
+  /// switch in this repo carries.
+  unsigned Threads = 1;
+};
+
+/// The solver's effort ledger: how each explored node's relaxation was
+/// satisfied and what the simplex spent doing it. One instance per
+/// solveMip call — the parallel tree search keeps one per worker and
+/// merges them — published into the mip.* metrics registry counters by
+/// the solve itself, so campaign summaries, perf harnesses and --metrics
+/// snapshots all read one source.
+struct SolverStats {
+  /// A cold search has ColdNodeSolves == NodesExplored; the warm path
+  /// pays one cold solve (the root, unless a MipWarmStart seeded it) and
+  /// re-optimizes the rest.
+  unsigned ColdNodeSolves = 0;
+  unsigned WarmNodeSolves = 0;
+  uint64_t PrimalPivots = 0;
+  uint64_t DualPivots = 0;
+  /// Ratio-test outcomes that moved a variable across its box without a
+  /// pivot (bounded-variable fast path).
+  uint64_t BoundFlips = 0;
+  /// Warm tableaux rebuilt from original problem data mid-search: the
+  /// periodic SolverConfig::RefactorInterval cadence plus repair
+  /// bail-outs (iteration-limited or numerically stuck re-optimizations).
+  uint64_t Refactorizations = 0;
+  /// True when the solve itself started from a caller-provided
+  /// MipWarmStart basis (knob-axis reuse) rather than a cold root.
+  bool WarmStarted = false;
+  /// True when the caller-provided incumbent survived the zero-tolerance
+  /// feasibility re-check and opened the search.
+  bool SeededIncumbent = false;
+
+  /// Folds \p Other in (parallel workers' ledgers into the solve's).
+  /// Counters add; the per-solve flags are root-level facts and OR in.
+  SolverStats &merge(const SolverStats &Other);
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_LP_SOLVERCONFIG_H

@@ -595,7 +595,7 @@ TEST(Campaign, KnobGridReportsUnchangedBySolveReuse) {
   CampaignOptions Cold;
   Cold.Jobs = 4;
   Cold.ReuseSolves = false;
-  Cold.Base.Mip.WarmNodes = false;
+  Cold.Base.Solver.WarmNodes = false;
   CampaignResult AllCold = runCampaign(Grid, Cold);
   ASSERT_EQ(AllCold.Summary.Failed, 0u);
   EXPECT_EQ(AllCold.Summary.WarmSolves, 0u);
@@ -627,7 +627,7 @@ TEST(Campaign, ModelOnlyKnobGridGroupsToo) {
 
   CampaignOptions Cold;
   Cold.ReuseSolves = false;
-  Cold.Base.Mip.WarmNodes = false;
+  Cold.Base.Solver.WarmNodes = false;
   CampaignResult AllCold = runCampaign(Grid, Cold);
   EXPECT_EQ(campaignToJson(CR), campaignToJson(AllCold));
 }
@@ -712,13 +712,45 @@ TEST(Campaign, NodeOrdersProduceByteIdenticalReports) {
                          NodeOrder::Hybrid};
   for (int I = 0; I != 3; ++I) {
     CampaignOptions Opts;
-    Opts.Base.Mip.Order = Orders[I];
+    Opts.Base.Solver.Order = Orders[I];
     CampaignResult CR = runCampaign(Grid, Opts);
     ASSERT_EQ(CR.Summary.Failed, 0u) << nodeOrderName(Orders[I]);
     Reports[I] = campaignToJson(CR);
   }
   EXPECT_EQ(Reports[0], Reports[1]);
   EXPECT_EQ(Reports[0], Reports[2]);
+}
+
+TEST(Campaign, SolverThreadCountsProduceByteIdenticalReports) {
+  // The parallel tree search selects its incumbent canonically, so the
+  // campaign report must be byte-identical across every thread count x
+  // node order combination — the same guarantee the CI batch-behavior
+  // job proves end-to-end through ramloc-batch --solver-threads.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32", "int_matmult"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {128, 512};
+  Grid.XlimitPoints = {1.05, 1.5};
+  Grid.Kind = JobKind::ModelOnly;
+
+  std::string Reference;
+  for (unsigned Threads : {1u, 2u, 8u})
+    for (NodeOrder Order :
+         {NodeOrder::Dfs, NodeOrder::BestBound, NodeOrder::Hybrid}) {
+      CampaignOptions Opts;
+      Opts.Base.Solver.Threads = Threads;
+      Opts.Base.Solver.Order = Order;
+      CampaignResult CR = runCampaign(Grid, Opts);
+      ASSERT_EQ(CR.Summary.Failed, 0u)
+          << Threads << " threads, " << nodeOrderName(Order);
+      std::string Report = campaignToJson(CR);
+      if (Reference.empty())
+        Reference = Report;
+      else
+        EXPECT_EQ(Report, Reference)
+            << Threads << " threads, " << nodeOrderName(Order);
+    }
 }
 
 TEST(Campaign, ReportWithSolverDiagnosticsParsesAndDiffsClean) {

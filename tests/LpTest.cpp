@@ -120,7 +120,7 @@ TEST(Simplex, BealeCyclingTerminatesUnderBothPricingRules) {
   };
 
   for (bool ForceBland : {false, true}) {
-    SimplexOptions Opts;
+    SolverConfig Opts;
     Opts.ForceBland = ForceBland;
     LpProblem P = Build();
     LpSolution S = solveLp(P, Opts);
@@ -148,7 +148,7 @@ TEST(Simplex, DegenerateProblemTerminatesUnderForcedBland) {
   P.addConstraint({{X, 1.0}}, ConstraintSense::LessEq, 5);
   P.addConstraint({{X, 2.0}}, ConstraintSense::LessEq, 10);
   P.addConstraint({{X, 3.0}}, ConstraintSense::LessEq, 15);
-  SimplexOptions Opts;
+  SolverConfig Opts;
   Opts.ForceBland = true;
   LpSolution S = solveLp(P, Opts);
   ASSERT_EQ(S.Status, LpStatus::Optimal);
@@ -483,7 +483,7 @@ TEST_P(MipRandomized, MatchesBruteForce) {
     for (NodeOrder Order :
          {NodeOrder::Dfs, NodeOrder::BestBound, NodeOrder::Hybrid})
       for (bool PseudoCost : {false, true}) {
-        MipOptions Opts;
+        SolverConfig Opts;
         Opts.WarmNodes = WarmNodes;
         Opts.Order = Order;
         Opts.PseudoCostBranching = PseudoCost;
@@ -496,9 +496,9 @@ TEST_P(MipRandomized, MatchesBruteForce) {
             << (PseudoCost ? "pseudo-cost" : "most-fractional");
         EXPECT_TRUE(P.isFeasible(S.Values));
         if (WarmNodes)
-          EXPECT_EQ(S.ColdNodeSolves + S.WarmNodeSolves, S.NodesExplored);
+          EXPECT_EQ(S.coldNodeSolves() + S.warmNodeSolves(), S.NodesExplored);
         else
-          EXPECT_EQ(S.ColdNodeSolves, S.NodesExplored);
+          EXPECT_EQ(S.coldNodeSolves(), S.NodesExplored);
       }
 }
 
@@ -524,14 +524,14 @@ TEST(Mip, WarmStartChainsAcrossRhsPatches) {
   for (double Budget : {10.0, 6.0, 14.0, 3.0, 10.0}) {
     P.Constraints[0].Rhs = Budget;
     MipSolution Cold = solveMip(P, [] {
-      MipOptions O;
+      SolverConfig O;
       O.WarmNodes = false;
       return O;
     }());
     MipSolution W = solveMip(P, {}, &Warm);
     ASSERT_EQ(Cold.feasible(), W.feasible()) << "budget " << Budget;
     EXPECT_NEAR(W.Objective, Cold.Objective, 1e-9) << "budget " << Budget;
-    EXPECT_EQ(W.WarmStarted, !First);
+    EXPECT_EQ(W.warmStarted(), !First);
     First = false;
   }
 }
@@ -548,13 +548,13 @@ TEST(Mip, ExternallySeededIncumbentOpensTheSearch) {
                   9);
   MipSolution Plain = solveMip(P);
   ASSERT_TRUE(Plain.feasible());
-  EXPECT_FALSE(Plain.SeededIncumbent);
+  EXPECT_FALSE(Plain.seededIncumbent());
 
   MipWarmStart Seeded;
   Seeded.Incumbent = {1.0, 1.0, 0.0}; // the known optimum
   MipSolution S = solveMip(P, {}, &Seeded);
   ASSERT_TRUE(S.feasible());
-  EXPECT_TRUE(S.SeededIncumbent);
+  EXPECT_TRUE(S.seededIncumbent());
   EXPECT_NEAR(S.Objective, Plain.Objective, 1e-9);
   EXPECT_EQ(S.Values, Plain.Values);
 
@@ -562,7 +562,7 @@ TEST(Mip, ExternallySeededIncumbentOpensTheSearch) {
   Bogus.Incumbent = {1.0, 1.0, 1.0}; // weight 12 > 9: infeasible
   MipSolution R = solveMip(P, {}, &Bogus);
   ASSERT_TRUE(R.feasible());
-  EXPECT_FALSE(R.SeededIncumbent);
+  EXPECT_FALSE(R.seededIncumbent());
   EXPECT_NEAR(R.Objective, Plain.Objective, 1e-9);
 }
 
@@ -578,9 +578,9 @@ TEST(Mip, BestBoundProvesWithoutExhaustingOpenList) {
     Terms.push_back({J, double(2 + (J * 5) % 7)});
   P.addConstraint(std::move(Terms), ConstraintSense::LessEq, 23);
 
-  MipOptions Dfs;
+  SolverConfig Dfs;
   Dfs.Order = NodeOrder::Dfs;
-  MipOptions BB;
+  SolverConfig BB;
   BB.Order = NodeOrder::BestBound;
   MipSolution SDfs = solveMip(P, Dfs);
   MipSolution SBB = solveMip(P, BB);
@@ -589,3 +589,77 @@ TEST(Mip, BestBoundProvesWithoutExhaustingOpenList) {
   EXPECT_TRUE(SBB.Proven);
   EXPECT_NEAR(SDfs.Objective, SBB.Objective, 1e-9);
 }
+
+namespace {
+
+/// Counts the exhaustive 0/1 optima of \p P at objective \p Best. The
+/// random knapsacks below have integer costs, so equality is exact.
+unsigned bruteForceOptimumCount(const LpProblem &P, double Best) {
+  unsigned N = P.numVariables();
+  unsigned Count = 0;
+  for (uint64_t Mask = 0; Mask != (1ULL << N); ++Mask) {
+    std::vector<double> X(N);
+    for (unsigned J = 0; J != N; ++J)
+      X[J] = (Mask >> J) & 1;
+    if (P.isFeasible(X) && P.objectiveValue(X) == Best)
+      ++Count;
+  }
+  return Count;
+}
+
+} // namespace
+
+/// Property sweep for the parallel tree search: every thread count x node
+/// order is exact (matches the brute-force enumerator and the serial
+/// solver's objective), and whenever the optimum is unique the canonical
+/// selection rule makes the assignment bit-identical to the serial one.
+/// Multiple bit-equal-cost optima are the one documented divergence.
+class MipParallelRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipParallelRandomized, MatchesSerialAndBruteForce) {
+  SplitMix64 Rng(static_cast<uint64_t>(GetParam()) * 104729 + 71);
+  unsigned N = 5 + static_cast<unsigned>(Rng.nextBelow(8)); // 5..12 vars
+  LpProblem P;
+  for (unsigned J = 0; J != N; ++J)
+    P.addBinary(static_cast<double>(Rng.nextInRange(-20, 5)));
+  unsigned NumCons = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned C = 0; C != NumCons; ++C) {
+    std::vector<std::pair<unsigned, double>> Terms;
+    for (unsigned J = 0; J != N; ++J)
+      if (Rng.nextBool(0.7))
+        Terms.push_back({J, static_cast<double>(Rng.nextInRange(1, 9))});
+    if (Terms.empty())
+      Terms.push_back({0, 1.0});
+    double Rhs = static_cast<double>(Rng.nextInRange(3, 25));
+    P.addConstraint(std::move(Terms), ConstraintSense::LessEq, Rhs);
+  }
+
+  double Reference = bruteForceOptimum(P);
+  bool Unique = bruteForceOptimumCount(P, Reference) == 1;
+
+  MipSolution Serial = solveMip(P);
+  ASSERT_TRUE(Serial.feasible()); // all-zeros is always feasible here
+  EXPECT_NEAR(Serial.Objective, Reference, 1e-6);
+
+  for (unsigned Threads : {2u, 4u})
+    for (NodeOrder Order :
+         {NodeOrder::Dfs, NodeOrder::BestBound, NodeOrder::Hybrid}) {
+      SolverConfig Cfg;
+      Cfg.Threads = Threads;
+      Cfg.Order = Order;
+      MipSolution S = solveMip(P, Cfg);
+      ASSERT_TRUE(S.feasible());
+      EXPECT_TRUE(S.Proven);
+      EXPECT_NEAR(S.Objective, Reference, 1e-6)
+          << Threads << " threads, " << nodeOrderName(Order) << " order";
+      EXPECT_TRUE(P.isFeasible(S.Values));
+      if (Unique)
+        EXPECT_EQ(S.Values, Serial.Values)
+            << Threads << " threads, " << nodeOrderName(Order) << " order";
+      EXPECT_EQ(S.coldNodeSolves() + S.warmNodeSolves(), S.NodesExplored)
+          << Threads << " threads, " << nodeOrderName(Order) << " order";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MipParallelRandomized,
+                         ::testing::Range(0, 15));

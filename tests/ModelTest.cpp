@@ -374,14 +374,14 @@ TEST_P(WarmSolverVsEnumeration, ColdWarmAndChainedMatchExhaustive) {
     // warm alike.
     for (NodeOrder Order :
          {NodeOrder::Dfs, NodeOrder::BestBound, NodeOrder::Hybrid}) {
-      MipOptions Cold;
+      SolverConfig Cold;
       Cold.WarmNodes = false;
       Cold.Order = Order;
       Assignment FromCold = solvePlacement(MP, K, Cold);
       EXPECT_EQ(FromCold, Truth)
           << "cold solver diverged (" << nodeOrderName(Order) << ")";
 
-      MipOptions WarmOpts;
+      SolverConfig WarmOpts;
       WarmOpts.Order = Order;
       Assignment FromWarm = solvePlacement(MP, K, WarmOpts);
       EXPECT_EQ(FromWarm, Truth)
@@ -449,7 +449,7 @@ TEST(Model, SeededSolverMatchesUnseededBitForBit) {
   ASSERT_TRUE(Seeded.seedIncumbent(MP, Truth));
   MipSolution Stats;
   Assignment FromSeeded = Seeded.solve(K, {}, &Stats);
-  EXPECT_TRUE(Stats.SeededIncumbent);
+  EXPECT_TRUE(Stats.seededIncumbent());
   EXPECT_EQ(FromSeeded, Truth);
 
   // An over-stuffed assignment (everything in RAM) fails the RAM budget
@@ -459,7 +459,7 @@ TEST(Model, SeededSolverMatchesUnseededBitForBit) {
   if (Stale.seedIncumbent(MP, Everything)) {
     MipSolution StaleStats;
     Assignment FromStale = Stale.solve(K, {}, &StaleStats);
-    EXPECT_FALSE(StaleStats.SeededIncumbent);
+    EXPECT_FALSE(StaleStats.seededIncumbent());
     EXPECT_EQ(FromStale, Truth);
   }
 }

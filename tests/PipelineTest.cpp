@@ -178,7 +178,7 @@ TEST(Pipeline, StagedFlowMatchesOptimizeModule) {
 
   PlacementSolver Solver(EM.MP, Opts.Knobs);
   MipSolution Sol;
-  Assignment InRam = Solver.solve(Opts.Knobs, Opts.Mip, &Sol);
+  Assignment InRam = Solver.solve(Opts.Knobs, Opts.Solver, &Sol);
   EXPECT_EQ(InRam, Whole.InRam);
 
   PipelineResult Staged = applyAndMeasure(M, EM, InRam, Sol, Opts);

@@ -23,19 +23,28 @@
 //                           --freq=profiled the baseline still simulates
 //                           once per job to collect the profile)
 //     --jobs=N              worker threads (default: hardware concurrency)
-//     --no-cache            re-run duplicate configurations
-//     --no-profile-reuse    re-simulate every grid point instead of
-//                           recosting shared execution profiles (the
-//                           reports are byte-identical either way)
-//     --no-solve-reuse      re-extract and cold-solve every grid point
-//                           instead of sharing the ILP across a knob axis
-//                           and warm-starting from neighbouring solves
-//                           (the reports are byte-identical either way)
-//     --no-incumbent-seed   do not open a solve group's first solve with
-//                           the cache's persisted best-known placement
-//                           (seeds are re-validated at zero tolerance;
-//                           reports are byte-identical either way unless
-//                           distinct placements tie on modelled energy)
+//     --solver-threads=N    branch & bound worker threads per solve
+//                           (default 1, 0 = hardware concurrency): the
+//                           tree search fans out over a work-stealing
+//                           node pool with a shared incumbent; result
+//                           selection is canonical, so the reports are
+//                           byte-identical at any thread count
+//     --reuse=LIST          which reuse layers stay on (default: all):
+//                           cache (persistent result cache), profile
+//                           (recost shared execution profiles), solve
+//                           (share the ILP across a knob axis and
+//                           warm-start from neighbouring solves), and
+//                           incumbent (open a group's first solve with
+//                           the persisted best-known placement); layers
+//                           not listed are disabled, and every layer is
+//                           report-neutral — byte-identical either way
+//                           (incumbent: unless distinct placements tie
+//                           on modelled energy). all/none select or
+//                           clear every layer at once.
+//     --no-cache            deprecated alias: --reuse minus 'cache'
+//     --no-profile-reuse    deprecated alias: --reuse minus 'profile'
+//     --no-solve-reuse      deprecated alias: --reuse minus 'solve'
+//     --no-incumbent-seed   deprecated alias: --reuse minus 'incumbent'
 //     --node-order=ORDER    branch & bound node selection: dfs (default;
 //                           warm-friendliest), best-bound, or hybrid
 //                           (dive until an incumbent exists, then
@@ -76,6 +85,7 @@
 //     --list-benchmarks     print the benchmark registry and exit
 //     --verbose             per-job progress on stderr
 //     --quiet               suppress the summary table
+//     --help                print the flag summary and exit
 //
 //===----------------------------------------------------------------------===//
 
@@ -99,32 +109,69 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace ramloc;
 
 namespace {
 
-void usage() {
+void usage(std::FILE *Out) {
   std::fprintf(
-      stderr,
-      "usage: ramloc-batch [--benchmarks=a,b|all] [--levels=O2,Os]\n"
-      "                    [--devices=a,b|all] [--rspare=N,...]\n"
-      "                    [--xlimit=F,...] [--freq=static,profiled]\n"
-      "                    [--repeat=N] [--model-only] [--jobs=N]\n"
-      "                    [--no-cache] [--no-profile-reuse]\n"
-      "                    [--no-solve-reuse] [--no-incumbent-seed]\n"
-      "                    [--node-order=dfs|best-bound|hybrid]\n"
-      "                    [--cache-dir=DIR] [--shard=K/N]\n"
-      "                    [--json=FILE] [--csv=FILE]\n"
-      "                    [--trace=FILE] [--metrics=FILE] [--dry-run]\n"
-      "                    [--list-devices] [--list-benchmarks]\n"
-      "                    [--verbose] [--quiet]\n"
+      Out,
+      "usage: ramloc-batch [options]\n"
       "       ramloc-batch --merge SHARD.json... [--json=FILE] [--csv=FILE]\n"
       "                    [--cache-dir=DIR]\n"
       "       ramloc-batch --diff A.json B.json [--diff-threshold=PCT]\n"
       "       ramloc-batch --gc-profiles --cache-dir=DIR\n"
-      "                    [--max-profile-bytes=N]\n");
+      "                    [--max-profile-bytes=N]\n"
+      "\n"
+      "grid selection:\n"
+      "  --benchmarks=a,b|all      BEEBS benchmarks to run (default: all)\n"
+      "  --levels=O2,Os            optimization levels\n"
+      "  --devices=a,b|all         target devices (see --list-devices)\n"
+      "  --rspare=N,...            spare-RAM knob points, bytes\n"
+      "  --xlimit=F,...            execution-time budget knob points\n"
+      "  --freq=static,profiled    block-frequency estimate modes\n"
+      "  --repeat=N                repeat each job N times\n"
+      "  --model-only              solve placements without simulating\n"
+      "\n"
+      "execution:\n"
+      "  --jobs=N                  campaign worker threads (0 = all cores)\n"
+      "  --solver-threads=N        branch & bound worker threads per solve\n"
+      "                            (0 = all cores; default 1); reports are\n"
+      "                            byte-identical across thread counts\n"
+      "  --reuse=LIST              which reuse layers stay on (default:\n"
+      "                            all): comma list of cache, profile,\n"
+      "                            solve, incumbent, or all/none; layers\n"
+      "                            not listed are disabled\n"
+      "  --node-order=dfs|best-bound|hybrid\n"
+      "                            branch & bound node selection policy\n"
+      "  --no-cache                deprecated: --reuse without 'cache'\n"
+      "  --no-profile-reuse        deprecated: --reuse without 'profile'\n"
+      "  --no-solve-reuse          deprecated: --reuse without 'solve'\n"
+      "  --no-incumbent-seed       deprecated: --reuse without 'incumbent'\n"
+      "\n"
+      "persistence and distribution:\n"
+      "  --cache-dir=DIR           persistent result/profile/incumbent cache\n"
+      "  --shard=K/N               run shard K of N (merge with --merge)\n"
+      "  --merge                   merge shard reports (positional files)\n"
+      "  --gc-profiles             garbage-collect cached profiles\n"
+      "  --max-profile-bytes=N     profile cache size budget for GC\n"
+      "\n"
+      "reports and diagnostics:\n"
+      "  --json=FILE               write the JSON report\n"
+      "  --csv=FILE                write the CSV report\n"
+      "  --diff                    compare two reports (positional files)\n"
+      "  --diff-threshold=PCT      regression threshold for --diff\n"
+      "  --trace=FILE              write a Chrome trace_event JSON trace\n"
+      "  --metrics=FILE            write a metrics-registry snapshot\n"
+      "  --dry-run                 list the job grid without running it\n"
+      "  --list-devices            print the device registry and exit\n"
+      "  --list-benchmarks         print the benchmark suite and exit\n"
+      "  --verbose                 per-job progress output\n"
+      "  --quiet                   suppress the summary\n"
+      "  --help                    print this help and exit\n");
 }
 
 std::vector<std::string> splitList(const std::string &S) {
@@ -459,24 +506,79 @@ int main(int Argc, char **Argv) {
                      val(7).c_str());
         return 2;
       }
+    } else if (Arg.rfind("--reuse=", 0) == 0) {
+      bool Cache = false, Profile = false, Solve = false, Incumbent = false;
+      bool OK = true;
+      for (const std::string &Tok : splitList(val(8))) {
+        if (Tok == "cache")
+          Cache = true;
+        else if (Tok == "profile")
+          Profile = true;
+        else if (Tok == "solve")
+          Solve = true;
+        else if (Tok == "incumbent")
+          Incumbent = true;
+        else if (Tok == "all")
+          Cache = Profile = Solve = Incumbent = true;
+        else if (Tok == "none")
+          ; // explicit empty set
+        else {
+          std::fprintf(stderr,
+                       "error: unknown --reuse layer '%s' (want cache, "
+                       "profile, solve, incumbent, all or none)\n",
+                       Tok.c_str());
+          OK = false;
+        }
+      }
+      if (!OK)
+        return 2;
+      Opts.UseCache = Cache;
+      Opts.ReuseProfiles = Profile;
+      // Disabling solve reuse is fully cold: no knob-axis grouping, and
+      // every branch & bound node re-solves from scratch (which also
+      // leaves incumbent seeds unread — they ride on the warm state).
+      Opts.ReuseSolves = Solve;
+      Opts.Base.Solver.WarmNodes = Solve;
+      Opts.SeedIncumbents = Incumbent;
+    } else if (Arg.rfind("--solver-threads=", 0) == 0) {
+      unsigned N = 0;
+      if (!parseUnsigned(val(17), N)) {
+        std::fprintf(stderr, "error: bad --solver-threads value '%s'\n",
+                     val(17).c_str());
+        return 2;
+      }
+      if (N == 0) {
+        N = std::thread::hardware_concurrency();
+        if (N == 0)
+          N = 1;
+      }
+      Opts.Base.Solver.Threads = N;
     } else if (Arg == "--no-cache") {
+      std::fprintf(stderr, "warning: --no-cache is deprecated; use "
+                           "--reuse=profile,solve,incumbent\n");
       Opts.UseCache = false;
     } else if (Arg == "--no-profile-reuse") {
+      std::fprintf(stderr, "warning: --no-profile-reuse is deprecated; use "
+                           "--reuse=cache,solve,incumbent\n");
       Opts.ReuseProfiles = false;
     } else if (Arg == "--no-solve-reuse") {
-      // The escape hatch is fully cold: no knob-axis grouping, and every
-      // branch & bound node re-solves from scratch (which also leaves
-      // incumbent seeds unread — they ride on the warm state).
+      std::fprintf(stderr, "warning: --no-solve-reuse is deprecated; use "
+                           "--reuse=cache,profile,incumbent\n");
       Opts.ReuseSolves = false;
-      Opts.Base.Mip.WarmNodes = false;
+      Opts.Base.Solver.WarmNodes = false;
     } else if (Arg == "--no-incumbent-seed") {
+      std::fprintf(stderr, "warning: --no-incumbent-seed is deprecated; use "
+                           "--reuse=cache,profile,solve\n");
       Opts.SeedIncumbents = false;
     } else if (Arg.rfind("--node-order=", 0) == 0) {
-      if (!nodeOrderFromName(val(13), Opts.Base.Mip.Order)) {
+      if (!nodeOrderFromName(val(13), Opts.Base.Solver.Order)) {
         std::fprintf(stderr, "error: unknown node order '%s'\n",
                      val(13).c_str());
         return 2;
       }
+    } else if (Arg == "--help") {
+      usage(stdout);
+      return 0;
     } else if (Arg == "--gc-profiles") {
       GcProfiles = true;
     } else if (Arg.rfind("--max-profile-bytes=", 0) == 0) {
@@ -548,7 +650,8 @@ int main(int Argc, char **Argv) {
     } else if (Arg.rfind("--", 0) != 0 && Merge) {
       MergeFiles.push_back(Arg);
     } else {
-      usage();
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      usage(stderr);
       return 2;
     }
   }
