@@ -9,14 +9,19 @@
 
 #include "campaign/Report.h"
 #include "power/DeviceRegistry.h"
+#include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "support/Hash.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Random.h"
 #include "support/Trace.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -32,6 +37,8 @@ constexpr const char *ProfileSchema = "ramloc-profiles-v1";
 constexpr const char *ProfileFileName = "profiles.jsonl";
 constexpr const char *IncumbentSchema = "ramloc-incumbents-v1";
 constexpr const char *IncumbentFileName = "incumbents.jsonl";
+constexpr const char *JournalSchema = "ramloc-progress-v1";
+constexpr const char *JournalFileName = "progress.jsonl";
 /// Bump when the interpreter's architectural behaviour (instruction
 /// semantics, block accounting, halt conventions) changes in a way that
 /// alters recorded profiles. Timing/power changes do NOT bump it.
@@ -54,6 +61,19 @@ std::string headerLine(const char *Schema, const std::string &Fingerprint) {
   W.beginObject();
   W.field("schema", Schema);
   W.field("fingerprint", Fingerprint);
+  W.endObject();
+  return W.str() + "\n";
+}
+
+/// The journal's header additionally pins the run configuration token:
+/// resuming under different solver limits must recompute, not replay.
+std::string journalHeaderLine(const std::string &Fingerprint,
+                              const std::string &Config) {
+  JsonWriter W(/*Pretty=*/false);
+  W.beginObject();
+  W.field("schema", JournalSchema);
+  W.field("fingerprint", Fingerprint);
+  W.field("config", Config);
   W.endObject();
   return W.str() + "\n";
 }
@@ -98,13 +118,23 @@ bool fileAppendable(const std::string &Path, const char *Schema,
 }
 
 /// Atomic whole-file replacement: temporary in the same directory,
-/// renamed over the target.
+/// renamed over the target. The temporary's name carries the writer's
+/// PID: `--shard` runs sharing one cache directory may repair the same
+/// file concurrently, and with a fixed ".tmp" name one writer's rename
+/// could ship a half-written temporary belonging to another. Distinct
+/// names make each rename atomic over its own complete document;
+/// last-rename-wins is then safe because every writer produces a valid
+/// file.
 bool replaceFile(const std::string &Path, const std::string &Doc,
                  std::string *Error) {
-  std::string Tmp = Path + ".tmp";
+  std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   if (!writeTextFile(Tmp, Doc, Error))
     return false;
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+  // Fault site: the rename itself fails (e.g. EIO on the directory).
+  bool RenameFailed = FaultInjector::shouldFail("cache.rename") ||
+                      std::rename(Tmp.c_str(), Path.c_str()) != 0;
+  if (RenameFailed) {
     std::remove(Tmp.c_str());
     if (Error)
       *Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
@@ -122,6 +152,12 @@ bool replaceFile(const std::string &Path, const std::string &Doc,
 /// line it may leave is skipped by the next open().
 bool appendToFile(const std::string &Path, const std::string &Doc,
                   std::string *Error) {
+  // Fault site: the open itself fails (transient EIO / EMFILE class).
+  if (FaultInjector::shouldFail("cache.append.eio")) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for append (injected EIO)";
+    return false;
+  }
   int Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
                   0644);
   if (Fd < 0) {
@@ -129,7 +165,15 @@ bool appendToFile(const std::string &Path, const std::string &Doc,
       *Error = "cannot open '" + Path + "' for append";
     return false;
   }
-  ssize_t Written = ::write(Fd, Doc.data(), Doc.size());
+  // Fault site: a short write — half the batch actually lands on disk,
+  // exactly the torn-tail shape ENOSPC or a mid-transfer signal leaves.
+  // The injected partial data is real: the load-time tail skip and the
+  // retry path's line termination must cope with it, not a simulation
+  // of it.
+  size_t ToWrite = Doc.size();
+  if (FaultInjector::shouldFail("cache.append.short"))
+    ToWrite = Doc.size() / 2;
+  ssize_t Written = ::write(Fd, Doc.data(), ToWrite);
   ::close(Fd);
   if (Written != static_cast<ssize_t>(Doc.size())) {
     if (Error)
@@ -137,6 +181,50 @@ bool appendToFile(const std::string &Path, const std::string &Doc,
     return false;
   }
   return true;
+}
+
+/// Bounded, jittered retry around one transient-I/O operation. \p Op is
+/// attempted up to three times; every re-attempt bumps the
+/// `cachestore.retries` counter and sleeps a doubling ~1-3 ms backoff
+/// with deterministic jitter (seeded from \p Site, so tests replay). The
+/// operation owns its own cleanup between attempts.
+template <typename Fn> bool withRetries(Fn &&Op, const std::string &Site) {
+  constexpr unsigned MaxAttempts = 3;
+  SplitMix64 Jitter(fnv1a64(Site));
+  for (unsigned Attempt = 0;; ++Attempt) {
+    if (Op(Attempt))
+      return true;
+    if (Attempt + 1 == MaxAttempts)
+      return false;
+    globalMetrics().counter("cachestore.retries").add();
+    unsigned DelayUs = (1000u << Attempt) +
+                       static_cast<unsigned>(Jitter.nextBelow(1000));
+    std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
+  }
+}
+
+/// appendToFile with recovery. A failed attempt may have landed part of
+/// \p Doc (a short write leaves a torn tail line), so every retry leads
+/// with a newline: it terminates whatever junk the failure left, the
+/// junk parses as one corrupt line the next load skips, and any complete
+/// lines the partial write did land become duplicates the load's
+/// first-wins rule folds away. Nothing is ever lost or fused.
+bool appendWithRetries(const std::string &Path, const std::string &Doc,
+                       std::string *Error) {
+  return withRetries(
+      [&](unsigned Attempt) {
+        return appendToFile(Path, Attempt == 0 ? Doc : "\n" + Doc, Error);
+      },
+      Path);
+}
+
+/// replaceFile with recovery: the temporary is rebuilt from scratch each
+/// attempt, so a failed write or rename leaves nothing to clean up but
+/// the temp file replaceFile already removed.
+bool replaceWithRetries(const std::string &Path, const std::string &Doc,
+                        std::string *Error) {
+  return withRetries(
+      [&](unsigned) { return replaceFile(Path, Doc, Error); }, Path);
 }
 
 /// Hashes every device's power table and timing model into \p H: the
@@ -275,6 +363,14 @@ bool CacheStore::open(const std::string &Dir, std::string *Error) {
           ++Skipped;
           continue;
         }
+        // Degraded or failed entries are never servable from this store
+        // (we never write them; an external tool may have). Skipped
+        // *before* the dedup insert, so a valid Optimal entry appended
+        // later for the same key still loads.
+        if (!R.ok() || R.SolveOutcome != SolveStatus::Optimal) {
+          ++Skipped;
+          continue;
+        }
         // Concurrent appenders may have raced the same configuration to
         // disk; the records are deterministic, so duplicates are mere
         // bytes — first one counts, the rest are ignored until compact()
@@ -376,14 +472,18 @@ bool CacheStore::rewriteResults(std::string *Error) {
     // Failures are not durable: they may stem from a bug the next build
     // fixes, and the fingerprint tracks the device tables, not the code.
     // Serving a stale failure forever is worse than re-running the job.
-    if (!R.ok())
+    // Degraded (limit-truncated) results follow the same rule — a
+    // best-effort answer must not be served where a later unlimited run
+    // could compute the true optimum; the journal, not this cache, is
+    // where degraded results persist.
+    if (!R.ok() || R.SolveOutcome != SolveStatus::Optimal)
       continue;
     JsonWriter W(/*Pretty=*/false);
     writeJobResult(W, R);
     Doc += W.str() + "\n";
     Keys.insert(Key);
   }
-  if (!replaceFile(Path, Doc, Error))
+  if (!replaceWithRetries(Path, Doc, Error))
     return false;
   PersistedKeys = std::move(Keys);
   return true;
@@ -393,7 +493,8 @@ bool CacheStore::appendResults(std::string *Error) {
   std::string Doc;
   std::vector<std::string> NewKeys;
   for (const auto &[Key, R] : Cache.snapshot()) {
-    if (!R.ok() || PersistedKeys.count(Key))
+    if (!R.ok() || R.SolveOutcome != SolveStatus::Optimal ||
+        PersistedKeys.count(Key))
       continue;
     JsonWriter W(/*Pretty=*/false);
     writeJobResult(W, R);
@@ -402,7 +503,7 @@ bool CacheStore::appendResults(std::string *Error) {
   }
   if (Doc.empty())
     return true;
-  if (!appendToFile(Path, Doc, Error))
+  if (!appendWithRetries(Path, Doc, Error))
     return false;
   PersistedKeys.insert(NewKeys.begin(), NewKeys.end());
   return true;
@@ -417,7 +518,7 @@ bool CacheStore::rewriteProfiles(std::string *Error) {
     Doc += W.str() + "\n";
     Keys.insert(Key);
   }
-  if (!replaceFile(ProfPath, Doc, Error))
+  if (!replaceWithRetries(ProfPath, Doc, Error))
     return false;
   PersistedProfKeys = std::move(Keys);
   return true;
@@ -436,7 +537,7 @@ bool CacheStore::appendProfiles(std::string *Error) {
   }
   if (Doc.empty())
     return true;
-  if (!appendToFile(ProfPath, Doc, Error))
+  if (!appendWithRetries(ProfPath, Doc, Error))
     return false;
   PersistedProfKeys.insert(NewKeys.begin(), NewKeys.end());
   return true;
@@ -449,7 +550,7 @@ bool CacheStore::rewriteIncumbents(std::string *Error) {
     Doc += incumbentLine(Group, E);
     Energies.emplace(Group, E.EnergyMilliJoules);
   }
-  if (!replaceFile(IncPath, Doc, Error))
+  if (!replaceWithRetries(IncPath, Doc, Error))
     return false;
   PersistedIncEnergy = std::move(Energies);
   return true;
@@ -471,7 +572,7 @@ bool CacheStore::appendIncumbents(std::string *Error) {
   }
   if (Doc.empty())
     return true;
-  if (!appendToFile(IncPath, Doc, Error))
+  if (!appendWithRetries(IncPath, Doc, Error))
     return false;
   for (auto &[Group, Energy] : NewEnergies)
     PersistedIncEnergy[Group] = Energy;
@@ -605,10 +706,90 @@ bool CacheStore::gcProfiles(uint64_t MaxBytes, ProfileGcStats &Stats,
     Doc += Line + "\n";
     Keys.insert(Key);
   }
-  if (!replaceFile(ProfPath, Doc, Error))
+  if (!replaceWithRetries(ProfPath, Doc, Error))
     return false;
   Stats.Kept = Entries.size();
   Stats.BytesAfter = Doc.size();
   PersistedProfKeys = std::move(Keys);
   return true;
+}
+
+bool CacheStore::beginJournal(const std::string &ConfigToken, bool Resume,
+                              std::string *Error) {
+  if (Path.empty()) {
+    if (Error)
+      *Error = "cache store was never opened";
+    return false;
+  }
+  JournalPath =
+      (std::filesystem::path(Path).parent_path() / JournalFileName).string();
+  JournalResults.clear();
+  SkippedJournal = 0;
+
+  std::string Header = journalHeaderLine(fingerprint(), ConfigToken);
+  if (!Resume)
+    return replaceWithRetries(JournalPath, Header, Error);
+
+  bool HeaderOk = false;
+  {
+    std::ifstream In(JournalPath, std::ios::binary);
+    bool SawHeader = false;
+    std::set<std::string> Seen;
+    std::string Line;
+    while (In && std::getline(In, Line)) {
+      if (Line.empty())
+        continue;
+      JsonValue V;
+      if (!JsonValue::parse(Line, V)) {
+        ++SkippedJournal;
+        if (!SawHeader)
+          break; // unreadable header: treat the journal as absent
+        continue;
+      }
+      if (!SawHeader) {
+        SawHeader = true;
+        const JsonValue *Config = V.find("config");
+        HeaderOk = headerMatches(V, JournalSchema, fingerprint()) &&
+                   Config && Config->kind() == JsonValue::Kind::String &&
+                   Config->string() == ConfigToken;
+        if (!HeaderOk)
+          break; // different world or solver limits: nothing to replay
+        continue;
+      }
+      JobResult R;
+      if (!parseJobResult(V, R)) {
+        ++SkippedJournal; // torn tail of a killed writer, or corruption
+        continue;
+      }
+      // A retried short write may have left the same job twice; the first
+      // occurrence is the one the interrupted run reported.
+      if (!Seen.insert(R.Spec.cacheKey()).second)
+        continue;
+      JournalResults.push_back(std::move(R));
+    }
+  }
+  if (!HeaderOk)
+    return replaceWithRetries(JournalPath, Header, Error);
+  // Extend the existing journal. If the previous writer was killed
+  // mid-append, its torn tail must not fuse with our first append —
+  // terminate it now (the orphaned fragment parses as one corrupt line,
+  // skipped by the next resume).
+  if (!endsWithNewline(JournalPath))
+    return appendWithRetries(JournalPath, "\n", Error);
+  return true;
+}
+
+bool CacheStore::appendJournal(const JobResult &R, std::string *Error) {
+  if (JournalPath.empty())
+    return true;
+  JsonWriter W(/*Pretty=*/false);
+  writeJobResult(W, R);
+  return appendWithRetries(JournalPath, W.str() + "\n", Error);
+}
+
+void CacheStore::clearJournal() {
+  if (JournalPath.empty())
+    return;
+  std::remove(JournalPath.c_str());
+  JournalPath.clear();
 }

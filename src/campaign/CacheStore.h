@@ -132,6 +132,48 @@ public:
   /// gcProfiles (`ramloc-batch --gc-profiles` runs both).
   bool compactIncumbents(std::string *Error = nullptr);
 
+  //===--- Campaign progress journal (crash-safe resume) -------------------===//
+  //
+  // A fourth file, <dir>/progress.jsonl, records every *finished* job of
+  // an in-flight campaign as one report-dialect line, appended as jobs
+  // complete. A killed campaign loses at most its torn final line; a new
+  // run with `--resume` replays the journal through the result cache,
+  // re-runs only what is missing, and produces a report byte-identical
+  // to the uninterrupted run (the report dialect round-trips exactly).
+  // Unlike results.jsonl, the journal intentionally keeps failed and
+  // degraded entries — its contract is "reproduce the interrupted run's
+  // report", not "store trustworthy optima" — which is why it is a
+  // separate file that is removed once the final report is safely out.
+
+  /// Binds the journal to <dir>/progress.jsonl (requires a prior
+  /// successful open()). With \p Resume, valid entries under a matching
+  /// header — fingerprint() plus \p ConfigToken, which must encode
+  /// anything that changes results (solver limits; NOT --jobs or
+  /// --solver-threads, resume is byte-identical across those) — are
+  /// loaded into journalEntries(); a missing, stale, or mismatched
+  /// journal simply yields none. Without \p Resume any previous journal
+  /// is discarded and a fresh header written.
+  bool beginJournal(const std::string &ConfigToken, bool Resume,
+                    std::string *Error = nullptr);
+
+  /// Appends one finished job to the journal (one line, retried with
+  /// backoff like every other append). No-op before beginJournal().
+  bool appendJournal(const JobResult &R, std::string *Error = nullptr);
+
+  /// Removes the journal file — call once the final report is durable;
+  /// an orphaned journal is harmless but would be replayed by a later
+  /// --resume of the same configuration.
+  void clearJournal();
+
+  /// Entries a resuming beginJournal() recovered, in journal order
+  /// (first occurrence wins for duplicated keys).
+  const std::vector<JobResult> &journalEntries() const {
+    return JournalResults;
+  }
+  /// Corrupt/torn journal lines skipped during resume (diagnostics).
+  size_t journalSkipped() const { return SkippedJournal; }
+  const std::string &journalPath() const { return JournalPath; }
+
   /// The in-memory result cache backing this store. Point
   /// CampaignOptions::Cache here; runCampaign both serves lookups from it
   /// and inserts new results into it.
@@ -187,6 +229,9 @@ private:
   /// Incumbents durable per group *at an energy*: an improved assignment
   /// re-appends (best-wins on load), an unchanged one does not.
   std::map<std::string, double> PersistedIncEnergy;
+  std::string JournalPath;
+  std::vector<JobResult> JournalResults;
+  size_t SkippedJournal = 0;
   size_t Loaded = 0;
   size_t Skipped = 0;
   size_t LoadedProfs = 0;

@@ -11,6 +11,7 @@
 #include "campaign/JobQueue.h"
 #include "power/DeviceRegistry.h"
 #include "sim/ProfileCache.h"
+#include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "support/Hash.h"
 #include "support/Json.h"
@@ -172,6 +173,8 @@ ramloc::computeSummary(const std::vector<JobResult> &Results) {
       continue;
     }
     ++S.Succeeded;
+    if (R.SolveOutcome != SolveStatus::Optimal)
+      ++S.Degraded;
     if (R.Spec.Kind == JobKind::Measure && R.BaseEnergyMilliJoules > 0) {
       Ratios.push_back(R.OptEnergyMilliJoules / R.BaseEnergyMilliJoules);
       EnergyPcts.push_back(R.energyPct());
@@ -311,6 +314,20 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
   bool FirstJob = true;
   for (size_t I : Indices) {
     const JobSpec &Spec = Jobs[I];
+
+    // Fault site: this worker loses this one job mid-flight (a simulated
+    // per-job crash). The job fails with a distinctive error — the rest
+    // of the group carries on, and FirstJob stays pending so the next
+    // surviving job still does the group's opening-point bookkeeping.
+    if (FaultInjector::shouldFail("job.abort")) {
+      JobResult R;
+      R.Spec = Spec;
+      R.Error = "injected fault: job aborted (job.abort)";
+      Results[I] = std::move(R);
+      OnDone(I);
+      continue;
+    }
+
     ModelKnobs Knobs = Opts.Knobs;
     Knobs.RspareBytes = Spec.RspareBytes;
     Knobs.Xlimit = Spec.Xlimit;
@@ -346,6 +363,17 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
       fillModelFields(R, EM.MP, InRam);
     }
     R.Spec = Spec;
+    // The job-level trust label. An Aborted solve still yields a usable
+    // job: PlacementSolver::decode falls back to the all-flash placement
+    // (trivially feasible — it moves nothing), so the numbers below are
+    // real and the honest label is FeasibleLimit, "a feasible answer a
+    // limit kept us from improving". Only a *proven* infeasibility keeps
+    // its stronger label.
+    R.SolveOutcome = Sol.Outcome == SolveStatus::Optimal
+                         ? SolveStatus::Optimal
+                     : Sol.Outcome == SolveStatus::InfeasibleProven
+                         ? SolveStatus::InfeasibleProven
+                         : SolveStatus::FeasibleLimit;
     R.Extractions = FirstJob ? 1 : 0;
     // A group's later solves are seeded by the knob chain itself; only
     // the first one can have been opened by the persistent store.
@@ -360,6 +388,8 @@ void runSolveGroup(const std::vector<JobSpec> &Jobs,
     Reg.counter("campaign.solve.cold").add(R.ColdSolves);
     Reg.counter("campaign.solve.warm").add(R.WarmSolves);
     Reg.counter("campaign.solve.incumbent_seeds").add(R.IncumbentSeeds);
+    if (R.ok() && R.SolveOutcome != SolveStatus::Optimal)
+      Reg.counter("campaign.solve.degraded").add();
     Reg.histogram("campaign.solve.nodes")
         .record(static_cast<double>(Sol.NodesExplored));
     Reg.histogram("campaign.solve.pivots")
@@ -496,9 +526,15 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
         runSolveGroup(
             Jobs, Group, JobBase, CR.Results,
             [&](size_t I) {
-              if (Opts.Progress) {
+              if (Opts.Progress || Opts.Journal) {
                 std::lock_guard<std::mutex> Lock(ProgressMu);
-                Opts.Progress(CR.Results[I], ++Done, CR.Summary.UniqueRuns);
+                ++Done;
+                // Journal before reporting progress: once the user has
+                // seen a job finish, a kill must not lose it.
+                if (Opts.Journal)
+                  Opts.Journal(CR.Results[I]);
+                if (Opts.Progress)
+                  Opts.Progress(CR.Results[I], Done, CR.Summary.UniqueRuns);
               }
             },
             Reg, Opts.Incumbents, Opts.SeedIncumbents);

@@ -60,6 +60,7 @@
 
 #include "beebs/Codegen.h"
 #include "core/Pipeline.h"
+#include "lp/SolverConfig.h"
 
 #include <cstdint>
 #include <functional>
@@ -134,6 +135,15 @@ struct GridSpec {
 struct JobResult {
   JobSpec Spec;
   std::string Error; ///< empty on success
+  /// What the job's solves proved (lp/SolverConfig.h). Optimal unless a
+  /// cooperative solver limit (--time-limit-ms / --node-limit /
+  /// --pivot-limit) truncated a proof: then FeasibleLimit — the
+  /// placement is feasible and its numbers are real, but a better one
+  /// may exist. Serialized (as "solve_status") only when degraded, so
+  /// unlimited runs' reports carry today's exact bytes; a degraded
+  /// result is labelled in the report and never persisted to the
+  /// results cache.
+  SolveStatus SolveOutcome = SolveStatus::Optimal;
   /// Provenance/solver diagnostics. Never serialized: reports must not
   /// depend on how a result was obtained (--diff ignores these fields for
   /// the same reason — node-order or seeding changes must never read as
@@ -274,6 +284,14 @@ struct CampaignOptions {
   /// each unique job finishes.
   std::function<void(const JobResult &, unsigned Done, unsigned Total)>
       Progress;
+  /// Journal callback, invoked serialized (under the same lock as
+  /// Progress) after each unique job finishes — the crash-safety hook
+  /// `ramloc-batch --cache-dir` wires to CacheStore::appendJournal so a
+  /// killed campaign's finished jobs survive and `--resume` replays
+  /// them. Unlike the results cache, the journal also records failed and
+  /// degraded jobs: its contract is "reproduce the interrupted run's
+  /// report exactly", not "store only trustworthy optima".
+  std::function<void(const JobResult &)> Journal;
 };
 
 /// Aggregate statistics over the Measure jobs that succeeded.
@@ -307,6 +325,11 @@ struct CampaignSummary {
   /// Solve groups whose first solve was opened by a persisted incumbent
   /// (diagnostics only, excluded from serialized reports).
   uint64_t IncumbentSeeds = 0;
+  /// Succeeded jobs whose SolveOutcome is not Optimal — best-effort
+  /// answers under a solver limit. Deterministic (derived from Results
+  /// by computeSummary), surfaced in the CLI summary, excluded from
+  /// serialized reports like every other provenance field.
+  unsigned Degraded = 0;
 };
 
 struct CampaignResult {

@@ -106,6 +106,13 @@ void ramloc::writeJobResult(JsonWriter &W, const JobResult &R) {
     W.endObject();
     return;
   }
+  // The trust label, written only when degraded: a limit-truncated
+  // result must say so in the report, while unlimited runs — always
+  // Optimal — keep the exact bytes every identity gate (threads x node
+  // order x shard x cache x telemetry) has always compared. A missing
+  // field parses as Optimal for the same reason.
+  if (R.SolveOutcome != SolveStatus::Optimal)
+    W.field("solve_status", solveStatusName(R.SolveOutcome));
   if (R.Spec.Kind == JobKind::Measure) {
     W.key("base").beginObject();
     W.field("energy_mj", R.BaseEnergyMilliJoules);
@@ -185,6 +192,16 @@ bool ramloc::parseJobResult(const JsonValue &V, JobResult &Out,
     if (Out.Error.empty())
       Out.Error = "unspecified failure";
     return true;
+  }
+
+  // Optional degraded-solve label; absent means Optimal (the only case
+  // the canonical dialect omits it).
+  if (const JsonValue *Status = V.find("solve_status")) {
+    if (Status->kind() != JsonValue::Kind::String)
+      return fail(Error, "field 'solve_status' is not a string");
+    if (!solveStatusFromName(Status->string(), Out.SolveOutcome))
+      return fail(Error,
+                  "unknown solve_status '" + Status->string() + "'");
   }
 
   if (Out.Spec.Kind == JobKind::Measure) {

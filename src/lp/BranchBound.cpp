@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
@@ -84,6 +85,56 @@ bool canonicallyBetter(double Obj, const std::vector<double> &V, bool HaveCur,
     return Obj < CurObj;
   return std::lexicographical_compare(V.begin(), V.end(), CurV.begin(),
                                       CurV.end());
+}
+
+/// The solve's cooperative limits, resolved once at entry. Limits are
+/// checked at node granularity — a node's LP solve always runs to its
+/// own completion — so hitting one loses the optimality proof but never
+/// corrupts state: the search simply stops expanding and keeps whatever
+/// incumbent it holds. The node cap folds SolverConfig::NodeLimit into
+/// the long-standing MaxNodes backstop (effective cap = min of the two),
+/// so with every limit at its 0 default the search behaves bit-for-bit
+/// as before.
+struct SearchLimits {
+  std::chrono::steady_clock::time_point Deadline{};
+  bool HaveDeadline = false;
+  uint64_t NodeCap = 0;
+  uint64_t PivotCap = 0; ///< 0 = unlimited
+
+  explicit SearchLimits(const SolverConfig &Cfg) {
+    if (Cfg.TimeLimitMs) {
+      HaveDeadline = true;
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Cfg.TimeLimitMs);
+    }
+    NodeCap = Cfg.MaxNodes;
+    if (Cfg.NodeLimit && Cfg.NodeLimit < NodeCap)
+      NodeCap = Cfg.NodeLimit;
+    PivotCap = Cfg.PivotLimit;
+  }
+
+  bool deadlinePassed() const {
+    return HaveDeadline && std::chrono::steady_clock::now() >= Deadline;
+  }
+  bool pivotsExhausted(uint64_t PivotsSpent) const {
+    return PivotCap != 0 && PivotsSpent >= PivotCap;
+  }
+};
+
+/// Derives the one-word trust label from what the finished search
+/// established. The mapping is deliberately conservative: any lost proof
+/// demotes a feasible answer to FeasibleLimit, and anything without a
+/// trustworthy point (unbounded relaxation, limit-before-incumbent,
+/// root iteration limit) is Aborted — a degraded answer must never read
+/// as Optimal downstream.
+void finalizeOutcome(MipSolution &Sol) {
+  if (Sol.Status == LpStatus::Optimal)
+    Sol.Outcome =
+        Sol.Proven ? SolveStatus::Optimal : SolveStatus::FeasibleLimit;
+  else if (Sol.Status == LpStatus::Infeasible && Sol.Proven)
+    Sol.Outcome = SolveStatus::InfeasibleProven;
+  else
+    Sol.Outcome = SolveStatus::Aborted;
 }
 
 /// Per-variable branching history: average objective degradation per unit
@@ -213,6 +264,7 @@ struct ParallelTree {
 
   const LpProblem &P;
   const SolverConfig &Cfg;
+  const SearchLimits &Limits;
   unsigned NumWorkers;
   const WarmStart *RootWs; ///< solved root tableau each worker clones
 
@@ -237,12 +289,17 @@ struct ParallelTree {
   std::atomic<unsigned> Explored{0};
   std::atomic<bool> LostProof{false};
   std::atomic<bool> SawUnbounded{false};
+  /// Simplex pivots spent search-wide (root solve seeds it; every node
+  /// adds its own after the LP returns). Only read when a PivotLimit is
+  /// set; one relaxed add per node keeps it off the hot path.
+  std::atomic<uint64_t> PivotsUsed{0};
 
   std::vector<SolverStats> WorkerStats;
 
   ParallelTree(const LpProblem &P, const SolverConfig &Cfg,
-               unsigned NumWorkers, const WarmStart *RootWs)
-      : P(P), Cfg(Cfg), NumWorkers(NumWorkers), RootWs(RootWs),
+               const SearchLimits &Limits, unsigned NumWorkers,
+               const WarmStart *RootWs)
+      : P(P), Cfg(Cfg), Limits(Limits), NumWorkers(NumWorkers), RootWs(RootWs),
         Shards(NumWorkers), WorkerStats(NumWorkers) {
     if (Cfg.Order == NodeOrder::BestBound)
       for (Shard &S : Shards)
@@ -372,10 +429,21 @@ struct ParallelTree {
 
   void processNode(unsigned Me, Node N, WarmStart &W, PseudoCosts &PC,
                    SolverStats &St) {
+    // Cooperative deadline / pivot-budget check. Unlike the node cap,
+    // these limits stop the *whole* search, not just this node: the
+    // budget is global, so once it is spent every shard's remaining
+    // nodes are equally unaffordable and waking siblings to re-discover
+    // that wastes the caller's deadline.
+    if (Limits.deadlinePassed() ||
+        Limits.pivotsExhausted(PivotsUsed.load(std::memory_order_relaxed))) {
+      LostProof.store(true, std::memory_order_relaxed);
+      abortSearch();
+      return;
+    }
     if (N.Bound >= BestObj.load(std::memory_order_relaxed) - Cfg.GapTolerance)
       return;
-    unsigned Ticket = Explored.fetch_add(1, std::memory_order_relaxed);
-    if (Ticket >= Cfg.MaxNodes) {
+    uint64_t Ticket = Explored.fetch_add(1, std::memory_order_relaxed);
+    if (Ticket >= Limits.NodeCap) {
       Explored.fetch_sub(1, std::memory_order_relaxed);
       LostProof.store(true, std::memory_order_relaxed);
       return;
@@ -393,6 +461,8 @@ struct ParallelTree {
     St.BoundFlips += Relax.BoundFlips;
     if (Relax.Refactorized)
       ++St.Refactorizations;
+    PivotsUsed.fetch_add(Relax.Iterations + Relax.DualIterations,
+                         std::memory_order_relaxed);
 
     if (N.BranchVar >= 0 && std::isfinite(N.Bound) &&
         Relax.Status == LpStatus::Optimal)
@@ -459,37 +529,17 @@ struct ParallelTree {
   }
 };
 
-} // namespace
-
-MipSolution ramloc::solveMip(const LpProblem &P, const SolverConfig &Cfg,
-                             MipWarmStart *Warm) {
+/// The search proper. The public solveMip wraps this to stamp the
+/// Outcome label and publish effort metrics on every exit path, so the
+/// body is free to return early wherever the tree ends.
+MipSolution solveMipImpl(const LpProblem &P, const SolverConfig &Cfg,
+                         MipWarmStart *Warm) {
   MipSolution Best;
-  Best.Proven = true; // until the node budget is hit
+  Best.Proven = true; // until a node/pivot/time budget is hit
 
-  // Publish this solve's effort into the global metrics registry on
-  // every exit path. The registry is the one source the campaign
-  // summaries, the perf harnesses and --metrics snapshots all read, so
-  // nobody re-derives pivot counts by hand; recording happens once per
-  // solve (never per node or pivot), so the cost is a handful of
-  // relaxed atomic adds.
-  struct EffortRecorder {
-    const MipSolution &Sol;
-    ~EffortRecorder() {
-      MetricsRegistry &M = globalMetrics();
-      M.counter("mip.solves").add();
-      M.counter("mip.nodes").add(Sol.NodesExplored);
-      M.counter("mip.cold_node_solves").add(Sol.Stats.ColdNodeSolves);
-      M.counter("mip.warm_node_solves").add(Sol.Stats.WarmNodeSolves);
-      M.counter("mip.primal_pivots").add(Sol.Stats.PrimalPivots);
-      M.counter("mip.dual_pivots").add(Sol.Stats.DualPivots);
-      M.counter("mip.bound_flips").add(Sol.Stats.BoundFlips);
-      M.counter("mip.refactorizations").add(Sol.Stats.Refactorizations);
-      if (Sol.Stats.WarmStarted)
-        M.counter("mip.warm_starts").add();
-      if (Sol.Stats.SeededIncumbent)
-        M.counter("mip.seeded_incumbents").add();
-    }
-  } Effort{Best};
+  // Resolve the cooperative limits once: the deadline anchors to this
+  // call's entry, and the node cap folds NodeLimit into MaxNodes.
+  SearchLimits Limits(Cfg);
 
   for ([[maybe_unused]] const LpVariable &V : P.Variables)
     assert((!V.Integer || (V.Lower >= 0.0 && V.Upper <= 1.0)) &&
@@ -531,7 +581,7 @@ MipSolution ramloc::solveMip(const LpProblem &P, const SolverConfig &Cfg,
     // cold/warm accounting — then the tree below it fans out over the
     // work-stealing pool, each worker re-optimizing its own clone of the
     // solved root tableau.
-    if (Cfg.MaxNodes == 0) {
+    if (Limits.NodeCap == 0) {
       Best.Proven = false;
       return Best;
     }
@@ -560,7 +610,10 @@ MipSolution ramloc::solveMip(const LpProblem &P, const SolverConfig &Cfg,
     if (Relax.Status == LpStatus::Optimal &&
         !(HaveIncumbent &&
           Relax.Objective >= Best.Objective - Cfg.GapTolerance)) {
-      ParallelTree PT(P, Cfg, Threads, Cfg.WarmNodes ? &Ws : nullptr);
+      ParallelTree PT(P, Cfg, Limits, Threads, Cfg.WarmNodes ? &Ws : nullptr);
+      // The root solve's pivots count against the search-wide budget.
+      PT.PivotsUsed.store(Best.Stats.PrimalPivots + Best.Stats.DualPivots,
+                          std::memory_order_relaxed);
       if (HaveIncumbent)
         PT.seedIncumbent(Best.Objective, Best.Values);
 
@@ -628,7 +681,14 @@ MipSolution ramloc::solveMip(const LpProblem &P, const SolverConfig &Cfg,
   Open.push_back(std::move(Root));
 
   while (!Open.empty()) {
-    if (Best.NodesExplored >= Cfg.MaxNodes) {
+    // Cooperative limits, checked once per node between LP solves: the
+    // node cap, the search-wide pivot budget spent so far, and the
+    // wall-clock deadline. Breaking with nodes still open loses the
+    // optimality proof but keeps the incumbent.
+    if (Best.NodesExplored >= Limits.NodeCap ||
+        Limits.pivotsExhausted(Best.Stats.PrimalPivots +
+                               Best.Stats.DualPivots) ||
+        Limits.deadlinePassed()) {
       Best.Proven = false;
       break;
     }
@@ -729,4 +789,33 @@ MipSolution ramloc::solveMip(const LpProblem &P, const SolverConfig &Cfg,
     Warm->Incumbent =
         Best.feasible() ? Best.Values : std::vector<double>();
   return Best;
+}
+
+} // namespace
+
+MipSolution ramloc::solveMip(const LpProblem &P, const SolverConfig &Cfg,
+                             MipWarmStart *Warm) {
+  MipSolution Sol = solveMipImpl(P, Cfg, Warm);
+  finalizeOutcome(Sol);
+
+  // Publish this solve's effort and outcome into the global metrics
+  // registry. The registry is the one source the campaign summaries, the
+  // perf harnesses and --metrics snapshots all read, so nobody re-derives
+  // pivot counts by hand; recording happens once per solve (never per
+  // node or pivot), so the cost is a handful of relaxed atomic adds.
+  MetricsRegistry &M = globalMetrics();
+  M.counter("mip.solves").add();
+  M.counter("mip.nodes").add(Sol.NodesExplored);
+  M.counter("mip.cold_node_solves").add(Sol.Stats.ColdNodeSolves);
+  M.counter("mip.warm_node_solves").add(Sol.Stats.WarmNodeSolves);
+  M.counter("mip.primal_pivots").add(Sol.Stats.PrimalPivots);
+  M.counter("mip.dual_pivots").add(Sol.Stats.DualPivots);
+  M.counter("mip.bound_flips").add(Sol.Stats.BoundFlips);
+  M.counter("mip.refactorizations").add(Sol.Stats.Refactorizations);
+  if (Sol.Stats.WarmStarted)
+    M.counter("mip.warm_starts").add();
+  if (Sol.Stats.SeededIncumbent)
+    M.counter("mip.seeded_incumbents").add();
+  M.counter(std::string("mip.status.") + solveStatusName(Sol.Outcome)).add();
+  return Sol;
 }

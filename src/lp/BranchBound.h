@@ -73,13 +73,21 @@
 namespace ramloc {
 
 /// MIP outcome. Status Optimal with Proven false means "best found within
-/// the node budget".
+/// the node budget"; Outcome is the one-word trust label derived from
+/// (Status, Proven) that callers must propagate — a degraded answer is
+/// never reported as SolveStatus::Optimal.
 struct MipSolution {
   LpStatus Status = LpStatus::Infeasible;
   double Objective = 0.0;
   std::vector<double> Values;
   unsigned NodesExplored = 0;
   bool Proven = false;
+  /// What this solve proved (see lp/SolverConfig.h). Optimal only when
+  /// the incumbent's optimality was proven; FeasibleLimit when a
+  /// cooperative limit (TimeLimitMs / NodeLimit / PivotLimit / MaxNodes)
+  /// truncated the proof but an incumbent exists; InfeasibleProven when
+  /// infeasibility was established; Aborted otherwise.
+  SolveStatus Outcome = SolveStatus::Aborted;
 
   /// The solve's effort ledger (merged across workers when the tree was
   /// searched in parallel), also published into the mip.* metrics

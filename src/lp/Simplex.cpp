@@ -49,6 +49,8 @@
 
 #include "lp/Simplex.h"
 
+#include "support/FaultInjector.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -916,6 +918,12 @@ LpSolution ramloc::solveLpWarm(const LpProblem &P,
   assert(Lower.size() == P.numVariables() &&
          Upper.size() == P.numVariables() && "bounds size mismatch");
   bool HadUsableMatch = Warm.valid() && Warm.S->matches(P);
+  // Fault site: pretend the retained tableau is unusable and rebuild
+  // cold. Result-neutral by construction — both paths are exact — so
+  // injecting here must only move effort counters, never answers; the
+  // FaultTest suite pins exactly that.
+  if (HadUsableMatch && FaultInjector::shouldFail("solver.degrade"))
+    HadUsableMatch = false;
   if (HadUsableMatch && !Warm.S->needsRefactor(Opts)) {
     LpSolution Sol = resolveLpFromBasis(P, Lower, Upper, Warm, Opts);
     if (Sol.Status != LpStatus::IterLimit && Sol.Status != LpStatus::Unbounded)

@@ -28,6 +28,34 @@ bool nodeOrderFromName(const std::string &Name, NodeOrder &Out) {
   return true;
 }
 
+const char *solveStatusName(SolveStatus S) {
+  switch (S) {
+  case SolveStatus::Optimal:
+    return "optimal";
+  case SolveStatus::FeasibleLimit:
+    return "feasible-limit";
+  case SolveStatus::InfeasibleProven:
+    return "infeasible-proven";
+  case SolveStatus::Aborted:
+    return "aborted";
+  }
+  return "aborted";
+}
+
+bool solveStatusFromName(const std::string &Name, SolveStatus &Out) {
+  if (Name == "optimal")
+    Out = SolveStatus::Optimal;
+  else if (Name == "feasible-limit")
+    Out = SolveStatus::FeasibleLimit;
+  else if (Name == "infeasible-proven")
+    Out = SolveStatus::InfeasibleProven;
+  else if (Name == "aborted")
+    Out = SolveStatus::Aborted;
+  else
+    return false;
+  return true;
+}
+
 SolverStats &SolverStats::merge(const SolverStats &Other) {
   ColdNodeSolves += Other.ColdNodeSolves;
   WarmNodeSolves += Other.WarmNodeSolves;

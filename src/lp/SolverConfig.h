@@ -43,6 +43,24 @@ enum class NodeOrder : uint8_t {
 const char *nodeOrderName(NodeOrder O);
 bool nodeOrderFromName(const std::string &Name, NodeOrder &Out);
 
+/// What a finished solve actually proved. LpStatus says what the final
+/// point is; SolveStatus says how much to trust it — the two are
+/// orthogonal once deadlines exist, because a deadline can stop a search
+/// that holds a perfectly good incumbent it simply has not proven
+/// optimal. A degraded answer must always carry its label: nothing in
+/// the stack may report a limit-truncated solve as Optimal.
+enum class SolveStatus : uint8_t {
+  Optimal,          ///< incumbent returned and proven optimal
+  FeasibleLimit,    ///< feasible incumbent returned; proof cut short by a
+                    ///< time/node/pivot limit (best-effort answer)
+  InfeasibleProven, ///< no feasible point exists, and that was proven
+  Aborted,          ///< nothing trustworthy: limit hit before any
+                    ///< incumbent, unbounded relaxation, or numerics
+};
+
+const char *solveStatusName(SolveStatus S);
+bool solveStatusFromName(const std::string &Name, SolveStatus &Out);
+
 /// Every knob the exact-solver stack reads, LP engine and MIP search
 /// alike. One instance flows through the whole call chain; layers read
 /// the fields they own and pass the value on untouched.
@@ -86,6 +104,25 @@ struct SolverConfig {
   /// until a variable has observed degradations. Disable for plain
   /// most-fractional branching.
   bool PseudoCostBranching = true;
+
+  //===--- Cooperative limits (graceful degradation) ----------------------===//
+  //
+  // All three default to 0 = unlimited. Limits are checked cooperatively
+  // at node granularity (a node's LP solve is never interrupted midway),
+  // and a limited search always returns the best incumbent found so far
+  // with a truthful MipSolution::Outcome — FeasibleLimit when one
+  // exists, Aborted when the limit fired first. Time limits make results
+  // machine-dependent by nature; node and pivot limits are deterministic
+  // for a fixed thread count.
+
+  /// Wall-clock deadline for one solveMip call, in milliseconds.
+  unsigned TimeLimitMs = 0;
+  /// Node cap for one solveMip call. Effectively min'ed with MaxNodes
+  /// (the long-standing safety backstop, which keeps its own default).
+  uint64_t NodeLimit = 0;
+  /// Cap on total simplex pivots (primal + dual, summed over nodes and
+  /// workers) for one solveMip call.
+  uint64_t PivotLimit = 0;
 
   //===--- Parallel tree search -------------------------------------------===//
 

@@ -1,0 +1,132 @@
+//===- support/FaultInjector.cpp - deterministic fault injection ----------===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include "support/Hash.h"
+#include "support/Random.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+using namespace ramloc;
+
+namespace {
+
+std::atomic<FaultInjector *> Installed{nullptr};
+
+} // namespace
+
+FaultInjector::~FaultInjector() {
+  if (current() == this)
+    uninstall();
+}
+
+void FaultInjector::arm(const std::string &SiteName, double Rate,
+                        uint64_t Seed) {
+  auto S = std::make_unique<Site>();
+  S->Rate = Rate < 0.0 ? 0.0 : (Rate > 1.0 ? 1.0 : Rate);
+  S->SeedBase = Seed ^ fnv1a64(SiteName);
+  Sites[SiteName] = std::move(S);
+}
+
+bool FaultInjector::armSpec(const std::string &Spec, std::string &Error) {
+  // site:rate[:seed] — site names carry dots, never colons.
+  size_t C1 = Spec.find(':');
+  if (C1 == std::string::npos || C1 == 0) {
+    Error = "expected site:rate[:seed], got '" + Spec + "'";
+    return false;
+  }
+  std::string SiteName = Spec.substr(0, C1);
+  size_t C2 = Spec.find(':', C1 + 1);
+  std::string RateStr = Spec.substr(
+      C1 + 1, C2 == std::string::npos ? std::string::npos : C2 - C1 - 1);
+
+  errno = 0;
+  char *End = nullptr;
+  double Rate = std::strtod(RateStr.c_str(), &End);
+  if (RateStr.empty() || *End != '\0' || errno != 0 || Rate < 0.0 ||
+      Rate > 1.0) {
+    Error = "fault rate must be a number in [0, 1], got '" + RateStr + "'";
+    return false;
+  }
+
+  uint64_t Seed = 0x5eed;
+  if (C2 != std::string::npos) {
+    std::string SeedStr = Spec.substr(C2 + 1);
+    errno = 0;
+    End = nullptr;
+    unsigned long long V = std::strtoull(SeedStr.c_str(), &End, 10);
+    if (SeedStr.empty() || *End != '\0' || errno != 0) {
+      Error = "fault seed must be an unsigned integer, got '" + SeedStr + "'";
+      return false;
+    }
+    Seed = V;
+  }
+
+  arm(SiteName, Rate, Seed);
+  return true;
+}
+
+void FaultInjector::install() {
+  Installed.store(this, std::memory_order_release);
+}
+
+void FaultInjector::uninstall() {
+  Installed.store(nullptr, std::memory_order_release);
+}
+
+FaultInjector *FaultInjector::current() {
+  return Installed.load(std::memory_order_acquire);
+}
+
+bool FaultInjector::shouldFail(const char *SiteName) {
+  FaultInjector *FI = current();
+  if (!FI)
+    return false;
+  return FI->decide(SiteName);
+}
+
+bool FaultInjector::decide(const char *SiteName) {
+  auto It = Sites.find(SiteName);
+  if (It == Sites.end())
+    return false;
+  Site &S = *It->second;
+  // The decision for call N is SplitMix64(SeedBase + N)'s first draw —
+  // a pure function of the spec and the per-site call index, so runs
+  // replay identically whatever the thread interleaving did (the
+  // *assignment* of indices to racing callers may permute, but the
+  // multiset of decisions cannot).
+  uint64_t N = S.Calls.fetch_add(1, std::memory_order_relaxed);
+  SplitMix64 Rng(S.SeedBase + N);
+  if (Rng.nextDouble() >= S.Rate)
+    return false;
+  S.Fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FaultInjector::firedCount(const std::string &SiteName) const {
+  auto It = Sites.find(SiteName);
+  return It == Sites.end()
+             ? 0
+             : It->second->Fired.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::callCount(const std::string &SiteName) const {
+  auto It = Sites.find(SiteName);
+  return It == Sites.end()
+             ? 0
+             : It->second->Calls.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> FaultInjector::armedSites() const {
+  std::vector<std::string> Names;
+  Names.reserve(Sites.size());
+  for (const auto &KV : Sites)
+    Names.push_back(KV.first);
+  return Names;
+}

@@ -1,0 +1,103 @@
+//===- support/FaultInjector.h - deterministic fault injection --*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-global, seeded fault injector for robustness testing.
+/// Instrumentation sites in the I/O and campaign layers ask
+/// `FaultInjector::shouldFail("cache.append.eio")` at the moment a real
+/// failure could occur; when an injector is installed and that site is
+/// armed, the call deterministically returns true at the configured rate
+/// and the site simulates the failure (short write, EIO, rename error,
+/// aborted job, degraded warm solve). With no injector installed — the
+/// default, and the only production state — every site is a single
+/// relaxed atomic load returning false, the same near-zero contract
+/// TraceRecorder's spans follow.
+///
+/// Determinism: each armed site keeps its own call counter, and the
+/// fire/no-fire decision for call N is a pure function of
+/// (site seed ^ site-name hash, N) through SplitMix64 — independent of
+/// thread interleaving, other sites, and wall clock — so a failing fault
+/// run replays exactly from its `--fault=site:rate:seed` spec alone.
+///
+/// Sites are armed before install() and immutable afterwards; the
+/// per-site counters are atomic, so concurrent shouldFail() calls from
+/// campaign workers are safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SUPPORT_FAULTINJECTOR_H
+#define RAMLOC_SUPPORT_FAULTINJECTOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ramloc {
+
+/// The set of armed fault sites. At most one injector is installed
+/// process-wide at a time (TraceRecorder's lifecycle pattern); sites
+/// reach it through the static shouldFail(), which is free when nothing
+/// is installed.
+class FaultInjector {
+public:
+  FaultInjector() = default;
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector &) = delete;
+  FaultInjector &operator=(const FaultInjector &) = delete;
+
+  /// Arms \p Site to fire with probability \p Rate (clamped to [0, 1];
+  /// 1.0 fires every call) under \p Seed. Re-arming a site replaces its
+  /// rate/seed and resets its counters. Must happen before install().
+  void arm(const std::string &Site, double Rate, uint64_t Seed = 0x5eed);
+
+  /// Parses and arms one `site:rate[:seed]` spec (the `--fault=` flag's
+  /// payload), e.g. "cache.append.eio:0.5:7". Returns false and sets
+  /// \p Error on a malformed spec.
+  bool armSpec(const std::string &Spec, std::string &Error);
+
+  /// Makes this the process-wide injector (replacing any other).
+  void install();
+  /// Clears the process-wide injector; subsequent shouldFail() calls are
+  /// free and false.
+  static void uninstall();
+  /// The installed injector, or null when fault injection is off.
+  static FaultInjector *current();
+
+  /// The one question instrumentation sites ask: should the failure at
+  /// \p Site happen this time? False whenever no injector is installed
+  /// or the site is not armed.
+  static bool shouldFail(const char *Site);
+
+  /// How many times \p Site fired / was consulted (diagnostics, tests).
+  uint64_t firedCount(const std::string &Site) const;
+  uint64_t callCount(const std::string &Site) const;
+
+  /// The armed site names, sorted (diagnostics).
+  std::vector<std::string> armedSites() const;
+
+private:
+  struct Site {
+    double Rate = 0.0;
+    uint64_t SeedBase = 0; ///< user seed ^ fnv1a64(site name)
+    std::atomic<uint64_t> Calls{0};
+    std::atomic<uint64_t> Fired{0};
+  };
+
+  bool decide(const char *SiteName);
+
+  /// Node-based so Site addresses are stable; read-only after install()
+  /// (only the embedded atomics move).
+  std::map<std::string, std::unique_ptr<Site>> Sites;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_SUPPORT_FAULTINJECTOR_H

@@ -52,6 +52,28 @@
 //     --cache-dir=DIR       persistent result + profile cache: load
 //                           before running, append after, so repeated
 //                           runs are incremental
+//     --resume              replay <cache-dir>/progress.jsonl — the
+//                           journal of finished jobs an interrupted run
+//                           left behind — and run only what is missing;
+//                           the final report is byte-identical to the
+//                           uninterrupted run at any --jobs or
+//                           --solver-threads (needs --cache-dir)
+//     --time-limit-ms=N     per-solve wall-clock budget; a solve that
+//                           hits it returns its best incumbent labelled
+//                           feasible-limit, never silently optimal
+//                           (0 = unlimited, the default)
+//     --node-limit=N        per-solve branch & bound node budget, same
+//                           best-effort contract (0 = unlimited)
+//     --pivot-limit=N       per-solve simplex pivot budget, same
+//                           best-effort contract (0 = unlimited)
+//     --fault=SITE:RATE[:SEED]
+//                           arm the deterministic fault injector
+//                           (repeatable): each pass through SITE fails
+//                           with probability RATE, decided purely by
+//                           (seed, per-site call index). Sites:
+//                           cache.append.short, cache.append.eio,
+//                           cache.rename, job.abort, solver.degrade.
+//                           Testing only; off by default
 //     --gc-profiles         compact the profile + incumbent stores
 //                           instead of running: drop corrupt/stale-
 //                           fingerprint lines and fold duplicate keys,
@@ -94,6 +116,7 @@
 #include "campaign/Campaign.h"
 #include "campaign/Report.h"
 #include "power/DeviceRegistry.h"
+#include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
@@ -158,6 +181,22 @@ void usage(std::FILE *Out) {
       "  --merge                   merge shard reports (positional files)\n"
       "  --gc-profiles             garbage-collect cached profiles\n"
       "  --max-profile-bytes=N     profile cache size budget for GC\n"
+      "\n"
+      "robustness:\n"
+      "  --resume                  replay the progress journal of an\n"
+      "                            interrupted run and compute only what\n"
+      "                            is missing; the report is byte-identical\n"
+      "                            to the uninterrupted run (needs\n"
+      "                            --cache-dir)\n"
+      "  --time-limit-ms=N         per-solve wall-clock budget; on expiry\n"
+      "                            the best incumbent is returned labelled\n"
+      "                            feasible-limit (0 = unlimited)\n"
+      "  --node-limit=N            per-solve branch & bound node budget\n"
+      "                            (0 = unlimited)\n"
+      "  --pivot-limit=N           per-solve simplex pivot budget\n"
+      "                            (0 = unlimited)\n"
+      "  --fault=SITE:RATE[:SEED]  arm the deterministic fault injector at\n"
+      "                            SITE (repeatable; testing only)\n"
       "\n"
       "reports and diagnostics:\n"
       "  --json=FILE               write the JSON report\n"
@@ -349,6 +388,15 @@ int runDiff(const std::vector<std::string> &Files, double ThresholdPct,
       ++ChangedConfigs;
       continue;
     }
+    // A proven optimum and a limit-truncated best effort are not the
+    // same result even when every number matches: the flip always fails.
+    if (A.SolveOutcome != B.SolveOutcome) {
+      T.addRow({Key, "solve_status", solveStatusName(A.SolveOutcome),
+                solveStatusName(B.SolveOutcome), "-"});
+      MaxDelta = std::max(MaxDelta, 1e9);
+      ++ChangedConfigs;
+      continue;
+    }
 
     // The compared metric set is deliberately closed over *results*.
     // Solver-effort counters (extractions, cold/warm solves, incumbent
@@ -436,7 +484,9 @@ int main(int Argc, char **Argv) {
   uint64_t MaxProfileBytes = 0;
   double DiffThreshold = 0.0;
   bool DryRun = false, Verbose = false, Quiet = false, Merge = false,
-       Diff = false, GcProfiles = false;
+       Diff = false, GcProfiles = false, Resume = false;
+  // Outlives every worker thread; installs only when --fault arms a site.
+  FaultInjector Faults;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -576,6 +626,33 @@ int main(int Argc, char **Argv) {
                      val(13).c_str());
         return 2;
       }
+    } else if (Arg.rfind("--time-limit-ms=", 0) == 0) {
+      if (!parseUnsigned(val(16), Opts.Base.Solver.TimeLimitMs)) {
+        std::fprintf(stderr, "error: bad --time-limit-ms value '%s'\n",
+                     val(16).c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--node-limit=", 0) == 0) {
+      if (!parseUnsigned64(val(13), Opts.Base.Solver.NodeLimit)) {
+        std::fprintf(stderr, "error: bad --node-limit value '%s'\n",
+                     val(13).c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--pivot-limit=", 0) == 0) {
+      if (!parseUnsigned64(val(14), Opts.Base.Solver.PivotLimit)) {
+        std::fprintf(stderr, "error: bad --pivot-limit value '%s'\n",
+                     val(14).c_str());
+        return 2;
+      }
+    } else if (Arg == "--resume") {
+      Resume = true;
+    } else if (Arg.rfind("--fault=", 0) == 0) {
+      std::string Error;
+      if (!Faults.armSpec(val(8), Error)) {
+        std::fprintf(stderr, "error: bad --fault spec '%s': %s\n",
+                     val(8).c_str(), Error.c_str());
+        return 2;
+      }
     } else if (Arg == "--help") {
       usage(stdout);
       return 0;
@@ -655,6 +732,14 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+
+  if (Resume && CacheDir.empty()) {
+    std::fprintf(stderr, "error: --resume needs --cache-dir\n");
+    return 2;
+  }
+  // Install before any I/O so injection covers the initial cache load.
+  if (!Faults.armedSites().empty())
+    Faults.install();
 
   if (Diff)
     return runDiff(DiffFiles, DiffThreshold, Quiet);
@@ -788,6 +873,42 @@ int main(int Argc, char **Argv) {
     // Incumbents always collect (offers keep the store fresh);
     // --no-incumbent-seed only stops them opening new searches.
     Opts.Incumbents = &Store.incumbents();
+
+    // Progress journal: every finished job is appended as it completes,
+    // so a kill loses at most one torn line. The config token pins the
+    // solver limits (they change results) but not --jobs or
+    // --solver-threads — reports are byte-identical across those, so a
+    // resume may use different parallelism.
+    std::string ConfigToken = formatString(
+        "limits:t%u:n%llu:p%llu", Opts.Base.Solver.TimeLimitMs,
+        static_cast<unsigned long long>(Opts.Base.Solver.NodeLimit),
+        static_cast<unsigned long long>(Opts.Base.Solver.PivotLimit));
+    if (!Store.beginJournal(ConfigToken, Resume, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    if (Resume) {
+      // Replay: the interrupted run's finished jobs become cache hits —
+      // failures and limit-degraded results included, because the
+      // contract is "reproduce the interrupted run's report". The cache
+      // serves them verbatim; save() still refuses to persist them.
+      for (const JobResult &R : Store.journalEntries())
+        Store.cache().insert(R.Spec.cacheKey(), R);
+      std::fprintf(stderr, "resume: replayed %zu finished job(s) from %s\n",
+                   Store.journalEntries().size(),
+                   Store.journalPath().c_str());
+      if (Store.journalSkipped() > 0)
+        std::fprintf(stderr,
+                     "resume: skipped %zu corrupt journal line(s)\n",
+                     Store.journalSkipped());
+    }
+    Opts.Journal = [&Store](const JobResult &R) {
+      std::string JErr;
+      if (!Store.appendJournal(R, &JErr))
+        std::fprintf(stderr,
+                     "warning: progress journal append failed: %s\n",
+                     JErr.c_str());
+    };
   }
 
   if (Verbose)
@@ -819,6 +940,10 @@ int main(int Argc, char **Argv) {
                 "%u unique run(s)\n",
                 CR.Summary.Total, CR.Summary.Succeeded, CR.Summary.Failed,
                 CR.Summary.CacheHits, CR.Summary.UniqueRuns);
+    if (CR.Summary.Degraded > 0)
+      std::printf("%u best-effort result(s): a solver limit was hit; "
+                  "their solve_status labels the truncation\n",
+                  CR.Summary.Degraded);
     if (CR.Summary.FullSims + CR.Summary.Recosts > 0)
       std::printf("%llu full simulation(s), %llu recost(s) from shared "
                   "profiles\n",
@@ -880,6 +1005,10 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
+  // Every requested report is durable: the journal has served its
+  // purpose, and leaving it would make a later --resume replay this
+  // (completed) run.
+  Store.clearJournal();
   if (Recorder) {
     // The pool's threads are joined and the cache store saved, so every
     // span has closed; drain the recorder and stop tracing.
