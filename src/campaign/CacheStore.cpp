@@ -9,7 +9,9 @@
 
 #include "campaign/Report.h"
 #include "power/DeviceRegistry.h"
+#include "support/Checksum.h"
 #include "support/FaultInjector.h"
+#include "support/FileLock.h"
 #include "support/Format.h"
 #include "support/Hash.h"
 #include "support/Json.h"
@@ -17,27 +19,35 @@
 #include "support/Random.h"
 #include "support/Trace.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <thread>
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 using namespace ramloc;
 
 namespace {
 
-constexpr const char *StoreSchema = "ramloc-cache-v1";
+// The v1 -> v2 bump is the framing change: every line (headers included)
+// now carries a CRC32C prefix. Schemas feed the fingerprints, so v1
+// stores can never match and are retired wholesale instead of half-read.
+constexpr const char *StoreSchema = "ramloc-cache-v2";
 constexpr const char *ReportSchema = "ramloc-campaign-v2";
 constexpr const char *StoreFileName = "results.jsonl";
-constexpr const char *ProfileSchema = "ramloc-profiles-v1";
+constexpr const char *ProfileSchema = "ramloc-profiles-v2";
 constexpr const char *ProfileFileName = "profiles.jsonl";
-constexpr const char *IncumbentSchema = "ramloc-incumbents-v1";
+constexpr const char *IncumbentSchema = "ramloc-incumbents-v2";
 constexpr const char *IncumbentFileName = "incumbents.jsonl";
-constexpr const char *JournalSchema = "ramloc-progress-v1";
+constexpr const char *JournalSchema = "ramloc-progress-v2";
 constexpr const char *JournalFileName = "progress.jsonl";
 /// Bump when the interpreter's architectural behaviour (instruction
 /// semantics, block accounting, halt conventions) changes in a way that
@@ -56,13 +66,18 @@ void hashDouble(uint64_t &H, double V) {
   hashBytes(H, jsonNumber(V));
 }
 
+/// One complete framed store line: CRC32C prefix, payload, newline.
+std::string framedLine(const std::string &Payload) {
+  return frameRecord(Payload) + "\n";
+}
+
 std::string headerLine(const char *Schema, const std::string &Fingerprint) {
   JsonWriter W(/*Pretty=*/false);
   W.beginObject();
   W.field("schema", Schema);
   W.field("fingerprint", Fingerprint);
   W.endObject();
-  return W.str() + "\n";
+  return framedLine(W.str());
 }
 
 /// The journal's header additionally pins the run configuration token:
@@ -75,7 +90,7 @@ std::string journalHeaderLine(const std::string &Fingerprint,
   W.field("fingerprint", Fingerprint);
   W.field("config", Config);
   W.endObject();
-  return W.str() + "\n";
+  return framedLine(W.str());
 }
 
 bool headerMatches(const JsonValue &V, const char *Schema,
@@ -98,23 +113,40 @@ bool endsWithNewline(const std::string &Path) {
   return C == '\n';
 }
 
-/// Whether appending whole lines to \p Path is safe *right now*: a valid
-/// matching header and a newline-terminated tail. Checked at save() time,
-/// not open() time, so a concurrent writer that created or repaired the
-/// file since we opened it is appended to instead of clobbered.
-bool fileAppendable(const std::string &Path, const char *Schema,
-                    const std::string &Fingerprint) {
+/// How save() may add lines to \p Path *right now*. Checked at save()
+/// time, not open() time, so a concurrent writer that created or
+/// repaired the file since we opened it is appended to instead of
+/// clobbered.
+///
+/// - Rewrite: missing, foreign, or damaged header — the file holds
+///   nothing worth keeping, replace it wholesale.
+/// - Append: matching header, newline-terminated tail.
+/// - AppendAfterNewline: matching header but a torn tail line — another
+///   writer's short write, or a SIGKILL mid-append. The torn fragment
+///   must not demote the file to a rewrite: a rewrite here would
+///   discard every record other writers appended since we opened.
+///   Leading our append with a newline terminates the fragment into one
+///   corrupt line the next load quarantines, and every durable record
+///   survives.
+enum class AppendState { Rewrite, Append, AppendAfterNewline };
+
+AppendState appendableState(const std::string &Path, const char *Schema,
+                            const std::string &Fingerprint) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
-    return false;
+    return AppendState::Rewrite;
   std::string Header;
   if (!std::getline(In, Header))
-    return false;
+    return AppendState::Rewrite;
+  std::string_view Payload;
+  if (!unframeRecord(Header, Payload))
+    return AppendState::Rewrite;
   JsonValue V;
-  if (!JsonValue::parse(Header, V) ||
+  if (!JsonValue::parse(std::string(Payload), V) ||
       !headerMatches(V, Schema, Fingerprint))
-    return false;
-  return endsWithNewline(Path);
+    return AppendState::Rewrite;
+  return endsWithNewline(Path) ? AppendState::Append
+                               : AppendState::AppendAfterNewline;
 }
 
 /// Atomic whole-file replacement: temporary in the same directory,
@@ -206,9 +238,9 @@ template <typename Fn> bool withRetries(Fn &&Op, const std::string &Site) {
 /// appendToFile with recovery. A failed attempt may have landed part of
 /// \p Doc (a short write leaves a torn tail line), so every retry leads
 /// with a newline: it terminates whatever junk the failure left, the
-/// junk parses as one corrupt line the next load skips, and any complete
-/// lines the partial write did land become duplicates the load's
-/// first-wins rule folds away. Nothing is ever lost or fused.
+/// junk fails its CRC as one quarantined line the next load skips, and
+/// any complete lines the partial write did land become duplicates the
+/// load's first-wins rule folds away. Nothing is ever lost or fused.
 bool appendWithRetries(const std::string &Path, const std::string &Doc,
                        std::string *Error) {
   return withRetries(
@@ -225,6 +257,136 @@ bool replaceWithRetries(const std::string &Path, const std::string &Doc,
                         std::string *Error) {
   return withRetries(
       [&](unsigned) { return replaceFile(Path, Doc, Error); }, Path);
+}
+
+/// replaceWithRetries under the file's rewrite lock (`<file>.lock`), so
+/// two processes rebuilding the same store file serialize instead of
+/// last-rename-wins silently dropping one side's survivors. Appends do
+/// not take this lock — a single O_APPEND write of whole lines needs no
+/// coordination, and the rewrite it might race produces a valid file
+/// either way (the appended records re-append at the next save).
+bool lockedReplace(const std::string &Path, const std::string &Doc,
+                   unsigned LockWaitMs, std::string *Error) {
+  FileLock Lock;
+  if (!Lock.acquire(Path + ".lock", LockWaitMs, Error))
+    return false;
+  return replaceWithRetries(Path, Doc, Error);
+}
+
+/// Preserves damaged lines by appending them verbatim to the store
+/// file's `.quarantine` sibling — corruption is evidence (of bad RAM, a
+/// lying NFS server, a half-dead disk), and evidence should survive the
+/// repair that removes it from the store. Deduplicated against the
+/// quarantine's existing lines so re-opening the same damaged store does
+/// not grow the file. Deliberately plain, unfaulted I/O: quarantining
+/// runs on load paths, and routing it through the injected append sites
+/// would shift every later site's deterministic call index.
+class Quarantine {
+public:
+  explicit Quarantine(const std::string &StorePath)
+      : QPath(StorePath + ".quarantine") {}
+
+  void add(const std::string &RawLine) {
+    if (RawLine.empty())
+      return;
+    if (!Loaded) {
+      Loaded = true;
+      std::ifstream In(QPath, std::ios::binary);
+      std::string Line;
+      while (In && std::getline(In, Line))
+        Existing.insert(Line);
+    }
+    if (!Existing.insert(RawLine).second)
+      return;
+    std::ofstream Out(QPath, std::ios::binary | std::ios::app);
+    Out << RawLine << "\n";
+  }
+
+private:
+  std::string QPath;
+  std::set<std::string> Existing;
+  bool Loaded = false;
+};
+
+/// What one pass of scanStore() saw.
+struct ScanStats {
+  bool Present = false;       ///< Readable (exists, no injected EIO).
+  bool SawFirstLine = false;  ///< Had at least one non-empty line.
+  bool HeaderOk = false;      ///< Header framed, parsed, and accepted.
+  bool HeaderDamaged = false; ///< Header failed its framing/CRC check.
+  size_t CrcFailures = 0;     ///< Framing/CRC failures, header included.
+  size_t Damaged = 0;         ///< Record lines not servable (CRC or JSON).
+  size_t Stranded = 0;        ///< Record lines under an unusable header.
+};
+
+/// Walks one framed store file. The first non-empty line is the header:
+/// it must unframe, parse, and satisfy \p AcceptHeader for any record to
+/// be served; otherwise the remaining lines are merely counted as
+/// stranded and \p OnRecord never fires. Record lines that fail the
+/// frame check or JSON parse are counted, reported to the
+/// `cachestore.crc_mismatch` metric (frame failures), and quarantined.
+/// Read-side fault sites: `cache.load.eio` fails the whole read (the
+/// file loads as absent), `cache.load.flip` flips one bit in a line
+/// about to be checked — which the CRC must catch.
+void scanStore(
+    const std::string &FilePath,
+    const std::function<bool(const JsonValue &)> &AcceptHeader,
+    const std::function<void(const JsonValue &, const std::string &)>
+        &OnRecord,
+    ScanStats &S, std::string *RawHeader = nullptr) {
+  if (FaultInjector::shouldFail("cache.load.eio"))
+    return; // transient EIO: this load sees no file
+  std::ifstream In(FilePath, std::ios::binary);
+  if (!In)
+    return;
+  S.Present = true;
+  Quarantine Q(FilePath);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    if (FaultInjector::shouldFail("cache.load.flip"))
+      Line[Line.size() / 2] ^= 0x01;
+    std::string_view Payload;
+    if (!S.SawFirstLine) {
+      S.SawFirstLine = true;
+      if (!unframeRecord(Line, Payload)) {
+        // A damaged header is counted but not quarantined: with no
+        // trusted header there is no trusted world to sort lines into,
+        // and the whole file is already preserved in place (loads never
+        // modify the store; only a --repair rewrite would).
+        S.HeaderDamaged = true;
+        ++S.CrcFailures;
+        globalMetrics().counter("cachestore.crc_mismatch").add();
+        continue;
+      }
+      JsonValue V;
+      if (!JsonValue::parse(std::string(Payload), V) || !AcceptHeader(V))
+        continue; // stale header: keep scanning, serve nothing
+      S.HeaderOk = true;
+      if (RawHeader)
+        *RawHeader = Line;
+      continue;
+    }
+    if (!S.HeaderOk) {
+      ++S.Stranded;
+      continue;
+    }
+    if (!unframeRecord(Line, Payload)) {
+      ++S.CrcFailures;
+      ++S.Damaged;
+      globalMetrics().counter("cachestore.crc_mismatch").add();
+      Q.add(Line);
+      continue;
+    }
+    JsonValue V;
+    if (!JsonValue::parse(std::string(Payload), V)) {
+      ++S.Damaged;
+      Q.add(Line);
+      continue;
+    }
+    OnRecord(V, Line);
+  }
 }
 
 /// Hashes every device's power table and timing model into \p H: the
@@ -246,10 +408,11 @@ void hashDeviceRegistry(uint64_t &H) {
   }
 }
 
-/// One serialized incumbent: the solve-group key, the model energy its
-/// assignment achieves, and the assignment as a block bitstring.
-std::string incumbentLine(const std::string &Group,
-                          const IncumbentStore::Entry &E) {
+/// One serialized incumbent payload: the solve-group key, the model
+/// energy its assignment achieves, and the assignment as a block
+/// bitstring. Framing is the caller's job.
+std::string incumbentPayload(const std::string &Group,
+                             const IncumbentStore::Entry &E) {
   std::string Bits(E.InRam.size(), '0');
   for (size_t I = 0; I != E.InRam.size(); ++I)
     if (E.InRam[I])
@@ -260,7 +423,7 @@ std::string incumbentLine(const std::string &Group,
   W.field("energy_mj", E.EnergyMilliJoules);
   W.field("blocks", Bits);
   W.endObject();
-  return W.str() + "\n";
+  return W.str();
 }
 
 bool parseIncumbent(const JsonValue &V, std::string &Group,
@@ -315,10 +478,12 @@ bool CacheStore::open(const std::string &Dir, std::string *Error) {
   TraceSpan Span("cache.load", "cache");
   Loaded = Skipped = LoadedProfs = SkippedProfs = 0;
   LoadedIncs = SkippedIncs = 0;
+  CrcMismatches = 0;
   Invalidated = false;
   PersistedKeys.clear();
   PersistedProfKeys.clear();
   PersistedIncEnergy.clear();
+  SweptTemps.clear();
 
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
@@ -332,135 +497,138 @@ bool CacheStore::open(const std::string &Dir, std::string *Error) {
   ProfPath = (std::filesystem::path(Dir) / ProfileFileName).string();
   IncPath = (std::filesystem::path(Dir) / IncumbentFileName).string();
 
-  // --- results.jsonl ------------------------------------------------------
+  // Sweep orphaned rewrite temporaries: a writer killed between
+  // temp-write and rename leaks `<file>.tmp.<pid>` forever. Only a dead
+  // writer's temps go — a live shard's in-flight rewrite must not have
+  // its temporary pulled out from under the rename (probed with
+  // kill(pid, 0); EPERM means alive-but-not-ours, equally untouchable).
   {
-    std::ifstream In(Path, std::ios::binary);
-    bool SawHeader = false;
-    if (In) {
-      std::string Line;
-      while (std::getline(In, Line)) {
-        if (Line.empty())
+    std::error_code DirEC;
+    std::filesystem::directory_iterator It(Dir, DirEC);
+    if (!DirEC) {
+      for (const auto &Entry : It) {
+        std::error_code StatEC;
+        if (!Entry.is_regular_file(StatEC) || StatEC)
           continue;
-        JsonValue V;
-        if (!JsonValue::parse(Line, V)) {
-          // Corrupt or truncated line (e.g. a writer killed mid-append):
-          // skip it and recompute those entries.
-          ++Skipped;
-          if (!SawHeader)
-            break; // unreadable header: treat the file as absent
+        std::string Name = Entry.path().filename().string();
+        size_t Pos = Name.rfind(".tmp.");
+        if (Pos == std::string::npos || Pos + 5 >= Name.size())
           continue;
-        }
-        if (!SawHeader) {
-          SawHeader = true;
-          if (!headerMatches(V, StoreSchema, fingerprint())) {
-            Invalidated = true;
-            break; // different world: discard everything
-          }
+        std::string PidStr = Name.substr(Pos + 5);
+        if (PidStr.find_first_not_of("0123456789") != std::string::npos)
           continue;
-        }
-        JobResult R;
-        if (!parseJobResult(V, R)) {
-          ++Skipped;
+        long Pid = std::strtol(PidStr.c_str(), nullptr, 10);
+        if (Pid <= 0 || Pid == static_cast<long>(::getpid()))
           continue;
-        }
-        // Degraded or failed entries are never servable from this store
-        // (we never write them; an external tool may have). Skipped
-        // *before* the dedup insert, so a valid Optimal entry appended
-        // later for the same key still loads.
-        if (!R.ok() || R.SolveOutcome != SolveStatus::Optimal) {
-          ++Skipped;
-          continue;
-        }
-        // Concurrent appenders may have raced the same configuration to
-        // disk; the records are deterministic, so duplicates are mere
-        // bytes — first one counts, the rest are ignored until compact()
-        // folds them away.
-        std::string Key = R.Spec.cacheKey();
-        if (!PersistedKeys.insert(Key).second)
-          continue;
-        Cache.insert(Key, R);
-        ++Loaded;
+        if (::kill(static_cast<pid_t>(Pid), 0) == 0 || errno == EPERM)
+          continue; // writer still alive: its rename is coming
+        std::error_code RmEC;
+        std::filesystem::remove(Entry.path(), RmEC);
+        if (!RmEC)
+          SweptTemps.push_back(Name);
       }
     }
+    std::sort(SweptTemps.begin(), SweptTemps.end());
+  }
+
+  // --- results.jsonl ------------------------------------------------------
+  {
+    ScanStats S;
+    scanStore(
+        Path,
+        [](const JsonValue &V) {
+          return headerMatches(V, StoreSchema, fingerprint());
+        },
+        [&](const JsonValue &V, const std::string &) {
+          JobResult R;
+          if (!parseJobResult(V, R)) {
+            ++Skipped;
+            return;
+          }
+          // Degraded or failed entries are never servable from this
+          // store (we never write them; an external tool may have).
+          // Skipped *before* the dedup insert, so a valid Optimal entry
+          // appended later for the same key still loads.
+          if (!R.ok() || R.SolveOutcome != SolveStatus::Optimal) {
+            ++Skipped;
+            return;
+          }
+          // Concurrent appenders may have raced the same configuration
+          // to disk; the records are deterministic, so duplicates are
+          // mere bytes — first one counts, the rest are ignored until
+          // compact() folds them away.
+          std::string Key = R.Spec.cacheKey();
+          if (!PersistedKeys.insert(Key).second)
+            return;
+          Cache.insert(Key, R);
+          ++Loaded;
+        },
+        S);
+    Skipped += S.Damaged;
+    CrcMismatches += S.CrcFailures;
+    // A results file whose header is damaged, stale, or from another
+    // schema generation is a different world: discard everything.
+    Invalidated = S.SawFirstLine && !S.HeaderOk;
     if (Invalidated)
       PersistedKeys.clear();
   }
 
   // --- profiles.jsonl -----------------------------------------------------
   {
-    std::ifstream In(ProfPath, std::ios::binary);
-    bool SawHeader = false;
-    if (In) {
-      std::string Line;
-      while (std::getline(In, Line)) {
-        if (Line.empty())
-          continue;
-        JsonValue V;
-        if (!JsonValue::parse(Line, V)) {
-          ++SkippedProfs;
-          if (!SawHeader)
-            break;
-          continue;
-        }
-        if (!SawHeader) {
-          SawHeader = true;
-          if (!headerMatches(V, ProfileSchema, profileFingerprint()))
-            break; // stale simulator semantics: drop, do not serve
-          continue;
-        }
-        std::string Key;
-        auto P = std::make_shared<ExecutionProfile>();
-        if (!parseExecutionProfile(V, Key, *P)) {
-          ++SkippedProfs;
-          continue;
-        }
-        if (!PersistedProfKeys.insert(Key).second)
-          continue;
-        Profiles.preload(Key, std::move(P));
-        ++LoadedProfs;
-      }
-    }
+    ScanStats S;
+    scanStore(
+        ProfPath,
+        [](const JsonValue &V) {
+          // Stale simulator semantics: drop, do not serve.
+          return headerMatches(V, ProfileSchema, profileFingerprint());
+        },
+        [&](const JsonValue &V, const std::string &) {
+          std::string Key;
+          auto P = std::make_shared<ExecutionProfile>();
+          if (!parseExecutionProfile(V, Key, *P)) {
+            ++SkippedProfs;
+            return;
+          }
+          if (!PersistedProfKeys.insert(Key).second)
+            return;
+          Profiles.preload(Key, std::move(P));
+          ++LoadedProfs;
+        },
+        S);
+    SkippedProfs += S.Damaged;
+    CrcMismatches += S.CrcFailures;
   }
 
   // --- incumbents.jsonl ---------------------------------------------------
   {
-    std::ifstream In(IncPath, std::ios::binary);
-    bool SawHeader = false;
-    if (In) {
-      std::string Line;
-      while (std::getline(In, Line)) {
-        if (Line.empty())
-          continue;
-        JsonValue V;
-        if (!JsonValue::parse(Line, V)) {
-          ++SkippedIncs;
-          if (!SawHeader)
-            break;
-          continue;
-        }
-        if (!SawHeader) {
-          SawHeader = true;
-          if (!headerMatches(V, IncumbentSchema, incumbentFingerprint()))
-            break; // different model world: seeds would only miss
-          continue;
-        }
-        std::string Group;
-        IncumbentStore::Entry E;
-        if (!parseIncumbent(V, Group, E)) {
-          ++SkippedIncs;
-          continue;
-        }
-        // Concurrent appenders race improved entries to disk; offer()'s
-        // best-wins rule folds duplicates whatever order they load in.
-        Incumbents.offer(Group, E.InRam, E.EnergyMilliJoules);
-        auto It = PersistedIncEnergy.find(Group);
-        if (It == PersistedIncEnergy.end())
-          PersistedIncEnergy.emplace(Group, E.EnergyMilliJoules);
-        else
-          It->second = std::min(It->second, E.EnergyMilliJoules);
-        ++LoadedIncs;
-      }
-    }
+    ScanStats S;
+    scanStore(
+        IncPath,
+        [](const JsonValue &V) {
+          // Different model world: seeds would only miss.
+          return headerMatches(V, IncumbentSchema, incumbentFingerprint());
+        },
+        [&](const JsonValue &V, const std::string &) {
+          std::string Group;
+          IncumbentStore::Entry E;
+          if (!parseIncumbent(V, Group, E)) {
+            ++SkippedIncs;
+            return;
+          }
+          // Concurrent appenders race improved entries to disk;
+          // offer()'s best-wins rule folds duplicates whatever order
+          // they load in.
+          Incumbents.offer(Group, E.InRam, E.EnergyMilliJoules);
+          auto It = PersistedIncEnergy.find(Group);
+          if (It == PersistedIncEnergy.end())
+            PersistedIncEnergy.emplace(Group, E.EnergyMilliJoules);
+          else
+            It->second = std::min(It->second, E.EnergyMilliJoules);
+          ++LoadedIncs;
+        },
+        S);
+    SkippedIncs += S.Damaged;
+    CrcMismatches += S.CrcFailures;
   }
   return true;
 }
@@ -480,16 +648,16 @@ bool CacheStore::rewriteResults(std::string *Error) {
       continue;
     JsonWriter W(/*Pretty=*/false);
     writeJobResult(W, R);
-    Doc += W.str() + "\n";
+    Doc += framedLine(W.str());
     Keys.insert(Key);
   }
-  if (!replaceWithRetries(Path, Doc, Error))
+  if (!lockedReplace(Path, Doc, LockWaitMs, Error))
     return false;
   PersistedKeys = std::move(Keys);
   return true;
 }
 
-bool CacheStore::appendResults(std::string *Error) {
+bool CacheStore::appendResults(bool TerminateTornTail, std::string *Error) {
   std::string Doc;
   std::vector<std::string> NewKeys;
   for (const auto &[Key, R] : Cache.snapshot()) {
@@ -498,12 +666,12 @@ bool CacheStore::appendResults(std::string *Error) {
       continue;
     JsonWriter W(/*Pretty=*/false);
     writeJobResult(W, R);
-    Doc += W.str() + "\n";
+    Doc += framedLine(W.str());
     NewKeys.push_back(Key);
   }
   if (Doc.empty())
     return true;
-  if (!appendWithRetries(Path, Doc, Error))
+  if (!appendWithRetries(Path, TerminateTornTail ? "\n" + Doc : Doc, Error))
     return false;
   PersistedKeys.insert(NewKeys.begin(), NewKeys.end());
   return true;
@@ -515,16 +683,16 @@ bool CacheStore::rewriteProfiles(std::string *Error) {
   for (const auto &[Key, P] : Profiles.snapshot()) {
     JsonWriter W(/*Pretty=*/false);
     writeExecutionProfile(W, Key, *P);
-    Doc += W.str() + "\n";
+    Doc += framedLine(W.str());
     Keys.insert(Key);
   }
-  if (!replaceWithRetries(ProfPath, Doc, Error))
+  if (!lockedReplace(ProfPath, Doc, LockWaitMs, Error))
     return false;
   PersistedProfKeys = std::move(Keys);
   return true;
 }
 
-bool CacheStore::appendProfiles(std::string *Error) {
+bool CacheStore::appendProfiles(bool TerminateTornTail, std::string *Error) {
   std::string Doc;
   std::vector<std::string> NewKeys;
   for (const auto &[Key, P] : Profiles.snapshot()) {
@@ -532,12 +700,13 @@ bool CacheStore::appendProfiles(std::string *Error) {
       continue;
     JsonWriter W(/*Pretty=*/false);
     writeExecutionProfile(W, Key, *P);
-    Doc += W.str() + "\n";
+    Doc += framedLine(W.str());
     NewKeys.push_back(Key);
   }
   if (Doc.empty())
     return true;
-  if (!appendWithRetries(ProfPath, Doc, Error))
+  if (!appendWithRetries(ProfPath, TerminateTornTail ? "\n" + Doc : Doc,
+                         Error))
     return false;
   PersistedProfKeys.insert(NewKeys.begin(), NewKeys.end());
   return true;
@@ -547,16 +716,17 @@ bool CacheStore::rewriteIncumbents(std::string *Error) {
   std::string Doc = headerLine(IncumbentSchema, incumbentFingerprint());
   std::map<std::string, double> Energies;
   for (const auto &[Group, E] : Incumbents.snapshot()) {
-    Doc += incumbentLine(Group, E);
+    Doc += framedLine(incumbentPayload(Group, E));
     Energies.emplace(Group, E.EnergyMilliJoules);
   }
-  if (!replaceWithRetries(IncPath, Doc, Error))
+  if (!lockedReplace(IncPath, Doc, LockWaitMs, Error))
     return false;
   PersistedIncEnergy = std::move(Energies);
   return true;
 }
 
-bool CacheStore::appendIncumbents(std::string *Error) {
+bool CacheStore::appendIncumbents(bool TerminateTornTail,
+                                  std::string *Error) {
   std::string Doc;
   std::vector<std::pair<std::string, double>> NewEnergies;
   for (const auto &[Group, E] : Incumbents.snapshot()) {
@@ -567,12 +737,13 @@ bool CacheStore::appendIncumbents(std::string *Error) {
     if (It != PersistedIncEnergy.end() &&
         E.EnergyMilliJoules >= It->second)
       continue;
-    Doc += incumbentLine(Group, E);
+    Doc += framedLine(incumbentPayload(Group, E));
     NewEnergies.push_back({Group, E.EnergyMilliJoules});
   }
   if (Doc.empty())
     return true;
-  if (!appendWithRetries(IncPath, Doc, Error))
+  if (!appendWithRetries(IncPath, TerminateTornTail ? "\n" + Doc : Doc,
+                         Error))
     return false;
   for (auto &[Group, Energy] : NewEnergies)
     PersistedIncEnergy[Group] = Energy;
@@ -586,17 +757,23 @@ bool CacheStore::save(std::string *Error) {
       *Error = "cache store was never opened";
     return false;
   }
-  if (!(fileAppendable(Path, StoreSchema, fingerprint())
-            ? appendResults(Error)
-            : rewriteResults(Error)))
+  AppendState RS = appendableState(Path, StoreSchema, fingerprint());
+  if (!(RS == AppendState::Rewrite
+            ? rewriteResults(Error)
+            : appendResults(RS == AppendState::AppendAfterNewline, Error)))
     return false;
-  if (!(fileAppendable(ProfPath, ProfileSchema, profileFingerprint())
-            ? appendProfiles(Error)
-            : rewriteProfiles(Error)))
+  AppendState PS =
+      appendableState(ProfPath, ProfileSchema, profileFingerprint());
+  if (!(PS == AppendState::Rewrite
+            ? rewriteProfiles(Error)
+            : appendProfiles(PS == AppendState::AppendAfterNewline, Error)))
     return false;
-  return fileAppendable(IncPath, IncumbentSchema, incumbentFingerprint())
-             ? appendIncumbents(Error)
-             : rewriteIncumbents(Error);
+  AppendState IS =
+      appendableState(IncPath, IncumbentSchema, incumbentFingerprint());
+  return IS == AppendState::Rewrite
+             ? rewriteIncumbents(Error)
+             : appendIncumbents(IS == AppendState::AppendAfterNewline,
+                                Error);
 }
 
 bool CacheStore::compact(std::string *Error) {
@@ -630,40 +807,45 @@ bool CacheStore::gcProfiles(uint64_t MaxBytes, ProfileGcStats &Stats,
   }
   Stats = ProfileGcStats();
 
+  // The whole read-dedupe-rewrite cycle runs under the file's lock: a
+  // concurrent GC or --repair reading the same generation would
+  // otherwise decide survivorship from bytes the other is about to
+  // replace.
+  FileLock Lock;
+  if (!Lock.acquire(ProfPath + ".lock", LockWaitMs, Error))
+    return false;
+
+  {
+    std::error_code EC;
+    uint64_t Size = std::filesystem::file_size(ProfPath, EC);
+    Stats.BytesBefore = EC ? 0 : Size;
+  }
+
   // Collect the surviving (key, raw line) pairs in file order. Lines are
-  // kept verbatim — GC must not perturb bytes it decided to keep.
+  // kept verbatim, framing included — GC must not perturb bytes it
+  // decided to keep.
   std::vector<std::pair<std::string, std::string>> Entries;
   {
-    std::ifstream In(ProfPath, std::ios::binary);
-    bool SawHeader = false, HeaderOk = false;
-    std::string Line;
-    while (In && std::getline(In, Line)) {
-      Stats.BytesBefore += Line.size() + 1;
-      if (Line.empty())
-        continue;
-      if (!SawHeader) {
-        SawHeader = true;
-        JsonValue V;
-        HeaderOk = JsonValue::parse(Line, V) &&
-                   headerMatches(V, ProfileSchema, profileFingerprint());
-        if (!HeaderOk)
-          ++Stats.DroppedInvalid; // stale world: every entry goes
-        continue;
-      }
-      if (!HeaderOk) {
-        ++Stats.DroppedInvalid;
-        continue;
-      }
-      JsonValue V;
-      std::string Key;
-      auto P = std::make_shared<ExecutionProfile>();
-      if (!JsonValue::parse(Line, V) ||
-          !parseExecutionProfile(V, Key, *P)) {
-        ++Stats.DroppedInvalid;
-        continue;
-      }
-      Entries.push_back({std::move(Key), Line});
-    }
+    ScanStats S;
+    scanStore(
+        ProfPath,
+        [](const JsonValue &V) {
+          return headerMatches(V, ProfileSchema, profileFingerprint());
+        },
+        [&](const JsonValue &V, const std::string &Raw) {
+          std::string Key;
+          auto P = std::make_shared<ExecutionProfile>();
+          if (!parseExecutionProfile(V, Key, *P)) {
+            ++Stats.DroppedInvalid;
+            return;
+          }
+          Entries.push_back({std::move(Key), Raw});
+        },
+        S);
+    CrcMismatches += S.CrcFailures;
+    Stats.DroppedInvalid += S.Damaged + S.Stranded;
+    if (S.SawFirstLine && !S.HeaderOk)
+      ++Stats.DroppedInvalid; // stale or damaged header: every entry goes
   }
 
   // Duplicate keys: concurrent appenders may have raced; the newest
@@ -728,52 +910,42 @@ bool CacheStore::beginJournal(const std::string &ConfigToken, bool Resume,
 
   std::string Header = journalHeaderLine(fingerprint(), ConfigToken);
   if (!Resume)
-    return replaceWithRetries(JournalPath, Header, Error);
+    return lockedReplace(JournalPath, Header, LockWaitMs, Error);
 
-  bool HeaderOk = false;
+  ScanStats S;
   {
-    std::ifstream In(JournalPath, std::ios::binary);
-    bool SawHeader = false;
     std::set<std::string> Seen;
-    std::string Line;
-    while (In && std::getline(In, Line)) {
-      if (Line.empty())
-        continue;
-      JsonValue V;
-      if (!JsonValue::parse(Line, V)) {
-        ++SkippedJournal;
-        if (!SawHeader)
-          break; // unreadable header: treat the journal as absent
-        continue;
-      }
-      if (!SawHeader) {
-        SawHeader = true;
-        const JsonValue *Config = V.find("config");
-        HeaderOk = headerMatches(V, JournalSchema, fingerprint()) &&
-                   Config && Config->kind() == JsonValue::Kind::String &&
-                   Config->string() == ConfigToken;
-        if (!HeaderOk)
-          break; // different world or solver limits: nothing to replay
-        continue;
-      }
-      JobResult R;
-      if (!parseJobResult(V, R)) {
-        ++SkippedJournal; // torn tail of a killed writer, or corruption
-        continue;
-      }
-      // A retried short write may have left the same job twice; the first
-      // occurrence is the one the interrupted run reported.
-      if (!Seen.insert(R.Spec.cacheKey()).second)
-        continue;
-      JournalResults.push_back(std::move(R));
-    }
+    scanStore(
+        JournalPath,
+        [&](const JsonValue &V) {
+          // Different world or solver limits: nothing to replay.
+          const JsonValue *Config = V.find("config");
+          return headerMatches(V, JournalSchema, fingerprint()) && Config &&
+                 Config->kind() == JsonValue::Kind::String &&
+                 Config->string() == ConfigToken;
+        },
+        [&](const JsonValue &V, const std::string &) {
+          JobResult R;
+          if (!parseJobResult(V, R)) {
+            ++SkippedJournal;
+            return;
+          }
+          // A retried short write may have left the same job twice; the
+          // first occurrence is the one the interrupted run reported.
+          if (!Seen.insert(R.Spec.cacheKey()).second)
+            return;
+          JournalResults.push_back(std::move(R));
+        },
+        S);
+    SkippedJournal += S.Damaged;
+    CrcMismatches += S.CrcFailures;
   }
-  if (!HeaderOk)
-    return replaceWithRetries(JournalPath, Header, Error);
+  if (!S.HeaderOk)
+    return lockedReplace(JournalPath, Header, LockWaitMs, Error);
   // Extend the existing journal. If the previous writer was killed
   // mid-append, its torn tail must not fuse with our first append —
-  // terminate it now (the orphaned fragment parses as one corrupt line,
-  // skipped by the next resume).
+  // terminate it now (the orphaned fragment fails its CRC as one
+  // quarantined line the next resume skips).
   if (!endsWithNewline(JournalPath))
     return appendWithRetries(JournalPath, "\n", Error);
   return true;
@@ -784,7 +956,7 @@ bool CacheStore::appendJournal(const JobResult &R, std::string *Error) {
     return true;
   JsonWriter W(/*Pretty=*/false);
   writeJobResult(W, R);
-  return appendWithRetries(JournalPath, W.str() + "\n", Error);
+  return appendWithRetries(JournalPath, framedLine(W.str()), Error);
 }
 
 void CacheStore::clearJournal() {
@@ -792,4 +964,150 @@ void CacheStore::clearJournal() {
     return;
   std::remove(JournalPath.c_str());
   JournalPath.clear();
+}
+
+bool CacheStore::fsck(bool Repair, FsckReport &Report, std::string *Error) {
+  TraceSpan Span("cache.fsck", "cache");
+  if (Path.empty()) {
+    if (Error)
+      *Error = "cache store was never opened";
+    return false;
+  }
+  Report = FsckReport();
+  Report.OrphanedTemps = SweptTemps;
+
+  std::string JPath =
+      (std::filesystem::path(Path).parent_path() / JournalFileName)
+          .string();
+
+  // Walks one file into an FsckFile. KeyOf classifies a CRC-valid JSON
+  // record: false means semantically unreadable (corrupt), true yields
+  // the dedup key. RawValid collects servable lines verbatim for the
+  // journal's repair rewrite.
+  auto Walk =
+      [&](const char *Name, const std::string &FPath,
+          const std::function<bool(const JsonValue &)> &AcceptHeader,
+          const std::function<bool(const JsonValue &, std::string &)>
+              &KeyOf,
+          std::string *RawHeader, std::vector<std::string> *RawValid) {
+        FsckFile F;
+        F.Name = Name;
+        F.Path = FPath;
+        ScanStats S;
+        std::set<std::string> Keys;
+        scanStore(
+            FPath, AcceptHeader,
+            [&](const JsonValue &V, const std::string &Raw) {
+              std::string Key;
+              if (!KeyOf(V, Key)) {
+                ++F.Corrupt;
+                return;
+              }
+              if (!Keys.insert(Key).second) {
+                ++F.Duplicate;
+                return;
+              }
+              ++F.Valid;
+              if (RawValid)
+                RawValid->push_back(Raw);
+            },
+            S, RawHeader);
+        CrcMismatches += S.CrcFailures;
+        F.Present = S.Present;
+        F.HeaderOk = !S.SawFirstLine || S.HeaderOk;
+        F.Corrupt += S.Damaged + (S.HeaderDamaged ? 1 : 0);
+        F.Stale = S.Stranded;
+        // A header that framed correctly but names another world is a
+        // stale line, not a corrupt one.
+        if (S.SawFirstLine && !S.HeaderOk && !S.HeaderDamaged)
+          ++F.Stale;
+        Report.Files.push_back(F);
+        return F;
+      };
+
+  auto ResultKey = [](const JsonValue &V, std::string &Key) {
+    JobResult R;
+    if (!parseJobResult(V, R))
+      return false;
+    Key = R.Spec.cacheKey();
+    return true;
+  };
+
+  FsckFile FR = Walk(
+      "results", Path,
+      [](const JsonValue &V) {
+        return headerMatches(V, StoreSchema, fingerprint());
+      },
+      ResultKey, nullptr, nullptr);
+
+  FsckFile FP = Walk(
+      "profiles", ProfPath,
+      [](const JsonValue &V) {
+        return headerMatches(V, ProfileSchema, profileFingerprint());
+      },
+      [](const JsonValue &V, std::string &Key) {
+        auto P = std::make_shared<ExecutionProfile>();
+        return parseExecutionProfile(V, Key, *P);
+      },
+      nullptr, nullptr);
+
+  FsckFile FI = Walk(
+      "incumbents", IncPath,
+      [](const JsonValue &V) {
+        return headerMatches(V, IncumbentSchema, incumbentFingerprint());
+      },
+      [](const JsonValue &V, std::string &Key) {
+        IncumbentStore::Entry E;
+        return parseIncumbent(V, Key, E);
+      },
+      nullptr, nullptr);
+
+  // The journal is checked under *any* configuration token: fsck is a
+  // maintenance pass, and which solver limits an interrupted run used is
+  // the resume path's business, not an integrity question.
+  std::string JournalRawHeader;
+  std::vector<std::string> JournalRawValid;
+  FsckFile FJ = Walk(
+      "progress", JPath,
+      [](const JsonValue &V) {
+        const JsonValue *Config = V.find("config");
+        return headerMatches(V, JournalSchema, fingerprint()) && Config &&
+               Config->kind() == JsonValue::Kind::String;
+      },
+      ResultKey, &JournalRawHeader, &JournalRawValid);
+
+  if (!Repair)
+    return true;
+
+  // Results, profiles, and incumbents repair from what open() served —
+  // the locked compaction rewrite: valid records only, deduplicated,
+  // fresh framed header. Corrupt lines were quarantined during the walk;
+  // lines stranded under an untrusted header fall with it.
+  if (FR.damaged() && !rewriteResults(Error))
+    return false;
+  if (FP.damaged() && !rewriteProfiles(Error))
+    return false;
+  if (FI.damaged() && !rewriteIncumbents(Error))
+    return false;
+
+  // The journal is not loaded by open(), so it repairs from its own
+  // walk: header kept verbatim (the pinned configuration must survive
+  // untouched for --resume to honour it), servable lines kept verbatim
+  // first-wins. A journal whose header cannot be trusted is removed —
+  // replaying records from an unknown world is worse than recomputing.
+  if (FJ.Present) {
+    if (!FJ.HeaderOk) {
+      std::remove(JPath.c_str());
+    } else if (FJ.damaged()) {
+      std::string Doc = JournalRawHeader + "\n";
+      for (const std::string &Line : JournalRawValid)
+        Doc += Line + "\n";
+      if (!lockedReplace(JPath, Doc, LockWaitMs, Error))
+        return false;
+    }
+  }
+
+  // Orphaned temporaries were already swept by open(); they appear in
+  // the report so the operator knows a writer died mid-rewrite.
+  return true;
 }

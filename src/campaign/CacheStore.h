@@ -45,6 +45,28 @@
 /// that sorted, deduplicated rewrite; report merging is its natural home
 /// (`ramloc-batch --merge --cache-dir=...`).
 ///
+/// Integrity (all four files, headers included):
+///  - Every line is CRC32C-framed (support/Checksum.h): eight hex digits
+///    plus a space prefix the JSON payload. A line whose checksum does
+///    not match — a flipped bit, a torn tail, a fused pair of lines — is
+///    never served: it is counted (`cachestore.crc_mismatch` metric and
+///    crcMismatches()), preserved by appending it to `<file>.quarantine`
+///    (deduplicated, so repeated loads do not grow the file), and
+///    skipped. A file whose *header* line is damaged or stale yields an
+///    empty-but-usable store. Pre-framing (v1) stores are retired by the
+///    store-schema bump: their fingerprints can no longer match.
+///  - Atomic rewrites and compactions take a per-file advisory flock
+///    (`<file>.lock`, support/FileLock.h) with a bounded wait, so two
+///    `--merge` or `--fsck --repair` processes sharing a directory
+///    serialize their read-then-rename cycles. Append paths stay
+///    lock-free whole-line appends.
+///  - open() sweeps orphaned `<file>.tmp.<pid>` temporaries whose writer
+///    is no longer alive (a rewrite killed between temp-write and
+///    rename); fsck() reports them.
+///  - fsck() walks every store file and reports per-file valid/corrupt/
+///    stale/duplicate counts; with Repair it performs the locked
+///    compaction rewrite (`ramloc-batch --fsck [--repair]`).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAMLOC_CAMPAIGN_CACHESTORE_H
@@ -88,8 +110,11 @@ public:
   bool open(const std::string &Dir, std::string *Error = nullptr);
 
   /// Persists every *successful* entry not yet on disk. Healthy files
-  /// grow by appended lines; files needing repair (corruption, stale
-  /// fingerprint, missing trailing newline) are rewritten atomically.
+  /// grow by appended lines; a torn tail line (another writer killed
+  /// mid-append) is terminated with a newline and appended past, never
+  /// rewritten away — a rewrite would discard records other writers
+  /// appended since we opened. Only a file whose *header* is missing,
+  /// damaged, or stale-fingerprinted is rewritten atomically.
   /// Failed results stay in-memory only: a failure may be a bug the next
   /// build fixes, and the fingerprint cannot see code changes, so
   /// persisting it would serve a stale error forever. Invalid profiles
@@ -131,6 +156,51 @@ public:
   /// groups to their best assignment. The incumbent-side companion of
   /// gcProfiles (`ramloc-batch --gc-profiles` runs both).
   bool compactIncumbents(std::string *Error = nullptr);
+
+  //===--- Store verification (--fsck) -------------------------------------===//
+
+  /// One store file's health as seen by fsck().
+  struct FsckFile {
+    std::string Name; ///< "results", "profiles", "incumbents", "progress".
+    std::string Path;
+    bool Present = false; ///< The file exists (possibly empty).
+    /// The first line framed, parsed, and matched the expected schema and
+    /// fingerprint. Vacuously true for absent or empty files.
+    bool HeaderOk = true;
+    size_t Valid = 0;     ///< CRC-valid, parseable records.
+    size_t Corrupt = 0;   ///< Framing/CRC/parse failures (header included).
+    size_t Stale = 0;     ///< Lines stranded under an unusable header.
+    size_t Duplicate = 0; ///< Repeated keys — benign appender races.
+    /// Damage repair would fix; duplicates alone are healthy appends.
+    bool damaged() const {
+      return (Present && !HeaderOk) || Corrupt != 0 || Stale != 0;
+    }
+  };
+
+  /// What fsck() found across the whole cache directory.
+  struct FsckReport {
+    std::vector<FsckFile> Files;
+    /// Orphaned `*.tmp.<pid>` temporaries of dead writers that open()
+    /// swept from the directory.
+    std::vector<std::string> OrphanedTemps;
+    bool damaged() const {
+      if (!OrphanedTemps.empty())
+        return true;
+      for (const FsckFile &F : Files)
+        if (F.damaged())
+          return true;
+      return false;
+    }
+  };
+
+  /// Walks all four store files (requires a prior successful open()) and
+  /// fills \p Report; damaged record lines are quarantined as they are
+  /// found. With \p Repair, every damaged file is rewritten under its
+  /// lock — valid records only, deduplicated — and a journal whose
+  /// header cannot be trusted is removed (corrupt lines are quarantined;
+  /// valid lines stranded under a stale header fall with it). Returns
+  /// false only when a repair rewrite itself fails.
+  bool fsck(bool Repair, FsckReport &Report, std::string *Error = nullptr);
 
   //===--- Campaign progress journal (crash-safe resume) -------------------===//
   //
@@ -204,14 +274,26 @@ public:
   /// True when a results store existed but carried a different
   /// fingerprint (its entries were discarded wholesale).
   bool invalidated() const { return Invalidated; }
+  /// Framing/CRC failures seen across every load since open() — each one
+  /// also bumps the `cachestore.crc_mismatch` metric and lands in the
+  /// owning file's `.quarantine` sibling.
+  size_t crcMismatches() const { return CrcMismatches; }
+  /// Orphaned `*.tmp.<pid>` temporaries (dead writer) swept by open().
+  const std::vector<std::string> &sweptTempFiles() const {
+    return SweptTemps;
+  }
+
+  /// Bounds the wait for a per-file rewrite lock (default 10 s). Tests
+  /// dial it down to fail fast under the `cache.lock` fault site.
+  void setLockWaitMs(unsigned Ms) { LockWaitMs = Ms; }
 
 private:
   bool rewriteResults(std::string *Error);
-  bool appendResults(std::string *Error);
+  bool appendResults(bool TerminateTornTail, std::string *Error);
   bool rewriteProfiles(std::string *Error);
-  bool appendProfiles(std::string *Error);
+  bool appendProfiles(bool TerminateTornTail, std::string *Error);
   bool rewriteIncumbents(std::string *Error);
-  bool appendIncumbents(std::string *Error);
+  bool appendIncumbents(bool TerminateTornTail, std::string *Error);
 
   ResultCache Cache;
   ProfileCache Profiles;
@@ -238,6 +320,9 @@ private:
   size_t SkippedProfs = 0;
   size_t LoadedIncs = 0;
   size_t SkippedIncs = 0;
+  size_t CrcMismatches = 0;
+  std::vector<std::string> SweptTemps;
+  unsigned LockWaitMs = 10000;
   bool Invalidated = false;
 };
 

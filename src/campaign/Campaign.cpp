@@ -531,8 +531,10 @@ CampaignResult ramloc::runCampaign(const std::vector<JobSpec> &Jobs,
                 ++Done;
                 // Journal before reporting progress: once the user has
                 // seen a job finish, a kill must not lose it.
-                if (Opts.Journal)
+                if (Opts.Journal) {
                   Opts.Journal(CR.Results[I]);
+                  globalMetrics().counter("campaign.journal.appends").add();
+                }
                 if (Opts.Progress)
                   Opts.Progress(CR.Results[I], Done, CR.Summary.UniqueRuns);
               }

@@ -288,9 +288,12 @@ struct CampaignOptions {
   /// Progress) after each unique job finishes — the crash-safety hook
   /// `ramloc-batch --cache-dir` wires to CacheStore::appendJournal so a
   /// killed campaign's finished jobs survive and `--resume` replays
-  /// them. Unlike the results cache, the journal also records failed and
-  /// degraded jobs: its contract is "reproduce the interrupted run's
-  /// report exactly", not "store only trustworthy optima".
+  /// them. Every invocation bumps the `campaign.journal.appends`
+  /// metric, so telemetry shows how much progress a kill would have
+  /// preserved. Unlike the results cache, the journal also records
+  /// failed and degraded jobs: its contract is "reproduce the
+  /// interrupted run's report exactly", not "store only trustworthy
+  /// optima".
   std::function<void(const JobResult &)> Journal;
 };
 

@@ -1,0 +1,111 @@
+//===- support/Checksum.h - CRC32C record framing ---------------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32C (Castagnoli) and the framed-record line layout shared by every
+/// writer and loader of the campaign cache store. A framed line is
+///
+///   <8 lowercase hex digits> <payload>
+///
+/// where the digits are the CRC-32C of the payload bytes (everything
+/// after the single separating space, newline excluded). The frame turns
+/// "parses as JSON" into "is the JSON that was written": a flipped bit
+/// anywhere in the payload — including flips that still parse, like a
+/// digit change inside a number — fails the checksum and the record is
+/// quarantined instead of served. CRC-32C is the same polynomial
+/// filesystems and storage engines use for exactly this job (iSCSI,
+/// ext4, LevelDB); the software table implementation below is
+/// byte-at-a-time, plenty for line-sized records on the store's I/O
+/// paths.
+///
+/// Header-only and deterministic across platforms, like support/Hash.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SUPPORT_CHECKSUM_H
+#define RAMLOC_SUPPORT_CHECKSUM_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ramloc {
+
+namespace detail {
+
+/// The reflected CRC-32C (Castagnoli) polynomial.
+inline constexpr uint32_t Crc32cPoly = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> makeCrc32cTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int Bit = 0; Bit != 8; ++Bit)
+      C = (C & 1) ? (C >> 1) ^ Crc32cPoly : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+inline constexpr std::array<uint32_t, 256> Crc32cTable = makeCrc32cTable();
+
+} // namespace detail
+
+/// CRC-32C of \p Bytes, continuing from \p Crc (0 for a fresh checksum).
+/// Standard test vector: crc32c("123456789") == 0xE3069283.
+inline uint32_t crc32c(std::string_view Bytes, uint32_t Crc = 0) {
+  uint32_t C = ~Crc;
+  for (unsigned char B : Bytes)
+    C = detail::Crc32cTable[(C ^ B) & 0xFF] ^ (C >> 8);
+  return ~C;
+}
+
+/// Frames \p Payload as one store-file line (newline not included):
+/// eight lowercase hex digits of its CRC-32C, one space, the payload.
+inline std::string frameRecord(std::string_view Payload) {
+  static const char Hex[] = "0123456789abcdef";
+  uint32_t C = crc32c(Payload);
+  std::string Out;
+  Out.reserve(9 + Payload.size());
+  for (int Shift = 28; Shift >= 0; Shift -= 4)
+    Out.push_back(Hex[(C >> Shift) & 0xF]);
+  Out.push_back(' ');
+  Out.append(Payload);
+  return Out;
+}
+
+/// Validates one framed line. On success points \p Payload into \p Line
+/// (past the checksum prefix) and returns true; returns false when the
+/// line is too short, the prefix is not eight lowercase hex digits plus
+/// a space, or the checksum does not match the payload — torn tails,
+/// flipped bits, and pre-framing (v1) lines all land here.
+inline bool unframeRecord(std::string_view Line, std::string_view &Payload) {
+  if (Line.size() < 9 || Line[8] != ' ')
+    return false;
+  uint32_t Want = 0;
+  for (int I = 0; I != 8; ++I) {
+    char C = Line[I];
+    uint32_t Nibble;
+    if (C >= '0' && C <= '9')
+      Nibble = static_cast<uint32_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Nibble = static_cast<uint32_t>(C - 'a' + 10);
+    else
+      return false;
+    Want = (Want << 4) | Nibble;
+  }
+  std::string_view Body = Line.substr(9);
+  if (crc32c(Body) != Want)
+    return false;
+  Payload = Body;
+  return true;
+}
+
+} // namespace ramloc
+
+#endif // RAMLOC_SUPPORT_CHECKSUM_H

@@ -1,0 +1,125 @@
+//===- support/FileLock.h - cross-process advisory locking ------*- C++ -*-===//
+//
+// Part of ramloc, a reproduction of "Optimizing the flash-RAM energy
+// trade-off in deeply embedded systems" (Pallister et al., CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A RAII advisory file lock (flock(2), LOCK_EX) with a bounded, jittered
+/// acquisition wait — the serialization primitive behind the cache
+/// store's atomic rewrites. Append paths stay lock-free by design (one
+/// O_APPEND write of whole lines needs no coordination); rewrites and
+/// compactions take the lock so two `--merge` or `--fsck --repair`
+/// processes sharing a cache directory serialize their read-then-rename
+/// cycles instead of silently dropping each other's survivors.
+///
+/// flock locks are per open file description, so two CacheStore objects
+/// in one process exclude each other exactly like two processes do —
+/// which is also what makes the behaviour testable in-process. The lock
+/// file itself (`<file>.lock`) is a zero-length sibling that is created
+/// on demand and deliberately never deleted: unlinking a lock file while
+/// another process holds its flock reintroduces the race the lock
+/// exists to close.
+///
+/// Acquisition polls LOCK_NB with the store's usual doubling ~1-3 ms
+/// jittered backoff up to a caller-chosen deadline; the `cache.lock`
+/// fault-injection site makes an attempt fail as if the lock were held,
+/// so contention handling is testable deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAMLOC_SUPPORT_FILELOCK_H
+#define RAMLOC_SUPPORT_FILELOCK_H
+
+#include "support/FaultInjector.h"
+#include "support/Hash.h"
+#include "support/Metrics.h"
+#include "support/Random.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace ramloc {
+
+class FileLock {
+public:
+  FileLock() = default;
+  ~FileLock() { release(); }
+
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+  /// Acquires an exclusive lock on \p LockPath, creating the file when
+  /// missing, waiting at most \p TimeoutMs for a holder (or an injected
+  /// `cache.lock` failure) to clear. Returns false with \p Error set on
+  /// timeout or when the lock file cannot be opened. Re-acquiring an
+  /// already-held lock is an error.
+  bool acquire(const std::string &LockPath, unsigned TimeoutMs,
+               std::string *Error = nullptr) {
+    if (Fd >= 0) {
+      if (Error)
+        *Error = "lock '" + Path + "' is already held";
+      return false;
+    }
+    Fd = ::open(LockPath.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (Fd < 0) {
+      if (Error)
+        *Error = "cannot open lock file '" + LockPath + "'";
+      return false;
+    }
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    SplitMix64 Jitter(fnv1a64(LockPath));
+    unsigned Attempt = 0;
+    for (;;) {
+      // Fault site: the lock is "held by someone else" this attempt.
+      bool Busy = FaultInjector::shouldFail("cache.lock") ||
+                  ::flock(Fd, LOCK_EX | LOCK_NB) != 0;
+      if (!Busy) {
+        Path = LockPath;
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= Deadline) {
+        ::close(Fd);
+        Fd = -1;
+        if (Error)
+          *Error = "timed out waiting for lock '" + LockPath + "'";
+        return false;
+      }
+      globalMetrics().counter("cachestore.lock_waits").add();
+      unsigned Shift = Attempt < 4 ? Attempt : 4;
+      unsigned DelayUs = (1000u << Shift) +
+                         static_cast<unsigned>(Jitter.nextBelow(1000));
+      std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
+      ++Attempt;
+    }
+  }
+
+  /// Drops the lock (idempotent). The lock file stays on disk — see the
+  /// file comment for why it must never be unlinked.
+  void release() {
+    if (Fd < 0)
+      return;
+    ::flock(Fd, LOCK_UN);
+    ::close(Fd);
+    Fd = -1;
+    Path.clear();
+  }
+
+  bool held() const { return Fd >= 0; }
+  const std::string &path() const { return Path; }
+
+private:
+  int Fd = -1;
+  std::string Path;
+};
+
+} // namespace ramloc
+
+#endif // RAMLOC_SUPPORT_FILELOCK_H

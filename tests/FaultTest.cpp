@@ -406,9 +406,12 @@ TEST(Incumbents, TruncatedTailIsSkippedAndRecomputed) {
   EXPECT_EQ(Reload.loadedIncumbents(), 0u);
   EXPECT_EQ(Reload.skippedIncumbentLines(), 1u);
 
-  // The next campaign recomputes and re-offers; save repairs the file.
-  // (No result cache on purpose: a served hit would skip the solve and
-  // with it the incumbent offer we are testing for.)
+  // The next campaign recomputes and re-offers; save appends past the
+  // torn fragment — it must NOT rewrite, a rewrite would discard lines
+  // other writers appended since we opened. The fragment stays behind
+  // as one quarantined line until a compaction removes it. (No result
+  // cache on purpose: a served hit would skip the solve and with it the
+  // incumbent offer we are testing for.)
   CampaignOptions Opts;
   Opts.Incumbents = &Reload.incumbents();
   runCampaign(Grid, Opts);
@@ -417,7 +420,14 @@ TEST(Incumbents, TruncatedTailIsSkippedAndRecomputed) {
   CacheStore Healed;
   ASSERT_TRUE(Healed.open(Dir));
   EXPECT_EQ(Healed.loadedIncumbents(), 1u);
-  EXPECT_EQ(Healed.skippedIncumbentLines(), 0u);
+  EXPECT_EQ(Healed.skippedIncumbentLines(), 1u); // the torn fragment
+
+  // Compaction is the repair path: afterwards the store is pristine.
+  ASSERT_TRUE(Healed.compact(&Error)) << Error;
+  CacheStore Clean;
+  ASSERT_TRUE(Clean.open(Dir));
+  EXPECT_EQ(Clean.loadedIncumbents(), 1u);
+  EXPECT_EQ(Clean.skippedIncumbentLines(), 0u);
 }
 
 //===----------------------------------------------------------------------===//

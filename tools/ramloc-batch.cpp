@@ -72,12 +72,18 @@
 //                           with probability RATE, decided purely by
 //                           (seed, per-site call index). Sites:
 //                           cache.append.short, cache.append.eio,
-//                           cache.rename, job.abort, solver.degrade.
+//                           cache.rename, cache.lock, cache.load.eio,
+//                           cache.load.flip, job.abort, solver.degrade.
 //                           Testing only; off by default
 //     --gc-profiles         compact the profile + incumbent stores
 //                           instead of running: drop corrupt/stale-
 //                           fingerprint lines and fold duplicate keys,
 //                           then enforce the size cap (needs --cache-dir)
+//     --fsck [--repair]     verify every store file's CRC32C framing and
+//                           report valid/corrupt/stale/duplicate counts,
+//                           exiting non-zero on damage; with --repair,
+//                           rewrite damaged files under their locks,
+//                           quarantining corrupt lines (needs --cache-dir)
 //     --max-profile-bytes=N with --gc-profiles: evict least-recently-
 //                           appended profiles until profiles.jsonl is at
 //                           most N bytes (0 = no cap, the default)
@@ -148,6 +154,7 @@ void usage(std::FILE *Out) {
       "       ramloc-batch --diff A.json B.json [--diff-threshold=PCT]\n"
       "       ramloc-batch --gc-profiles --cache-dir=DIR\n"
       "                    [--max-profile-bytes=N]\n"
+      "       ramloc-batch --fsck [--repair] --cache-dir=DIR\n"
       "\n"
       "grid selection:\n"
       "  --benchmarks=a,b|all      BEEBS benchmarks to run (default: all)\n"
@@ -195,6 +202,18 @@ void usage(std::FILE *Out) {
       "                            (0 = unlimited)\n"
       "  --pivot-limit=N           per-solve simplex pivot budget\n"
       "                            (0 = unlimited)\n"
+      "  --fsck                    verify the cache store instead of\n"
+      "                            running: walk all four files (results,\n"
+      "                            profiles, incumbents, progress), check\n"
+      "                            every line's CRC32C frame, and report\n"
+      "                            valid/corrupt/stale/duplicate counts\n"
+      "                            plus swept orphaned temporaries; exits\n"
+      "                            non-zero on damage (needs --cache-dir)\n"
+      "  --repair                  with --fsck: rewrite each damaged file\n"
+      "                            under its lock keeping only valid\n"
+      "                            records (corrupt lines are preserved in\n"
+      "                            <file>.quarantine), then verify the\n"
+      "                            store walks clean\n"
       "  --fault=SITE:RATE[:SEED]  arm the deterministic fault injector at\n"
       "                            SITE (repeatable; testing only)\n"
       "\n"
@@ -484,7 +503,8 @@ int main(int Argc, char **Argv) {
   uint64_t MaxProfileBytes = 0;
   double DiffThreshold = 0.0;
   bool DryRun = false, Verbose = false, Quiet = false, Merge = false,
-       Diff = false, GcProfiles = false, Resume = false;
+       Diff = false, GcProfiles = false, Resume = false, Fsck = false,
+       FsckRepair = false;
   // Outlives every worker thread; installs only when --fault arms a site.
   FaultInjector Faults;
 
@@ -658,6 +678,10 @@ int main(int Argc, char **Argv) {
       return 0;
     } else if (Arg == "--gc-profiles") {
       GcProfiles = true;
+    } else if (Arg == "--fsck") {
+      Fsck = true;
+    } else if (Arg == "--repair") {
+      FsckRepair = true;
     } else if (Arg.rfind("--max-profile-bytes=", 0) == 0) {
       if (!parseUnsigned64(val(20), MaxProfileBytes)) {
         std::fprintf(stderr, "error: bad --max-profile-bytes value '%s'\n",
@@ -743,6 +767,66 @@ int main(int Argc, char **Argv) {
 
   if (Diff)
     return runDiff(DiffFiles, DiffThreshold, Quiet);
+
+  if (FsckRepair && !Fsck) {
+    std::fprintf(stderr, "error: --repair needs --fsck\n");
+    return 2;
+  }
+  if (Fsck) {
+    if (CacheDir.empty()) {
+      std::fprintf(stderr, "error: --fsck needs --cache-dir\n");
+      return 2;
+    }
+    CacheStore Store;
+    std::string Error;
+    if (!Store.open(CacheDir, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    CacheStore::FsckReport Report;
+    if (!Store.fsck(FsckRepair, Report, &Error)) {
+      std::fprintf(stderr, "error: fsck: %s\n", Error.c_str());
+      return 1;
+    }
+    if (!Quiet) {
+      for (const CacheStore::FsckFile &F : Report.Files) {
+        if (!F.Present) {
+          std::fprintf(stderr, "%-10s absent\n", F.Name.c_str());
+          continue;
+        }
+        std::fprintf(stderr,
+                     "%-10s %zu valid, %zu corrupt, %zu stale, "
+                     "%zu duplicate%s\n",
+                     F.Name.c_str(), F.Valid, F.Corrupt, F.Stale,
+                     F.Duplicate, F.HeaderOk ? "" : " [bad header]");
+      }
+      for (const std::string &T : Report.OrphanedTemps)
+        std::fprintf(stderr, "swept orphaned temp: %s\n", T.c_str());
+    }
+    if (!FsckRepair) {
+      if (Report.damaged()) {
+        std::fprintf(stderr, "store is damaged (rerun with --repair)\n");
+        return 1;
+      }
+      if (!Quiet)
+        std::fprintf(stderr, "store is clean\n");
+      return 0;
+    }
+    // Repair must converge: a fresh walk of the rewritten store has to
+    // come back clean, or the "repaired" store would fail its next fsck.
+    CacheStore Verify;
+    CacheStore::FsckReport After;
+    if (!Verify.open(CacheDir, &Error) ||
+        !Verify.fsck(/*Repair=*/false, After, &Error) || After.damaged()) {
+      std::fprintf(stderr, "error: repair did not converge%s%s\n",
+                   Error.empty() ? "" : ": ", Error.c_str());
+      return 1;
+    }
+    if (!Quiet)
+      std::fprintf(stderr, Report.damaged() ? "store repaired\n"
+                                            : "store was already clean\n");
+    return 0;
+  }
 
   if (GcProfiles) {
     if (CacheDir.empty()) {
@@ -865,6 +949,16 @@ int main(int Argc, char **Argv) {
     if (Store.skippedLines() + Store.skippedProfileLines() > 0)
       std::fprintf(stderr, "cache: skipped %zu corrupt line(s)\n",
                    Store.skippedLines() + Store.skippedProfileLines());
+    if (Store.crcMismatches() > 0)
+      std::fprintf(stderr,
+                   "cache: %zu checksum-failed line(s) quarantined "
+                   "(see *.quarantine; --fsck --repair cleans up)\n",
+                   Store.crcMismatches());
+    if (!Store.sweptTempFiles().empty())
+      std::fprintf(stderr,
+                   "cache: swept %zu orphaned temp file(s) of dead "
+                   "writer(s)\n",
+                   Store.sweptTempFiles().size());
     Opts.Cache = &Store.cache();
     // Profiles recorded by earlier processes turn this run's simulations
     // into recosts wherever the images match.
