@@ -20,6 +20,12 @@
 //    stays >= 2x. cold/warm_pivots_per_node record how much simplex work
 //    one node costs each way.
 //
+//  - Pricing level: the warm node mix re-run under each SolverConfig::
+//    Pricing rule. All rules are exact, so only pivot counts move; the
+//    steepest-edge / Dantzig dual-pivot ratio is the headline number and
+//    CI asserts it stays <= 0.7. A strong-branching pass (K=8 root
+//    probes) records how the seeded pseudo-costs shape the tree.
+//
 //  - Parallel level: the same warm-noded solves with the branch & bound
 //    tree fanned out over SolverConfig::Threads work-stealing workers,
 //    each re-optimizing its own clone of the solved root tableau.
@@ -101,6 +107,7 @@ double measureFor(double MinSeconds, unsigned &Iters, Fn &&Body) {
 struct SolverEffort {
   uint64_t Solves = 0, WarmStarts = 0;
   uint64_t Nodes = 0, Primal = 0, Dual = 0;
+  uint64_t PricingUpdates = 0, Probes = 0;
 };
 
 template <typename Fn> SolverEffort counterWindow(Fn &&Body) {
@@ -109,7 +116,9 @@ template <typename Fn> SolverEffort counterWindow(Fn &&Body) {
                       M.counterValue("mip.warm_starts"),
                       M.counterValue("mip.nodes"),
                       M.counterValue("mip.primal_pivots"),
-                      M.counterValue("mip.dual_pivots")};
+                      M.counterValue("mip.dual_pivots"),
+                      M.counterValue("mip.pricing.updates"),
+                      M.counterValue("mip.strongbranch.probes")};
   Body();
   SolverEffort E;
   E.Solves = M.counterValue("mip.solves") - Before.Solves;
@@ -117,6 +126,8 @@ template <typename Fn> SolverEffort counterWindow(Fn &&Body) {
   E.Nodes = M.counterValue("mip.nodes") - Before.Nodes;
   E.Primal = M.counterValue("mip.primal_pivots") - Before.Primal;
   E.Dual = M.counterValue("mip.dual_pivots") - Before.Dual;
+  E.PricingUpdates = M.counterValue("mip.pricing.updates") - Before.PricingUpdates;
+  E.Probes = M.counterValue("mip.strongbranch.probes") - Before.Probes;
   return E;
 }
 
@@ -179,11 +190,15 @@ int main() {
   constexpr unsigned MaxNodes = 1500;
 
   // --- node level: cold two-phase vs warm dual re-optimization -----------
-  auto solveAll = [&](bool WarmNodes, unsigned Threads = 1) {
+  auto solveAll = [&](bool WarmNodes, unsigned Threads = 1,
+                      Pricing Rule = Pricing::SteepestEdge,
+                      unsigned StrongBranchK = 0) {
     SolverConfig Cfg;
     Cfg.WarmNodes = WarmNodes;
     Cfg.MaxNodes = MaxNodes;
     Cfg.Threads = Threads;
+    Cfg.PricingRule = Rule;
+    Cfg.StrongBranchK = StrongBranchK;
     for (const ModelParams &MP : Set.Models)
       for (const ModelKnobs &K : Set.Knobs)
         (void)solvePlacement(MP, K, Cfg);
@@ -222,6 +237,45 @@ int main() {
               static_cast<unsigned long long>(WarmPrimal),
               static_cast<unsigned long long>(WarmDual), WarmPivotsPerNode,
               NodeSpeedup);
+
+  // --- pricing level: per-rule pivot counts on the warm node mix ---------
+  // Every rule retires the same answers (exactness is pinned by tests);
+  // what differs is the pivots spent. Steepest-edge vs Dantzig on the
+  // warm mix is the headline: the dual simplex dominates warm re-solves,
+  // and CI asserts the steepest-edge dual-pivot total stays <= 0.7x
+  // Dantzig's.
+  struct RulePass {
+    Pricing Rule;
+    SolverEffort E;
+  };
+  RulePass RulePasses[] = {{Pricing::SteepestEdge, {}},
+                           {Pricing::Dantzig, {}},
+                           {Pricing::PartialDantzig, {}},
+                           {Pricing::Bland, {}}};
+  for (RulePass &RP : RulePasses) {
+    RP.E = counterWindow([&] { solveAll(true, 1, RP.Rule); });
+    std::printf("pricing %-13s %llu dual + %llu primal pivots per warm "
+                "pass (%llu weight updates)\n",
+                pricingName(RP.Rule),
+                static_cast<unsigned long long>(RP.E.Dual),
+                static_cast<unsigned long long>(RP.E.Primal),
+                static_cast<unsigned long long>(RP.E.PricingUpdates));
+  }
+  double SteepestVsDantzigDual =
+      RulePasses[1].E.Dual
+          ? double(RulePasses[0].E.Dual) / double(RulePasses[1].E.Dual)
+          : 1.0;
+  std::printf("pricing steepest-edge/dantzig dual-pivot ratio: %.2fx\n",
+              SteepestVsDantzigDual);
+
+  // --- strong branching: root probes vs tree size ------------------------
+  SolverEffort SbPass =
+      counterWindow([&] { solveAll(true, 1, Pricing::SteepestEdge, 8); });
+  std::printf("strong branching (K=8): %llu nodes per pass (vs %llu "
+              "without), %llu root probes\n",
+              static_cast<unsigned long long>(SbPass.Nodes),
+              static_cast<unsigned long long>(RulePasses[0].E.Nodes),
+              static_cast<unsigned long long>(SbPass.Probes));
 
   // --- parallel level: the warm tree search over a work-stealing pool ----
   // Node throughput, not wall time per config: tree shapes legitimately
@@ -285,7 +339,7 @@ int main() {
 
   JsonWriter W;
   W.beginObject();
-  W.field("schema", "ramloc-bench-mip-throughput-v3");
+  W.field("schema", "ramloc-bench-mip-throughput-v4");
   W.field("benchmarks", static_cast<uint64_t>(Set.Models.size()));
   W.field("knob_points", static_cast<uint64_t>(Set.Knobs.size()));
   W.field("bounded_tableau_rows", BoundedRows);
@@ -301,6 +355,19 @@ int main() {
   W.field("cold_nodes_per_sec", ColdNodesPerSec);
   W.field("warm_nodes_per_sec", WarmNodesPerSec);
   W.field("warm_node_speedup", NodeSpeedup);
+  for (const RulePass &RP : RulePasses) {
+    std::string Prefix = std::string("pricing_") + pricingName(RP.Rule);
+    // "steepest-edge" -> "steepest_edge": JSON field names stay word_case.
+    for (char &C : Prefix)
+      if (C == '-')
+        C = '_';
+    W.field((Prefix + "_dual_pivots").c_str(), RP.E.Dual);
+    W.field((Prefix + "_primal_pivots").c_str(), RP.E.Primal);
+    W.field((Prefix + "_weight_updates").c_str(), RP.E.PricingUpdates);
+  }
+  W.field("pricing_steepest_vs_dantzig_dual_ratio", SteepestVsDantzigDual);
+  W.field("strongbranch_nodes_per_pass", SbPass.Nodes);
+  W.field("strongbranch_probes_per_pass", SbPass.Probes);
   W.field("solver_threads", static_cast<uint64_t>(SolverThreads));
   W.field("hardware_concurrency", static_cast<uint64_t>(HwThreads));
   W.field("par_nodes_per_pass", ParNodes);

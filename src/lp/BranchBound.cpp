@@ -168,6 +168,22 @@ struct PseudoCosts {
   }
 };
 
+/// Folds one node relaxation's effort into the search ledger.
+void accumulateLp(SolverStats &St, const LpSolution &Relax) {
+  if (Relax.WarmStarted)
+    ++St.WarmNodeSolves;
+  else
+    ++St.ColdNodeSolves;
+  St.PrimalPivots += Relax.Iterations;
+  St.DualPivots += Relax.DualIterations;
+  St.BoundFlips += Relax.BoundFlips;
+  if (Relax.Refactorized)
+    ++St.Refactorizations;
+  St.PricingUpdates += Relax.PricingUpdates;
+  St.PricingRecomputes += Relax.PricingRecomputes;
+  St.PricingDrift += Relax.PricingDrift;
+}
+
 /// Picks the branching variable for a fractional relaxation point.
 /// Pseudo-cost scoring multiplies the estimated degradation of the two
 /// children (the product rule); variables without history score with the
@@ -238,6 +254,129 @@ void branchNode(Node &&N, int BranchVar, double Frac, double Bound,
     Push(std::move(One));
     Push(std::move(Zero));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Root strong branching.
+//===----------------------------------------------------------------------===//
+
+/// Probes the top-K branching candidates at the root by actually solving
+/// both children with bounded dual re-solves, and seeds the pseudo-cost
+/// history with the observed degradations — so the very first branching
+/// decision already ranks by measured impact instead of raw fraction.
+/// Candidates are ranked most-fractional-first (no pseudo-costs exist at
+/// the root yet), two probes per candidate, fanned over up to
+/// SolverConfig::Threads worker threads.
+///
+/// Determinism: every probe re-optimizes its *own clone* of the solved
+/// root tableau, so each probe's outcome and pivot count are independent
+/// of which thread ran it and in what order; results land in fixed
+/// per-probe slots and are folded into the pseudo-cost history in
+/// candidate order after all probes finish. Probes only inform the
+/// branching order (inconclusive ones are simply skipped), so the
+/// search's answer is byte-identical with strong branching on or off.
+void strongBranchRoot(const LpProblem &P, const SolverConfig &Cfg,
+                      const SearchLimits &Limits, const WarmStart &RootWs,
+                      const std::vector<double> &RootLo,
+                      const std::vector<double> &RootHi,
+                      const LpSolution &Root, PseudoCosts &PC,
+                      SolverStats &St) {
+  struct Cand {
+    unsigned Var;
+    double DownDist; ///< V - floor(V); up distance is 1 - DownDist
+  };
+  std::vector<Cand> Cands;
+  for (unsigned J = 0, E = P.numVariables(); J != E; ++J) {
+    if (!P.Variables[J].Integer)
+      continue;
+    double V = Root.Values[J];
+    double Down = V - std::floor(V);
+    if (std::min(Down, 1.0 - Down) > Cfg.IntegerTolerance)
+      Cands.push_back({J, Down});
+  }
+  std::stable_sort(Cands.begin(), Cands.end(),
+                   [](const Cand &A, const Cand &B) {
+                     return std::min(A.DownDist, 1.0 - A.DownDist) >
+                            std::min(B.DownDist, 1.0 - B.DownDist);
+                   });
+  if (Cands.size() > Cfg.StrongBranchK)
+    Cands.resize(Cfg.StrongBranchK);
+  if (Cands.empty())
+    return;
+
+  struct Probe {
+    unsigned Var;
+    bool Up;
+    double Dist;
+  };
+  std::vector<Probe> Probes;
+  Probes.reserve(Cands.size() * 2);
+  for (const Cand &C : Cands) {
+    Probes.push_back({C.Var, false, C.DownDist});
+    Probes.push_back({C.Var, true, 1.0 - C.DownDist});
+  }
+
+  struct Result {
+    bool Conclusive = false;
+    double Degradation = 0.0;
+  };
+  std::vector<Result> Results(Probes.size());
+  unsigned Pool = std::min<size_t>(std::max(1u, Cfg.Threads), Probes.size());
+  std::vector<SolverStats> ProbeStats(Pool);
+  std::atomic<size_t> NextProbe{0};
+
+  auto runProbes = [&](unsigned T) {
+    SolverStats &S = ProbeStats[T];
+    for (;;) {
+      size_t I = NextProbe.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Probes.size())
+        return;
+      // A passed deadline drains the remaining probes unrun (their
+      // slots stay inconclusive): probes are a head start, never owed.
+      if (Limits.deadlinePassed())
+        continue;
+      const Probe &Pr = Probes[I];
+      WarmStart W = RootWs.clone();
+      std::vector<double> Lo = RootLo, Hi = RootHi;
+      if (Pr.Up)
+        Lo[Pr.Var] = 1.0;
+      else
+        Hi[Pr.Var] = 0.0;
+      LpSolution Child = resolveLpFromBasis(P, Lo, Hi, W, Cfg);
+      ++S.StrongBranchProbes;
+      S.PrimalPivots += Child.Iterations;
+      S.DualPivots += Child.DualIterations;
+      S.BoundFlips += Child.BoundFlips;
+      S.PricingUpdates += Child.PricingUpdates;
+      S.PricingRecomputes += Child.PricingRecomputes;
+      S.PricingDrift += Child.PricingDrift;
+      if (Child.Status == LpStatus::Optimal)
+        Results[I] = {true, Child.Objective - Root.Objective};
+    }
+  };
+
+  if (Pool <= 1) {
+    runProbes(0);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Pool);
+    for (unsigned T = 0; T != Pool; ++T)
+      Threads.emplace_back([&, T] { runProbes(T); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  // Seed in fixed probe order so the pseudo-cost sums are bit-identical
+  // regardless of thread scheduling.
+  for (size_t I = 0; I != Probes.size(); ++I) {
+    if (!Results[I].Conclusive)
+      continue;
+    PC.observe(Probes[I].Var, Probes[I].Up, Results[I].Degradation,
+               Probes[I].Dist);
+    ++St.StrongBranchSeeds;
+  }
+  for (const SolverStats &S : ProbeStats)
+    St.merge(S);
 }
 
 //===----------------------------------------------------------------------===//
@@ -452,15 +591,7 @@ struct ParallelTree {
     LpSolution Relax = Cfg.WarmNodes
                            ? solveLpWarm(P, N.Lower, N.Upper, W, Cfg)
                            : solveLpWithBounds(P, N.Lower, N.Upper, Cfg);
-    if (Relax.WarmStarted)
-      ++St.WarmNodeSolves;
-    else
-      ++St.ColdNodeSolves;
-    St.PrimalPivots += Relax.Iterations;
-    St.DualPivots += Relax.DualIterations;
-    St.BoundFlips += Relax.BoundFlips;
-    if (Relax.Refactorized)
-      ++St.Refactorizations;
+    accumulateLp(St, Relax);
     PivotsUsed.fetch_add(Relax.Iterations + Relax.DualIterations,
                          std::memory_order_relaxed);
 
@@ -506,11 +637,15 @@ struct ParallelTree {
                [&](Node &&Child) { pushChild(Me, std::move(Child)); });
   }
 
+  /// Root pseudo-cost history (strong-branching seeds) every worker
+  /// starts its own copy from; null = start empty.
+  const PseudoCosts *SeedPC = nullptr;
+
   void worker(unsigned Me) {
     WarmStart W;
     if (Cfg.WarmNodes && RootWs)
       W = RootWs->clone();
-    PseudoCosts PC(P.numVariables());
+    PseudoCosts PC = SeedPC ? *SeedPC : PseudoCosts(P.numVariables());
     SolverStats &St = WorkerStats[Me];
     Node N;
     while (claimNode(Me, N)) {
@@ -589,15 +724,7 @@ MipSolution solveMipImpl(const LpProblem &P, const SolverConfig &Cfg,
     LpSolution Relax = Cfg.WarmNodes
                            ? solveLpWarm(P, RootLo, RootHi, Ws, Cfg)
                            : solveLpWithBounds(P, RootLo, RootHi, Cfg);
-    if (Relax.WarmStarted)
-      ++Best.Stats.WarmNodeSolves;
-    else
-      ++Best.Stats.ColdNodeSolves;
-    Best.Stats.PrimalPivots += Relax.Iterations;
-    Best.Stats.DualPivots += Relax.DualIterations;
-    Best.Stats.BoundFlips += Relax.BoundFlips;
-    if (Relax.Refactorized)
-      ++Best.Stats.Refactorizations;
+    accumulateLp(Best.Stats, Relax);
 
     if (Relax.Status == LpStatus::Unbounded) {
       Best.Status = LpStatus::Unbounded;
@@ -611,13 +738,18 @@ MipSolution solveMipImpl(const LpProblem &P, const SolverConfig &Cfg,
         !(HaveIncumbent &&
           Relax.Objective >= Best.Objective - Cfg.GapTolerance)) {
       ParallelTree PT(P, Cfg, Limits, Threads, Cfg.WarmNodes ? &Ws : nullptr);
-      // The root solve's pivots count against the search-wide budget.
-      PT.PivotsUsed.store(Best.Stats.PrimalPivots + Best.Stats.DualPivots,
-                          std::memory_order_relaxed);
       if (HaveIncumbent)
         PT.seedIncumbent(Best.Objective, Best.Values);
 
       PseudoCosts RootPC(P.numVariables());
+      if (Cfg.StrongBranchK && Cfg.WarmNodes && Ws.valid())
+        strongBranchRoot(P, Cfg, Limits, Ws, RootLo, RootHi, Relax, RootPC,
+                         Best.Stats);
+      PT.SeedPC = &RootPC;
+      // The root solve's (and any strong-branch probes') pivots count
+      // against the search-wide budget.
+      PT.PivotsUsed.store(Best.Stats.PrimalPivots + Best.Stats.DualPivots,
+                          std::memory_order_relaxed);
       int BranchVar = pickBranchVariable(P, Relax.Values, Cfg, RootPC);
       if (BranchVar < 0) {
         std::vector<double> Cand = std::move(Relax.Values);
@@ -714,15 +846,16 @@ MipSolution solveMipImpl(const LpProblem &P, const SolverConfig &Cfg,
     LpSolution Relax = Cfg.WarmNodes
                            ? solveLpWarm(P, N.Lower, N.Upper, Ws, Cfg)
                            : solveLpWithBounds(P, N.Lower, N.Upper, Cfg);
-    if (Relax.WarmStarted)
-      ++Best.Stats.WarmNodeSolves;
-    else
-      ++Best.Stats.ColdNodeSolves;
-    Best.Stats.PrimalPivots += Relax.Iterations;
-    Best.Stats.DualPivots += Relax.DualIterations;
-    Best.Stats.BoundFlips += Relax.BoundFlips;
-    if (Relax.Refactorized)
-      ++Best.Stats.Refactorizations;
+    accumulateLp(Best.Stats, Relax);
+
+    // Root strong branching, serial flavour: the root is the first node
+    // popped (no creating branch), and its solved tableau is the one Ws
+    // holds right now — the probes clone it just like the parallel path
+    // clones the serially-solved root.
+    if (N.BranchVar < 0 && Cfg.StrongBranchK && Cfg.WarmNodes &&
+        Ws.valid() && Relax.Status == LpStatus::Optimal)
+      strongBranchRoot(P, Cfg, Limits, Ws, N.Lower, N.Upper, Relax, PC,
+                       Best.Stats);
 
     // Feed the branching history: this node's relaxation tells us what
     // its creating branch actually cost per unit of fraction moved.
@@ -812,6 +945,11 @@ MipSolution ramloc::solveMip(const LpProblem &P, const SolverConfig &Cfg,
   M.counter("mip.dual_pivots").add(Sol.Stats.DualPivots);
   M.counter("mip.bound_flips").add(Sol.Stats.BoundFlips);
   M.counter("mip.refactorizations").add(Sol.Stats.Refactorizations);
+  M.counter("mip.pricing.updates").add(Sol.Stats.PricingUpdates);
+  M.counter("mip.pricing.recomputes").add(Sol.Stats.PricingRecomputes);
+  M.counter("mip.pricing.drift").add(Sol.Stats.PricingDrift);
+  M.counter("mip.strongbranch.probes").add(Sol.Stats.StrongBranchProbes);
+  M.counter("mip.strongbranch.seeds").add(Sol.Stats.StrongBranchSeeds);
   if (Sol.Stats.WarmStarted)
     M.counter("mip.warm_starts").add();
   if (Sol.Stats.SeededIncumbent)

@@ -115,6 +115,17 @@ constexpr double PivotTol = 1e-7;
 /// a full cold solve. Material stuck violations still fail hard.
 constexpr double StuckTol = 1e-7;
 
+/// Floor under every steepest-edge weight. In exact arithmetic a weight
+/// is >= the squared diagonal of B^-1 and cannot reach zero; the floor
+/// only catches recurrence round-off from dividing by it.
+constexpr double DseFloor = 1e-10;
+
+/// Relative drift between a recurrence-maintained steepest-edge weight
+/// and its exact recompute that the refactorization self-check counts as
+/// material. Weights only steer row *selection*, so drift below this
+/// cannot change an answer — the counter is a numerics canary.
+constexpr double DseDriftTol = 1e-4;
+
 } // namespace
 
 namespace ramloc {
@@ -142,6 +153,9 @@ struct WarmState {
   std::vector<VStat> Stat;  ///< per column
   std::vector<double> Lo, Hi; ///< per-column box (slacks included)
   std::vector<unsigned> NzScratch;
+  /// Slack-column subset of NzScratch, rebuilt per pivot while the
+  /// steepest-edge recurrence is live (eliminate()).
+  std::vector<unsigned> SlackNzScratch;
   /// dualIterate scratch, member-owned like NzScratch: the dual runs
   /// once per branch & bound node, so per-call allocations would sit on
   /// the solver's hottest path.
@@ -171,13 +185,58 @@ struct WarmState {
   /// False until a solve leaves a re-optimizable (dual-feasible) basis.
   bool Usable = false;
 
-  /// Pivots performed since the tableau was built. Dense updates
-  /// accumulate rounding with every pivot; past the configured budget the
-  /// handle is rebuilt from the original data (the dense analogue of
-  /// periodic product-form/LU refactorization), bounding worst-case
-  /// drift at a cost of one cold solve per
+  /// Pivots performed since the tableau was last built or refactorized.
+  /// Dense updates accumulate rounding with every pivot; past the
+  /// configured budget the handle is refactorized from its current basis
+  /// (the dense analogue of periodic product-form/LU refactorization),
+  /// bounding worst-case drift at a cost of one re-elimination per
   /// RefactorInterval * (rows + vars + 1) pivots.
   uint64_t PivotsSinceBuild = 0;
+
+  //===--- Dual steepest-edge pricing state -------------------------------===//
+  //
+  // DseWeight[r] approximates ||e_r^T B^-1||^2, the squared norm of row r
+  // of the basis inverse — which the slack block of the tableau holds
+  // outright (column NumVars+k of row r is (B^-1)[r][k] in scaled row
+  // space), so the *exact* weights are an O(rows^2) recompute away. While
+  // the dual simplex is iterating the weights follow the Forrest–Goldfarb
+  // recurrence instead (folded into eliminate()'s nonzero walk); primal
+  // pivots merely invalidate them (DseEnabled false) and the next dual
+  // entry recomputes, which is one O(rows^2) pass instead of one per
+  // primal pivot.
+
+  /// Recurrence-maintained steepest-edge weights, one per row. Meaningful
+  /// only while DseValid.
+  std::vector<double> DseWeight;
+  /// True while DseWeight tracks the current basis.
+  bool DseValid = false;
+  /// True while the active iteration keeps the weights fresh through
+  /// eliminate(); false makes eliminate() invalidate instead.
+  bool DseEnabled = false;
+
+  /// Lifetime pricing-effort counters; entry points report per-solve
+  /// deltas via pricingSnap()/pricingDelta().
+  uint64_t DseUpdates = 0;
+  uint64_t DseRecomputes = 0;
+  uint64_t DseDrift = 0;
+
+  struct PricingSnap {
+    uint64_t Updates, Recomputes, Drift;
+  };
+  PricingSnap pricingSnap() const {
+    return {DseUpdates, DseRecomputes, DseDrift};
+  }
+  void pricingDelta(const PricingSnap &S, LpSolution &Sol) const {
+    Sol.PricingUpdates = static_cast<unsigned>(DseUpdates - S.Updates);
+    Sol.PricingRecomputes =
+        static_cast<unsigned>(DseRecomputes - S.Recomputes);
+    Sol.PricingDrift = static_cast<unsigned>(DseDrift - S.Drift);
+  }
+
+  /// Rotating start column for Pricing::PartialDantzig's candidate-
+  /// section scan; advanced past each chosen entering column so sections
+  /// take turns supplying pivots.
+  unsigned PartialCursor = 0;
 
   bool needsRefactor(const SolverConfig &Opts) const {
     return Opts.RefactorInterval != 0 &&
@@ -210,7 +269,9 @@ struct WarmState {
 
   bool build(const LpProblem &P, const std::vector<double> &Lower,
              const std::vector<double> &Upper, const SolverConfig &Opts);
+  bool refactorFromBasis(const LpProblem &P, const SolverConfig &Opts);
   void installObjective(const LpProblem &P, const SolverConfig &Opts);
+  void computeDseWeights();
   LpStatus primalIterate(const SolverConfig &Opts, unsigned &Iterations,
                          unsigned &BoundFlips);
   LpStatus dualIterate(const SolverConfig &Opts, unsigned &Iterations,
@@ -302,6 +363,9 @@ bool WarmState::build(const LpProblem &P, const std::vector<double> &Lower,
   Hi.assign(NumCols, 0.0);
   ObjScale = 1.0;
   PivotsSinceBuild = 0;
+  DseValid = false;
+  DseEnabled = false;
+  PartialCursor = 0;
 
   // Structural columns: box from the overrides, nonbasic at a finite
   // bound (lower preferred), free when both bounds are infinite. Any
@@ -354,6 +418,134 @@ bool WarmState::build(const LpProblem &P, const std::vector<double> &Lower,
   return true;
 }
 
+bool WarmState::refactorFromBasis(const LpProblem &P,
+                                  const SolverConfig &Opts) {
+  // Re-derive the tableau from original problem data *at the current
+  // basis*: rows are refilled with pristine coefficients (discarding the
+  // rounding drift and fill-in dense in-place updates accumulate) and
+  // re-eliminated against the basis the warm chain has refined, so the
+  // re-optimization that follows starts exactly where the chain left
+  // off instead of from an all-slack cold start. Statuses, boxes and
+  // applied RHS values all survive; Beta is recomputed from scratch
+  // against the fresh rows; steepest-edge weights are re-anchored with a
+  // drift self-check. Returns false when the retained basis turns out
+  // numerically singular against the pristine rows — the caller then
+  // falls back to the old rebuild-from-scratch path.
+  std::vector<double> NewT(size_t(NumRows) * NumCols, 0.0);
+  std::vector<double> Rhs(NumRows, 0.0);
+  auto nrow = [&](unsigned R) { return NewT.data() + size_t(R) * NumCols; };
+
+  // Refill each row in its original slot with original coefficients at
+  // the same equilibration scale, so slack column NumVars+r keeps
+  // meaning "row r's slack" and RHS patches keep landing through it.
+  std::vector<double> Coef(NumVars, 0.0);
+  for (unsigned I = 0; I != NumCons; ++I) {
+    int R0 = ConsRow[I];
+    if (R0 < 0)
+      continue; // constant row: never materialized
+    const LpConstraint &C = P.Constraints[I];
+    for (const auto &[Var, C2] : C.Terms)
+      Coef[Var] += C2;
+    double S = RowScale[static_cast<unsigned>(R0)];
+    double *Tr = nrow(static_cast<unsigned>(R0));
+    for (const auto &[Var, C2] : C.Terms) {
+      (void)C2;
+      if (Coef[Var] != 0.0) {
+        Tr[Var] = Coef[Var] * S;
+        Coef[Var] = 0.0;
+      }
+    }
+    Tr[NumVars + static_cast<unsigned>(R0)] = 1.0;
+    // The RHS the state currently encodes, not the problem's: patches
+    // already applied must not be re-applied by the next patchTo diff.
+    Rhs[static_cast<unsigned>(R0)] =
+        AppliedRhs[I] * S;
+  }
+
+  // Gauss-Jordan re-elimination of the current basis column set. Pivot
+  // rows are chosen by largest |entry| (partial pivoting); which tableau
+  // row ends up hosting which basic variable is irrelevant — all row/
+  // constraint bookkeeping is keyed by slack *columns*, not row order.
+  std::vector<unsigned> SavedBasis = Basis;
+  std::vector<unsigned> NewBasis(NumRows, 0);
+  std::vector<bool> RowUsed(NumRows, false);
+  for (unsigned Pos = 0; Pos != NumRows; ++Pos) {
+    unsigned Col = SavedBasis[Pos];
+    int PivRow = -1;
+    double BestMag = PivotTol;
+    for (unsigned R = 0; R != NumRows; ++R) {
+      if (RowUsed[R])
+        continue;
+      double Mag = std::abs(nrow(R)[Col]);
+      if (Mag > BestMag) {
+        BestMag = Mag;
+        PivRow = static_cast<int>(R);
+      }
+    }
+    if (PivRow < 0)
+      return false; // singular basis against pristine data
+    unsigned PR = static_cast<unsigned>(PivRow);
+    RowUsed[PR] = true;
+    NewBasis[PR] = Col;
+    double *Prow = nrow(PR);
+    double Piv = Prow[Col];
+    for (unsigned C = 0; C != NumCols; ++C)
+      Prow[C] /= Piv;
+    Prow[Col] = 1.0;
+    Rhs[PR] /= Piv;
+    for (unsigned R = 0; R != NumRows; ++R) {
+      if (R == PR)
+        continue;
+      double *Tr = nrow(R);
+      double F = Tr[Col];
+      if (std::abs(F) < 1e-12) {
+        Tr[Col] = 0.0;
+        continue;
+      }
+      for (unsigned C = 0; C != NumCols; ++C)
+        Tr[C] -= F * Prow[C];
+      Tr[Col] = 0.0;
+      Rhs[R] -= F * Rhs[PR];
+    }
+  }
+
+  T = std::move(NewT);
+  Basis = std::move(NewBasis);
+  // Basic values from first principles: row r now reads
+  //   x_B[r] + sum_nonbasic T[r][c] x_c = Rhs[r].
+  for (unsigned R = 0; R != NumRows; ++R) {
+    double B = Rhs[R];
+    const double *Tr = row(R);
+    for (unsigned C = 0; C != NumCols; ++C) {
+      if (Stat[C] == VStat::Basic)
+        continue;
+      double V = nbVal(C);
+      if (V != 0.0)
+        B -= Tr[C] * V;
+    }
+    Beta[R] = B;
+  }
+  installObjective(P, Opts); // exact reduced costs against the new rows
+  PivotsSinceBuild = 0;
+
+  // Steepest-edge self-check: compare the recurrence-maintained weights
+  // against an exact recompute off the fresh slack block, then keep the
+  // recompute. Row order changed, so compare per basic *column*.
+  if (DseValid) {
+    std::vector<double> OldBySlot(NumCols, 0.0);
+    for (unsigned R = 0; R != NumRows; ++R)
+      OldBySlot[SavedBasis[R]] = DseWeight[R];
+    computeDseWeights();
+    for (unsigned R = 0; R != NumRows; ++R) {
+      double Old = OldBySlot[Basis[R]];
+      double New = DseWeight[R];
+      if (std::abs(Old - New) > DseDriftTol * std::max(1.0, New))
+        ++DseDrift;
+    }
+  }
+  return true;
+}
+
 void WarmState::installObjective(const LpProblem &P,
                                  const SolverConfig &Opts) {
   double MaxC = 0.0;
@@ -377,6 +569,24 @@ void WarmState::installObjective(const LpProblem &P,
   }
 }
 
+void WarmState::computeDseWeights() {
+  // Exact reference weights straight off the slack block: row r of the
+  // tableau restricted to the slack columns *is* row r of B^-1 (in
+  // scaled row space), so ||rho_r||^2 is a dot product with itself.
+  DseWeight.assign(NumRows, 1.0);
+  for (unsigned R = 0; R != NumRows; ++R) {
+    const double *Tr = row(R);
+    double W = 0.0;
+    for (unsigned K = 0; K != NumRows; ++K) {
+      double V = Tr[NumVars + K];
+      W += V * V;
+    }
+    DseWeight[R] = std::max(W, DseFloor);
+  }
+  ++DseRecomputes;
+  DseValid = true;
+}
+
 void WarmState::eliminate(unsigned Row, unsigned Col) {
   ++PivotsSinceBuild;
   double *PR = row(Row);
@@ -393,10 +603,40 @@ void WarmState::eliminate(unsigned Row, unsigned Col) {
     NzScratch.push_back(C);
   }
   bool Sparse = NzScratch.size() * 2 < NumCols;
-  auto apply = [&](double *Tr) {
+
+  // Steepest-edge recurrence (Forrest–Goldfarb), phrased against the
+  // *normalized* pivot row the elimination is about to subtract: with
+  // u = slack block of PR/alpha (= rho_r / alpha, row Row of B^-1 over
+  // the pivot element) the Gauss-Jordan step maps rho_i' = rho_i - a_i u
+  // and rho_r' = u, hence
+  //   w_i' = w_i - 2 a_i (rho_i . u) + a_i^2 ||u||^2,   w_r' = ||u||^2.
+  // Both dot products ride the same nonzero walk as the subtraction
+  // (slack columns only), so the exact update costs a fraction of the
+  // elimination itself. A pivot without the recurrence live invalidates
+  // the weights; the next dual entry recomputes them in one pass.
+  bool Dse = DseValid && DseEnabled;
+  double U = 0.0;
+  if (Dse) {
+    SlackNzScratch.clear();
+    for (unsigned C : NzScratch)
+      if (C >= NumVars) {
+        SlackNzScratch.push_back(C);
+        U += PR[C] * PR[C];
+      }
+  } else if (DseValid) {
+    DseValid = false;
+  }
+
+  auto apply = [&](double *Tr, double *W) {
     double Factor = Tr[Col];
     if (std::abs(Factor) < 1e-12)
       return;
+    if (W) {
+      double S = 0.0;
+      for (unsigned C : SlackNzScratch)
+        S += Tr[C] * PR[C];
+      *W = std::max(*W - 2.0 * Factor * S + Factor * Factor * U, DseFloor);
+    }
     if (Sparse) {
       for (unsigned C : NzScratch)
         Tr[C] -= Factor * PR[C];
@@ -408,9 +648,13 @@ void WarmState::eliminate(unsigned Row, unsigned Col) {
   };
   for (unsigned R = 0; R != NumRows; ++R)
     if (R != Row)
-      apply(this->row(R));
-  apply(Obj.data());
+      apply(this->row(R), Dse ? &DseWeight[R] : nullptr);
+  apply(Obj.data(), nullptr);
   Basis[Row] = Col;
+  if (Dse) {
+    DseWeight[Row] = std::max(U, DseFloor);
+    ++DseUpdates;
+  }
 }
 
 bool WarmState::primalInfeasible(double Tol) const {
@@ -432,38 +676,57 @@ bool WarmState::anyEmptyBox() const {
 LpStatus WarmState::primalIterate(const SolverConfig &Opts,
                                   unsigned &Iterations,
                                   unsigned &BoundFlips) {
+  const Pricing Rule = Opts.effectivePricing();
+  // Steepest-edge weights are a dual-side investment: maintaining them
+  // through every primal pivot would cost O(rows^2) each, while the next
+  // dual entry can recompute them all in one O(rows^2) pass. So primal
+  // pivots invalidate (via eliminate()) and the dual recomputes lazily.
+  DseEnabled = false;
+  // Partial pricing scans columns in rotating sections; the section size
+  // balances scan savings against pivot quality.
+  const unsigned Section = std::max(32u, NumCols / 8);
   unsigned StallCount = 0;
   while (Iterations < Opts.MaxIterations) {
-    bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
+    bool Bland = Rule == Pricing::Bland || StallCount > NumRows + 16;
+    bool Partial = !Bland && Rule == Pricing::PartialDantzig;
 
     // Entering column: an at-lower (or free) variable with negative
     // reduced cost moves up, an at-upper (or free) one with positive
-    // reduced cost moves down. Dantzig picks the worst violation; Bland
-    // the first.
+    // reduced cost moves down. Dantzig picks the worst violation over
+    // all columns; Bland the first; Partial the worst within the first
+    // rotating section that offers any candidate.
     int Entering = -1;
     double Dir = 0.0, Best = Opts.Tolerance;
-    for (unsigned C = 0; C != NumCols; ++C) {
-      if (Stat[C] == VStat::Basic || fixed(C))
-        continue;
-      double RC = Obj[C];
-      double D = 0.0;
-      if (RC < -Opts.Tolerance && Stat[C] != VStat::AtUpper)
-        D = 1.0;
-      else if (RC > Opts.Tolerance && Stat[C] != VStat::AtLower)
-        D = -1.0;
-      if (D == 0.0)
-        continue;
-      if (std::abs(RC) > Best) {
-        Entering = static_cast<int>(C);
-        Dir = D;
-        if (Bland)
-          break;
-        Best = std::abs(RC);
+    unsigned Start = Partial ? PartialCursor % NumCols : 0;
+    for (unsigned O = 0; O != NumCols; ++O) {
+      unsigned C = Start + O;
+      if (C >= NumCols)
+        C -= NumCols;
+      if (Stat[C] != VStat::Basic && !fixed(C)) {
+        double RC = Obj[C];
+        double D = 0.0;
+        if (RC < -Opts.Tolerance && Stat[C] != VStat::AtUpper)
+          D = 1.0;
+        else if (RC > Opts.Tolerance && Stat[C] != VStat::AtLower)
+          D = -1.0;
+        if (D != 0.0 && std::abs(RC) > Best) {
+          Entering = static_cast<int>(C);
+          Dir = D;
+          if (Bland)
+            break;
+          Best = std::abs(RC);
+        }
       }
+      // Section boundary: partial pricing stops at the first section
+      // that produced a candidate.
+      if (Partial && Entering >= 0 && (O + 1) % Section == 0)
+        break;
     }
     if (Entering < 0)
       return LpStatus::Optimal;
     unsigned Q = static_cast<unsigned>(Entering);
+    if (Partial)
+      PartialCursor = (Q + 1) % NumCols;
 
     // Ratio test: how far can the entering variable travel before a
     // basic variable hits a bound — or before its own span runs out (a
@@ -544,6 +807,10 @@ LpStatus WarmState::primalIterate(const SolverConfig &Opts,
 LpStatus WarmState::dualIterate(const SolverConfig &Opts,
                                 unsigned &Iterations,
                                 unsigned &BoundFlips) {
+  const Pricing Rule = Opts.effectivePricing();
+  DseEnabled = Rule == Pricing::SteepestEdge;
+  if (DseEnabled && !DseValid)
+    computeDseWeights(); // first activation, or primal pivots intervened
   unsigned StallCount = 0;
   // Per-iteration candidate list for the bound-flipping ratio test:
   // {ratio, -|a|, column}, sorted ascending so ties prefer the larger
@@ -558,7 +825,8 @@ LpStatus WarmState::dualIterate(const SolverConfig &Opts,
   std::vector<bool> &RowDeferred = DeferScratch;
   RowDeferred.assign(NumRows, false);
   while (Iterations < Opts.MaxIterations) {
-    bool Bland = Opts.ForceBland || StallCount > NumRows + 16;
+    bool Bland = Rule == Pricing::Bland || StallCount > NumRows + 16;
+    bool Dse = DseEnabled && DseValid && !Bland;
     std::fill(RowDeferred.begin(), RowDeferred.end(), false);
 
     unsigned LR = 0, P = 0;
@@ -566,10 +834,15 @@ LpStatus WarmState::dualIterate(const SolverConfig &Opts,
     bool BelowLb = false;
     int BlandPick = -1;
     for (;;) {
-      // Leaving row: the basic variable furthest outside its box (Bland:
-      // the lowest basis index among violators), deferred rows skipped.
+      // Leaving row: steepest-edge scores violation^2 per unit of
+      // basis-inverse row norm — the row whose repair moves the true
+      // (unscaled) infeasibility most per pivot; Dantzig takes the raw
+      // worst violation; Bland the lowest basis index among violators.
+      // Deferred rows are skipped; ties keep the first (lowest row
+      // index) for determinism.
       int Leaving = -1;
       double Worst = Opts.Tolerance;
+      double BestScore = 0.0;
       bool DeferredViolated = false;
       for (unsigned R = 0; R != NumRows; ++R) {
         unsigned B = Basis[R];
@@ -583,11 +856,20 @@ LpStatus WarmState::dualIterate(const SolverConfig &Opts,
             DeferredViolated = true;
           continue;
         }
-        if (Leaving < 0 ||
-            (Bland ? B < Basis[static_cast<unsigned>(Leaving)]
-                   : V > Worst)) {
+        bool Take;
+        double Score = Dse ? V * V / DseWeight[R] : 0.0;
+        if (Leaving < 0)
+          Take = true;
+        else if (Bland)
+          Take = B < Basis[static_cast<unsigned>(Leaving)];
+        else if (Dse)
+          Take = Score > BestScore;
+        else
+          Take = V > Worst;
+        if (Take) {
           Leaving = static_cast<int>(R);
           Worst = std::max(V, Worst);
+          BestScore = Score;
           BelowLb = ViolLo >= ViolHi;
         }
       }
@@ -791,6 +1073,7 @@ void WarmState::extract(const LpProblem &P, LpSolution &Sol) const {
 LpSolution WarmState::solveFresh(const LpProblem &P,
                                  const SolverConfig &Opts) {
   LpSolution Sol;
+  PricingSnap Snap = pricingSnap();
   // Feasibility phase: the all-slack start violates boxes exactly where
   // >=/== rows bite. Under the zero objective every status is dual
   // feasible, so the dual simplex is the artificial-free phase 1.
@@ -798,11 +1081,13 @@ LpSolution WarmState::solveFresh(const LpProblem &P,
     LpStatus S = dualIterate(Opts, Sol.DualIterations, Sol.BoundFlips);
     if (S != LpStatus::Optimal) {
       Sol.Status = S;
+      pricingDelta(Snap, Sol);
       return Sol;
     }
   }
   installObjective(P, Opts);
   Sol.Status = primalIterate(Opts, Sol.Iterations, Sol.BoundFlips);
+  pricingDelta(Snap, Sol);
   if (Sol.Status != LpStatus::Optimal)
     return Sol;
   Usable = true;
@@ -890,6 +1175,7 @@ LpSolution ramloc::resolveLpFromBasis(const LpProblem &P,
   SolverConfig DualOpts = Opts;
   DualOpts.MaxIterations =
       std::min(Opts.MaxIterations, std::max(128u, W.NumRows + W.NumVars));
+  WarmState::PricingSnap Snap = W.pricingSnap();
   LpStatus S = W.dualIterate(DualOpts, Sol.DualIterations, Sol.BoundFlips);
   if (S == LpStatus::Optimal) {
     // The dual ratio test keeps reduced costs sign-correct in exact
@@ -899,6 +1185,7 @@ LpSolution ramloc::resolveLpFromBasis(const LpProblem &P,
     // saving, and the rebuild is cheaper than letting it wander.
     S = W.primalIterate(DualOpts, Sol.Iterations, Sol.BoundFlips);
   }
+  W.pricingDelta(Snap, Sol);
   Sol.Status = S;
   if (S == LpStatus::Optimal) {
     W.extract(P, Sol);
@@ -924,10 +1211,34 @@ LpSolution ramloc::solveLpWarm(const LpProblem &P,
   // FaultTest suite pins exactly that.
   if (HadUsableMatch && FaultInjector::shouldFail("solver.degrade"))
     HadUsableMatch = false;
-  if (HadUsableMatch && !Warm.S->needsRefactor(Opts)) {
+  // A retained tableau past its refactorization cadence is re-derived
+  // *in place from its current basis* — pristine rows re-eliminated
+  // against the refined basis, Beta and steepest-edge weights
+  // re-anchored — and the re-optimization then proceeds warm as usual.
+  // Only a numerically singular basis (refactorFromBasis false) or a
+  // re-optimization that exhausts its budget below falls back to the
+  // cold rebuild-from-scratch path.
+  bool Refactorized = false;
+  bool Resolvable = HadUsableMatch;
+  WarmState::PricingSnap Snap{};
+  if (HadUsableMatch)
+    Snap = Warm.S->pricingSnap();
+  if (Resolvable && Warm.S->needsRefactor(Opts)) {
+    if (Warm.S->refactorFromBasis(P, Opts))
+      Refactorized = true;
+    else
+      Resolvable = false;
+  }
+  if (Resolvable) {
     LpSolution Sol = resolveLpFromBasis(P, Lower, Upper, Warm, Opts);
-    if (Sol.Status != LpStatus::IterLimit && Sol.Status != LpStatus::Unbounded)
+    if (Sol.Status != LpStatus::IterLimit &&
+        Sol.Status != LpStatus::Unbounded) {
+      Sol.Refactorized = Refactorized;
+      // Fold the refactorization's recomputes/drift (spent before the
+      // resolve's own snapshot) into the reported per-solve delta.
+      Warm.S->pricingDelta(Snap, Sol);
       return Sol;
+    }
     // fall through: rebuild from scratch
   }
   Warm.S = std::make_unique<WarmState>();

@@ -9,7 +9,9 @@
 /// Dense bounded-variable tableau simplex. Integrality markers are ignored
 /// here; lp/BranchBound.h layers 0/1 search on top. Problem sizes in this
 /// project are small (tens to a few hundred variables), so a dense tableau
-/// with Dantzig pricing and a Bland anti-cycling fallback is plenty.
+/// is plenty; pivot selection is pluggable (SolverConfig::Pricing — dual
+/// steepest-edge by default, Dantzig / partial Dantzig / Bland behind the
+/// enum, all with the Bland anti-cycling fallback when stalled).
 ///
 /// Variables carry their [lb, ub] box implicitly: a nonbasic variable sits
 /// *at* its lower or upper bound (or at zero when free) and the tableau
@@ -73,13 +75,22 @@ struct LpSolution {
   /// bound without a basis change (bounded-variable fast path: no pivot,
   /// no elimination, just an O(rows) value update).
   unsigned BoundFlips = 0;
+  /// Steepest-edge pricing effort this solve: weight-recurrence updates
+  /// applied per pivot, exact recomputes from the basis-inverse block,
+  /// and self-check repairs where a recurrence weight had drifted from
+  /// its recompute (see the mip.pricing.* counters).
+  unsigned PricingUpdates = 0;
+  unsigned PricingRecomputes = 0;
+  unsigned PricingDrift = 0;
   /// True when this solution was reached by re-optimizing a retained
   /// basis rather than solving from scratch.
   bool WarmStarted = false;
   /// True when a previously valid, structurally matching warm tableau was
-  /// rebuilt from original problem data for this solve — the periodic
-  /// SolverConfig::RefactorInterval cadence, or a repair after a failed
-  /// re-optimization. First builds and structure changes don't count.
+  /// re-derived from original problem data for this solve — the periodic
+  /// SolverConfig::RefactorInterval cadence (which re-eliminates against
+  /// the *current* basis, so the solve still counts as warm) or a repair
+  /// after a failed re-optimization (which rebuilds cold). First builds
+  /// and structure changes don't count.
   bool Refactorized = false;
   /// The solved basis: one column index per tableau row (columns are
   /// variables first, then one slack per row). With implicit bounds the
@@ -145,12 +156,16 @@ LpSolution solveLpWithBounds(const LpProblem &P,
 /// Warm-capable solve: on first use (or after a structure change /
 /// numerical failure) builds \p Warm's tableau at the given bounds and
 /// solves cold; on later calls re-optimizes the retained basis with the
-/// dual simplex (see resolveLpFromBasis), falling back to a fresh build
-/// when re-optimization hits the iteration limit or the tableau reaches
-/// its SolverConfig::RefactorInterval refactorization cadence. Either way
+/// dual simplex (see resolveLpFromBasis). When the tableau reaches its
+/// SolverConfig::RefactorInterval cadence it is refactorized *in place
+/// from its current basis* — rows rebuilt from original data and
+/// re-eliminated against the basis the chain has refined, statuses and
+/// steepest-edge weights re-anchored — and the re-optimization proceeds
+/// warm; only a numerically singular basis or a re-optimization that
+/// hits its iteration limit degrades to a fresh cold build. Either way
 /// the result is the exact LP optimum; LpSolution::WarmStarted records
 /// which path satisfied the call and LpSolution::Refactorized whether a
-/// retained tableau was rebuilt.
+/// retained tableau was re-derived.
 LpSolution solveLpWarm(const LpProblem &P, const std::vector<double> &Lower,
                        const std::vector<double> &Upper, WarmStart &Warm,
                        const SolverConfig &Cfg = {});

@@ -28,6 +28,34 @@ bool nodeOrderFromName(const std::string &Name, NodeOrder &Out) {
   return true;
 }
 
+const char *pricingName(Pricing P) {
+  switch (P) {
+  case Pricing::SteepestEdge:
+    return "steepest-edge";
+  case Pricing::Dantzig:
+    return "dantzig";
+  case Pricing::PartialDantzig:
+    return "partial";
+  case Pricing::Bland:
+    return "bland";
+  }
+  return "steepest-edge";
+}
+
+bool pricingFromName(const std::string &Name, Pricing &Out) {
+  if (Name == "steepest-edge")
+    Out = Pricing::SteepestEdge;
+  else if (Name == "dantzig")
+    Out = Pricing::Dantzig;
+  else if (Name == "partial")
+    Out = Pricing::PartialDantzig;
+  else if (Name == "bland")
+    Out = Pricing::Bland;
+  else
+    return false;
+  return true;
+}
+
 const char *solveStatusName(SolveStatus S) {
   switch (S) {
   case SolveStatus::Optimal:
@@ -63,6 +91,11 @@ SolverStats &SolverStats::merge(const SolverStats &Other) {
   DualPivots += Other.DualPivots;
   BoundFlips += Other.BoundFlips;
   Refactorizations += Other.Refactorizations;
+  PricingUpdates += Other.PricingUpdates;
+  PricingRecomputes += Other.PricingRecomputes;
+  PricingDrift += Other.PricingDrift;
+  StrongBranchProbes += Other.StrongBranchProbes;
+  StrongBranchSeeds += Other.StrongBranchSeeds;
   WarmStarted = WarmStarted || Other.WarmStarted;
   SeededIncumbent = SeededIncumbent || Other.SeededIncumbent;
   return *this;

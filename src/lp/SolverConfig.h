@@ -43,6 +43,37 @@ enum class NodeOrder : uint8_t {
 const char *nodeOrderName(NodeOrder O);
 bool nodeOrderFromName(const std::string &Name, NodeOrder &Out);
 
+/// How the simplex prices its pivots. Every rule is exact — the optimum
+/// (and therefore every campaign report) is byte-identical across rules;
+/// what changes is how many pivots the search spends getting there, which
+/// is the solver's hot-path currency on warm re-solve chains.
+enum class Pricing : uint8_t {
+  /// Dual steepest-edge (Forrest–Goldfarb): the leaving row is the one
+  /// whose box violation is largest *per unit of basis-inverse row norm*,
+  /// so one pivot repairs as much true infeasibility as possible instead
+  /// of chasing raw violation magnitudes. Reference weights are exact
+  /// (the dense tableau's slack block holds B^-1 outright), updated by a
+  /// per-pivot recurrence and self-checked against a fresh recompute at
+  /// every refactorization. The default: warm branch & bound re-solves
+  /// are dual-simplex dominated, and this is where their pivots go.
+  SteepestEdge,
+  /// Textbook most-violated selection, both simplexes. The pre-PR-10
+  /// behaviour, kept as the A/B baseline the perf gates compare against.
+  Dantzig,
+  /// Dantzig with a rotating candidate-section scan on the primal side:
+  /// the entering column is the best of the first section that offers
+  /// one, not of all columns. Cheaper per iteration on cold phase-1
+  /// passes over wide tableaux; the dual side prices as Dantzig.
+  PartialDantzig,
+  /// Bland's least-index rule everywhere. Immune to cycling by
+  /// construction; exists so the degenerate-pivot regressions can pin
+  /// the fallback every other rule switches to when stalled.
+  Bland,
+};
+
+const char *pricingName(Pricing P);
+bool pricingFromName(const std::string &Name, Pricing &Out);
+
 /// What a finished solve actually proved. LpStatus says what the final
 /// point is; SolveStatus says how much to trust it — the two are
 /// orthogonal once deadlines exist, because a deadline can stop a search
@@ -71,18 +102,32 @@ struct SolverConfig {
   double Tolerance = 1e-9;
   /// Pivot budget per simplex phase.
   unsigned MaxIterations = 100000;
-  /// Always price with Bland's rule instead of Dantzig-with-Bland-
-  /// fallback. Slower, but immune to cycling by construction; exists so
-  /// the degenerate-pivot regression tests can pin both rules.
+  /// Pivot selection rule (see Pricing). Exact and report-neutral either
+  /// way; SteepestEdge spends the fewest dual pivots on warm chains.
+  Pricing PricingRule = Pricing::SteepestEdge;
+  /// Deprecated alias for PricingRule = Pricing::Bland, kept so pre-PR-10
+  /// callers compile and behave identically; the solver reads only
+  /// effectivePricing(). Prefer setting PricingRule directly.
   bool ForceBland = false;
-  /// Refactorization cadence: a retained warm tableau is rebuilt from the
-  /// original problem data after RefactorInterval * (rows + vars + 1)
-  /// pivots, bounding the rounding drift dense in-place updates
-  /// accumulate (the dense analogue of periodic product-form/LU
-  /// refactorization) and re-sparsifying fill-in before long warm chains
-  /// — best-bound order's far basis jumps in particular — start
-  /// thrashing. 0 disables the cadence entirely.
+  /// Refactorization cadence: after RefactorInterval * (rows + vars + 1)
+  /// pivots, a retained warm tableau is re-derived *from its current
+  /// basis* — the rows are rebuilt from original problem data and
+  /// re-eliminated against the basis the chain has refined, which
+  /// re-sparsifies fill-in and discards the rounding drift dense
+  /// in-place updates accumulate (the dense analogue of periodic
+  /// product-form/LU refactorization) while keeping the basis, the
+  /// nonbasic statuses and the re-anchored steepest-edge weights, so
+  /// 1000-point knob chains and Pareto sweeps never pay a cold restart.
+  /// Only a numerically singular basis degrades to the old
+  /// rebuild-from-scratch path. 0 disables the cadence entirely.
   unsigned RefactorInterval = 64;
+
+  /// The pricing rule the solver actually applies: the deprecated
+  /// ForceBland flag wins (mapping onto Pricing::Bland) so old callers
+  /// keep their exact semantics without scattered special cases.
+  Pricing effectivePricing() const {
+    return ForceBland ? Pricing::Bland : PricingRule;
+  }
 
   //===--- MIP search (branch & bound) ------------------------------------===//
 
@@ -104,6 +149,16 @@ struct SolverConfig {
   /// until a variable has observed degradations. Disable for plain
   /// most-fractional branching.
   bool PseudoCostBranching = true;
+  /// Strong branching at the root: probe the top-K branching candidates
+  /// (pseudo-cost ranked; most-fractional until costs exist) by actually
+  /// solving both children with bounded dual re-solves on clones of the
+  /// solved root tableau, fanned over the Threads worker pool, and seed
+  /// the pseudo-cost history with the observed degradations before the
+  /// first real branch is chosen. Exact and report-neutral — probes only
+  /// inform the branching order, never the answer. 0 disables (default);
+  /// probing needs a warm root tableau, so fully cold runs
+  /// (WarmNodes = false) skip it.
+  unsigned StrongBranchK = 0;
 
   //===--- Cooperative limits (graceful degradation) ----------------------===//
   //
@@ -155,10 +210,26 @@ struct SolverStats {
   /// Ratio-test outcomes that moved a variable across its box without a
   /// pivot (bounded-variable fast path).
   uint64_t BoundFlips = 0;
-  /// Warm tableaux rebuilt from original problem data mid-search: the
-  /// periodic SolverConfig::RefactorInterval cadence plus repair
-  /// bail-outs (iteration-limited or numerically stuck re-optimizations).
+  /// Warm tableaux re-derived from original problem data mid-search: the
+  /// periodic SolverConfig::RefactorInterval cadence (which now keeps the
+  /// current basis) plus repair bail-outs (iteration-limited or
+  /// numerically stuck re-optimizations, which rebuild cold).
   uint64_t Refactorizations = 0;
+  /// Steepest-edge weight recurrence updates applied (one per pivot while
+  /// dual steepest-edge pricing is active).
+  uint64_t PricingUpdates = 0;
+  /// Exact weight recomputes from the tableau's basis-inverse block:
+  /// first activations plus the per-refactorization re-anchoring.
+  uint64_t PricingRecomputes = 0;
+  /// Refactorization self-checks where a recurrence-maintained weight had
+  /// drifted materially from its exact recompute. Drift is repaired on
+  /// the spot (the recompute wins); a nonzero count is a numerics canary,
+  /// not an error.
+  uint64_t PricingDrift = 0;
+  /// Root strong-branching child probes performed (two per candidate).
+  uint64_t StrongBranchProbes = 0;
+  /// Pseudo-cost observations seeded from conclusive root probes.
+  uint64_t StrongBranchSeeds = 0;
   /// True when the solve itself started from a caller-provided
   /// MipWarmStart basis (knob-axis reuse) rather than a cold root.
   bool WarmStarted = false;

@@ -753,6 +753,43 @@ TEST(Campaign, SolverThreadCountsProduceByteIdenticalReports) {
     }
 }
 
+TEST(Campaign, PricingRulesProduceByteIdenticalReports) {
+  // Pricing only picks which pivot the simplex takes next and strong
+  // branching only reorders the tree walk; both are exact, so every
+  // pricing rule x strong-branch x thread-count combination must emit
+  // the same campaign report bytes — the same guarantee the CI batch
+  // smoke proves end-to-end through ramloc-batch --pricing.
+  GridSpec Grid;
+  Grid.Benchmarks = {"crc32", "int_matmult"};
+  Grid.Levels = {OptLevel::O1};
+  Grid.Repeat = 2;
+  Grid.RsparePoints = {128, 512};
+  Grid.XlimitPoints = {1.05, 1.5};
+  Grid.Kind = JobKind::ModelOnly;
+
+  std::string Reference;
+  for (Pricing Rule : {Pricing::SteepestEdge, Pricing::Dantzig,
+                       Pricing::PartialDantzig, Pricing::Bland})
+    for (unsigned StrongK : {0u, 8u})
+      for (unsigned Threads : {1u, 4u}) {
+        CampaignOptions Opts;
+        Opts.Base.Solver.PricingRule = Rule;
+        Opts.Base.Solver.StrongBranchK = StrongK;
+        Opts.Base.Solver.Threads = Threads;
+        CampaignResult CR = runCampaign(Grid, Opts);
+        ASSERT_EQ(CR.Summary.Failed, 0u)
+            << pricingName(Rule) << ", strong-branch " << StrongK << ", "
+            << Threads << " threads";
+        std::string Report = campaignToJson(CR);
+        if (Reference.empty())
+          Reference = Report;
+        else
+          EXPECT_EQ(Report, Reference)
+              << pricingName(Rule) << ", strong-branch " << StrongK
+              << ", " << Threads << " threads";
+      }
+}
+
 TEST(Campaign, ReportWithSolverDiagnosticsParsesAndDiffsClean) {
   // A report annotated with a "solver" effort block (a diagnostic
   // dialect extension) must parse, absorb the counters, and reserialize

@@ -100,10 +100,10 @@ TEST(Simplex, DegenerateProblemTerminates) {
 
 /// Beale's classic cycling example: under naive Dantzig pricing with the
 /// wrong tie-breaks, the simplex revisits the same degenerate bases
-/// forever. The regression pins termination and optimality under both
-/// pricing rules (Dantzig-with-Bland-fallback and forced Bland).
+/// forever. The regression pins termination and optimality under every
+/// pricing rule (each non-Bland rule falls back to Bland on a stall).
 /// Optimum: x = (1/25, 0, 1, 0), objective -1/20.
-TEST(Simplex, BealeCyclingTerminatesUnderBothPricingRules) {
+TEST(Simplex, BealeCyclingTerminatesUnderEveryPricingRule) {
   auto Build = [] {
     LpProblem P;
     double Inf = std::numeric_limits<double>::infinity();
@@ -119,13 +119,14 @@ TEST(Simplex, BealeCyclingTerminatesUnderBothPricingRules) {
     return P;
   };
 
-  for (bool ForceBland : {false, true}) {
+  for (Pricing Rule : {Pricing::SteepestEdge, Pricing::Dantzig,
+                       Pricing::PartialDantzig, Pricing::Bland}) {
     SolverConfig Opts;
-    Opts.ForceBland = ForceBland;
+    Opts.PricingRule = Rule;
     LpProblem P = Build();
     LpSolution S = solveLp(P, Opts);
     ASSERT_EQ(S.Status, LpStatus::Optimal)
-        << "pricing rule " << (ForceBland ? "bland" : "dantzig");
+        << "pricing rule " << pricingName(Rule);
     EXPECT_NEAR(S.Objective, -0.05, 1e-9);
     EXPECT_NEAR(S.Values[0], 0.04, 1e-7);
     EXPECT_NEAR(S.Values[2], 1.0, 1e-7);
@@ -153,6 +154,28 @@ TEST(Simplex, DegenerateProblemTerminatesUnderForcedBland) {
   LpSolution S = solveLp(P, Opts);
   ASSERT_EQ(S.Status, LpStatus::Optimal);
   EXPECT_NEAR(S.Values[X], 5.0, 1e-7);
+}
+
+/// The deprecated ForceBland flag is a pure alias: it maps onto
+/// Pricing::Bland through effectivePricing() and overrides whatever
+/// PricingRule says, so pre-enum callers keep their exact behaviour.
+TEST(SolverConfig, ForceBlandAliasMapsOntoPricingEnum) {
+  SolverConfig Opts;
+  EXPECT_EQ(Opts.effectivePricing(), Pricing::SteepestEdge);
+  Opts.ForceBland = true;
+  EXPECT_EQ(Opts.effectivePricing(), Pricing::Bland);
+  Opts.PricingRule = Pricing::Dantzig; // the alias still wins
+  EXPECT_EQ(Opts.effectivePricing(), Pricing::Bland);
+
+  // Round-trip every enum value through its CLI spelling.
+  for (Pricing Rule : {Pricing::SteepestEdge, Pricing::Dantzig,
+                       Pricing::PartialDantzig, Pricing::Bland}) {
+    Pricing Parsed = Pricing::SteepestEdge;
+    ASSERT_TRUE(pricingFromName(pricingName(Rule), Parsed));
+    EXPECT_EQ(Parsed, Rule);
+  }
+  Pricing Unused = Pricing::SteepestEdge;
+  EXPECT_FALSE(pricingFromName("newton", Unused));
 }
 
 TEST(Simplex, SolvedBasisIsExposed) {
@@ -345,6 +368,47 @@ TEST(WarmLp, ReoptimizesAfterRhsPatch) {
   Patched = resolveLpFromBasis(P, Lo, Hi, Ws, {});
   ASSERT_EQ(Patched.Status, LpStatus::Optimal);
   EXPECT_NEAR(Patched.Objective, -16.0, 1e-9);
+}
+
+TEST(WarmLp, RefactorizationPreservesBasisAcrossWarmChain) {
+  // With RefactorInterval = 1 the cadence rebuild fires after a handful
+  // of pivots. The rebuild must re-eliminate the *current* basis in
+  // place -- the chained solves stay warm (dual re-optimization, not a
+  // cold phase-1/2 restart) and keep matching the cold answers exactly.
+  LpProblem P;
+  unsigned A = P.addBinary(-10);
+  unsigned B = P.addBinary(-6);
+  unsigned C = P.addBinary(-4);
+  P.addConstraint({{A, 5.0}, {B, 4.0}, {C, 3.0}}, ConstraintSense::LessEq,
+                  9);
+  SolverConfig Opts;
+  Opts.RefactorInterval = 1; // threshold: rows + vars + 1 = 5 pivots
+  std::vector<double> Lo = {0, 0, 0}, Hi = {1, 1, 1};
+
+  WarmStart Ws;
+  ASSERT_EQ(solveLpWarm(P, Lo, Hi, Ws, Opts).Status, LpStatus::Optimal);
+
+  bool SawRefactor = false;
+  unsigned Pivots = 0;
+  for (unsigned Round = 0; Round != 12; ++Round) {
+    unsigned V = Round % 3;
+    Lo[V] = Hi[V] = double(Round % 2); // fix one binary, alternating
+    LpSolution Warm = solveLpWarm(P, Lo, Hi, Ws, Opts);
+    LpSolution Cold = solveLpWithBounds(P, Lo, Hi);
+    ASSERT_EQ(Warm.Status, Cold.Status) << "round " << Round;
+    if (Warm.Status == LpStatus::Optimal)
+      EXPECT_NEAR(Warm.Objective, Cold.Objective, 1e-9)
+          << "round " << Round;
+    EXPECT_TRUE(Warm.WarmStarted) << "round " << Round;
+    SawRefactor |= Warm.Refactorized;
+    Pivots += Warm.Iterations + Warm.DualIterations;
+    Lo[V] = 0.0;
+    Hi[V] = 1.0; // backtrack for the next round
+  }
+  // The chain pivots well past the interval, so at least one solve must
+  // have gone through the in-place refactorization.
+  EXPECT_TRUE(SawRefactor);
+  EXPECT_GT(Pivots, 0u);
 }
 
 TEST(WarmLp, DetectsInfeasibilityAfterTightening) {
@@ -663,3 +727,64 @@ TEST_P(MipParallelRandomized, MatchesSerialAndBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, MipParallelRandomized,
                          ::testing::Range(0, 15));
+
+/// Property sweep for the pricing tentpole: every pricing rule x strong
+/// branching on/off x thread count is exact (same objective as the
+/// brute-force enumerator), and when the optimum is unique the canonical
+/// selection keeps the assignment identical to the baseline config. The
+/// rules take different pivot paths through the same polytopes; none may
+/// change an answer.
+class MipPricingRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipPricingRandomized, AllRulesAgreeWithBruteForce) {
+  SplitMix64 Rng(static_cast<uint64_t>(GetParam()) * 15485863 + 37);
+  unsigned N = 5 + static_cast<unsigned>(Rng.nextBelow(8)); // 5..12 vars
+  LpProblem P;
+  for (unsigned J = 0; J != N; ++J)
+    P.addBinary(static_cast<double>(Rng.nextInRange(-20, 5)));
+  unsigned NumCons = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned C = 0; C != NumCons; ++C) {
+    std::vector<std::pair<unsigned, double>> Terms;
+    for (unsigned J = 0; J != N; ++J)
+      if (Rng.nextBool(0.7))
+        Terms.push_back({J, static_cast<double>(Rng.nextInRange(1, 9))});
+    if (Terms.empty())
+      Terms.push_back({0, 1.0});
+    double Rhs = static_cast<double>(Rng.nextInRange(3, 25));
+    P.addConstraint(std::move(Terms), ConstraintSense::LessEq, Rhs);
+  }
+
+  double Reference = bruteForceOptimum(P);
+  bool Unique = bruteForceOptimumCount(P, Reference) == 1;
+  MipSolution Baseline = solveMip(P);
+  ASSERT_TRUE(Baseline.feasible()); // all-zeros is always feasible here
+  EXPECT_NEAR(Baseline.Objective, Reference, 1e-6);
+
+  for (Pricing Rule : {Pricing::SteepestEdge, Pricing::Dantzig,
+                       Pricing::PartialDantzig, Pricing::Bland})
+    for (unsigned StrongK : {0u, 4u})
+      for (unsigned Threads : {1u, 4u}) {
+        SolverConfig Cfg;
+        Cfg.PricingRule = Rule;
+        Cfg.StrongBranchK = StrongK;
+        Cfg.Threads = Threads;
+        MipSolution S = solveMip(P, Cfg);
+        ASSERT_TRUE(S.feasible());
+        EXPECT_TRUE(S.Proven);
+        EXPECT_NEAR(S.Objective, Reference, 1e-6)
+            << pricingName(Rule) << " pricing, strong-branch " << StrongK
+            << ", " << Threads << " threads";
+        EXPECT_TRUE(P.isFeasible(S.Values));
+        if (Unique)
+          EXPECT_EQ(S.Values, Baseline.Values)
+              << pricingName(Rule) << " pricing, strong-branch " << StrongK
+              << ", " << Threads << " threads";
+        if (StrongK)
+          EXPECT_GE(S.Stats.StrongBranchProbes, S.Stats.StrongBranchSeeds);
+        else
+          EXPECT_EQ(S.Stats.StrongBranchProbes, 0u);
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MipPricingRandomized,
+                         ::testing::Range(0, 12));

@@ -49,6 +49,14 @@
 //                           warm-friendliest), best-bound, or hybrid
 //                           (dive until an incumbent exists, then
 //                           best-bound; every order is exact)
+//     --pricing=RULE        simplex pivot pricing: steepest-edge
+//                           (default), dantzig, partial, or bland —
+//                           every rule is exact and report-neutral;
+//                           only the pivot counts move
+//     --strong-branch=K     probe the top-K root branching candidates
+//                           with bounded dual re-solves over the
+//                           --solver-threads pool and seed pseudo-costs
+//                           (exact and report-neutral; 0 = off)
 //     --cache-dir=DIR       persistent result + profile cache: load
 //                           before running, append after, so repeated
 //                           runs are incremental
@@ -177,6 +185,18 @@ void usage(std::FILE *Out) {
       "                            not listed are disabled\n"
       "  --node-order=dfs|best-bound|hybrid\n"
       "                            branch & bound node selection policy\n"
+      "  --pricing=RULE            simplex pivot pricing: steepest-edge\n"
+      "                            (default; fewest pivots on warm chains),\n"
+      "                            dantzig (textbook baseline), partial\n"
+      "                            (rotating candidate sections on cold\n"
+      "                            passes), or bland (least-index). Every\n"
+      "                            rule is exact: reports are byte-\n"
+      "                            identical, only pivot counts move\n"
+      "  --strong-branch=K         probe the top-K root branching\n"
+      "                            candidates with bounded dual re-solves\n"
+      "                            (fanned over --solver-threads) and seed\n"
+      "                            the pseudo-cost history; exact and\n"
+      "                            report-neutral (0 = off, the default)\n"
       "  --no-cache                deprecated: --reuse without 'cache'\n"
       "  --no-profile-reuse        deprecated: --reuse without 'profile'\n"
       "  --no-solve-reuse          deprecated: --reuse without 'solve'\n"
@@ -646,6 +666,18 @@ int main(int Argc, char **Argv) {
                      val(13).c_str());
         return 2;
       }
+    } else if (Arg.rfind("--pricing=", 0) == 0) {
+      if (!pricingFromName(val(10), Opts.Base.Solver.PricingRule)) {
+        std::fprintf(stderr, "error: unknown pricing rule '%s'\n",
+                     val(10).c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--strong-branch=", 0) == 0) {
+      if (!parseUnsigned(val(16), Opts.Base.Solver.StrongBranchK)) {
+        std::fprintf(stderr, "error: bad --strong-branch value '%s'\n",
+                     val(16).c_str());
+        return 2;
+      }
     } else if (Arg.rfind("--time-limit-ms=", 0) == 0) {
       if (!parseUnsigned(val(16), Opts.Base.Solver.TimeLimitMs)) {
         std::fprintf(stderr, "error: bad --time-limit-ms value '%s'\n",
@@ -970,9 +1002,10 @@ int main(int Argc, char **Argv) {
 
     // Progress journal: every finished job is appended as it completes,
     // so a kill loses at most one torn line. The config token pins the
-    // solver limits (they change results) but not --jobs or
-    // --solver-threads — reports are byte-identical across those, so a
-    // resume may use different parallelism.
+    // solver limits (they change results) but not --jobs,
+    // --solver-threads, --pricing or --strong-branch — reports are
+    // byte-identical across those, so a resume may use different
+    // parallelism or pricing.
     std::string ConfigToken = formatString(
         "limits:t%u:n%llu:p%llu", Opts.Base.Solver.TimeLimitMs,
         static_cast<unsigned long long>(Opts.Base.Solver.NodeLimit),
